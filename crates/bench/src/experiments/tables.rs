@@ -1,0 +1,107 @@
+//! Table 1 (dataset statistics) and Table 2 (ASDR configuration).
+
+use crate::{print_header, print_row, Harness};
+use asdr_core::arch::AsdrConfig;
+use asdr_scenes::registry::{build_sdf, info};
+use asdr_scenes::{SceneField, SceneId};
+
+/// One Table-1 row: paper metadata plus the procedural stand-in's occupancy.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Scene id.
+    pub id: SceneId,
+    /// Source dataset.
+    pub dataset: &'static str,
+    /// Native resolution.
+    pub resolution: (u32, u32),
+    /// Synthetic / real-world.
+    pub kind: String,
+    /// Occupied-volume fraction of the procedural field.
+    pub occupancy: f32,
+}
+
+/// Collects Table 1.
+pub fn run_table1(_h: &mut Harness) -> Vec<Table1Row> {
+    SceneId::ALL
+        .iter()
+        .map(|&id| {
+            let meta = info(id);
+            let field = build_sdf(id);
+            Table1Row {
+                id,
+                dataset: meta.dataset,
+                resolution: meta.resolution,
+                kind: meta.kind.to_string(),
+                occupancy: field.occupancy(1.0, 16),
+            }
+        })
+        .collect()
+}
+
+/// Prints Table 1.
+pub fn print_table1(rows: &[Table1Row]) {
+    println!("\nTable 1: Dataset statistics (procedural stand-ins)");
+    print_header(&["Dataset", "Scene", "Resolution", "Type", "Occupancy"]);
+    for r in rows {
+        print_row(&[
+            r.dataset.to_string(),
+            r.id.to_string(),
+            format!("{}x{}", r.resolution.0, r.resolution.1),
+            r.kind.clone(),
+            format!("{:.1}%", r.occupancy * 100.0),
+        ]);
+    }
+}
+
+/// Collects Table 2 (both instances).
+pub fn run_table2() -> Vec<(AsdrConfig, f64, f64)> {
+    [AsdrConfig::server(), AsdrConfig::edge()]
+        .into_iter()
+        .map(|c| {
+            let area = c.total_area_mm2();
+            let power = c.total_power_w();
+            (c, area, power)
+        })
+        .collect()
+}
+
+/// Prints Table 2.
+pub fn print_table2(rows: &[(AsdrConfig, f64, f64)]) {
+    for (cfg, area, power) in rows {
+        println!("\nTable 2: {} configuration", cfg.name);
+        print_header(&["Engine", "Component", "Area (mm^2)", "Power (mW)", "Config"]);
+        for r in cfg.table2_rows() {
+            print_row(&[
+                r.engine.to_string(),
+                r.component.to_string(),
+                format!("{:.4}", r.area_mm2),
+                format!("{:.2}", r.power_mw),
+                r.config.to_string(),
+            ]);
+        }
+        println!("Total: {area:.2} mm^2, {power:.2} W (published total incl. CIM dynamic power)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn table1_covers_all_scenes() {
+        let mut h = Harness::new(Scale::Tiny);
+        let rows = run_table1(&mut h);
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|r| r.occupancy > 0.0));
+        // paper: six Synthetic-NeRF scenes
+        assert_eq!(rows.iter().filter(|r| r.dataset == "Synthetic-NeRF").count(), 6);
+    }
+
+    #[test]
+    fn table2_has_two_instances() {
+        let rows = run_table2();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].1 > rows[1].1, "server bigger than edge");
+    }
+}

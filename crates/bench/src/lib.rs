@@ -1,0 +1,200 @@
+//! Experiment harness regenerating every table and figure of the ASDR paper
+//! (§6, Tables 1–4, Figures 4–27 where they carry data).
+//!
+//! Each experiment lives in [`experiments`] as a `run_*` function returning
+//! a plain data struct plus a `print_*` function emitting the table the
+//! paper reports. The `experiments` binary dispatches one subcommand per
+//! table/figure; integration tests call the `run_*` functions directly at
+//! [`Scale::Tiny`].
+//!
+//! ```no_run
+//! use asdr_bench::{Harness, Scale};
+//! use asdr_bench::experiments::quality;
+//!
+//! let mut h = Harness::new(Scale::Tiny);
+//! let rows = quality::run_fig16(&mut h, &[asdr_scenes::SceneId::Mic]);
+//! quality::print_fig16(&rows);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use asdr_core::algo::adaptive::AdaptiveConfig;
+use asdr_core::algo::RenderOptions;
+use asdr_math::{Camera, Image};
+use asdr_nerf::fit::fit_ngp;
+use asdr_nerf::grid::GridConfig;
+use asdr_nerf::tensorf::{TensoRfConfig, TensoRfModel};
+use asdr_nerf::NgpModel;
+use asdr_scenes::gt::render_ground_truth;
+use asdr_scenes::registry::{build_sdf, standard_camera};
+use asdr_scenes::SceneId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Experiment scale: `Tiny` for tests/smoke runs, `Small` for the default
+/// evaluation (the published numbers in EXPERIMENTS.md), `Paper` for the
+/// full-size grid (slow; hours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 48×48 frames, 8-level grid — seconds per experiment.
+    Tiny,
+    /// 96×96 frames, 16-level grid — the default evaluation scale.
+    Small,
+    /// 192×192 frames, paper-size grid (T = 2^19, 512³ finest level).
+    Paper,
+}
+
+impl Scale {
+    /// Grid configuration for this scale.
+    pub fn grid(self) -> GridConfig {
+        match self {
+            Scale::Tiny => GridConfig::tiny(),
+            Scale::Small => GridConfig::small(),
+            Scale::Paper => GridConfig::paper(),
+        }
+    }
+
+    /// Frame resolution (square).
+    pub fn resolution(self) -> u32 {
+        match self {
+            Scale::Tiny => 48,
+            Scale::Small => 96,
+            Scale::Paper => 192,
+        }
+    }
+
+    /// Full per-ray sample count (the paper's 192, scaled).
+    pub fn base_ns(self) -> usize {
+        match self {
+            Scale::Tiny => 48,
+            Scale::Small => 96,
+            Scale::Paper => 192,
+        }
+    }
+
+    /// TensoRF fitting configuration.
+    pub fn tensorf(self) -> TensoRfConfig {
+        match self {
+            Scale::Tiny => TensoRfConfig::tiny(),
+            _ => TensoRfConfig::small(),
+        }
+    }
+
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Caches fitted models and ground-truth renders across experiments within
+/// one process.
+#[derive(Debug)]
+pub struct Harness {
+    scale: Scale,
+    models: HashMap<SceneId, Arc<NgpModel>>,
+    tensorf_models: HashMap<SceneId, Arc<TensoRfModel>>,
+    gts: HashMap<SceneId, Image>,
+}
+
+impl Harness {
+    /// Creates an empty harness at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Harness { scale, models: HashMap::new(), tensorf_models: HashMap::new(), gts: HashMap::new() }
+    }
+
+    /// The harness scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The standard evaluation camera for a scene at this scale.
+    pub fn camera(&self, id: SceneId) -> Camera {
+        let r = self.scale.resolution();
+        standard_camera(id, r, r)
+    }
+
+    /// The fitted NGP model for a scene (fitted once, cached).
+    pub fn model(&mut self, id: SceneId) -> Arc<NgpModel> {
+        let scale = self.scale;
+        self.models
+            .entry(id)
+            .or_insert_with(|| {
+                let scene = build_sdf(id);
+                Arc::new(fit_ngp(&scene, &scale.grid()))
+            })
+            .clone()
+    }
+
+    /// The fitted TensoRF model for a scene (fitted once, cached).
+    pub fn tensorf_model(&mut self, id: SceneId) -> Arc<TensoRfModel> {
+        let scale = self.scale;
+        self.tensorf_models
+            .entry(id)
+            .or_insert_with(|| {
+                let scene = build_sdf(id);
+                Arc::new(TensoRfModel::fit(&scene, &scale.tensorf(), 0))
+            })
+            .clone()
+    }
+
+    /// The ASDR render options at this scale: adaptive sampling with a
+    /// resolution-scaled probe pitch plus group-2 color decoupling.
+    pub fn asdr_options(&self) -> RenderOptions {
+        let base_ns = self.scale.base_ns();
+        RenderOptions {
+            base_ns,
+            adaptive: Some(AdaptiveConfig::for_resolution(base_ns, self.scale.resolution())),
+            approx_group: 2,
+            early_termination: false,
+        }
+    }
+
+    /// Adaptive sampling only (no color decoupling) at this scale.
+    pub fn as_only_options(&self) -> RenderOptions {
+        RenderOptions { approx_group: 1, ..self.asdr_options() }
+    }
+
+    /// The fixed-count Instant-NGP baseline options at this scale.
+    pub fn ngp_options(&self) -> RenderOptions {
+        RenderOptions::instant_ngp(self.scale.base_ns())
+    }
+
+    /// Analytic ground-truth render for a scene (cached).
+    pub fn ground_truth(&mut self, id: SceneId) -> Image {
+        let scale = self.scale;
+        self.gts
+            .entry(id)
+            .or_insert_with(|| {
+                let scene = build_sdf(id);
+                let cam = {
+                    let r = scale.resolution();
+                    standard_camera(id, r, r)
+                };
+                render_ground_truth(&scene, &cam, scale.base_ns() * 3)
+            })
+            .clone()
+    }
+}
+
+/// Formats a speedup/ratio column as the paper does (`12.86×`).
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Prints a Markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a Markdown-style table header and separator.
+pub fn print_header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}

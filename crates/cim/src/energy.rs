@@ -1,0 +1,106 @@
+//! Per-event energy constants (pJ) and component areas.
+//!
+//! Absolute values follow the CIM literature the paper cites (PUMA, PRIME,
+//! NeuroSim, CACTI) at a 28 nm-class node. The experiment harness only ever
+//! *compares* energies, computed as `Σ events × per-event constants` with
+//! events measured from the functional pipeline.
+
+/// Per-event energies in picojoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyTable {
+    /// One 5-bit SAR ADC conversion.
+    pub adc_conversion_pj: f64,
+    /// One 1-bit DAC wordline drive.
+    pub dac_drive_pj: f64,
+    /// One crossbar array activation (all rows, one input bit).
+    pub xbar_activation_pj: f64,
+    /// One Mem-Xbar row read (embedding lookup, 16 cells sensed).
+    pub mem_row_read_pj: f64,
+    /// One register-cache tag compare + read.
+    pub reg_cache_access_pj: f64,
+    /// One on-chip SRAM buffer access per byte.
+    pub sram_access_pj_per_byte: f64,
+    /// Off-chip DRAM access per byte (edge-class LPDDR).
+    pub dram_access_pj_per_byte: f64,
+    /// One 32-bit fixed-point multiply-accumulate in digital logic.
+    pub digital_mac_pj: f64,
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        EnergyTable {
+            adc_conversion_pj: 0.4,
+            dac_drive_pj: 0.05,
+            xbar_activation_pj: 1.2,
+            mem_row_read_pj: 0.8,
+            reg_cache_access_pj: 0.08,
+            sram_access_pj_per_byte: 0.35,
+            dram_access_pj_per_byte: 20.0,
+            digital_mac_pj: 0.9,
+        }
+    }
+}
+
+impl EnergyTable {
+    /// Validates that all entries are positive and the memory hierarchy is
+    /// ordered (register < SRAM < DRAM per byte-equivalent).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let all = [
+            self.adc_conversion_pj,
+            self.dac_drive_pj,
+            self.xbar_activation_pj,
+            self.mem_row_read_pj,
+            self.reg_cache_access_pj,
+            self.sram_access_pj_per_byte,
+            self.dram_access_pj_per_byte,
+            self.digital_mac_pj,
+        ];
+        if all.iter().any(|&v| v <= 0.0) {
+            return Err("all energies must be positive".into());
+        }
+        if self.reg_cache_access_pj >= self.mem_row_read_pj {
+            return Err("register cache must be cheaper than a Mem-Xbar read".into());
+        }
+        if self.sram_access_pj_per_byte >= self.dram_access_pj_per_byte {
+            return Err("SRAM must be cheaper than DRAM".into());
+        }
+        Ok(())
+    }
+}
+
+/// Converts picojoules to joules.
+pub fn pj_to_j(pj: f64) -> f64 {
+    pj * 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_is_valid() {
+        EnergyTable::default().validate().unwrap();
+    }
+
+    #[test]
+    fn hierarchy_ordering_enforced() {
+        let mut t = EnergyTable::default();
+        t.reg_cache_access_pj = 10.0;
+        assert!(t.validate().is_err());
+        let mut t = EnergyTable::default();
+        t.dram_access_pj_per_byte = 0.1;
+        assert!(t.validate().is_err());
+        let mut t = EnergyTable::default();
+        t.adc_conversion_pj = -1.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert_eq!(pj_to_j(1e12), 1.0);
+    }
+}

@@ -1,0 +1,10 @@
+//! The ASDR algorithm level (§4 of the paper).
+
+pub mod adaptive;
+pub mod approx;
+pub mod renderer;
+pub mod volrend;
+
+pub use adaptive::{AdaptiveConfig, SamplePlan};
+pub use renderer::{render, render_reference, RenderOptions, RenderOutput, RenderStats};
+pub use volrend::{composite, composite_early_term, CompositeResult, SamplePoint};

@@ -1,0 +1,493 @@
+//! The software ASDR renderer: the paper's two-phase dataflow (§5.5) at the
+//! algorithm level.
+//!
+//! Phase I probes a sparse pixel grid at the full sample count and derives
+//! the per-pixel sample plan (adaptive sampling). Phase II renders every
+//! pixel at its planned count, running the density MLP for all samples and
+//! the color MLP only for group leaders (color–density decoupling), with
+//! optional early termination at group granularity.
+//!
+//! Beyond the image, the renderer returns [`RenderStats`] — the exact
+//! operation counts (density executions, color executions, probe overhead,
+//! interpolations) that drive the architecture and baseline timing models.
+
+use crate::algo::adaptive::{choose_count, AdaptiveConfig, SamplePlan};
+use crate::algo::approx::interpolate_followers;
+use crate::algo::volrend::{SamplePoint, EARLY_TERM_TRANSMITTANCE};
+use asdr_math::{Camera, Image, Ray, Rgb};
+use asdr_nerf::model::RadianceModel;
+
+/// Renderer configuration: which ASDR optimizations are active.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderOptions {
+    /// Full (reference) sample count per ray (paper: 192).
+    pub base_ns: usize,
+    /// Adaptive sampling (Phase I probing); `None` = fixed count.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Color-decoupling group size `n`; 1 disables the approximation.
+    pub approx_group: usize,
+    /// Early termination of opaque rays.
+    pub early_termination: bool,
+}
+
+impl RenderOptions {
+    /// Baseline Instant-NGP rendering: fixed count, full color MLP, no ET.
+    pub fn instant_ngp(base_ns: usize) -> Self {
+        RenderOptions { base_ns, adaptive: None, approx_group: 1, early_termination: false }
+    }
+
+    /// The ASDR default: adaptive sampling (δ = 1/2048) plus group-2
+    /// rendering approximation (the configuration behind Figs. 16–19).
+    pub fn asdr_default(base_ns: usize) -> Self {
+        RenderOptions {
+            base_ns,
+            adaptive: Some(AdaptiveConfig::paper(base_ns)),
+            approx_group: 2,
+            early_termination: false,
+        }
+    }
+
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base_ns == 0 {
+            return Err("base_ns must be >= 1".into());
+        }
+        if self.approx_group == 0 {
+            return Err("approx_group must be >= 1".into());
+        }
+        if let Some(a) = &self.adaptive {
+            a.validate(self.base_ns)?;
+        }
+        Ok(())
+    }
+}
+
+/// Operation counts of one rendered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RenderStats {
+    /// Primary rays (pixels).
+    pub rays: u64,
+    /// Phase-I probe rays.
+    pub probe_rays: u64,
+    /// Phase-I sample points (each runs density *and* color MLPs).
+    pub probe_points: u64,
+    /// Phase-II density-MLP executions.
+    pub density_points: u64,
+    /// Phase-II color-MLP executions (group leaders).
+    pub color_points: u64,
+    /// Phase-II follower points whose color was interpolated.
+    pub interpolated_points: u64,
+    /// Σ planned samples over the frame (before early termination).
+    pub planned_points: u64,
+    /// `rays × base_ns` — the fixed-sampling reference workload.
+    pub base_points: u64,
+    /// Rays stopped early by termination.
+    pub et_terminated_rays: u64,
+}
+
+impl RenderStats {
+    /// Total density-MLP executions including the probe phase.
+    pub fn total_density(&self) -> u64 {
+        self.probe_points + self.density_points
+    }
+
+    /// Total color-MLP executions including the probe phase.
+    pub fn total_color(&self) -> u64 {
+        self.probe_points + self.color_points
+    }
+
+    /// Total encoded sample points (each encoding = one hash-grid lookup
+    /// sweep).
+    pub fn total_encoded(&self) -> u64 {
+        self.total_density()
+    }
+
+    /// Fraction of the fixed-sampling workload that was actually executed
+    /// (density path).
+    pub fn density_workload_ratio(&self) -> f64 {
+        self.total_density() as f64 / self.base_points.max(1) as f64
+    }
+}
+
+/// A rendered frame with its statistics and sample plan.
+#[derive(Debug, Clone)]
+pub struct RenderOutput {
+    /// The image.
+    pub image: Image,
+    /// Operation counts.
+    pub stats: RenderStats,
+    /// The per-pixel sample plan used in Phase II.
+    pub plan: SamplePlan,
+}
+
+/// Renders a frame with the ASDR pipeline.
+///
+/// Phase II is parallelized over pixel rows (each worker owns a query
+/// scratch); results are deterministic because pixels are independent.
+///
+/// # Panics
+///
+/// Panics if `opts` fail validation.
+pub fn render<M: RadianceModel + Sync>(model: &M, cam: &Camera, opts: &RenderOptions) -> RenderOutput {
+    opts.validate().expect("invalid render options");
+    let mut stats = RenderStats { rays: cam.pixel_count() as u64, ..Default::default() };
+    stats.base_points = stats.rays * opts.base_ns as u64;
+    let mut scratch = model.make_query_scratch();
+
+    // ---- Phase I: probe and plan -----------------------------------
+    let plan = match &opts.adaptive {
+        None => SamplePlan::uniform(cam.width(), cam.height(), opts.base_ns),
+        Some(acfg) => {
+            let d = acfg.probe_stride;
+            let gx = (cam.width() + d - 1) / d;
+            let gy = (cam.height() + d - 1) / d;
+            let mut probe_counts = vec![vec![opts.base_ns as u32; gx as usize]; gy as usize];
+            for jy in 0..gy {
+                for jx in 0..gx {
+                    let px = (jx * d).min(cam.width() - 1);
+                    let py = (jy * d).min(cam.height() - 1);
+                    let ray = cam.ray_for_pixel(px, py);
+                    let pts = evaluate_full_ray(model, &ray, opts.base_ns, &mut scratch);
+                    stats.probe_rays += 1;
+                    stats.probe_points += pts.len() as u64;
+                    probe_counts[jy as usize][jx as usize] =
+                        choose_count(&pts, acfg, opts.base_ns) as u32;
+                }
+            }
+            SamplePlan::from_probes(cam.width(), cam.height(), opts.base_ns, d, &probe_counts)
+        }
+    };
+    stats.planned_points = plan.total();
+
+    // ---- Phase II: full image rendering (parallel over rows) ---------
+    let mut image = Image::new(cam.width(), cam.height());
+    let height = cam.height() as usize;
+    let width = cam.width() as usize;
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(height.max(1));
+    let rows_per_worker = height.div_ceil(workers.max(1));
+    let mut partials: Vec<(Vec<Rgb>, RenderStats)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let row_lo = w * rows_per_worker;
+            let row_hi = ((w + 1) * rows_per_worker).min(height);
+            if row_lo >= row_hi {
+                continue;
+            }
+            let plan_ref = &plan;
+            handles.push(scope.spawn(move || {
+                let mut scratch = model.make_query_scratch();
+                let mut pixels = vec![Rgb::BLACK; (row_hi - row_lo) * width];
+                let mut local = RenderStats::default();
+                for py in row_lo..row_hi {
+                    for px in 0..width {
+                        let ray = cam.ray_for_pixel(px as u32, py as u32);
+                        let count = plan_ref.count(px as u32, py as u32) as usize;
+                        let (color, work) = render_ray(model, &ray, count, opts, &mut scratch);
+                        local.density_points += work.density;
+                        local.color_points += work.color;
+                        local.interpolated_points += work.interpolated;
+                        if work.terminated {
+                            local.et_terminated_rays += 1;
+                        }
+                        pixels[(py - row_lo) * width + px] = color;
+                    }
+                }
+                (row_lo, pixels, local)
+            }));
+        }
+        for h in handles {
+            let (row_lo, pixels, local) = h.join().expect("render worker panicked");
+            partials.push((pixels, local));
+            for (i, c) in partials.last().unwrap().0.iter().enumerate() {
+                let py = row_lo + i / width;
+                let px = i % width;
+                image.set(px as u32, py as u32, *c);
+            }
+        }
+    });
+    for (_, local) in &partials {
+        stats.density_points += local.density_points;
+        stats.color_points += local.color_points;
+        stats.interpolated_points += local.interpolated_points;
+        stats.et_terminated_rays += local.et_terminated_rays;
+    }
+    RenderOutput { image, stats, plan }
+}
+
+/// Fully evaluates `count` samples (density + color) along a ray — the
+/// Phase-I probe path.
+fn evaluate_full_ray<M: RadianceModel>(
+    model: &M,
+    ray: &Ray,
+    count: usize,
+    scratch: &mut M::Scratch,
+) -> Vec<SamplePoint> {
+    let Some(range) = model.model_bounds().intersect(ray) else {
+        return Vec::new();
+    };
+    if range.is_empty() {
+        return Vec::new();
+    }
+    range
+        .midpoints(count)
+        .into_iter()
+        .map(|t| {
+            let p = ray.at(t);
+            let sigma = model.density_into(p, scratch);
+            let color = model.color_into(ray.dir, scratch);
+            SamplePoint { t, sigma, color }
+        })
+        .collect()
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct RayWork {
+    density: u64,
+    color: u64,
+    interpolated: u64,
+    terminated: bool,
+}
+
+/// Phase-II per-ray pipeline: density for every sample, color for group
+/// leaders, follower interpolation, group-granular early termination.
+fn render_ray<M: RadianceModel>(
+    model: &M,
+    ray: &Ray,
+    count: usize,
+    opts: &RenderOptions,
+    scratch: &mut M::Scratch,
+) -> (Rgb, RayWork) {
+    let mut work = RayWork::default();
+    let Some(range) = model.model_bounds().intersect(ray) else {
+        return (Rgb::BLACK, work);
+    };
+    if range.is_empty() || count == 0 {
+        return (Rgb::BLACK, work);
+    }
+    let ts = range.midpoints(count);
+    let n = opts.approx_group;
+
+    let mut acc = Rgb::BLACK;
+    let mut transmittance = 1.0f32;
+    // evaluated samples of the current and previous group
+    let mut sigmas = vec![0.0f32; count];
+    let mut colors = vec![Rgb::BLACK; count];
+    let mut is_leader = vec![false; count];
+
+    let groups = count.div_ceil(n);
+    let mut evaluated_until = 0usize; // samples with density computed
+    let mut composited_until = 0usize;
+
+    'groups: for g in 0..groups {
+        let lo = g * n;
+        let hi = ((g + 1) * n).min(count);
+        // densities for this group
+        for (i, &t) in ts.iter().enumerate().take(hi).skip(lo) {
+            sigmas[i] = model.density_into(ray.at(t), scratch);
+            if i == lo {
+                // group leader: full color path
+                colors[i] = model.color_into(ray.dir, scratch);
+                is_leader[i] = true;
+                work.color += 1;
+            }
+            work.density += 1;
+        }
+        evaluated_until = hi;
+
+        // the previous group's followers interpolate toward this leader;
+        // composite everything up to (excluding) this group's leader
+        if g > 0 {
+            interpolate_span(&ts, &mut colors, &is_leader, composited_until, lo);
+            work.interpolated += (lo - composited_until).saturating_sub(1) as u64;
+            let (c, t_new) =
+                composite_span(&ts, &sigmas, &colors, composited_until, lo, acc, transmittance);
+            acc = c;
+            transmittance = t_new;
+            composited_until = lo;
+            if opts.early_termination && transmittance < EARLY_TERM_TRANSMITTANCE {
+                work.terminated = true;
+                break 'groups;
+            }
+        }
+    }
+
+    // tail: composite the remaining evaluated samples (followers hold the
+    // last leader's color)
+    if composited_until < evaluated_until && !work.terminated {
+        interpolate_span(&ts, &mut colors, &is_leader, composited_until, evaluated_until);
+        work.interpolated += (evaluated_until - composited_until).saturating_sub(1) as u64;
+        let (c, t_new) = composite_span(
+            &ts,
+            &sigmas,
+            &colors,
+            composited_until,
+            evaluated_until,
+            acc,
+            transmittance,
+        );
+        acc = c;
+        transmittance = t_new;
+    }
+    let _ = transmittance;
+    (acc.clamp01(), work)
+}
+
+/// Interpolates follower colors in `[lo, hi)` using all leaders present so
+/// far (delegates to [`interpolate_followers`] over the evaluated prefix).
+fn interpolate_span(ts: &[f32], colors: &mut [Rgb], is_leader: &[bool], _lo: usize, hi: usize) {
+    if hi == 0 {
+        return;
+    }
+    interpolate_followers(&ts[..hi], &mut colors[..hi], &is_leader[..hi]);
+}
+
+/// Composites samples `[lo, hi)` continuing from `(acc, transmittance)`.
+#[allow(clippy::too_many_arguments)]
+fn composite_span(
+    ts: &[f32],
+    sigmas: &[f32],
+    colors: &[Rgb],
+    lo: usize,
+    hi: usize,
+    mut acc: Rgb,
+    mut transmittance: f32,
+) -> (Rgb, f32) {
+    for i in lo..hi {
+        let d = if i + 1 < ts.len() {
+            ts[i + 1] - ts[i]
+        } else if ts.len() >= 2 {
+            ts[i] - ts[i - 1]
+        } else {
+            1.0
+        };
+        let alpha = 1.0 - (-sigmas[i].max(0.0) * d).exp();
+        acc += colors[i] * (transmittance * alpha);
+        transmittance *= 1.0 - alpha;
+    }
+    (acc, transmittance)
+}
+
+/// Convenience: renders the fixed-count baseline and returns only the image
+/// (used by quality references).
+pub fn render_reference<M: RadianceModel + Sync>(model: &M, cam: &Camera, base_ns: usize) -> Image {
+    render(model, cam, &RenderOptions::instant_ngp(base_ns)).image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdr_math::metrics::psnr;
+    use asdr_nerf::fit::fit_ngp;
+    use asdr_nerf::grid::GridConfig;
+    use asdr_nerf::NgpModel;
+    use asdr_scenes::registry::{build_sdf, standard_camera};
+    use asdr_scenes::SceneId;
+
+    fn model(id: SceneId) -> NgpModel {
+        fit_ngp(&build_sdf(id), &GridConfig::tiny())
+    }
+
+    #[test]
+    fn fixed_rendering_matches_direct_composite() {
+        let m = model(SceneId::Mic);
+        let cam = standard_camera(SceneId::Mic, 16, 16);
+        let out = render(&m, &cam, &RenderOptions::instant_ngp(48));
+        assert_eq!(out.stats.density_points, out.stats.color_points);
+        assert_eq!(out.stats.planned_points, 16 * 16 * 48);
+        assert_eq!(out.stats.probe_points, 0);
+        assert!(out.image.mean_luminance() > 0.01);
+    }
+
+    #[test]
+    fn approximation_halves_color_work() {
+        let m = model(SceneId::Lego);
+        let cam = standard_camera(SceneId::Lego, 16, 16);
+        let mut opts = RenderOptions::instant_ngp(48);
+        opts.approx_group = 2;
+        let out = render(&m, &cam, &opts);
+        // color executions ≈ half of density executions
+        let ratio = out.stats.color_points as f64 / out.stats.density_points as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "color/density = {ratio}");
+        assert!(out.stats.interpolated_points > 0);
+    }
+
+    #[test]
+    fn approximation_quality_loss_is_small() {
+        let m = model(SceneId::Hotdog);
+        let cam = standard_camera(SceneId::Hotdog, 24, 24);
+        let reference = render_reference(&m, &cam, 64);
+        let mut opts = RenderOptions::instant_ngp(64);
+        opts.approx_group = 2;
+        let approx = render(&m, &cam, &opts).image;
+        let p = psnr(&approx, &reference);
+        assert!(p > 28.0, "group-2 approximation PSNR {p} too low");
+    }
+
+    #[test]
+    fn adaptive_reduces_planned_points() {
+        let m = model(SceneId::Mic);
+        let cam = standard_camera(SceneId::Mic, 25, 25);
+        let out = render(&m, &cam, &RenderOptions::asdr_default(48));
+        assert!(
+            out.stats.planned_points < out.stats.base_points,
+            "{} vs {}",
+            out.stats.planned_points,
+            out.stats.base_points
+        );
+        // background-heavy scene: big savings expected
+        assert!(out.plan.average() < 40.0, "average count {}", out.plan.average());
+        assert!(out.stats.probe_rays > 0);
+    }
+
+    #[test]
+    fn adaptive_quality_close_to_reference() {
+        let m = model(SceneId::Chair);
+        let cam = standard_camera(SceneId::Chair, 25, 25);
+        let reference = render_reference(&m, &cam, 64);
+        let out = render(&m, &cam, &RenderOptions::asdr_default(64));
+        let p = psnr(&out.image, &reference);
+        assert!(p > 30.0, "ASDR vs NGP PSNR {p} too low");
+    }
+
+    #[test]
+    fn early_termination_saves_work_losslessly() {
+        let m = model(SceneId::Hotdog);
+        let cam = standard_camera(SceneId::Hotdog, 20, 20);
+        let mut with_et = RenderOptions::instant_ngp(64);
+        with_et.early_termination = true;
+        let base = render(&m, &cam, &RenderOptions::instant_ngp(64));
+        let et = render(&m, &cam, &with_et);
+        assert!(et.stats.density_points < base.stats.density_points);
+        assert!(et.stats.et_terminated_rays > 0);
+        let p = psnr(&et.image, &base.image);
+        assert!(p > 40.0, "ET must be (nearly) lossless, got {p} dB");
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let m = model(SceneId::Ficus);
+        let cam = standard_camera(SceneId::Ficus, 15, 15);
+        let out = render(&m, &cam, &RenderOptions::asdr_default(48));
+        let s = &out.stats;
+        assert_eq!(s.rays, 225);
+        assert!(s.color_points <= s.density_points);
+        assert!(s.density_points <= s.planned_points);
+        assert!(s.total_density() >= s.density_points);
+        assert!(s.density_workload_ratio() > 0.0);
+    }
+
+    #[test]
+    fn invalid_options_panic() {
+        let m = model(SceneId::Mic);
+        let cam = standard_camera(SceneId::Mic, 4, 4);
+        let mut opts = RenderOptions::instant_ngp(16);
+        opts.approx_group = 0;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| render(&m, &cam, &opts)));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Encoding-engine trace simulation (§5.2, Fig. 10 left).
+//!
+//! The engine is modelled as *per-table pipelined units*: with one hybrid
+//! address generator per resolution level (Table 2: 16 generators per point
+//! stream on the edge instance, 4 × 16 on the server), every level's eight
+//! vertex lookups are issued concurrently and points stream through the
+//! units. Three effects throttle the stream, exactly the ones §5.2 attacks:
+//!
+//! * **ReRAM row cycle time** ([`XBAR_READ_INTERVAL`]): a Mem Xbar can only
+//!   *start* a row read every few cycles (the "at least 7 read cycles" of
+//!   Fig. 3(c)). Consecutive sample points share coarse-level voxels, so
+//!   without a cache they hammer the same rows and the stream runs at the
+//!   row cycle time instead of the clock rate. The register cache serves
+//!   those repeats at register speed — that is the Fig. 22 speedup.
+//! * **Same-xbar conflicts**: reads landing on one crossbar serialize. The
+//!   naive packed mapping concentrates a voxel's corners (and concurrent
+//!   point streams) onto few crossbars; the hybrid bit-reorder + replication
+//!   fans them out (Fig. 14).
+//! * **Issue serialization**: a design without per-table generators (the
+//!   strawman) issues levels one after another.
+//!
+//! The simulator replays the exact vertex streams of a sampled subset of
+//! rays and reports lane-amortized per-point cycles for the chip model.
+
+use crate::algo::adaptive::SamplePlan;
+use crate::arch::addrgen::{HybridAddressGenerator, MappingMode};
+use crate::arch::regcache::RegCache;
+use asdr_math::{Camera, Vec3};
+use asdr_nerf::NgpModel;
+use std::collections::HashMap;
+
+/// Cycles between successive row reads a Mem Xbar can sustain (ReRAM row
+/// cycle time at 1 GHz).
+pub const XBAR_READ_INTERVAL: u64 = 4;
+
+/// Measured encoding-stage statistics (per simulated subset, with
+/// per-point averages for scaling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodingProfile {
+    /// Sample points simulated.
+    pub points: u64,
+    /// Lookup cycles consumed by the simulated points (already amortized
+    /// over the parallel point streams).
+    pub cycles: u64,
+    /// Register-cache hits.
+    pub hits: u64,
+    /// Lookups that had to touch the Mem Xbars.
+    pub misses: u64,
+    /// Extra cycles from same-xbar serialization and row-cycle pressure.
+    pub conflict_cycles: u64,
+}
+
+impl EncodingProfile {
+    /// Cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Average lookup cycles per sample point (stream-amortized).
+    pub fn cycles_per_point(&self) -> f64 {
+        self.cycles as f64 / self.points.max(1) as f64
+    }
+
+    /// Average Mem-Xbar reads per sample point.
+    pub fn misses_per_point(&self) -> f64 {
+        self.misses as f64 / self.points.max(1) as f64
+    }
+
+    /// Average conflict cycles per point.
+    pub fn conflicts_per_point(&self) -> f64 {
+        self.conflict_cycles as f64 / self.points.max(1) as f64
+    }
+}
+
+/// Simulates the encoding engine with `lanes` hybrid address generators over
+/// every `ray_stride`-th pixel of the plan.
+///
+/// `lanes / levels` adjacent rays stream in parallel (one generator per
+/// table per stream); a front end with fewer generators than tables issues
+/// levels serially.
+///
+/// # Panics
+///
+/// Panics if the plan does not match the camera resolution or `lanes == 0`.
+pub fn simulate_encoding(
+    model: &NgpModel,
+    cam: &Camera,
+    plan: &SamplePlan,
+    mapping: MappingMode,
+    cache_entries: usize,
+    lanes: u32,
+    ray_stride: u32,
+) -> EncodingProfile {
+    let cfg = model.encoder().config().clone();
+    let span = cfg.table_size as u64;
+    simulate_encoding_with_span(model, cam, plan, mapping, cache_entries, lanes, ray_stride, span)
+}
+
+/// Like [`simulate_encoding`] but with an explicit per-level Mem-Xbar span
+/// (entries of storage each level's region owns — the chip capacity divided
+/// by the level count).
+///
+/// # Panics
+///
+/// Panics if the plan does not match the camera resolution or `lanes == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_encoding_with_span(
+    model: &NgpModel,
+    cam: &Camera,
+    plan: &SamplePlan,
+    mapping: MappingMode,
+    cache_entries: usize,
+    lanes: u32,
+    ray_stride: u32,
+    span_entries: u64,
+) -> EncodingProfile {
+    assert_eq!(plan.width(), cam.width(), "plan/camera width mismatch");
+    assert_eq!(plan.height(), cam.height(), "plan/camera height mismatch");
+    assert!(lanes > 0, "need at least one lane");
+    let cfg = model.encoder().config().clone();
+    let span = span_entries.max(cfg.table_size as u64);
+    let gen = HybridAddressGenerator::with_span(cfg.clone(), mapping, span);
+    let has_comparators = cache_entries > 0;
+
+    // per-table generators: streams of points in flight; a too-narrow front
+    // end issues levels serially instead
+    let streams = ((lanes as usize) / cfg.levels).max(1);
+    let issue_serial = (cfg.levels as u64).div_ceil(lanes as u64).max(1);
+    // each point stream owns its register set per table (a stream's reuse is
+    // intra-/inter-ray locality of *its own* rays)
+    let mut caches: Vec<Vec<RegCache>> = (0..cfg.levels)
+        .map(|_| (0..streams).map(|_| RegCache::new(cache_entries)).collect())
+        .collect();
+
+    // gather the sampled subset of rays in *contiguous blocks* so adjacent
+    // streams carry adjacent rays (inter-ray locality is real on chip)
+    let stride = ray_stride.max(1) as usize;
+    let mut ray_points: Vec<Vec<Vec3>> = Vec::new();
+    for py in (0..cam.height()).step_by(stride) {
+        for px in 0..cam.width() {
+            if (px as usize / streams.max(1)) % stride != 0 {
+                continue;
+            }
+            let ray = cam.ray_for_pixel(px, py);
+            let Some(tr) = model.bounds().intersect(&ray) else { continue };
+            if tr.is_empty() {
+                continue;
+            }
+            let count = plan.count(px, py) as usize;
+            let pts: Vec<Vec3> =
+                tr.midpoints(count).into_iter().map(|t| model.bounds().normalize(ray.at(t))).collect();
+            ray_points.push(pts);
+        }
+    }
+
+    let mut profile =
+        EncodingProfile { points: 0, cycles: 0, hits: 0, misses: 0, conflict_cycles: 0 };
+    let mut xbar_load: HashMap<u32, u32> = HashMap::new();
+    // next cycle each crossbar can *start* a row read (queueing model)
+    let mut xbar_free: HashMap<u32, u64> = HashMap::new();
+    let mut now: u64 = 0;
+    let mut level_tags: Vec<Vec<(u64, usize, (u32, u32, u32))>> = vec![Vec::new(); cfg.levels];
+
+    for group in ray_points.chunks(streams) {
+        let max_len = group.iter().map(Vec::len).max().unwrap_or(0);
+        for step in 0..max_len {
+            xbar_load.clear();
+            for t in &mut level_tags {
+                t.clear();
+            }
+            let mut group_points = 0u64;
+            for (stream, pts) in group.iter().enumerate() {
+                let Some(&p01) = pts.get(step) else { continue };
+                group_points += 1;
+                for (level, tags) in level_tags.iter_mut().enumerate() {
+                    for acc in model.encoder().vertex_accesses(p01, level) {
+                        // tag by logical row so replicas share cached copies
+                        tags.push((acc.row as u64, stream, acc.vertex));
+                    }
+                }
+            }
+            if group_points == 0 {
+                continue;
+            }
+            for (level, tags) in level_tags.iter().enumerate() {
+                if tags.is_empty() {
+                    continue;
+                }
+                if has_comparators {
+                    // all-to-all comparators (Fig. 10): probe each stream's
+                    // register set at the cycle-group start and merge
+                    // duplicate in-flight requests into one broadcast read
+                    let mut unique_missed: Vec<(u64, usize, (u32, u32, u32))> = Vec::new();
+                    for &(tag, stream, vertex) in tags {
+                        if caches[level][stream].contains(tag) {
+                            profile.hits += 1;
+                        } else {
+                            profile.misses += 1;
+                            if !unique_missed.iter().any(|&(t, _, _)| t == tag) {
+                                unique_missed.push((tag, stream, vertex));
+                            }
+                        }
+                    }
+                    for &(tag, stream, vertex) in &unique_missed {
+                        let pa = gen.translate(level, vertex.0, vertex.1, vertex.2, stream as u32);
+                        *xbar_load.entry(pa.xbar).or_default() += 1;
+                        // the broadcast fills every requesting stream's set
+                        for &(t2, s2, _) in tags {
+                            if t2 == tag {
+                                caches[level][s2].access(tag);
+                            }
+                        }
+                    }
+                    for &(tag, stream, _) in tags {
+                        caches[level][stream].touch(tag); // batch-end LRU refresh
+                    }
+                } else {
+                    // no comparator array: every access reaches the xbars
+                    for &(_tag, stream, vertex) in tags {
+                        profile.misses += 1;
+                        let pa = gen.translate(level, vertex.0, vertex.1, vertex.2, stream as u32);
+                        *xbar_load.entry(pa.xbar).or_default() += 1;
+                    }
+                }
+            }
+            // queueing model: each crossbar starts at most one row read per
+            // XBAR_READ_INTERVAL cycles. The point group retires once every
+            // read has been *accepted* (reads pipeline; data returns later),
+            // so back-pressure arises only from crossbars still busy with
+            // earlier rows — exactly the sustained same-row/same-xbar
+            // pressure the cache and the replicated mapping relieve.
+            let mut group_end = now + issue_serial.max(1);
+            for (&x, &c) in &xbar_load {
+                let free = xbar_free.get(&x).copied().unwrap_or(0);
+                let first_start = free.max(now);
+                let last_start = first_start + (c as u64 - 1) * XBAR_READ_INTERVAL;
+                xbar_free.insert(x, last_start + XBAR_READ_INTERVAL);
+                group_end = group_end.max(last_start + 1);
+            }
+            let group_cycles = group_end - now;
+            now = group_end;
+            profile.points += group_points;
+            profile.cycles += group_cycles;
+            profile.conflict_cycles += group_cycles.saturating_sub(issue_serial.max(1));
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::adaptive::SamplePlan;
+    use asdr_nerf::fit::fit_ngp;
+    use asdr_nerf::grid::GridConfig;
+    use asdr_scenes::registry::{build_sdf, standard_camera};
+    use asdr_scenes::SceneId;
+
+    fn setup() -> (NgpModel, asdr_math::Camera, SamplePlan) {
+        let model = fit_ngp(&build_sdf(SceneId::Lego), &GridConfig::tiny());
+        let cam = standard_camera(SceneId::Lego, 24, 24);
+        let plan = SamplePlan::uniform(24, 24, 32);
+        (model, cam, plan)
+    }
+
+    #[test]
+    fn cache_cuts_misses_and_cycles() {
+        let (model, cam, plan) = setup();
+        // tiny config: 8 levels; 16 lanes = 2 point streams
+        let no_cache = simulate_encoding(&model, &cam, &plan, MappingMode::Hybrid, 0, 16, 3);
+        let cached = simulate_encoding(&model, &cam, &plan, MappingMode::Hybrid, 8, 16, 3);
+        assert_eq!(no_cache.hit_rate(), 0.0);
+        assert!(cached.hit_rate() > 0.3, "hit rate {}", cached.hit_rate());
+        assert!(cached.misses < no_cache.misses);
+        // the cache removes the sustained same-row pressure; the remaining
+        // floor is intra-level xbar collisions on the hashed tables, which
+        // no cache can remove (compulsory misses)
+        assert!(
+            (cached.cycles as f64) < 0.9 * no_cache.cycles as f64,
+            "cache should relieve the row-cycle pressure: {} vs {}",
+            cached.cycles,
+            no_cache.cycles
+        );
+    }
+
+    #[test]
+    fn hybrid_mapping_reduces_conflicts() {
+        let (model, cam, plan) = setup();
+        let naive = simulate_encoding(&model, &cam, &plan, MappingMode::AllHash, 0, 16, 3);
+        let hybrid = simulate_encoding(&model, &cam, &plan, MappingMode::Hybrid, 0, 16, 3);
+        assert!(
+            hybrid.conflicts_per_point() < naive.conflicts_per_point(),
+            "hybrid {} vs naive {}",
+            hybrid.conflicts_per_point(),
+            naive.conflicts_per_point()
+        );
+        assert!(hybrid.cycles < naive.cycles);
+    }
+
+    #[test]
+    fn accesses_are_8_per_level_per_point() {
+        let (model, cam, plan) = setup();
+        let p = simulate_encoding(&model, &cam, &plan, MappingMode::Hybrid, 0, 8, 4);
+        let levels = model.encoder().config().levels as u64;
+        assert_eq!(p.hits + p.misses, p.points * 8 * levels);
+        assert!(p.points > 0);
+    }
+
+    #[test]
+    fn bigger_cache_never_hurts() {
+        let (model, cam, plan) = setup();
+        let small = simulate_encoding(&model, &cam, &plan, MappingMode::Hybrid, 2, 16, 4);
+        let large = simulate_encoding(&model, &cam, &plan, MappingMode::Hybrid, 16, 16, 4);
+        assert!(large.hit_rate() >= small.hit_rate());
+        assert!(large.cycles <= small.cycles + small.cycles / 10);
+    }
+
+    #[test]
+    fn narrow_front_end_serializes_levels() {
+        // a single address generator (the strawman) must issue the 8 tiny-
+        // config levels serially: ≥ 8 cycles per point
+        let (model, cam, plan) = setup();
+        let narrow = simulate_encoding(&model, &cam, &plan, MappingMode::AllHash, 0, 1, 4);
+        assert!(
+            narrow.cycles_per_point() >= model.encoder().config().levels as f64,
+            "strawman too fast: {}",
+            narrow.cycles_per_point()
+        );
+        let wide = simulate_encoding(&model, &cam, &plan, MappingMode::Hybrid, 8, 16, 4);
+        assert!(wide.cycles_per_point() < narrow.cycles_per_point() / 2.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! The ASDR architecture level (§5 of the paper).
+//!
+//! The simulator is *trace-driven*: the encoding engine replays the exact
+//! vertex-access streams the functional renderer produces (on a sampled
+//! subset of rays), runs them through the hybrid address generator, the
+//! register-based cache and the Mem-Xbar conflict model, and the chip model
+//! scales the measured per-point costs to the full frame. MLP and volume
+//! rendering engines are throughput models parameterized by the Table-2
+//! configuration and the `asdr-cim` device library.
+
+pub mod addrgen;
+pub mod chip;
+pub mod config;
+pub mod encoding;
+pub mod mlp_engine;
+pub mod regcache;
+pub mod render_engine;
+
+pub use addrgen::{HybridAddressGenerator, MappingMode, PhysAddr};
+pub use chip::{simulate_chip, ChipOptions, PerfReport};
+pub use config::AsdrConfig;
+pub use regcache::RegCache;

@@ -1,0 +1,107 @@
+//! The volume rendering engine (§5.4): approximation, RGB, and adaptive
+//! sampling units.
+//!
+//! All three are small digital datapaths; their costs are per-operation MAC
+//! counts divided by the configured unit counts. They are never the
+//! bottleneck (the paper sizes them at well under 1% of area) but they are
+//! accounted for exactly.
+
+use crate::algo::renderer::RenderStats;
+use asdr_cim::energy::EnergyTable;
+
+/// Digital-operation counts of the volume rendering engine for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderEngineWork {
+    /// Color interpolations performed by the approximation unit (3 MACs
+    /// each).
+    pub interpolations: u64,
+    /// Compositing steps performed by the RGB unit (≈6 MACs each: α, T
+    /// update, weighted color accumulate).
+    pub composite_steps: u64,
+    /// Rendering-difficulty evaluations by the adaptive sampling unit
+    /// (3 subtract + compare per ladder entry).
+    pub difficulty_evals: u64,
+}
+
+impl RenderEngineWork {
+    /// Derives the engine work from renderer statistics (`ladder_len` =
+    /// entries evaluated per probe ray).
+    pub fn from_stats(stats: &RenderStats, ladder_len: usize) -> Self {
+        RenderEngineWork {
+            interpolations: stats.interpolated_points,
+            composite_steps: stats.density_points + stats.probe_points,
+            difficulty_evals: stats.probe_rays * ladder_len as u64,
+        }
+    }
+
+    /// Total digital MAC-equivalents.
+    pub fn total_macs(&self) -> u64 {
+        self.interpolations * 3 + self.composite_steps * 6 + self.difficulty_evals * 4
+    }
+
+    /// Engine cycles given unit counts (each unit retires one MAC-equivalent
+    /// op per cycle).
+    pub fn cycles(&self, approx_units: u32, rgb_units: u32, adaptive_units: u32) -> f64 {
+        let a = self.interpolations as f64 * 3.0 / approx_units.max(1) as f64;
+        let r = self.composite_steps as f64 * 6.0 / rgb_units.max(1) as f64;
+        let d = self.difficulty_evals as f64 * 4.0 / adaptive_units.max(1) as f64;
+        // the three units operate concurrently on different rays
+        a.max(r).max(d)
+    }
+
+    /// Energy in pJ.
+    pub fn energy_pj(&self, e: &EnergyTable) -> f64 {
+        self.total_macs() as f64 * e.digital_mac_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work() -> RenderEngineWork {
+        RenderEngineWork { interpolations: 1000, composite_steps: 4000, difficulty_evals: 100 }
+    }
+
+    #[test]
+    fn macs_add_up() {
+        let w = work();
+        assert_eq!(w.total_macs(), 3000 + 24_000 + 400);
+    }
+
+    #[test]
+    fn more_units_reduce_cycles() {
+        let w = work();
+        assert!(w.cycles(16, 8, 8) < w.cycles(4, 2, 2));
+    }
+
+    #[test]
+    fn bottleneck_is_max_of_units() {
+        let w = work();
+        // with 1 unit each, the RGB path dominates (24k ops)
+        assert_eq!(w.cycles(1, 1, 1), 24_000.0);
+    }
+
+    #[test]
+    fn energy_scales_with_ops() {
+        let e = EnergyTable::default();
+        let a = work().energy_pj(&e);
+        let double = RenderEngineWork { interpolations: 2000, composite_steps: 8000, difficulty_evals: 200 };
+        assert!((double.energy_pj(&e) / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_stats_wires_counts() {
+        let stats = RenderStats {
+            interpolated_points: 7,
+            density_points: 11,
+            probe_points: 13,
+            probe_rays: 3,
+            ..Default::default()
+        };
+        let w = RenderEngineWork::from_stats(&stats, 4);
+        assert_eq!(w.interpolations, 7);
+        assert_eq!(w.composite_steps, 24);
+        assert_eq!(w.difficulty_evals, 12);
+    }
+}

@@ -1,0 +1,36 @@
+//! The ASDR contribution: rendering algorithms and the CIM chip simulator.
+//!
+//! This crate implements both halves of the paper's co-design:
+//!
+//! * [`algo`] — the algorithm level (§4): exact volume rendering (Eq. 1),
+//!   early termination, difficulty-aware adaptive sampling (Eq. 3),
+//!   color–density decoupling via group interpolation, and the software
+//!   ASDR renderer that runs the full two-phase dataflow on any
+//!   [`asdr_nerf::model::RadianceModel`];
+//! * [`arch`] — the architecture level (§5): the hybrid address generator
+//!   with de-hashed, replicated low-resolution tables, the register-based
+//!   LRU cache, the Mem-Xbar conflict model, the CIM MLP engine, the volume
+//!   rendering engine, the ASDR-Server / ASDR-Edge configurations (Table 2),
+//!   and the chip-level performance/energy simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use asdr_core::algo::{render, RenderOptions};
+//! use asdr_nerf::{fit, grid::GridConfig};
+//! use asdr_scenes::{registry, SceneId};
+//!
+//! let scene = registry::build_sdf(SceneId::Mic);
+//! let model = fit::fit_ngp(&scene, &GridConfig::tiny());
+//! let cam = registry::standard_camera(SceneId::Mic, 32, 32);
+//! let out = render(&model, &cam, &RenderOptions::asdr_default(64));
+//! assert!(out.stats.color_points < out.stats.density_points);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algo;
+pub mod arch;
+
+pub use algo::{render, RenderOptions, RenderOutput, RenderStats};

@@ -1,0 +1,195 @@
+//! Axis-aligned bounding boxes and ray/box intersection.
+
+use crate::{Ray, Vec3};
+use crate::ray::TRange;
+
+/// An axis-aligned bounding box.
+///
+/// Scene content lives inside the unit-ish box; rays are clipped against it
+/// before sampling, exactly as Instant-NGP clips rays against its grid AABB.
+///
+/// ```
+/// use asdr_math::{Aabb, Ray, Vec3};
+/// let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+/// let r = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::Z);
+/// let t = b.intersect(&r).unwrap();
+/// assert!((t.near - 1.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from its corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any `min` component exceeds `max`.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y && min.z <= max.z);
+        Aabb { min, max }
+    }
+
+    /// The canonical unit cube `[0,1]^3` used as the NGP scene volume.
+    pub fn unit() -> Self {
+        Aabb::new(Vec3::ZERO, Vec3::ONE)
+    }
+
+    /// Box centered at the origin with half-extent `h`.
+    pub fn centered(h: f32) -> Self {
+        Aabb::new(Vec3::splat(-h), Vec3::splat(h))
+    }
+
+    /// Box extent (max − min).
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Box center.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// True if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.y >= self.min.y
+            && p.z >= self.min.z
+            && p.x <= self.max.x
+            && p.y <= self.max.y
+            && p.z <= self.max.z
+    }
+
+    /// Maps a point in this box to normalized `[0,1]^3` coordinates.
+    #[inline]
+    pub fn normalize(&self, p: Vec3) -> Vec3 {
+        let e = self.extent();
+        Vec3::new(
+            (p.x - self.min.x) / e.x,
+            (p.y - self.min.y) / e.y,
+            (p.z - self.min.z) / e.z,
+        )
+    }
+
+    /// Maps normalized `[0,1]^3` coordinates back into this box.
+    #[inline]
+    pub fn denormalize(&self, u: Vec3) -> Vec3 {
+        self.min + self.extent().hadamard(u)
+    }
+
+    /// Slab-method ray/box intersection. Returns the parametric range during
+    /// which the ray is inside the box, clipped to `t >= 0`, or `None` if the
+    /// ray misses.
+    pub fn intersect(&self, ray: &Ray) -> Option<TRange> {
+        let mut t0 = 0.0f32;
+        let mut t1 = f32::INFINITY;
+        for axis in 0..3 {
+            let (o, d, lo, hi) = match axis {
+                0 => (ray.origin.x, ray.dir.x, self.min.x, self.max.x),
+                1 => (ray.origin.y, ray.dir.y, self.min.y, self.max.y),
+                _ => (ray.origin.z, ray.dir.z, self.min.z, self.max.z),
+            };
+            if d.abs() < 1e-12 {
+                if o < lo || o > hi {
+                    return None;
+                }
+                continue;
+            }
+            let inv = 1.0 / d;
+            let (mut ta, mut tb) = ((lo - o) * inv, (hi - o) * inv);
+            if ta > tb {
+                std::mem::swap(&mut ta, &mut tb);
+            }
+            t0 = t0.max(ta);
+            t1 = t1.min(tb);
+            if t0 > t1 {
+                return None;
+            }
+        }
+        Some(TRange::new(t0, t1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_corners_and_center() {
+        let b = Aabb::unit();
+        assert!(b.contains(Vec3::ZERO));
+        assert!(b.contains(Vec3::ONE));
+        assert!(b.contains(b.center()));
+        assert!(!b.contains(Vec3::new(1.1, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn intersect_hits_straight_on() {
+        let b = Aabb::unit();
+        let r = Ray::new(Vec3::new(0.5, 0.5, -2.0), Vec3::Z);
+        let t = b.intersect(&r).expect("must hit");
+        assert!((t.near - 2.0).abs() < 1e-5);
+        assert!((t.far - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn intersect_misses() {
+        let b = Aabb::unit();
+        let r = Ray::new(Vec3::new(2.0, 2.0, -1.0), Vec3::Z);
+        assert!(b.intersect(&r).is_none());
+        // pointing away
+        let r2 = Ray::new(Vec3::new(0.5, 0.5, -1.0), -Vec3::Z);
+        assert!(b.intersect(&r2).is_none());
+    }
+
+    #[test]
+    fn intersect_from_inside_starts_at_zero() {
+        let b = Aabb::unit();
+        let r = Ray::new(Vec3::splat(0.5), Vec3::X);
+        let t = b.intersect(&r).unwrap();
+        assert_eq!(t.near, 0.0);
+        assert!((t.far - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn intersect_parallel_ray_inside_slab() {
+        let b = Aabb::unit();
+        // parallel to x axis, inside y/z slabs
+        let r = Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::X);
+        let t = b.intersect(&r).unwrap();
+        assert!((t.near - 1.0).abs() < 1e-5);
+        // parallel but outside a slab
+        let r2 = Ray::new(Vec3::new(-1.0, 2.0, 0.5), Vec3::X);
+        assert!(b.intersect(&r2).is_none());
+    }
+
+    #[test]
+    fn normalize_roundtrip() {
+        let b = Aabb::centered(2.0);
+        let p = Vec3::new(0.5, -1.0, 1.5);
+        let u = b.normalize(p);
+        assert!(b.contains(p));
+        assert!(u.min_component() >= 0.0 && u.max_component() <= 1.0);
+        let back = b.denormalize(u);
+        assert!((back - p).norm() < 1e-5);
+    }
+
+    #[test]
+    fn intersection_points_lie_on_boundary() {
+        let b = Aabb::centered(1.0);
+        let r = Ray::new(Vec3::new(-3.0, 0.2, 0.3), Vec3::new(1.0, 0.1, -0.05));
+        if let Some(t) = b.intersect(&r) {
+            let pin = r.at(t.near + 1e-4);
+            let pout = r.at(t.far - 1e-4);
+            assert!(b.contains(pin));
+            assert!(b.contains(pout));
+        }
+    }
+}

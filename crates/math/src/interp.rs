@@ -1,0 +1,154 @@
+//! Bilinear and trilinear interpolation helpers.
+//!
+//! Trilinear interpolation combines the eight voxel-vertex embeddings during
+//! encoding (§2.2 of the paper); bilinear interpolation spreads per-pixel
+//! sample counts from the probed subset to the full image (§4.2).
+
+/// Trilinear interpolation weights for a point at fractional offsets
+/// `(fx, fy, fz)` inside a unit voxel.
+///
+/// Vertices are ordered by the 3-bit code `bit0 = x+1, bit1 = y+1,
+/// bit2 = z+1`, i.e. index `0b000` is the (0,0,0) corner and `0b111` the
+/// (1,1,1) corner. The eight weights always sum to exactly 1 in exact
+/// arithmetic.
+///
+/// ```
+/// use asdr_math::interp::trilinear_weights;
+/// let w = trilinear_weights(0.0, 0.0, 0.0);
+/// assert_eq!(w[0], 1.0); // entirely on the base corner
+/// let s: f32 = trilinear_weights(0.3, 0.6, 0.9).iter().sum();
+/// assert!((s - 1.0).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn trilinear_weights(fx: f32, fy: f32, fz: f32) -> [f32; 8] {
+    debug_assert!((0.0..=1.0).contains(&fx), "fx={fx} outside [0,1]");
+    debug_assert!((0.0..=1.0).contains(&fy), "fy={fy} outside [0,1]");
+    debug_assert!((0.0..=1.0).contains(&fz), "fz={fz} outside [0,1]");
+    let gx = 1.0 - fx;
+    let gy = 1.0 - fy;
+    let gz = 1.0 - fz;
+    [
+        gx * gy * gz,
+        fx * gy * gz,
+        gx * fy * gz,
+        fx * fy * gz,
+        gx * gy * fz,
+        fx * gy * fz,
+        gx * fy * fz,
+        fx * fy * fz,
+    ]
+}
+
+/// The corner offsets matching [`trilinear_weights`] ordering.
+pub const CORNER_OFFSETS: [(u32, u32, u32); 8] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (0, 1, 0),
+    (1, 1, 0),
+    (0, 0, 1),
+    (1, 0, 1),
+    (0, 1, 1),
+    (1, 1, 1),
+];
+
+/// Interpolates eight per-corner feature vectors (each of dimension `F`) into
+/// `out`, accumulating `sum_i w_i * corner_i`.
+///
+/// # Panics
+///
+/// Panics if the corner slices and `out` disagree on length.
+pub fn trilinear_blend(corners: &[&[f32]; 8], weights: &[f32; 8], out: &mut [f32]) {
+    for c in corners {
+        assert_eq!(c.len(), out.len(), "corner feature length mismatch");
+    }
+    out.fill(0.0);
+    for (corner, &w) in corners.iter().zip(weights.iter()) {
+        if w == 0.0 {
+            continue;
+        }
+        for (o, &v) in out.iter_mut().zip(corner.iter()) {
+            *o += w * v;
+        }
+    }
+}
+
+/// Bilinear interpolation of four scalar corner values at fractional
+/// coordinates `(fx, fy)` in `[0,1]^2`.
+///
+/// Corner order: `v00` (x=0,y=0), `v10`, `v01`, `v11`.
+#[inline]
+pub fn bilinear(v00: f32, v10: f32, v01: f32, v11: f32, fx: f32, fy: f32) -> f32 {
+    debug_assert!((0.0..=1.0).contains(&fx) && (0.0..=1.0).contains(&fy));
+    let top = v00 + (v10 - v00) * fx;
+    let bot = v01 + (v11 - v01) * fx;
+    top + (bot - top) * fy
+}
+
+/// Linear interpolation between two scalars.
+#[inline]
+pub fn lerp(a: f32, b: f32, t: f32) -> f32 {
+    a + (b - a) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        for &(fx, fy, fz) in &[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (0.25, 0.5, 0.75), (0.9, 0.1, 0.5)] {
+            let s: f32 = trilinear_weights(fx, fy, fz).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "sum {s} at ({fx},{fy},{fz})");
+        }
+    }
+
+    #[test]
+    fn weights_select_corners_exactly() {
+        for (i, &(cx, cy, cz)) in CORNER_OFFSETS.iter().enumerate() {
+            let w = trilinear_weights(cx as f32, cy as f32, cz as f32);
+            for (j, &wj) in w.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((wj - expect).abs() < 1e-6, "corner {i} weight {j} = {wj}");
+            }
+        }
+    }
+
+    #[test]
+    fn blend_is_exact_for_linear_field() {
+        // f(x,y,z) = 2x + 3y - z + 1 evaluated at corners must reproduce the
+        // field at any interior point.
+        let f = |x: f32, y: f32, z: f32| 2.0 * x + 3.0 * y - z + 1.0;
+        let corner_vals: Vec<[f32; 1]> =
+            CORNER_OFFSETS.iter().map(|&(x, y, z)| [f(x as f32, y as f32, z as f32)]).collect();
+        let corners: [&[f32]; 8] = std::array::from_fn(|i| &corner_vals[i][..]);
+        let (fx, fy, fz) = (0.37, 0.81, 0.13);
+        let mut out = [0.0f32];
+        trilinear_blend(&corners, &trilinear_weights(fx, fy, fz), &mut out);
+        assert!((out[0] - f(fx, fy, fz)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn blend_stays_inside_hull() {
+        let corner_vals: Vec<[f32; 1]> = (0..8).map(|i| [i as f32]).collect();
+        let corners: [&[f32]; 8] = std::array::from_fn(|i| &corner_vals[i][..]);
+        let mut out = [0.0f32];
+        trilinear_blend(&corners, &trilinear_weights(0.5, 0.5, 0.5), &mut out);
+        assert!(out[0] >= 0.0 && out[0] <= 7.0);
+    }
+
+    #[test]
+    fn bilinear_corners_and_center() {
+        assert_eq!(bilinear(1.0, 2.0, 3.0, 4.0, 0.0, 0.0), 1.0);
+        assert_eq!(bilinear(1.0, 2.0, 3.0, 4.0, 1.0, 0.0), 2.0);
+        assert_eq!(bilinear(1.0, 2.0, 3.0, 4.0, 0.0, 1.0), 3.0);
+        assert_eq!(bilinear(1.0, 2.0, 3.0, 4.0, 1.0, 1.0), 4.0);
+        assert_eq!(bilinear(1.0, 2.0, 3.0, 4.0, 0.5, 0.5), 2.5);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(2.0, 6.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 6.0, 1.0), 6.0);
+        assert_eq!(lerp(2.0, 6.0, 0.25), 3.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Image quality metrics: PSNR, SSIM, and an LPIPS proxy.
+//!
+//! The paper evaluates rendering quality with PSNR (Fig. 16, Fig. 21), SSIM
+//! and LPIPS (Table 3, Table 4). PSNR and SSIM are implemented exactly; LPIPS
+//! requires a pretrained VGG network that cannot be shipped offline, so
+//! [`lpips_proxy`] substitutes a multi-scale gradient/structure dissimilarity
+//! that is monotone in perceptual degradation for the scene family used here
+//! (documented in DESIGN.md §1).
+
+use crate::Image;
+
+/// Mean squared error between two images over all channels.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ.
+pub fn mse(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.height(), b.height(), "height mismatch");
+    let mut acc = 0.0f64;
+    for (pa, pb) in a.pixels().iter().zip(b.pixels()) {
+        let dr = (pa.r - pb.r) as f64;
+        let dg = (pa.g - pb.g) as f64;
+        let db = (pa.b - pb.b) as f64;
+        acc += dr * dr + dg * dg + db * db;
+    }
+    acc / (a.pixel_count() as f64 * 3.0)
+}
+
+/// Peak signal-to-noise ratio in decibels, assuming unit peak signal.
+///
+/// Identical images produce `f64::INFINITY`.
+///
+/// ```
+/// use asdr_math::{Image, Rgb, metrics::psnr};
+/// let a = Image::new(8, 8);
+/// let mut b = Image::new(8, 8);
+/// b.set(0, 0, Rgb::splat(0.5));
+/// assert!(psnr(&a, &b) > 20.0);
+/// assert!(psnr(&a, &a).is_infinite());
+/// ```
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    let e = mse(a, b);
+    if e <= 0.0 {
+        f64::INFINITY
+    } else {
+        -10.0 * e.log10()
+    }
+}
+
+/// Structural Similarity Index (global statistics variant).
+///
+/// Computed on the luminance plane with the standard constants
+/// `C1 = (0.01)^2`, `C2 = (0.03)^2`. Uses whole-image statistics rather than
+/// an 11×11 Gaussian window; for the comparative tables reproduced here the
+/// ordering is what matters.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ.
+pub fn ssim(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.height(), b.height(), "height mismatch");
+    let la = a.luminance_plane();
+    let lb = b.luminance_plane();
+    windowed_ssim(&la, &lb, a.width() as usize, a.height() as usize, 8)
+}
+
+/// SSIM over `win`×`win` tiles, averaged — closer to the canonical windowed
+/// definition than global statistics.
+fn windowed_ssim(la: &[f32], lb: &[f32], w: usize, h: usize, win: usize) -> f64 {
+    const C1: f64 = 0.01 * 0.01;
+    const C2: f64 = 0.03 * 0.03;
+    let mut total = 0.0f64;
+    let mut tiles = 0usize;
+    let step = win.max(1);
+    let mut ty = 0;
+    while ty < h {
+        let mut tx = 0;
+        while tx < w {
+            let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+            let mut n = 0.0f64;
+            for y in ty..(ty + step).min(h) {
+                for x in tx..(tx + step).min(w) {
+                    let va = la[y * w + x] as f64;
+                    let vb = lb[y * w + x] as f64;
+                    sa += va;
+                    sb += vb;
+                    saa += va * va;
+                    sbb += vb * vb;
+                    sab += va * vb;
+                    n += 1.0;
+                }
+            }
+            let ma = sa / n;
+            let mb = sb / n;
+            let va = (saa / n - ma * ma).max(0.0);
+            let vb = (sbb / n - mb * mb).max(0.0);
+            let cov = sab / n - ma * mb;
+            let s = ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
+                / ((ma * ma + mb * mb + C1) * (va + vb + C2));
+            total += s;
+            tiles += 1;
+            tx += step;
+        }
+        ty += step;
+    }
+    total / tiles.max(1) as f64
+}
+
+/// LPIPS proxy: multi-scale gradient-structure dissimilarity in `[0, ~1]`.
+///
+/// At each of up to three dyadic scales the luminance-gradient fields of both
+/// images are compared (normalized L2 difference) together with a local
+/// contrast term; scales are averaged. Zero for identical images, increasing
+/// with structural damage. See DESIGN.md for the substitution rationale.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ.
+pub fn lpips_proxy(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.height(), b.height(), "height mismatch");
+    let mut ia = a.clone();
+    let mut ib = b.clone();
+    let mut total = 0.0f64;
+    let mut scales = 0usize;
+    for _ in 0..3 {
+        total += gradient_dissimilarity(&ia, &ib);
+        scales += 1;
+        if ia.width() < 4 || ia.height() < 4 {
+            break;
+        }
+        ia = ia.downsample2();
+        ib = ib.downsample2();
+    }
+    total / scales as f64
+}
+
+fn gradient_dissimilarity(a: &Image, b: &Image) -> f64 {
+    let w = a.width() as usize;
+    let h = a.height() as usize;
+    let la = a.luminance_plane();
+    let lb = b.luminance_plane();
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for y in 0..h.saturating_sub(1) {
+        for x in 0..w.saturating_sub(1) {
+            let i = y * w + x;
+            let gax = (la[i + 1] - la[i]) as f64;
+            let gay = (la[i + w] - la[i]) as f64;
+            let gbx = (lb[i + 1] - lb[i]) as f64;
+            let gby = (lb[i + w] - lb[i]) as f64;
+            let dx = gax - gbx;
+            let dy = gay - gby;
+            num += dx * dx + dy * dy;
+            den += gax * gax + gay * gay + gbx * gbx + gby * gby;
+        }
+    }
+    if den <= 1e-12 {
+        0.0
+    } else {
+        (num / (den + 1e-12)).min(1.0)
+    }
+}
+
+/// A bundle of the three quality metrics, as reported in Tables 3–4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Peak signal-to-noise ratio (dB). Higher is better.
+    pub psnr: f64,
+    /// Structural similarity in `[-1, 1]`. Higher is better.
+    pub ssim: f64,
+    /// LPIPS proxy in `[0, 1]`. Lower is better.
+    pub lpips: f64,
+}
+
+/// Computes [`QualityReport`] of `img` against `reference`.
+pub fn quality(img: &Image, reference: &Image) -> QualityReport {
+    QualityReport {
+        psnr: psnr(img, reference),
+        ssim: ssim(img, reference),
+        lpips: lpips_proxy(img, reference),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rgb;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy(img: &Image, sigma: f32, seed: u64) -> Image {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut out = img.clone();
+        for p in out.pixels_mut() {
+            let n = |r: &mut rand::rngs::StdRng| (r.gen::<f32>() - 0.5) * 2.0 * sigma;
+            *p = Rgb::new(p.r + n(&mut rng), p.g + n(&mut rng), p.b + n(&mut rng)).clamp01();
+        }
+        out
+    }
+
+    fn gradient_image(w: u32, h: u32) -> Image {
+        let mut img = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = (x as f32 / w as f32 + y as f32 / h as f32) * 0.5;
+                img.set(x, y, Rgb::new(v, v * 0.5, 1.0 - v));
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let img = gradient_image(16, 16);
+        assert!(psnr(&img, &img).is_infinite());
+        assert_eq!(mse(&img, &img), 0.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let img = gradient_image(32, 32);
+        let p_small = psnr(&noisy(&img, 0.01, 7), &img);
+        let p_large = psnr(&noisy(&img, 0.1, 7), &img);
+        assert!(p_small > p_large, "{p_small} vs {p_large}");
+        assert!(p_small > 35.0);
+        assert!(p_large < 30.0);
+    }
+
+    #[test]
+    fn known_psnr_value() {
+        // uniform offset of 0.1 on every channel → MSE = 0.01 → PSNR = 20 dB
+        let a = Image::new(8, 8);
+        let mut b = Image::new(8, 8);
+        for p in b.pixels_mut() {
+            *p = Rgb::splat(0.1);
+        }
+        assert!((psnr(&a, &b) - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ssim_identity_is_one() {
+        let img = gradient_image(24, 24);
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssim_orders_degradation() {
+        let img = gradient_image(32, 32);
+        let s_small = ssim(&noisy(&img, 0.02, 3), &img);
+        let s_large = ssim(&noisy(&img, 0.2, 3), &img);
+        assert!(s_small > s_large);
+        assert!(s_small > 0.8);
+    }
+
+    #[test]
+    fn lpips_proxy_identity_is_zero_and_monotone() {
+        let img = gradient_image(32, 32);
+        assert_eq!(lpips_proxy(&img, &img), 0.0);
+        let l_small = lpips_proxy(&noisy(&img, 0.02, 5), &img);
+        let l_large = lpips_proxy(&noisy(&img, 0.2, 5), &img);
+        assert!(l_small < l_large, "{l_small} vs {l_large}");
+    }
+
+    #[test]
+    fn quality_bundles_all_three() {
+        let img = gradient_image(16, 16);
+        let n = noisy(&img, 0.05, 11);
+        let q = quality(&n, &img);
+        assert!(q.psnr > 10.0 && q.psnr < 60.0);
+        assert!(q.ssim < 1.0);
+        assert!(q.lpips > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sizes_panic() {
+        let a = Image::new(4, 4);
+        let b = Image::new(5, 4);
+        let _ = mse(&a, &b);
+    }
+}

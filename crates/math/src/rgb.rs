@@ -1,0 +1,166 @@
+//! Linear RGB color triple.
+
+use crate::Vec3;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A linear RGB color with `f32` channels, nominally in `[0, 1]`.
+///
+/// Distinct from [`Vec3`] so that positions and colors cannot be confused
+/// (C-NEWTYPE); conversions are explicit.
+///
+/// ```
+/// use asdr_math::Rgb;
+/// let mid = Rgb::new(0.2, 0.4, 0.6);
+/// assert_eq!(mid.max_channel_abs_diff(Rgb::BLACK), 0.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: f32,
+    /// Green channel.
+    pub g: f32,
+    /// Blue channel.
+    pub b: f32,
+}
+
+impl Rgb {
+    /// Pure black.
+    pub const BLACK: Rgb = Rgb { r: 0.0, g: 0.0, b: 0.0 };
+    /// Pure white.
+    pub const WHITE: Rgb = Rgb { r: 1.0, g: 1.0, b: 1.0 };
+
+    /// Creates a color from channels.
+    #[inline]
+    pub const fn new(r: f32, g: f32, b: f32) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Creates a grey color with all channels equal to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Rgb { r: v, g: v, b: v }
+    }
+
+    /// The maximum absolute per-channel difference,
+    /// `max(|r-r'|, |g-g'|, |b-b'|)`.
+    ///
+    /// This is exactly the rendering-difficulty metric of Eq. (3) in the
+    /// paper when applied to renders with different sample counts.
+    #[inline]
+    pub fn max_channel_abs_diff(self, o: Rgb) -> f32 {
+        (self.r - o.r).abs().max((self.g - o.g).abs()).max((self.b - o.b).abs())
+    }
+
+    /// ITU-R BT.709 luminance.
+    #[inline]
+    pub fn luminance(self) -> f32 {
+        0.2126 * self.r + 0.7152 * self.g + 0.0722 * self.b
+    }
+
+    /// Clamps all channels to `[0, 1]`.
+    #[inline]
+    pub fn clamp01(self) -> Rgb {
+        Rgb::new(self.r.clamp(0.0, 1.0), self.g.clamp(0.0, 1.0), self.b.clamp(0.0, 1.0))
+    }
+
+    /// Linear interpolation toward `o`.
+    #[inline]
+    pub fn lerp(self, o: Rgb, t: f32) -> Rgb {
+        Rgb::new(
+            self.r + (o.r - self.r) * t,
+            self.g + (o.g - self.g) * t,
+            self.b + (o.b - self.b) * t,
+        )
+    }
+
+    /// Views the color as a plain vector (for dot products / similarity).
+    #[inline]
+    pub fn to_vec3(self) -> Vec3 {
+        Vec3::new(self.r, self.g, self.b)
+    }
+
+    /// True if all channels are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.r.is_finite() && self.g.is_finite() && self.b.is_finite()
+    }
+}
+
+impl From<Vec3> for Rgb {
+    fn from(v: Vec3) -> Self {
+        Rgb::new(v.x, v.y, v.z)
+    }
+}
+
+impl From<Rgb> for Vec3 {
+    fn from(c: Rgb) -> Self {
+        c.to_vec3()
+    }
+}
+
+impl Add for Rgb {
+    type Output = Rgb;
+    #[inline]
+    fn add(self, o: Rgb) -> Rgb {
+        Rgb::new(self.r + o.r, self.g + o.g, self.b + o.b)
+    }
+}
+
+impl AddAssign for Rgb {
+    #[inline]
+    fn add_assign(&mut self, o: Rgb) {
+        *self = *self + o;
+    }
+}
+
+impl Mul<f32> for Rgb {
+    type Output = Rgb;
+    #[inline]
+    fn mul(self, s: f32) -> Rgb {
+        Rgb::new(self.r * s, self.g * s, self.b * s)
+    }
+}
+
+impl fmt::Display for Rgb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rgb({:.3}, {:.3}, {:.3})", self.r, self.g, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rd_metric_matches_eq3() {
+        let full = Rgb::new(0.5, 0.5, 0.5);
+        let fewer = Rgb::new(0.52, 0.45, 0.5);
+        let rd = full.max_channel_abs_diff(fewer);
+        assert!((rd - 0.05).abs() < 1e-6);
+        assert_eq!(full.max_channel_abs_diff(full), 0.0);
+    }
+
+    #[test]
+    fn luminance_of_white_is_one() {
+        assert!((Rgb::WHITE.luminance() - 1.0).abs() < 1e-6);
+        assert_eq!(Rgb::BLACK.luminance(), 0.0);
+    }
+
+    #[test]
+    fn clamp_and_lerp() {
+        let over = Rgb::new(1.5, -0.2, 0.5);
+        assert_eq!(over.clamp01(), Rgb::new(1.0, 0.0, 0.5));
+        let a = Rgb::BLACK;
+        let b = Rgb::WHITE;
+        assert_eq!(a.lerp(b, 0.25), Rgb::splat(0.25));
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let c = Rgb::new(0.1, 0.2, 0.3) + Rgb::new(0.3, 0.2, 0.1);
+        assert!((c.r - 0.4).abs() < 1e-6);
+        let s = Rgb::splat(0.5) * 2.0;
+        assert_eq!(s, Rgb::WHITE);
+    }
+}

@@ -1,0 +1,77 @@
+//! Deterministic RNG helpers.
+//!
+//! Every stochastic element of the reproduction (weight residuals, noise
+//! injection, proptest-independent fuzzing) derives from a named seed so that
+//! experiments are bit-for-bit reproducible.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The workspace-wide base seed.
+pub const BASE_SEED: u64 = 0xA5D2_2025;
+
+/// Derives a deterministic RNG for a named subsystem.
+///
+/// The same `(label, salt)` pair always yields the same stream, and distinct
+/// pairs yield (with overwhelming probability) independent streams.
+///
+/// ```
+/// use asdr_math::rng::seeded;
+/// use rand::Rng;
+/// let a: u64 = seeded("demo", 1).gen();
+/// let b: u64 = seeded("demo", 1).gen();
+/// let c: u64 = seeded("demo", 2).gen();
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn seeded(label: &str, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(mix(label, salt))
+}
+
+/// FNV-1a style mixing of a label and a salt into a 64-bit seed.
+pub fn mix(label: &str, salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ BASE_SEED;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= salt;
+    h = h.wrapping_mul(0x100_0000_01b3);
+    // final avalanche (splitmix64 tail)
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_label() {
+        let a: [u32; 4] = seeded("x", 0).gen();
+        let b: [u32; 4] = seeded("x", 0).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_labels_distinct_streams() {
+        let a: u64 = seeded("alpha", 0).gen();
+        let b: u64 = seeded("beta", 0).gen();
+        let c: u64 = seeded("alpha", 1).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mix_avalanches() {
+        // flipping the salt by one bit should change many output bits
+        let a = mix("m", 0);
+        let b = mix("m", 1);
+        let differing = (a ^ b).count_ones();
+        assert!(differing > 16, "only {differing} bits differ");
+    }
+}

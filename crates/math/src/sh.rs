@@ -1,0 +1,98 @@
+//! Real spherical-harmonics basis for view-direction encoding.
+//!
+//! Instant-NGP feeds the viewing direction to the color MLP through a
+//! degree-4 (16-coefficient) spherical-harmonics encoding; we provide the
+//! same basis so the color MLP input layout matches the original model.
+
+use crate::Vec3;
+
+/// Number of coefficients of the degree-4 SH basis used by Instant-NGP.
+pub const SH_DEGREE4_COEFFS: usize = 16;
+
+/// Evaluates the first 16 real spherical-harmonics basis functions at the
+/// unit direction `d`, writing into `out`.
+///
+/// # Panics
+///
+/// Panics if `out.len() < 16`. `d` is normalized internally if needed.
+pub fn eval_sh4(d: Vec3, out: &mut [f32]) {
+    assert!(out.len() >= SH_DEGREE4_COEFFS, "need 16 output slots");
+    let d = if (d.norm() - 1.0).abs() > 1e-4 { d.normalized() } else { d };
+    let (x, y, z) = (d.x, d.y, d.z);
+    let (xx, yy, zz) = (x * x, y * y, z * z);
+    let (xy, yz, xz) = (x * y, y * z, x * z);
+
+    // l = 0
+    out[0] = 0.282_094_79;
+    // l = 1
+    out[1] = -0.488_602_51 * y;
+    out[2] = 0.488_602_51 * z;
+    out[3] = -0.488_602_51 * x;
+    // l = 2
+    out[4] = 1.092_548_4 * xy;
+    out[5] = -1.092_548_4 * yz;
+    out[6] = 0.315_391_57 * (2.0 * zz - xx - yy);
+    out[7] = -1.092_548_4 * xz;
+    out[8] = 0.546_274_2 * (xx - yy);
+    // l = 3
+    out[9] = -0.590_043_6 * y * (3.0 * xx - yy);
+    out[10] = 2.890_611_4 * xy * z;
+    out[11] = -0.457_045_8 * y * (4.0 * zz - xx - yy);
+    out[12] = 0.373_176_33 * z * (2.0 * zz - 3.0 * xx - 3.0 * yy);
+    out[13] = -0.457_045_8 * x * (4.0 * zz - xx - yy);
+    out[14] = 1.445_305_7 * z * (xx - yy);
+    out[15] = -0.590_043_6 * x * (xx - 3.0 * yy);
+}
+
+/// Convenience wrapper returning the 16 coefficients by value.
+pub fn sh4(d: Vec3) -> [f32; SH_DEGREE4_COEFFS] {
+    let mut out = [0.0; SH_DEGREE4_COEFFS];
+    eval_sh4(d, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_term_is_constant() {
+        for d in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(1.0, 1.0, 1.0)] {
+            let c = sh4(d);
+            assert!((c[0] - 0.282_094_79).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn l1_terms_are_linear_in_direction() {
+        let a = sh4(Vec3::X);
+        let b = sh4(-Vec3::X);
+        // degree-1 terms flip sign with direction
+        assert!((a[3] + b[3]).abs() < 1e-6);
+        assert!(a[3].abs() > 0.1);
+    }
+
+    #[test]
+    fn basis_differs_between_directions() {
+        let a = sh4(Vec3::X);
+        let b = sh4(Vec3::Z);
+        let diff: f32 = a.iter().zip(b.iter()).map(|(u, v)| (u - v).abs()).sum();
+        assert!(diff > 0.5, "basis should distinguish directions: {diff}");
+    }
+
+    #[test]
+    fn unnormalized_input_is_accepted() {
+        let a = sh4(Vec3::new(0.0, 0.0, 5.0));
+        let b = sh4(Vec3::Z);
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_output_panics() {
+        let mut out = [0.0; 4];
+        eval_sh4(Vec3::Z, &mut out);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the math foundations.
+
+use asdr_math::interp::{bilinear, trilinear_blend, trilinear_weights, CORNER_OFFSETS};
+use asdr_math::metrics::{lpips_proxy, mse, psnr, ssim};
+use asdr_math::{Aabb, Image, Ray, Rgb, Vec3};
+use proptest::prelude::*;
+
+fn unit() -> impl Strategy<Value = f32> {
+    0.0f32..=1.0
+}
+
+fn small_vec3() -> impl Strategy<Value = Vec3> {
+    (-3.0f32..3.0, -3.0f32..3.0, -3.0f32..3.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn trilinear_weights_sum_to_one_and_are_nonnegative(fx in unit(), fy in unit(), fz in unit()) {
+        let w = trilinear_weights(fx, fy, fz);
+        let sum: f32 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+        prop_assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn trilinear_is_exact_for_affine_fields(
+        fx in unit(), fy in unit(), fz in unit(),
+        a in -2.0f32..2.0, b in -2.0f32..2.0, c in -2.0f32..2.0, d in -2.0f32..2.0,
+    ) {
+        let f = |x: f32, y: f32, z: f32| a * x + b * y + c * z + d;
+        let vals: Vec<[f32; 1]> =
+            CORNER_OFFSETS.iter().map(|&(x, y, z)| [f(x as f32, y as f32, z as f32)]).collect();
+        let corners: [&[f32]; 8] = std::array::from_fn(|i| &vals[i][..]);
+        let mut out = [0.0f32];
+        trilinear_blend(&corners, &trilinear_weights(fx, fy, fz), &mut out);
+        prop_assert!((out[0] - f(fx, fy, fz)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn trilinear_stays_in_convex_hull(
+        fx in unit(), fy in unit(), fz in unit(),
+        vals in proptest::array::uniform8(-5.0f32..5.0),
+    ) {
+        let corner_vals: Vec<[f32; 1]> = vals.iter().map(|&v| [v]).collect();
+        let corners: [&[f32]; 8] = std::array::from_fn(|i| &corner_vals[i][..]);
+        let mut out = [0.0f32];
+        trilinear_blend(&corners, &trilinear_weights(fx, fy, fz), &mut out);
+        let lo = vals.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(out[0] >= lo - 1e-4 && out[0] <= hi + 1e-4);
+    }
+
+    #[test]
+    fn bilinear_stays_in_hull(
+        v in proptest::array::uniform4(-5.0f32..5.0),
+        fx in unit(), fy in unit(),
+    ) {
+        let r = bilinear(v[0], v[1], v[2], v[3], fx, fy);
+        let lo = v.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(r >= lo - 1e-4 && r <= hi + 1e-4);
+    }
+
+    #[test]
+    fn aabb_intersection_endpoints_lie_on_box(o in small_vec3(), d in small_vec3()) {
+        prop_assume!(d.norm() > 1e-3);
+        let b = Aabb::centered(1.0);
+        let ray = Ray::new(o, d);
+        if let Some(t) = b.intersect(&ray) {
+            prop_assert!(t.near <= t.far);
+            prop_assert!(t.near >= 0.0);
+            // a point strictly inside the interval must be inside the box
+            if t.span() > 1e-4 {
+                let mid = ray.at((t.near + t.far) * 0.5);
+                prop_assert!(b.contains(mid + Vec3::splat(1e-6)) || b.contains(mid));
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_denormalize_roundtrip(p in small_vec3()) {
+        let b = Aabb::centered(3.5);
+        let u = b.normalize(p);
+        let back = b.denormalize(u);
+        prop_assert!((back - p).norm() < 1e-4);
+    }
+
+    #[test]
+    fn psnr_identity_and_symmetry(w in 2u32..12, h in 2u32..12, seed in 0u64..1000) {
+        let mut img = Image::new(w, h);
+        let mut s = seed;
+        for p in img.pixels_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *p = Rgb::splat(((s >> 33) & 0xff) as f32 / 255.0);
+        }
+        prop_assert!(psnr(&img, &img).is_infinite());
+        let mut other = img.clone();
+        other.set(0, 0, Rgb::WHITE);
+        other.set(w - 1, h - 1, Rgb::BLACK);
+        // mse (hence psnr) is symmetric
+        prop_assert!((mse(&img, &other) - mse(&other, &img)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_identities(w in 4u32..10, h in 4u32..10, v in unit()) {
+        let mut img = Image::new(w, h);
+        for p in img.pixels_mut() {
+            *p = Rgb::splat(v);
+        }
+        prop_assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(lpips_proxy(&img, &img), 0.0);
+    }
+
+    #[test]
+    fn rgb_max_diff_is_a_metric_on_channels(
+        r1 in unit(), g1 in unit(), b1 in unit(),
+        r2 in unit(), g2 in unit(), b2 in unit(),
+    ) {
+        let a = Rgb::new(r1, g1, b1);
+        let b = Rgb::new(r2, g2, b2);
+        // symmetry and identity
+        prop_assert_eq!(a.max_channel_abs_diff(b), b.max_channel_abs_diff(a));
+        prop_assert_eq!(a.max_channel_abs_diff(a), 0.0);
+        // bounded by 1 on unit colors
+        prop_assert!(a.max_channel_abs_diff(b) <= 1.0);
+    }
+
+    #[test]
+    fn lerp_is_bounded_and_monotone(t in unit(), a in -2.0f32..2.0, b in -2.0f32..2.0) {
+        let v = asdr_math::interp::lerp(a, b, t);
+        prop_assert!(v >= a.min(b) - 1e-5 && v <= a.max(b) + 1e-5);
+    }
+}

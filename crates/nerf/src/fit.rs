@@ -1,0 +1,647 @@
+//! Fitting an NGP model to an analytic scene field.
+//!
+//! This is the offline substitute for gradient training (DESIGN.md §1). The
+//! embedding pyramid is filled coarse-to-fine with *residuals*:
+//!
+//! * dense (collision-free) levels each store what the coarser levels of
+//!   their quantity could not represent;
+//! * hashed levels store the residual against the full dense reconstruction,
+//!   with colliding vertices **averaged** — exactly the graceful degradation
+//!   a trained Instant-NGP exhibits where the hash aliases, and the genuine
+//!   source of this model's quality gap versus ground truth;
+//! * the decoder MLPs are *constructed* (not trained): a ReLU
+//!   positive/negative split makes the hidden layers information-preserving,
+//!   and the output layers implement the linear decode. All matrices are
+//!   full-size and dense, so every experiment executes the real MVM workload.
+//!
+//! The view-dependent specular term is projected onto the degree-4 SH basis
+//! by least squares ([`fit_specular_sh`]), and an optional SGD refinement
+//! pass ([`refine_sgd`]) polishes the embeddings against the field.
+
+use crate::embedding::EmbeddingSet;
+use crate::encoder::HashEncoder;
+use crate::grid::GridConfig;
+use crate::mlp::{Activation, Dense, Mlp};
+use crate::model::{NgpModel, COLOR_IN_DIM, DENSITY_OUT_DIM, HIDDEN_DIM};
+use crate::occupancy::OccupancyGrid;
+use asdr_math::interp::{trilinear_weights, CORNER_OFFSETS};
+use asdr_math::rng::seeded;
+use asdr_math::sh::{sh4, SH_DEGREE4_COEFFS};
+use asdr_math::Vec3;
+use asdr_scenes::field::specular_lobe;
+use asdr_scenes::SceneField;
+use rand::Rng;
+
+/// Scale dividing stored density so features stay O(1).
+pub const SIGMA_SCALE: f32 = 50.0;
+
+/// The four scalar quantities the embedding pyramid stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Quantity {
+    Sigma,
+    DiffR,
+    DiffG,
+    DiffB,
+}
+
+impl Quantity {
+    /// `(level parity, feature slot)` that carries this quantity.
+    fn placement(self) -> (usize, usize) {
+        match self {
+            Quantity::Sigma => (0, 0),
+            Quantity::DiffR => (0, 1),
+            Quantity::DiffG => (1, 0),
+            Quantity::DiffB => (1, 1),
+        }
+    }
+
+    fn eval(self, field: &dyn SceneField, p: Vec3) -> f32 {
+        match self {
+            Quantity::Sigma => field.density(p) / SIGMA_SCALE,
+            Quantity::DiffR => field.diffuse(p).r,
+            Quantity::DiffG => field.diffuse(p).g,
+            Quantity::DiffB => field.diffuse(p).b,
+        }
+    }
+
+    const ALL: [Quantity; 4] = [Quantity::Sigma, Quantity::DiffR, Quantity::DiffG, Quantity::DiffB];
+}
+
+/// Per-quantity decode plan: which `(level, slot)` lanes carry it and with
+/// what weight.
+#[derive(Debug, Clone, Default)]
+struct DecodePlan {
+    /// `(level, slot, weight)` triples.
+    lanes: Vec<(usize, usize, f32)>,
+}
+
+fn decode_plans(cfg: &GridConfig) -> [DecodePlan; 4] {
+    let mut plans: [DecodePlan; 4] = Default::default();
+    for (qi, q) in Quantity::ALL.iter().enumerate() {
+        let (parity, slot) = q.placement();
+        let levels: Vec<usize> = (0..cfg.levels).filter(|l| l % 2 == parity).collect();
+        let hashed: Vec<usize> = levels.iter().copied().filter(|&l| !cfg.is_dense(l)).collect();
+        let k = hashed.len().max(1) as f32;
+        for l in levels {
+            let w = if cfg.is_dense(l) { 1.0 } else { 1.0 / k };
+            plans[qi].lanes.push((l, slot, w));
+        }
+    }
+    plans
+}
+
+/// Trilinear reconstruction of one quantity at normalized point `p01` using
+/// only the given `(level, slot, weight)` lanes.
+fn recon_at(enc_cfg: &GridConfig, tables: &EmbeddingSet, lanes: &[(usize, usize, f32)], p01: Vec3) -> f32 {
+    let mut acc = 0.0f32;
+    for &(level, slot, w) in lanes {
+        let table = tables.table(level);
+        let res = enc_cfg.level_resolution(level);
+        let scaled = p01.clamp(0.0, 1.0) * res as f32;
+        let hi = (res - 1) as f32;
+        let bx = scaled.x.floor().min(hi).max(0.0);
+        let by = scaled.y.floor().min(hi).max(0.0);
+        let bz = scaled.z.floor().min(hi).max(0.0);
+        let tw = trilinear_weights(
+            (scaled.x - bx).clamp(0.0, 1.0),
+            (scaled.y - by).clamp(0.0, 1.0),
+            (scaled.z - bz).clamp(0.0, 1.0),
+        );
+        let (bx, by, bz) = (bx as u32, by as u32, bz as u32);
+        let mut v = 0.0;
+        for (i, &(dx, dy, dz)) in CORNER_OFFSETS.iter().enumerate() {
+            v += tw[i] * table.lookup(bx + dx, by + dy, bz + dz)[slot];
+        }
+        acc += w * v;
+    }
+    acc
+}
+
+/// Coarse occupancy mask marking cells that contain (or neighbour) any
+/// non-zero density — the fill only visits fine vertices inside the mask.
+#[derive(Debug)]
+struct OccupancyMask {
+    res: usize,
+    cells: Vec<bool>,
+}
+
+impl OccupancyMask {
+    fn build(field: &dyn SceneField, res: usize) -> Self {
+        let b = field.bounds();
+        let v = res + 1;
+        // density probes at mask vertices
+        let mut probe = vec![false; v * v * v];
+        for z in 0..v {
+            for y in 0..v {
+                for x in 0..v {
+                    let u = Vec3::new(x as f32 / res as f32, y as f32 / res as f32, z as f32 / res as f32);
+                    probe[x + v * (y + v * z)] = field.density(b.denormalize(u)) > 0.0;
+                }
+            }
+        }
+        let mut cells = vec![false; res * res * res];
+        for z in 0..res {
+            for y in 0..res {
+                for x in 0..res {
+                    let mut occ = false;
+                    for &(dx, dy, dz) in &CORNER_OFFSETS {
+                        let i = (x + dx as usize) + v * ((y + dy as usize) + v * (z + dz as usize));
+                        occ |= probe[i];
+                    }
+                    cells[x + res * (y + res * z)] = occ;
+                }
+            }
+        }
+        // dilate by one cell so interpolation transition zones are covered
+        let mut dilated = cells.clone();
+        for z in 0..res {
+            for y in 0..res {
+                for x in 0..res {
+                    if cells[x + res * (y + res * z)] {
+                        for dz in -1i64..=1 {
+                            for dy in -1i64..=1 {
+                                for dx in -1i64..=1 {
+                                    let (nx, ny, nz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                                    if nx >= 0
+                                        && ny >= 0
+                                        && nz >= 0
+                                        && (nx as usize) < res
+                                        && (ny as usize) < res
+                                        && (nz as usize) < res
+                                    {
+                                        dilated[nx as usize + res * (ny as usize + res * nz as usize)] = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        OccupancyMask { res, cells: dilated }
+    }
+
+    /// Whether the normalized point lies in an occupied cell.
+    #[inline]
+    fn occupied(&self, p01: Vec3) -> bool {
+        let r = self.res as f32;
+        let cx = ((p01.x * r) as usize).min(self.res - 1);
+        let cy = ((p01.y * r) as usize).min(self.res - 1);
+        let cz = ((p01.z * r) as usize).min(self.res - 1);
+        self.cells[cx + self.res * (cy + self.res * cz)]
+    }
+
+    fn occupied_fraction(&self) -> f32 {
+        self.cells.iter().filter(|&&c| c).count() as f32 / self.cells.len() as f32
+    }
+}
+
+/// Fits the embedding pyramid of `cfg` to `field`.
+///
+/// Returned tables decode through [`decode_plans`]-weighted sums; use
+/// [`fit_ngp`] for the assembled model.
+fn fill_embeddings(field: &dyn SceneField, cfg: &GridConfig) -> EmbeddingSet {
+    let mut set = EmbeddingSet::new(cfg);
+    let bounds = field.bounds();
+    let mask = OccupancyMask::build(field, 48);
+
+    // chains of already-filled dense lanes per quantity (for residuals)
+    let mut dense_filled: [Vec<(usize, usize, f32)>; 4] = Default::default();
+
+    for level in 0..cfg.levels {
+        let parity = level % 2;
+        // the two quantities stored at this level, by slot
+        let quantities: [Quantity; 2] = if parity == 0 {
+            [Quantity::Sigma, Quantity::DiffR]
+        } else {
+            [Quantity::DiffG, Quantity::DiffB]
+        };
+        let vres = cfg.level_vertex_res(level);
+        let res = cfg.level_resolution(level) as f32;
+        let dense = cfg.is_dense(level);
+
+        if dense {
+            for z in 0..vres {
+                for y in 0..vres {
+                    for x in 0..vres {
+                        let p01 = Vec3::new(x as f32 / res, y as f32 / res, z as f32 / res);
+                        if !mask.occupied(p01.clamp(0.0, 0.999)) {
+                            continue;
+                        }
+                        let pw = bounds.denormalize(p01);
+                        for (slot, q) in quantities.iter().enumerate() {
+                            let qi = Quantity::ALL.iter().position(|x| x == q).unwrap();
+                            let target = q.eval(field, pw);
+                            let prior = recon_at(cfg, &set, &dense_filled[qi], p01);
+                            let row = set.table(level).row_of(x, y, z);
+                            set.table_mut(level).row_mut(row)[slot] = target - prior;
+                        }
+                    }
+                }
+            }
+            for q in quantities {
+                let qi = Quantity::ALL.iter().position(|x| *x == q).unwrap();
+                let (_, slot) = q.placement();
+                dense_filled[qi].push((level, slot, 1.0));
+            }
+        } else {
+            // hashed level: accumulate residual means over masked vertices
+            let entries = set.table(level).entries() as usize;
+            let mut acc = vec![[0.0f64; 2]; entries];
+            let mut cnt = vec![0u32; entries];
+            for z in 0..vres {
+                for y in 0..vres {
+                    for x in 0..vres {
+                        let p01 = Vec3::new(x as f32 / res, y as f32 / res, z as f32 / res);
+                        if !mask.occupied(p01.clamp(0.0, 0.999)) {
+                            continue;
+                        }
+                        let pw = bounds.denormalize(p01);
+                        let row = set.table(level).row_of(x, y, z) as usize;
+                        for (slot, q) in quantities.iter().enumerate() {
+                            let qi = Quantity::ALL.iter().position(|x| x == q).unwrap();
+                            let target = q.eval(field, pw);
+                            let prior = recon_at(cfg, &set, &dense_filled[qi], p01);
+                            acc[row][slot] += (target - prior) as f64;
+                        }
+                        cnt[row] += 1;
+                    }
+                }
+            }
+            let table = set.table_mut(level);
+            for (row, c) in cnt.iter().enumerate() {
+                if *c > 0 {
+                    let dst = table.row_mut(row as u32);
+                    dst[0] = (acc[row][0] / *c as f64) as f32;
+                    dst[1] = (acc[row][1] / *c as f64) as f32;
+                }
+            }
+        }
+    }
+    debug_assert!(mask.occupied_fraction() > 0.0, "scene has no occupied cells");
+    set
+}
+
+/// The linear decode plan of the fitted pyramid: for each of the four
+/// quantities (σ', diffuse r, g, b), the `(level, feature slot, weight)`
+/// lanes that carry it. Exposed for the volumetric trainer, which
+/// backpropagates through this decode.
+pub fn decode_plans_for(cfg: &GridConfig) -> [Vec<(usize, usize, f32)>; 4] {
+    let plans = decode_plans(cfg);
+    std::array::from_fn(|i| plans[i].lanes.clone())
+}
+
+/// Least-squares projection of the global specular lobe onto the degree-4 SH
+/// basis (800 Fibonacci-sphere directions).
+pub fn fit_specular_sh() -> [f32; SH_DEGREE4_COEFFS] {
+    let n = 800;
+    let dirs: Vec<Vec3> = (0..n)
+        .map(|i| {
+            // Fibonacci sphere
+            let k = i as f32 + 0.5;
+            let phi = std::f32::consts::PI * (1.0 + 5.0f32.sqrt()) * k;
+            let cos_theta = 1.0 - 2.0 * k / n as f32;
+            let sin_theta = (1.0 - cos_theta * cos_theta).sqrt();
+            Vec3::new(sin_theta * phi.cos(), cos_theta, sin_theta * phi.sin())
+        })
+        .collect();
+    let mut ata = [[0.0f64; SH_DEGREE4_COEFFS]; SH_DEGREE4_COEFFS];
+    let mut atb = [0.0f64; SH_DEGREE4_COEFFS];
+    for d in &dirs {
+        let y = sh4(*d);
+        let f = specular_lobe(*d) as f64;
+        for j in 0..SH_DEGREE4_COEFFS {
+            atb[j] += y[j] as f64 * f;
+            for k in 0..SH_DEGREE4_COEFFS {
+                ata[j][k] += y[j] as f64 * y[k] as f64;
+            }
+        }
+    }
+    // ridge for numerical safety
+    for (j, row) in ata.iter_mut().enumerate() {
+        row[j] += 1e-9;
+    }
+    let sol = solve_gauss(&mut ata, &mut atb);
+    std::array::from_fn(|i| sol[i] as f32)
+}
+
+/// Gaussian elimination with partial pivoting for the small SH system.
+fn solve_gauss<const N: usize>(a: &mut [[f64; N]; N], b: &mut [f64; N]) -> [f64; N] {
+    for col in 0..N {
+        // pivot
+        let mut piv = col;
+        for r in col + 1..N {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        assert!(d.abs() > 1e-15, "singular SH normal matrix");
+        for r in col + 1..N {
+            let f = a[r][col] / d;
+            for c in col..N {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; N];
+    for col in (0..N).rev() {
+        let mut acc = b[col];
+        for c in col + 1..N {
+            acc -= a[col][c] * x[c];
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+/// Builds the constructed density MLP implementing the linear decode of the
+/// embedding pyramid (see module docs).
+fn build_density_mlp(cfg: &GridConfig) -> Mlp {
+    let e = cfg.encoded_dim();
+    assert!(2 * e <= HIDDEN_DIM, "encoded dim {e} too wide for the pos/neg split");
+    let mut l1 = Dense::zeros(e, HIDDEN_DIM, Activation::Relu);
+    for i in 0..e {
+        l1.set(i, i, 1.0);
+        l1.set(e + i, i, -1.0);
+    }
+    let mut l2 = Dense::zeros(HIDDEN_DIM, DENSITY_OUT_DIM, Activation::None);
+    let plans = decode_plans(cfg);
+    // output rows: 0 = σ_raw, 1..4 = diffuse rgb, 4.. = tiny residual lanes
+    let f = cfg.feat_dim;
+    let row_scale = [SIGMA_SCALE, 1.0, 1.0, 1.0];
+    for (qi, plan) in plans.iter().enumerate() {
+        for &(level, slot, w) in &plan.lanes {
+            let lane = level * f + slot;
+            l2.set(qi, lane, w * row_scale[qi]);
+            l2.set(qi, e + lane, -w * row_scale[qi]);
+        }
+    }
+    // σ sits at row 0; diffuse rgb at rows 1..4 already (qi order matches)
+    // residual rows keep the matrices dense without perturbing the decode
+    let mut rng = seeded("density-residual", 0);
+    for r in 4..DENSITY_OUT_DIM {
+        for c in 0..HIDDEN_DIM {
+            l2.set(r, c, rng.gen_range(-1e-3..1e-3));
+        }
+    }
+    Mlp::new(vec![l1, l2])
+}
+
+/// Builds the constructed color MLP: `rgb = diffuse + SH·spec` with two
+/// information-preserving hidden layers.
+fn build_color_mlp(spec_sh: &[f32; SH_DEGREE4_COEFFS]) -> Mlp {
+    let y_dim = COLOR_IN_DIM; // 31
+    assert!(2 * y_dim <= HIDDEN_DIM + 2, "color input too wide");
+    let split = y_dim.min(HIDDEN_DIM / 2); // 31 pos lanes, 31 neg lanes
+    let mut l1 = Dense::zeros(y_dim, HIDDEN_DIM, Activation::Relu);
+    for i in 0..split {
+        l1.set(i, i, 1.0);
+        l1.set(split + i, i, -1.0);
+    }
+    // second hidden layer reconstructs the pos/neg split of y
+    let mut l2 = Dense::zeros(HIDDEN_DIM, HIDDEN_DIM, Activation::Relu);
+    for i in 0..split {
+        l2.set(i, i, 1.0);
+        l2.set(i, split + i, -1.0);
+        l2.set(split + i, i, -1.0);
+        l2.set(split + i, split + i, 1.0);
+    }
+    let mut l3 = Dense::zeros(HIDDEN_DIM, 3, Activation::None);
+    for c in 0..3 {
+        // diffuse channel: y[SH + c]
+        let idx = SH_DEGREE4_COEFFS + c;
+        l3.set(c, idx, 1.0);
+        l3.set(c, split + idx, -1.0);
+        // specular: Σ_j spec_j · y[j]
+        for (j, &s) in spec_sh.iter().enumerate() {
+            l3.set(c, j, s);
+            l3.set(c, split + j, -s);
+        }
+    }
+    // tiny residual taps keep all rows dense
+    let mut rng = seeded("color-residual", 0);
+    for c in 0..3 {
+        for lane in 2 * split..HIDDEN_DIM {
+            l3.set(c, lane, rng.gen_range(-1e-4..1e-4));
+        }
+    }
+    Mlp::new(vec![l1, l2, l3])
+}
+
+/// Fits a complete NGP model to `field` under `cfg`.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid or too wide for the constructed decoder
+/// (`levels × feat_dim` must not exceed 32).
+pub fn fit_ngp(field: &dyn SceneField, cfg: &GridConfig) -> NgpModel {
+    cfg.validate().expect("invalid grid config");
+    let tables = fill_embeddings(field, cfg);
+    let encoder = HashEncoder::new(cfg.clone(), tables);
+    let density = build_density_mlp(cfg);
+    let color = build_color_mlp(&fit_specular_sh());
+    let occupancy = OccupancyGrid::build(field, OccupancyGrid::DEFAULT_RES);
+    NgpModel::new(encoder, density, color, field.bounds(), occupancy)
+}
+
+/// One SGD refinement pass over the embeddings: samples random points in
+/// occupied space and descends the squared error of the *linear decode*
+/// against the field. Returns the mean squared error before and after.
+///
+/// This exists to demonstrate that the pipeline is trainable end-to-end; the
+/// experiment harness uses the constructed fit directly.
+pub fn refine_sgd(model: &mut NgpModel, field: &dyn SceneField, steps: usize, lr: f32, seed: u64) -> (f64, f64) {
+    let cfg = model.encoder().config().clone();
+    let plans = decode_plans(&cfg);
+    let bounds = field.bounds();
+    let mut rng = seeded("refine-sgd", seed);
+    let eval_err = |model: &NgpModel, pts: &[Vec3]| -> f64 {
+        let mut s = model.make_scratch();
+        let mut acc = 0.0;
+        for &p in pts {
+            let sigma = model.query_density_into(p, &mut s);
+            let d = (sigma - field.density(p)) as f64 / SIGMA_SCALE as f64;
+            acc += d * d;
+        }
+        acc / pts.len() as f64
+    };
+    let probe: Vec<Vec3> = (0..256)
+        .map(|_| {
+            bounds.denormalize(Vec3::new(rng.gen::<f32>(), rng.gen(), rng.gen()))
+        })
+        .collect();
+    let before = eval_err(model, &probe);
+
+    for _ in 0..steps {
+        let p01 = Vec3::new(rng.gen::<f32>(), rng.gen(), rng.gen());
+        let pw = bounds.denormalize(p01);
+        for (qi, q) in Quantity::ALL.iter().enumerate() {
+            let target = q.eval(field, pw);
+            let pred = recon_at(&cfg, model.encoder().tables(), &plans[qi].lanes, p01);
+            let grad = 2.0 * (pred - target);
+            if grad == 0.0 {
+                continue;
+            }
+            for &(level, slot, w) in &plans[qi].lanes {
+                let res = cfg.level_resolution(level);
+                let scaled = p01.clamp(0.0, 1.0) * res as f32;
+                let hi = (res - 1) as f32;
+                let bx = scaled.x.floor().min(hi).max(0.0);
+                let by = scaled.y.floor().min(hi).max(0.0);
+                let bz = scaled.z.floor().min(hi).max(0.0);
+                let tw = trilinear_weights(
+                    (scaled.x - bx).clamp(0.0, 1.0),
+                    (scaled.y - by).clamp(0.0, 1.0),
+                    (scaled.z - bz).clamp(0.0, 1.0),
+                );
+                let (bx, by, bz) = (bx as u32, by as u32, bz as u32);
+                let table = model.encoder_mut().tables_mut().table_mut(level);
+                for (i, &(dx, dy, dz)) in CORNER_OFFSETS.iter().enumerate() {
+                    let row = table.row_of(bx + dx, by + dy, bz + dz);
+                    table.row_mut(row)[slot] -= lr * grad * w * tw[i];
+                }
+            }
+        }
+    }
+    let after = eval_err(model, &probe);
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdr_math::Rgb;
+    use asdr_scenes::registry::{build_sdf, standard_camera};
+    use asdr_scenes::SceneId;
+
+    fn tiny_model(id: SceneId) -> (asdr_scenes::procedural::SdfScene, NgpModel) {
+        let scene = build_sdf(id);
+        let model = fit_ngp(&scene, &GridConfig::tiny());
+        (scene, model)
+    }
+
+    #[test]
+    fn fitted_density_tracks_field() {
+        let (scene, model) = tiny_model(SceneId::Mic);
+        let mut s = model.make_scratch();
+        // deep inside the mic head
+        let inside = Vec3::new(0.0, 0.45, 0.0);
+        let sig_in = model.query_density_into(inside, &mut s);
+        assert!(sig_in > 0.3 * scene.density(inside), "inside: {sig_in} vs {}", scene.density(inside));
+        // far empty corner
+        let outside = Vec3::new(0.9, 0.9, 0.9);
+        let sig_out = model.query_density_into(outside, &mut s);
+        assert!(sig_out < 2.0, "outside: {sig_out}");
+    }
+
+    #[test]
+    fn fitted_color_tracks_diffuse_plus_spec() {
+        let (scene, model) = tiny_model(SceneId::Lego);
+        let mut s = model.make_scratch();
+        // a surface point on the lego body
+        let p = Vec3::new(0.0, 0.04, -0.05);
+        let dir = Vec3::new(0.2, -0.5, 0.8).normalized();
+        let _sigma = model.query_density_into(p, &mut s);
+        let c = model.query_color_into(dir, &mut s);
+        let want = scene.color(p, dir);
+        assert!(
+            c.max_channel_abs_diff(want) < 0.3,
+            "model color {c} too far from field {want}"
+        );
+    }
+
+    #[test]
+    fn specular_sh_fit_is_accurate() {
+        let coef = fit_specular_sh();
+        // evaluate fit error over fresh directions
+        let mut max_err = 0.0f32;
+        for i in 0..200 {
+            let t = i as f32 / 200.0;
+            let d = Vec3::new((t * 9.0).sin(), (t * 7.0).cos(), (t * 5.0).sin() + 0.2).normalized();
+            let approx: f32 = sh4(d).iter().zip(&coef).map(|(y, c)| y * c).sum();
+            max_err = max_err.max((approx - specular_lobe(d)).abs());
+        }
+        assert!(max_err < 0.06, "SH residual too large: {max_err}");
+    }
+
+    #[test]
+    fn constructed_mlps_have_expected_shapes() {
+        let cfg = GridConfig::tiny();
+        let d = build_density_mlp(&cfg);
+        assert_eq!(d.in_dim(), cfg.encoded_dim());
+        assert_eq!(d.out_dim(), DENSITY_OUT_DIM);
+        let c = build_color_mlp(&fit_specular_sh());
+        assert_eq!(c.in_dim(), COLOR_IN_DIM);
+        assert_eq!(c.out_dim(), 3);
+        assert_eq!(c.layers().len(), 3);
+    }
+
+    #[test]
+    fn gauss_solver_solves_identity_and_diagonal() {
+        let mut a = [[0.0f64; 3]; 3];
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] = (i + 1) as f64;
+        }
+        let mut b = [2.0, 6.0, 12.0];
+        let x = solve_gauss(&mut a, &mut b);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refine_sgd_does_not_increase_error() {
+        let scene = build_sdf(SceneId::Chair);
+        let mut model = fit_ngp(&scene, &GridConfig::tiny());
+        let (before, after) = refine_sgd(&mut model, &scene, 500, 0.05, 1);
+        assert!(after <= before * 1.05, "SGD made things worse: {before} -> {after}");
+    }
+
+    #[test]
+    fn model_render_smoke() {
+        // end-to-end sanity: fitted model produces a non-empty image close
+        // to the ground truth in the mean.
+        let (scene, model) = tiny_model(SceneId::Hotdog);
+        let cam = standard_camera(SceneId::Hotdog, 16, 16);
+        let mut s = model.make_scratch();
+        let mut mean_model = Rgb::BLACK;
+        let mut mean_gt = Rgb::BLACK;
+        let mut n = 0.0f32;
+        for py in 0..16 {
+            for px in 0..16 {
+                let ray = cam.ray_for_pixel(px, py);
+                let Some(tr) = model.bounds().intersect(&ray) else { continue };
+                let dt = tr.span() / 64.0;
+                let (mut t_model, mut t_gt) = (1.0f32, 1.0f32);
+                let (mut c_model, mut c_gt) = (Rgb::BLACK, Rgb::BLACK);
+                for t in tr.midpoints(64) {
+                    let p = ray.at(t);
+                    let (sig, col) = model.query_point(p, ray.dir, &mut s);
+                    let a = 1.0 - (-sig * dt).exp();
+                    c_model += col * (t_model * a);
+                    t_model *= 1.0 - a;
+                    let gs = scene.density(p);
+                    let ga = 1.0 - (-gs * dt).exp();
+                    c_gt += scene.color(p, ray.dir) * (t_gt * ga);
+                    t_gt *= 1.0 - ga;
+                }
+                mean_model += c_model;
+                mean_gt += c_gt;
+                n += 1.0;
+            }
+        }
+        let m = mean_model * (1.0 / n);
+        let g = mean_gt * (1.0 / n);
+        assert!(m.luminance() > 0.01, "model render is empty");
+        assert!(
+            (m.luminance() - g.luminance()).abs() < 0.15,
+            "mean luminance mismatch: model {} vs gt {}",
+            m.luminance(),
+            g.luminance()
+        );
+    }
+}

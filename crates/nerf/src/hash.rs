@@ -1,0 +1,118 @@
+//! The Instant-NGP spatial hash (Eq. 2 of the paper).
+//!
+//! `index = (x·π1 ⊕ y·π2 ⊕ z·π3) mod T`, with the primes the original
+//! implementation uses (`π1 = 1` is deliberate — the x axis enters
+//! unmultiplied, which is what gives hash addresses their stride-1 streak
+//! visible in Fig. 4 before it is destroyed by the other two axes).
+
+/// Hash primes `(π1, π2, π3)` from the Instant-NGP reference code.
+pub const PRIMES: (u32, u32, u32) = (1, 2_654_435_761, 805_459_861);
+
+/// Spatial hash of integer vertex coordinates into a table of `table_size`
+/// entries. `table_size` must be a power of two (as in Instant-NGP, where
+/// `T = 2^19`), letting the modulo reduce to a mask.
+///
+/// ```
+/// use asdr_nerf::hash::spatial_hash;
+/// let a = spatial_hash(1, 2, 3, 1 << 14);
+/// assert!(a < (1 << 14));
+/// assert_eq!(a, spatial_hash(1, 2, 3, 1 << 14));
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if `table_size` is not a power of two.
+#[inline]
+pub fn spatial_hash(x: u32, y: u32, z: u32, table_size: u32) -> u32 {
+    debug_assert!(table_size.is_power_of_two(), "table size must be a power of two");
+    let h = x.wrapping_mul(PRIMES.0) ^ y.wrapping_mul(PRIMES.1) ^ z.wrapping_mul(PRIMES.2);
+    h & (table_size - 1)
+}
+
+/// Dense (collision-free) linear index for levels whose full grid fits in the
+/// table: `x + y·res + z·res²` with `res` the number of vertices per axis.
+///
+/// # Panics
+///
+/// Panics in debug builds if any coordinate is out of range.
+#[inline]
+pub fn dense_index(x: u32, y: u32, z: u32, res: u32) -> u32 {
+    debug_assert!(x < res && y < res && z < res, "vertex ({x},{y},{z}) outside res {res}");
+    x + res * (y + res * z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let t = 1u32 << 12;
+        for i in 0..200u32 {
+            let h = spatial_hash(i, i * 3 + 1, i * 7 + 2, t);
+            assert!(h < t);
+            assert_eq!(h, spatial_hash(i, i * 3 + 1, i * 7 + 2, t));
+        }
+    }
+
+    #[test]
+    fn hash_spreads_consecutive_vertices() {
+        // neighbouring vertices along y or z should scatter across the table;
+        // that poor locality is the premise of the paper's Challenge 1.
+        let t = 1u32 << 16;
+        let mut seen = HashSet::new();
+        for y in 0..64u32 {
+            seen.insert(spatial_hash(10, y, 20, t));
+        }
+        assert!(seen.len() > 60, "y-neighbours should rarely collide");
+        // and the addresses are not consecutive
+        let a = spatial_hash(10, 5, 20, t);
+        let b = spatial_hash(10, 6, 20, t);
+        assert!((a as i64 - b as i64).abs() > 1, "hash should break locality");
+    }
+
+    #[test]
+    fn x_axis_streak_property() {
+        // π1 = 1 means consecutive x vertices map to consecutive slots
+        // (mod T) when y and z are fixed — matches the reference code.
+        let t = 1u32 << 16;
+        let a = spatial_hash(100, 7, 9, t);
+        let b = spatial_hash(101, 7, 9, t);
+        assert_eq!(b, (a + 1) & (t - 1));
+    }
+
+    #[test]
+    fn dense_index_is_bijective() {
+        let res = 8;
+        let mut seen = HashSet::new();
+        for z in 0..res {
+            for y in 0..res {
+                for x in 0..res {
+                    assert!(seen.insert(dense_index(x, y, z, res)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), (res * res * res) as usize);
+        assert_eq!(*seen.iter().max().unwrap(), res * res * res - 1);
+    }
+
+    #[test]
+    fn collisions_exist_when_grid_exceeds_table() {
+        // 64^3 vertices into a 2^12 table must collide (pigeonhole); the
+        // paper relies on exactly this compression for high-res levels.
+        let t = 1u32 << 12;
+        let mut seen = HashSet::new();
+        let mut collisions = 0;
+        for z in 0..32u32 {
+            for y in 0..32 {
+                for x in 0..32 {
+                    if !seen.insert(spatial_hash(x, y, z, t)) {
+                        collisions += 1;
+                    }
+                }
+            }
+        }
+        assert!(collisions > 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Model checkpoint serialization.
+//!
+//! Fitting a model at evaluation scale takes seconds to minutes; checkpoints
+//! let downstream users fit once and reload instantly. The format is a
+//! simple little-endian binary container (magic + version + sections), with
+//! no external dependencies.
+
+use crate::embedding::EmbeddingSet;
+use crate::encoder::HashEncoder;
+use crate::grid::GridConfig;
+use crate::mlp::{Activation, Dense, Mlp};
+use crate::model::NgpModel;
+use crate::occupancy::OccupancyGrid;
+use asdr_math::{Aabb, Vec3};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// File magic: `ASDRNGP\0`.
+pub const MAGIC: [u8; 8] = *b"ASDRNGP\0";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors from checkpoint loading.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an ASDR checkpoint.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Structurally invalid content.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::BadMagic => f.write_str("not an ASDR checkpoint (bad magic)"),
+            LoadError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            LoadError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_f32s<W: Write>(w: &mut W, vs: &[f32]) -> io::Result<()> {
+    w_u32(w, vs.len() as u32)?;
+    for v in vs {
+        w_f32(w, *v)?;
+    }
+    Ok(())
+}
+
+fn r_u32<R: Read>(r: &mut R) -> Result<u32, LoadError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r_f32<R: Read>(r: &mut R) -> Result<f32, LoadError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn r_f32s<R: Read>(r: &mut R, cap: usize) -> Result<Vec<f32>, LoadError> {
+    let n = r_u32(r)? as usize;
+    if n > cap {
+        return Err(LoadError::Corrupt("oversized float array"));
+    }
+    let mut out = vec![0.0f32; n];
+    let mut buf = vec![0u8; n * 4];
+    r.read_exact(&mut buf)?;
+    for (i, chunk) in buf.chunks_exact(4).enumerate() {
+        out[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    Ok(out)
+}
+
+fn write_mlp<W: Write>(w: &mut W, mlp: &Mlp) -> io::Result<()> {
+    w_u32(w, mlp.layers().len() as u32)?;
+    for layer in mlp.layers() {
+        w_u32(w, layer.in_dim() as u32)?;
+        w_u32(w, layer.out_dim() as u32)?;
+        w_u32(w, matches!(layer.activation(), Activation::Relu) as u32)?;
+        w_f32s(w, layer.weights())?;
+        w_f32s(w, layer.bias())?;
+    }
+    Ok(())
+}
+
+fn read_mlp<R: Read>(r: &mut R) -> Result<Mlp, LoadError> {
+    let n_layers = r_u32(r)? as usize;
+    if n_layers == 0 || n_layers > 16 {
+        return Err(LoadError::Corrupt("implausible layer count"));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let in_dim = r_u32(r)? as usize;
+        let out_dim = r_u32(r)? as usize;
+        if in_dim == 0 || out_dim == 0 || in_dim > 4096 || out_dim > 4096 {
+            return Err(LoadError::Corrupt("implausible layer shape"));
+        }
+        let act = if r_u32(r)? != 0 { Activation::Relu } else { Activation::None };
+        let weights = r_f32s(r, in_dim * out_dim)?;
+        let bias = r_f32s(r, out_dim)?;
+        if weights.len() != in_dim * out_dim || bias.len() != out_dim {
+            return Err(LoadError::Corrupt("layer payload size mismatch"));
+        }
+        let mut layer = Dense::zeros(in_dim, out_dim, act);
+        layer.weights_mut().copy_from_slice(&weights);
+        layer.bias_mut().copy_from_slice(&bias);
+        layers.push(layer);
+    }
+    Ok(Mlp::new(layers))
+}
+
+/// Writes a model checkpoint.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_model<W: Write>(model: &NgpModel, w: &mut W) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    w_u32(w, VERSION)?;
+    // grid config
+    let cfg = model.encoder().config();
+    w_u32(w, cfg.levels as u32)?;
+    w_u32(w, cfg.base_res)?;
+    w_u32(w, cfg.max_res)?;
+    w_u32(w, cfg.table_size)?;
+    w_u32(w, cfg.feat_dim as u32)?;
+    // embeddings
+    for l in 0..cfg.levels {
+        w_f32s(w, model.encoder().tables().table(l).params())?;
+    }
+    // MLPs
+    write_mlp(w, model.density_mlp())?;
+    write_mlp(w, model.color_mlp())?;
+    // bounds
+    let b = model.bounds();
+    for v in [b.min, b.max] {
+        w_f32(w, v.x)?;
+        w_f32(w, v.y)?;
+        w_f32(w, v.z)?;
+    }
+    // occupancy (re-derived on load would need the field; store the bits)
+    let occ = model.occupancy();
+    w_u32(w, occ.res() as u32)?;
+    let cells: Vec<u8> = occupancy_bits(occ);
+    w_u32(w, cells.len() as u32)?;
+    w.write_all(&cells)?;
+    Ok(())
+}
+
+fn occupancy_bits(occ: &OccupancyGrid) -> Vec<u8> {
+    let res = occ.res();
+    let n = res * res * res;
+    let mut out = vec![0u8; n.div_ceil(8)];
+    for i in 0..n {
+        let z = i / (res * res);
+        let y = (i / res) % res;
+        let x = i % res;
+        let u = Vec3::new(
+            (x as f32 + 0.5) / res as f32,
+            (y as f32 + 0.5) / res as f32,
+            (z as f32 + 0.5) / res as f32,
+        );
+        if occ.occupied01(u) {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Reads a model checkpoint.
+///
+/// # Errors
+///
+/// Returns [`LoadError`] for I/O failures or malformed files.
+pub fn load_model<R: Read>(r: &mut R) -> Result<NgpModel, LoadError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    let version = r_u32(r)?;
+    if version != VERSION {
+        return Err(LoadError::BadVersion(version));
+    }
+    let cfg = GridConfig {
+        levels: r_u32(r)? as usize,
+        base_res: r_u32(r)?,
+        max_res: r_u32(r)?,
+        table_size: r_u32(r)?,
+        feat_dim: r_u32(r)? as usize,
+    };
+    cfg.validate().map_err(|_| LoadError::Corrupt("invalid grid config"))?;
+    let mut set = EmbeddingSet::new(&cfg);
+    for l in 0..cfg.levels {
+        let params = r_f32s(r, set.table(l).params().len())?;
+        if params.len() != set.table(l).params().len() {
+            return Err(LoadError::Corrupt("embedding size mismatch"));
+        }
+        set.table_mut(l).params_mut().copy_from_slice(&params);
+    }
+    let density = read_mlp(r)?;
+    let color = read_mlp(r)?;
+    let mut v = [0.0f32; 6];
+    for x in &mut v {
+        *x = r_f32(r)?;
+    }
+    let bounds = Aabb::new(Vec3::new(v[0], v[1], v[2]), Vec3::new(v[3], v[4], v[5]));
+    let res = r_u32(r)? as usize;
+    if res == 0 || res > 1024 {
+        return Err(LoadError::Corrupt("implausible occupancy resolution"));
+    }
+    let n_bytes = r_u32(r)? as usize;
+    if n_bytes != (res * res * res).div_ceil(8) {
+        return Err(LoadError::Corrupt("occupancy payload size mismatch"));
+    }
+    let mut bits = vec![0u8; n_bytes];
+    r.read_exact(&mut bits)?;
+    let cells: Vec<bool> =
+        (0..res * res * res).map(|i| bits[i / 8] & (1 << (i % 8)) != 0).collect();
+    let occupancy = OccupancyGrid::from_cells(res, bounds, cells)
+        .map_err(|_| LoadError::Corrupt("occupancy rebuild failed"))?;
+    let encoder = HashEncoder::new(cfg, set);
+    Ok(NgpModel::new(encoder, density, color, bounds, occupancy))
+}
+
+/// Saves a model to a file path.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_model_file<P: AsRef<Path>>(model: &NgpModel, path: P) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(f);
+    save_model(model, &mut w)
+}
+
+/// Loads a model from a file path.
+///
+/// # Errors
+///
+/// Returns [`LoadError`] for I/O failures or malformed files.
+pub fn load_model_file<P: AsRef<Path>>(path: P) -> Result<NgpModel, LoadError> {
+    let f = std::fs::File::open(path)?;
+    let mut r = io::BufReader::new(f);
+    load_model(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::fit_ngp;
+    use asdr_math::Rgb;
+    use asdr_scenes::registry::build_sdf;
+    use asdr_scenes::SceneId;
+
+    fn roundtrip(model: &NgpModel) -> NgpModel {
+        let mut buf = Vec::new();
+        save_model(model, &mut buf).unwrap();
+        load_model(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_queries() {
+        let model = fit_ngp(&build_sdf(SceneId::Mic), &GridConfig::tiny());
+        let loaded = roundtrip(&model);
+        let mut s1 = model.make_scratch();
+        let mut s2 = loaded.make_scratch();
+        for i in 0..50 {
+            let p = Vec3::new(
+                (i as f32 * 0.137).sin() * 0.8,
+                (i as f32 * 0.311).cos() * 0.8,
+                (i as f32 * 0.071).sin() * 0.8,
+            );
+            let dir = Vec3::new(0.3, -0.5, 0.8).normalized();
+            let (sig_a, col_a) = model.query_point(p, dir, &mut s1);
+            let (sig_b, col_b): (f32, Rgb) = loaded.query_point(p, dir, &mut s2);
+            assert_eq!(sig_a, sig_b, "density differs at {p}");
+            assert_eq!(col_a, col_b, "color differs at {p}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_works() {
+        let model = fit_ngp(&build_sdf(SceneId::Chair), &GridConfig::tiny());
+        let dir = std::env::temp_dir().join("asdr_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chair.asdr");
+        save_model_file(&model, &path).unwrap();
+        let loaded = load_model_file(&path).unwrap();
+        assert_eq!(loaded.encoder().config(), model.encoder().config());
+        assert_eq!(loaded.bounds(), model.bounds());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = load_model(&mut &b"NOTANGP\0restoffile"[..]).unwrap_err();
+        assert!(matches!(err, LoadError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let model = fit_ngp(&build_sdf(SceneId::Mic), &GridConfig::tiny());
+        let mut buf = Vec::new();
+        save_model(&model, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = load_model(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_) | LoadError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let model = fit_ngp(&build_sdf(SceneId::Mic), &GridConfig::tiny());
+        let mut buf = Vec::new();
+        save_model(&model, &mut buf).unwrap();
+        buf[8] = 99; // clobber version
+        let err = load_model(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadError::BadVersion(_)), "{err}");
+    }
+}

@@ -1,0 +1,326 @@
+//! Dense multilayer perceptrons with FLOP accounting.
+//!
+//! The MLPs are executed as plain row-major matrix-vector products — the same
+//! arithmetic the CIM crossbars of the architecture model perform — and
+//! report their exact MAC counts so the FLOPs-breakdown experiment (Fig. 5)
+//! and the roofline GPU models measure the real workload.
+
+use std::fmt;
+
+/// Activation applied after a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// `max(0, x)`.
+    Relu,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::None => x,
+            Activation::Relu => x.max(0.0),
+        }
+    }
+}
+
+/// One dense layer `y = act(W x + b)`, weights row-major `[out][in]`.
+#[derive(Clone, PartialEq)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    act: Activation,
+}
+
+impl fmt::Debug for Dense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dense")
+            .field("in_dim", &self.in_dim)
+            .field("out_dim", &self.out_dim)
+            .field("act", &self.act)
+            .finish()
+    }
+}
+
+impl Dense {
+    /// Creates a zero-initialized layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(in_dim: usize, out_dim: usize, act: Activation) -> Self {
+        assert!(in_dim > 0 && out_dim > 0);
+        Dense { in_dim, out_dim, weights: vec![0.0; in_dim * out_dim], bias: vec![0.0; out_dim], act }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Activation function.
+    pub fn activation(&self) -> Activation {
+        self.act
+    }
+
+    /// Row-major weight matrix `[out][in]`.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Mutable weights.
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable bias.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Sets weight `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, row: usize, col: usize, v: f32) {
+        assert!(row < self.out_dim && col < self.in_dim);
+        self.weights[row * self.in_dim + col] = v;
+    }
+
+    /// Forward pass into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths mismatch.
+    pub fn forward(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.in_dim, "input length mismatch");
+        assert_eq!(out.len(), self.out_dim, "output length mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.weights[r * self.in_dim..(r + 1) * self.in_dim];
+            let mut acc = self.bias[r];
+            for (w, v) in row.iter().zip(x) {
+                acc += w * v;
+            }
+            *o = self.act.apply(acc);
+        }
+    }
+
+    /// Multiply-accumulate count of one forward pass.
+    pub fn macs(&self) -> u64 {
+        (self.in_dim * self.out_dim) as u64
+    }
+}
+
+/// A stack of dense layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    scratch_len: usize,
+}
+
+impl Mlp {
+    /// Builds an MLP from layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive dimensions disagree.
+    pub fn new(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(pair[0].out_dim, pair[1].in_dim, "layer dimension mismatch");
+        }
+        let scratch_len = layers.iter().map(|l| l.out_dim.max(l.in_dim)).max().unwrap();
+        Mlp { layers, scratch_len }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable layers.
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Allocates a scratch buffer sized for [`Self::forward_scratch`].
+    pub fn make_scratch(&self) -> Vec<f32> {
+        vec![0.0; self.scratch_len * 2]
+    }
+
+    /// Forward pass using caller-provided scratch (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`, `out` or `scratch` have wrong lengths.
+    pub fn forward_scratch(&self, x: &[f32], out: &mut [f32], scratch: &mut [f32]) {
+        assert_eq!(out.len(), self.out_dim(), "output length mismatch");
+        assert!(scratch.len() >= self.scratch_len * 2, "scratch too small");
+        let (a, b) = scratch.split_at_mut(self.scratch_len);
+        let n = self.layers.len();
+        if n == 1 {
+            self.layers[0].forward(x, out);
+            return;
+        }
+        // first layer: x -> a
+        self.layers[0].forward(x, &mut a[..self.layers[0].out_dim]);
+        let mut cur_in_a = true;
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            let last = i == n - 1;
+            let (src, dst): (&[f32], &mut [f32]) = if cur_in_a {
+                (&a[..layer.in_dim], if last { &mut out[..] } else { &mut b[..layer.out_dim] })
+            } else {
+                (&b[..layer.in_dim], if last { &mut out[..] } else { &mut a[..layer.out_dim] })
+            };
+            layer.forward(src, dst);
+            cur_in_a = !cur_in_a;
+        }
+    }
+
+    /// Forward pass with internal allocation (convenience).
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; self.out_dim()];
+        let mut scratch = self.make_scratch();
+        self.forward_scratch(x, &mut out, &mut scratch);
+        out
+    }
+
+    /// Total multiply-accumulates of one forward pass.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(Dense::macs).sum()
+    }
+
+    /// Total FLOPs of one forward pass (2 per MAC).
+    pub fn flops(&self) -> u64 {
+        self.macs() * 2
+    }
+
+    /// Total parameter count (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_layer(dim: usize) -> Dense {
+        let mut l = Dense::zeros(dim, dim, Activation::None);
+        for i in 0..dim {
+            l.set(i, i, 1.0);
+        }
+        l
+    }
+
+    #[test]
+    fn single_layer_linear_map() {
+        let mut l = Dense::zeros(2, 2, Activation::None);
+        l.set(0, 0, 2.0);
+        l.set(0, 1, 1.0);
+        l.set(1, 0, -1.0);
+        l.bias_mut()[1] = 0.5;
+        let mut out = [0.0; 2];
+        l.forward(&[3.0, 4.0], &mut out);
+        assert_eq!(out, [10.0, -2.5]);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let mut l = Dense::zeros(1, 2, Activation::Relu);
+        l.set(0, 0, 1.0);
+        l.set(1, 0, -1.0);
+        let mut out = [0.0; 2];
+        l.forward(&[2.0], &mut out);
+        assert_eq!(out, [2.0, 0.0]);
+    }
+
+    #[test]
+    fn deep_identity_preserves_input() {
+        let mlp = Mlp::new(vec![identity_layer(3), identity_layer(3), identity_layer(3)]);
+        let y = mlp.forward(&[1.0, -2.0, 0.5]);
+        assert_eq!(y, vec![1.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn forward_scratch_matches_forward() {
+        // a 4 -> 5 -> 3 -> 2 network with pseudo-random weights
+        let mut l1 = Dense::zeros(4, 5, Activation::Relu);
+        let mut l2 = Dense::zeros(5, 3, Activation::Relu);
+        let mut l3 = Dense::zeros(3, 2, Activation::None);
+        let mut v = 0.1f32;
+        for l in [&mut l1, &mut l2, &mut l3] {
+            for w in l.weights_mut() {
+                *w = v;
+                v = (v * 1.7 + 0.13) % 1.0 - 0.5;
+            }
+        }
+        let mlp = Mlp::new(vec![l1, l2, l3]);
+        let x = [0.3, -0.7, 1.2, 0.05];
+        let y1 = mlp.forward(&x);
+        let mut y2 = vec![0.0; 2];
+        let mut scratch = mlp.make_scratch();
+        mlp.forward_scratch(&x, &mut y2, &mut scratch);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn mac_and_param_counts() {
+        let mlp = Mlp::new(vec![
+            Dense::zeros(32, 64, Activation::Relu),
+            Dense::zeros(64, 16, Activation::None),
+        ]);
+        assert_eq!(mlp.macs(), 32 * 64 + 64 * 16);
+        assert_eq!(mlp.flops(), 2 * (32 * 64 + 64 * 16));
+        assert_eq!(mlp.param_count(), 32 * 64 + 64 + 64 * 16 + 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let _ = Mlp::new(vec![Dense::zeros(4, 8, Activation::Relu), Dense::zeros(9, 2, Activation::None)]);
+    }
+
+    #[test]
+    fn color_vs_density_flops_ratio_matches_paper() {
+        // §3 Challenge 2: density MLP ≈ 8%… color ≈ 92% of MLP FLOPs in
+        // vanilla NeRF; for Instant-NGP's small MLPs (Fig. 5) the ratio is
+        // roughly 2:1. Our shapes reproduce the Instant-NGP split.
+        let density = Mlp::new(vec![
+            Dense::zeros(32, 64, Activation::Relu),
+            Dense::zeros(64, 16, Activation::None),
+        ]);
+        let color = Mlp::new(vec![
+            Dense::zeros(32, 64, Activation::Relu),
+            Dense::zeros(64, 64, Activation::Relu),
+            Dense::zeros(64, 3, Activation::None),
+        ]);
+        let ratio = color.flops() as f64 / density.flops() as f64;
+        assert!(ratio > 1.8 && ratio < 2.5, "color:density = {ratio}");
+    }
+}

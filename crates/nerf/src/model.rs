@@ -1,0 +1,325 @@
+//! The combined Instant-NGP model: encoder + density MLP + color MLP.
+//!
+//! Network shapes follow the paper / Instant-NGP reference:
+//!
+//! * density MLP: `encoded_dim → 64 → 16`, output `[σ_raw, geo-feature₁₅]`,
+//! * color MLP: `16 (SH) + 15 (geo) = 31 → 64 → 64 → 3`.
+//!
+//! The density MLP runs once per sample point; the color MLP consumes the
+//! 15-dim geometry feature together with the SH-encoded view direction.
+//! ASDR's color–density decoupling (§4.3) skips the color MLP for most
+//! points; the split exposed here (`query_density` / `query_color`) is what
+//! makes that optimization expressible.
+
+use crate::encoder::HashEncoder;
+use crate::mlp::Mlp;
+use crate::occupancy::OccupancyGrid;
+use asdr_math::sh::{eval_sh4, SH_DEGREE4_COEFFS};
+use asdr_math::{Aabb, Rgb, Vec3};
+
+/// A queryable radiance field with a decoupled density/color interface.
+///
+/// The split mirrors the two-MLP structure the ASDR paper exploits:
+/// [`RadianceModel::density_into`] runs the (cheap) density path and leaves a
+/// geometry feature in the scratch; [`RadianceModel::color_into`] then
+/// finishes the (expensive) color path for the *same* point. ASDR's
+/// color–density decoupling calls the former for every sample and the latter
+/// for only one sample per group.
+pub trait RadianceModel {
+    /// Reusable per-thread scratch for query state.
+    type Scratch;
+
+    /// Allocates scratch for the query methods.
+    fn make_query_scratch(&self) -> Self::Scratch;
+
+    /// World-space bounds of the modelled scene.
+    fn model_bounds(&self) -> Aabb;
+
+    /// Density query; leaves the geometry feature in `scratch`.
+    fn density_into(&self, p_world: Vec3, scratch: &mut Self::Scratch) -> f32;
+
+    /// Color query for the point of the last [`Self::density_into`] call.
+    fn color_into(&self, view_dir: Vec3, scratch: &mut Self::Scratch) -> Rgb;
+
+    /// Per-point FLOPs of `(encoding, density, color)` stages.
+    fn stage_flops(&self) -> (u64, u64, u64);
+}
+
+/// Geometry-feature width handed from the density MLP to the color MLP.
+pub const GEO_FEAT_DIM: usize = 15;
+/// Density MLP output width (`1 + GEO_FEAT_DIM`).
+pub const DENSITY_OUT_DIM: usize = 1 + GEO_FEAT_DIM;
+/// Color MLP input width (`SH + GEO_FEAT_DIM`).
+pub const COLOR_IN_DIM: usize = SH_DEGREE4_COEFFS + GEO_FEAT_DIM;
+/// Hidden width of both MLPs (Instant-NGP uses 64).
+pub const HIDDEN_DIM: usize = 64;
+
+/// Reusable scratch buffers for model queries (avoids per-point allocation).
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    encoded: Vec<f32>,
+    density_out: Vec<f32>,
+    color_in: Vec<f32>,
+    color_out: Vec<f32>,
+    mlp: Vec<f32>,
+}
+
+/// A fitted Instant-NGP model over a world-space bounding box.
+#[derive(Debug, Clone)]
+pub struct NgpModel {
+    encoder: HashEncoder,
+    density_mlp: Mlp,
+    color_mlp: Mlp,
+    bounds: Aabb,
+    occupancy: OccupancyGrid,
+}
+
+impl NgpModel {
+    /// Assembles a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MLP shapes do not match the expected layout.
+    pub fn new(
+        encoder: HashEncoder,
+        density_mlp: Mlp,
+        color_mlp: Mlp,
+        bounds: Aabb,
+        occupancy: OccupancyGrid,
+    ) -> Self {
+        assert_eq!(density_mlp.in_dim(), encoder.encoded_dim(), "density MLP input mismatch");
+        assert_eq!(density_mlp.out_dim(), DENSITY_OUT_DIM, "density MLP must emit 1+15");
+        assert_eq!(color_mlp.in_dim(), COLOR_IN_DIM, "color MLP input mismatch");
+        assert_eq!(color_mlp.out_dim(), 3, "color MLP must emit RGB");
+        NgpModel { encoder, density_mlp, color_mlp, bounds, occupancy }
+    }
+
+    /// The occupancy grid masking empty space (see [`OccupancyGrid`]).
+    pub fn occupancy(&self) -> &OccupancyGrid {
+        &self.occupancy
+    }
+
+    /// Whether `p_world` lies in occupied space. Unoccupied samples always
+    /// predict zero density (the encode + MLP work is still performed, so
+    /// per-sample cost accounting stays uniform, matching the paper's fixed
+    /// per-ray sample budget).
+    pub fn is_occupied(&self, p_world: Vec3) -> bool {
+        self.occupancy.occupied_world(p_world)
+    }
+
+    /// The hash encoder.
+    pub fn encoder(&self) -> &HashEncoder {
+        &self.encoder
+    }
+
+    /// Mutable access to the hash encoder (used by the SGD refinement pass).
+    pub fn encoder_mut(&mut self) -> &mut HashEncoder {
+        &mut self.encoder
+    }
+
+    /// The density MLP.
+    pub fn density_mlp(&self) -> &Mlp {
+        &self.density_mlp
+    }
+
+    /// The color MLP.
+    pub fn color_mlp(&self) -> &Mlp {
+        &self.color_mlp
+    }
+
+    /// World-space bounds of the modelled scene.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Allocates scratch buffers for the `_into` query variants.
+    pub fn make_scratch(&self) -> Scratch {
+        let mlp_len = self
+            .density_mlp
+            .make_scratch()
+            .len()
+            .max(self.color_mlp.make_scratch().len());
+        Scratch {
+            encoded: vec![0.0; self.encoder.encoded_dim()],
+            density_out: vec![0.0; DENSITY_OUT_DIM],
+            color_in: vec![0.0; COLOR_IN_DIM],
+            color_out: vec![0.0; 3],
+            mlp: vec![0.0; mlp_len],
+        }
+    }
+
+    /// Density query: returns `σ ≥ 0` and the 15-dim geometry feature.
+    /// Allocating convenience wrapper around [`Self::query_density_into`].
+    pub fn query_density(&self, p_world: Vec3) -> (f32, Vec<f32>) {
+        let mut s = self.make_scratch();
+        let sigma = self.query_density_into(p_world, &mut s);
+        (sigma, s.density_out[1..].to_vec())
+    }
+
+    /// Density query into caller scratch; the geometry feature is left in
+    /// `scratch.density_out[1..]` for a subsequent
+    /// [`Self::query_color_into`].
+    pub fn query_density_into(&self, p_world: Vec3, scratch: &mut Scratch) -> f32 {
+        let p01 = self.bounds.normalize(p_world);
+        self.encoder.encode(p01, &mut scratch.encoded);
+        self.density_mlp.forward_scratch(&scratch.encoded, &mut scratch.density_out, &mut scratch.mlp);
+        if !self.occupancy.occupied_world(p_world) {
+            return 0.0;
+        }
+        scratch.density_out[0].max(0.0)
+    }
+
+    /// Color query from an explicit geometry feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geo_feat` is not 15-dimensional.
+    pub fn query_color(&self, geo_feat: &[f32], view_dir: Vec3) -> Rgb {
+        assert_eq!(geo_feat.len(), GEO_FEAT_DIM);
+        let mut s = self.make_scratch();
+        s.density_out[1..].copy_from_slice(geo_feat);
+        self.query_color_into(view_dir, &mut s)
+    }
+
+    /// Color query using the geometry feature left in `scratch` by the last
+    /// [`Self::query_density_into`] call.
+    pub fn query_color_into(&self, view_dir: Vec3, scratch: &mut Scratch) -> Rgb {
+        eval_sh4(view_dir, &mut scratch.color_in[..SH_DEGREE4_COEFFS]);
+        scratch.color_in[SH_DEGREE4_COEFFS..].copy_from_slice(&scratch.density_out[1..]);
+        self.color_mlp.forward_scratch(&scratch.color_in, &mut scratch.color_out, &mut scratch.mlp);
+        Rgb::new(scratch.color_out[0], scratch.color_out[1], scratch.color_out[2]).clamp01()
+    }
+
+    /// Combined density + color query (full per-point evaluation).
+    pub fn query_point(&self, p_world: Vec3, view_dir: Vec3, scratch: &mut Scratch) -> (f32, Rgb) {
+        let sigma = self.query_density_into(p_world, scratch);
+        let color = self.query_color_into(view_dir, scratch);
+        (sigma, color)
+    }
+
+    /// Per-point FLOPs of the three stages `(encoding, density, color)` —
+    /// the quantities behind the Fig. 5 breakdown.
+    pub fn flops_per_point(&self) -> (u64, u64, u64) {
+        (self.encoder.flops_per_point(), self.density_mlp.flops(), self.color_mlp.flops())
+    }
+}
+
+impl RadianceModel for NgpModel {
+    type Scratch = Scratch;
+
+    fn make_query_scratch(&self) -> Scratch {
+        self.make_scratch()
+    }
+
+    fn model_bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    fn density_into(&self, p_world: Vec3, scratch: &mut Scratch) -> f32 {
+        self.query_density_into(p_world, scratch)
+    }
+
+    fn color_into(&self, view_dir: Vec3, scratch: &mut Scratch) -> Rgb {
+        self.query_color_into(view_dir, scratch)
+    }
+
+    fn stage_flops(&self) -> (u64, u64, u64) {
+        self.flops_per_point()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::EmbeddingSet;
+    use crate::grid::GridConfig;
+    use crate::mlp::{Activation, Dense};
+
+    fn dummy_model() -> NgpModel {
+        let cfg = GridConfig::tiny();
+        let enc = HashEncoder::new(cfg.clone(), EmbeddingSet::new(&cfg));
+        let density = Mlp::new(vec![
+            Dense::zeros(enc.encoded_dim(), HIDDEN_DIM, Activation::Relu),
+            Dense::zeros(HIDDEN_DIM, DENSITY_OUT_DIM, Activation::None),
+        ]);
+        let color = Mlp::new(vec![
+            Dense::zeros(COLOR_IN_DIM, HIDDEN_DIM, Activation::Relu),
+            Dense::zeros(HIDDEN_DIM, HIDDEN_DIM, Activation::Relu),
+            Dense::zeros(HIDDEN_DIM, 3, Activation::None),
+        ]);
+        NgpModel::new(
+            enc,
+            density,
+            color,
+            Aabb::centered(1.0),
+            crate::occupancy::OccupancyGrid::solid(Aabb::centered(1.0)),
+        )
+    }
+
+    #[test]
+    fn zero_model_returns_zero_density_black_color() {
+        let m = dummy_model();
+        let mut s = m.make_scratch();
+        let (sigma, c) = m.query_point(Vec3::ZERO, Vec3::Z, &mut s);
+        assert_eq!(sigma, 0.0);
+        assert_eq!(c, Rgb::BLACK);
+    }
+
+    #[test]
+    fn scratch_and_alloc_paths_agree() {
+        let mut m = dummy_model();
+        // give the model some nonzero parameters
+        for l in 0..m.encoder().config().levels {
+            for (i, v) in m.encoder_mut().tables_mut().table_mut(l).params_mut().iter_mut().enumerate() {
+                *v = ((i % 7) as f32 - 3.0) * 0.1;
+            }
+        }
+        let w = m.density_mlp.clone();
+        let mut layers = w.layers().to_vec();
+        for (i, v) in layers[0].weights_mut().iter_mut().enumerate() {
+            *v = ((i % 5) as f32 - 2.0) * 0.05;
+        }
+        for (i, v) in layers[1].weights_mut().iter_mut().enumerate() {
+            *v = ((i % 3) as f32 - 1.0) * 0.05;
+        }
+        m.density_mlp = Mlp::new(layers);
+
+        let p = Vec3::new(0.2, -0.3, 0.4);
+        let (sig_a, feat_a) = m.query_density(p);
+        let mut s = m.make_scratch();
+        let sig_b = m.query_density_into(p, &mut s);
+        assert_eq!(sig_a, sig_b);
+        assert_eq!(&feat_a[..], &s.density_out[1..]);
+    }
+
+    #[test]
+    fn density_is_clamped_nonnegative() {
+        let mut m = dummy_model();
+        // bias the sigma output negative
+        let mut layers = m.density_mlp.layers().to_vec();
+        layers[1].bias_mut()[0] = -5.0;
+        m.density_mlp = Mlp::new(layers);
+        let (sigma, _) = m.query_density(Vec3::ZERO);
+        assert_eq!(sigma, 0.0);
+    }
+
+    #[test]
+    fn color_is_clamped_to_unit_range() {
+        let mut m = dummy_model();
+        let mut layers = m.color_mlp.layers().to_vec();
+        layers[2].bias_mut().copy_from_slice(&[5.0, -5.0, 0.5]);
+        m.color_mlp = Mlp::new(layers);
+        let c = m.query_color(&[0.0; GEO_FEAT_DIM], Vec3::Z);
+        assert_eq!(c, Rgb::new(1.0, 0.0, 0.5));
+    }
+
+    #[test]
+    fn flops_split_matches_shapes() {
+        let m = dummy_model();
+        let (enc, den, col) = m.flops_per_point();
+        assert!(enc > 0 && den > 0 && col > 0);
+        // color MLP is the heavyweight (paper Fig. 5)
+        assert!(col > den);
+        assert!(den > enc);
+    }
+}

@@ -1,0 +1,179 @@
+//! Occupancy grid — Instant-NGP's empty-space mask.
+//!
+//! The reference Instant-NGP maintains a multiscale occupancy bitfield so
+//! that ray marching skips cells known to be empty. We keep a single-scale
+//! grid and use it to *mask* predicted density: without it, hash aliasing
+//! would smear residual energy from occupied vertices into empty space
+//! ("ghost density"), which the original system never renders because those
+//! cells are skipped.
+
+use asdr_math::interp::CORNER_OFFSETS;
+use asdr_math::{Aabb, Vec3};
+use asdr_scenes::SceneField;
+
+/// A boolean voxel grid over a bounding box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancyGrid {
+    res: usize,
+    bounds: Aabb,
+    cells: Vec<bool>,
+}
+
+impl OccupancyGrid {
+    /// Default grid resolution (cells per axis), matching Instant-NGP's 128
+    /// scaled down to our single level.
+    pub const DEFAULT_RES: usize = 64;
+
+    /// Builds the grid by probing `field.density` at cell corners and
+    /// dilating by one cell (so interpolation transition zones count as
+    /// occupied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `res == 0`.
+    pub fn build(field: &dyn SceneField, res: usize) -> Self {
+        assert!(res > 0);
+        let bounds = field.bounds();
+        let v = res + 1;
+        let mut probe = vec![false; v * v * v];
+        for z in 0..v {
+            for y in 0..v {
+                for x in 0..v {
+                    let u = Vec3::new(x as f32 / res as f32, y as f32 / res as f32, z as f32 / res as f32);
+                    probe[x + v * (y + v * z)] = field.density(bounds.denormalize(u)) > 0.0;
+                }
+            }
+        }
+        let mut raw = vec![false; res * res * res];
+        for z in 0..res {
+            for y in 0..res {
+                for x in 0..res {
+                    let mut occ = false;
+                    for &(dx, dy, dz) in &CORNER_OFFSETS {
+                        occ |= probe[(x + dx as usize) + v * ((y + dy as usize) + v * (z + dz as usize))];
+                    }
+                    raw[x + res * (y + res * z)] = occ;
+                }
+            }
+        }
+        let mut cells = raw.clone();
+        for z in 0..res {
+            for y in 0..res {
+                for x in 0..res {
+                    if raw[x + res * (y + res * z)] {
+                        for dz in -1i64..=1 {
+                            for dy in -1i64..=1 {
+                                for dx in -1i64..=1 {
+                                    let (nx, ny, nz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                                    if nx >= 0
+                                        && ny >= 0
+                                        && nz >= 0
+                                        && (nx as usize) < res
+                                        && (ny as usize) < res
+                                        && (nz as usize) < res
+                                    {
+                                        cells[nx as usize + res * (ny as usize + res * nz as usize)] = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        OccupancyGrid { res, bounds, cells }
+    }
+
+    /// A grid that reports everything occupied (no masking).
+    pub fn solid(bounds: Aabb) -> Self {
+        OccupancyGrid { res: 1, bounds, cells: vec![true] }
+    }
+
+    /// Rebuilds a grid from raw cells (checkpoint loading).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if `cells.len() != res³` or `res == 0`.
+    pub fn from_cells(res: usize, bounds: Aabb, cells: Vec<bool>) -> Result<Self, String> {
+        if res == 0 {
+            return Err("resolution must be positive".into());
+        }
+        if cells.len() != res * res * res {
+            return Err(format!("expected {} cells, got {}", res * res * res, cells.len()));
+        }
+        Ok(OccupancyGrid { res, bounds, cells })
+    }
+
+    /// Cells per axis.
+    pub fn res(&self) -> usize {
+        self.res
+    }
+
+    /// Covered bounds.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Whether a normalized `[0,1]^3` point lies in an occupied cell.
+    #[inline]
+    pub fn occupied01(&self, p01: Vec3) -> bool {
+        let r = self.res as f32;
+        let cx = ((p01.x.clamp(0.0, 1.0) * r) as usize).min(self.res - 1);
+        let cy = ((p01.y.clamp(0.0, 1.0) * r) as usize).min(self.res - 1);
+        let cz = ((p01.z.clamp(0.0, 1.0) * r) as usize).min(self.res - 1);
+        self.cells[cx + self.res * (cy + self.res * cz)]
+    }
+
+    /// Whether a world-space point lies in an occupied cell (points outside
+    /// the bounds are unoccupied).
+    #[inline]
+    pub fn occupied_world(&self, p: Vec3) -> bool {
+        if !self.bounds.contains(p) {
+            return false;
+        }
+        self.occupied01(self.bounds.normalize(p))
+    }
+
+    /// Fraction of occupied cells.
+    pub fn occupied_fraction(&self) -> f32 {
+        self.cells.iter().filter(|&&c| c).count() as f32 / self.cells.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdr_scenes::registry::build_sdf;
+    use asdr_scenes::SceneId;
+
+    #[test]
+    fn solid_grid_accepts_everything_inside() {
+        let g = OccupancyGrid::solid(Aabb::centered(1.0));
+        assert!(g.occupied_world(Vec3::ZERO));
+        assert!(g.occupied_world(Vec3::splat(0.99)));
+        assert!(!g.occupied_world(Vec3::splat(1.5)));
+        assert_eq!(g.occupied_fraction(), 1.0);
+    }
+
+    #[test]
+    fn scene_grid_matches_content() {
+        let scene = build_sdf(SceneId::Mic);
+        let g = OccupancyGrid::build(&scene, 32);
+        // mic head region occupied
+        assert!(g.occupied_world(Vec3::new(0.0, 0.45, 0.0)));
+        // far empty corner unoccupied
+        assert!(!g.occupied_world(Vec3::new(0.9, 0.9, -0.9)));
+        let f = g.occupied_fraction();
+        assert!(f > 0.01 && f < 0.8, "fraction {f}");
+    }
+
+    #[test]
+    fn dilation_covers_surface_shell() {
+        let scene = build_sdf(SceneId::Lego);
+        let g = OccupancyGrid::build(&scene, 32);
+        // a point just outside the density support must still be occupied
+        // (the transition shell matters for interpolation)
+        let p = Vec3::new(0.0, -0.72 + 0.08, 0.0); // just above the base plate
+        assert!(g.occupied_world(p));
+    }
+}

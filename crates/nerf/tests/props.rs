@@ -1,0 +1,142 @@
+//! Property-based tests of the neural-rendering substrates.
+
+use asdr_nerf::embedding::EmbeddingSet;
+use asdr_nerf::encoder::HashEncoder;
+use asdr_nerf::grid::GridConfig;
+use asdr_nerf::hash::{dense_index, spatial_hash};
+use asdr_nerf::mlp::{Activation, Dense, Mlp};
+use asdr_math::Vec3;
+use proptest::prelude::*;
+
+fn tiny_encoder_with(fill: u64) -> HashEncoder {
+    let cfg = GridConfig::tiny();
+    let mut set = EmbeddingSet::new(&cfg);
+    let mut state = fill.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for l in 0..cfg.levels {
+        for v in set.table_mut(l).params_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = ((state & 0xffff) as f32 / 32768.0) - 1.0;
+        }
+    }
+    HashEncoder::new(cfg, set)
+}
+
+proptest! {
+    #[test]
+    fn spatial_hash_stays_in_table(x in 0u32..100_000, y in 0u32..100_000, z in 0u32..100_000) {
+        for shift in [8u32, 12, 19] {
+            let t = 1u32 << shift;
+            prop_assert!(spatial_hash(x, y, z, t) < t);
+        }
+    }
+
+    #[test]
+    fn dense_index_is_injective_on_random_pairs(
+        a in (0u32..16, 0u32..16, 0u32..16),
+        b in (0u32..16, 0u32..16, 0u32..16),
+    ) {
+        let (i, j) = (dense_index(a.0, a.1, a.2, 16), dense_index(b.0, b.1, b.2, 16));
+        prop_assert_eq!(i == j, a == b);
+    }
+
+    #[test]
+    fn encoder_output_is_finite_everywhere(
+        x in -0.5f32..1.5, y in -0.5f32..1.5, z in -0.5f32..1.5, seed in 0u64..32,
+    ) {
+        let enc = tiny_encoder_with(seed);
+        let mut out = vec![0.0; enc.encoded_dim()];
+        enc.encode(Vec3::new(x, y, z), &mut out);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn encoder_is_locally_continuous(
+        x in 0.1f32..0.9, y in 0.1f32..0.9, z in 0.1f32..0.9, seed in 0u64..16,
+    ) {
+        let enc = tiny_encoder_with(seed);
+        let eps = 5e-5;
+        let mut a = vec![0.0; enc.encoded_dim()];
+        let mut b = vec![0.0; enc.encoded_dim()];
+        enc.encode(Vec3::new(x, y, z), &mut a);
+        enc.encode(Vec3::new(x + eps, y, z), &mut b);
+        // feature change bounded by a Lipschitz constant of the grid
+        // (finest tiny level has 64 cells, features in [-1,1]: |Δ| ≤ 64·eps·2 per level pair)
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 64.0 * eps * 4.0 + 1e-6, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn encoder_trace_shape_is_invariant(
+        x in 0.0f32..1.0, y in 0.0f32..1.0, z in 0.0f32..1.0,
+    ) {
+        let enc = tiny_encoder_with(1);
+        let mut out = vec![0.0; enc.encoded_dim()];
+        let mut trace = Vec::new();
+        enc.encode_traced(Vec3::new(x, y, z), &mut out, &mut trace);
+        prop_assert_eq!(trace.len(), 8 * enc.config().levels);
+        // all rows within the tables
+        for a in &trace {
+            let table = enc.tables().table(a.level as usize);
+            prop_assert!(a.row < table.entries());
+        }
+    }
+
+    #[test]
+    fn linear_mlp_is_additive(
+        x1 in proptest::collection::vec(-1.0f32..1.0, 4),
+        x2 in proptest::collection::vec(-1.0f32..1.0, 4),
+        w in proptest::collection::vec(-1.0f32..1.0, 12),
+    ) {
+        // with Activation::None the MLP is a linear map: f(x1+x2) = f(x1)+f(x2)
+        let mut layer = Dense::zeros(4, 3, Activation::None);
+        layer.weights_mut().copy_from_slice(&w);
+        let mlp = Mlp::new(vec![layer]);
+        let sum: Vec<f32> = x1.iter().zip(&x2).map(|(a, b)| a + b).collect();
+        let y12 = mlp.forward(&sum);
+        let y1 = mlp.forward(&x1);
+        let y2 = mlp.forward(&x2);
+        for i in 0..3 {
+            prop_assert!((y12[i] - (y1[i] + y2[i])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn relu_mlp_output_is_subadditive_bound(
+        x in proptest::collection::vec(-1.0f32..1.0, 4),
+        w in proptest::collection::vec(-1.0f32..1.0, 8),
+    ) {
+        // ReLU outputs are within [0, Σ|w|·|x|]
+        let mut layer = Dense::zeros(4, 2, Activation::Relu);
+        layer.weights_mut().copy_from_slice(&w);
+        let mlp = Mlp::new(vec![layer]);
+        let y = mlp.forward(&x);
+        let bound: f32 = w.iter().map(|v| v.abs()).sum::<f32>() * x.iter().map(|v| v.abs()).fold(0.0, f32::max);
+        for v in y {
+            prop_assert!(v >= 0.0);
+            prop_assert!(v <= bound + 1e-4);
+        }
+    }
+
+    #[test]
+    fn grid_resolution_is_monotone_for_random_configs(
+        levels in 2usize..12, base in 4u32..32, growth in 1u32..6,
+    ) {
+        let cfg = GridConfig {
+            levels,
+            base_res: base,
+            max_res: base * (1 + growth),
+            table_size: 1 << 12,
+            feat_dim: 2,
+        };
+        prop_assume!(cfg.validate().is_ok());
+        let mut prev = 0;
+        for l in 0..levels {
+            let r = cfg.level_resolution(l);
+            prop_assert!(r >= prev);
+            prev = r;
+        }
+    }
+}

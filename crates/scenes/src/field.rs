@@ -1,0 +1,207 @@
+//! The analytic scene-field abstraction.
+
+use asdr_math::{Aabb, Rgb, Vec3};
+
+/// A continuous volumetric scene: density plus view-dependent color, the same
+/// quantities a trained NeRF predicts per sample point.
+///
+/// Implementations must be deterministic and cheap enough to evaluate tens of
+/// millions of times (they serve both as ground truth and as the fitting
+/// target for the hash-grid model).
+pub trait SceneField: Send + Sync {
+    /// Volume density `σ(p) ≥ 0` at world-space position `p`.
+    fn density(&self, p: Vec3) -> f32;
+
+    /// Base (view-independent) albedo at `p`.
+    fn albedo(&self, p: Vec3) -> Rgb;
+
+    /// World-space bounds containing all non-zero density.
+    fn bounds(&self) -> Aabb;
+
+    /// Approximate surface normal from the density gradient (central
+    /// differences). Points *outward* (toward decreasing density).
+    fn normal(&self, p: Vec3) -> Vec3 {
+        let e = 1e-3;
+        let g = Vec3::new(
+            self.density(p + Vec3::X * e) - self.density(p - Vec3::X * e),
+            self.density(p + Vec3::Y * e) - self.density(p - Vec3::Y * e),
+            self.density(p + Vec3::Z * e) - self.density(p - Vec3::Z * e),
+        );
+        if g.norm() < 1e-9 {
+            Vec3::Z
+        } else {
+            (-g).normalized()
+        }
+    }
+
+    /// View-independent (diffuse) radiance at `p`: albedo under Lambertian
+    /// shading from a fixed key light. This is the part of the appearance the
+    /// hash-grid features can store exactly per position.
+    fn diffuse(&self, p: Vec3) -> Rgb {
+        let albedo = self.albedo(p);
+        let n = self.normal(p);
+        let light = Vec3::new(0.5, 0.8, 0.3).normalized();
+        let shade = 0.35 + 0.65 * n.dot(light).max(0.0);
+        Rgb::new(albedo.r * shade, albedo.g * shade, albedo.b * shade)
+    }
+
+    /// View-dependent emitted color at `p` seen from direction `view_dir`
+    /// (pointing *from* the camera *into* the scene).
+    ///
+    /// The default is [`SceneField::diffuse`] plus a global specular lobe
+    /// [`specular_lobe`] that depends only on the view direction. Keeping the
+    /// view-dependent term low-rank (position-independent) makes the scene
+    /// exactly representable by the NGP decomposition `c(p, d) = c_diff(p) +
+    /// W·SH(d)` while still exercising the color MLP's direction input; the
+    /// residual fit error of the SH projection provides a genuine (small)
+    /// quality gap, mirroring a trained model's imperfection.
+    fn color(&self, p: Vec3, view_dir: Vec3) -> Rgb {
+        let d = self.diffuse(p);
+        let s = specular_lobe(view_dir);
+        Rgb::new((d.r + s).min(1.0), (d.g + s).min(1.0), (d.b + s).min(1.0))
+    }
+
+    /// Fraction of probe points (coarse grid over the bounds) with density
+    /// above `thresh` — a cheap occupancy statistic used by tests and the
+    /// dataset table.
+    fn occupancy(&self, thresh: f32, grid: usize) -> f32 {
+        let b = self.bounds();
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for i in 0..grid {
+            for j in 0..grid {
+                for k in 0..grid {
+                    let u = Vec3::new(
+                        (i as f32 + 0.5) / grid as f32,
+                        (j as f32 + 0.5) / grid as f32,
+                        (k as f32 + 0.5) / grid as f32,
+                    );
+                    if self.density(b.denormalize(u)) > thresh {
+                        hit += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        hit as f32 / total as f32
+    }
+}
+
+/// The global specular highlight as a function of view direction only.
+///
+/// A Phong-style lobe around a fixed reflected-light direction; shared by all
+/// scenes and all positions (see [`SceneField::color`] for why).
+///
+/// ```
+/// use asdr_scenes::field::specular_lobe;
+/// use asdr_math::Vec3;
+/// let peak = specular_lobe(Vec3::new(-0.5, -0.8, -0.3).normalized());
+/// assert!(peak > specular_lobe(Vec3::Y));
+/// ```
+#[inline]
+pub fn specular_lobe(view_dir: Vec3) -> f32 {
+    // the lobe peaks when looking along the negated key-light direction
+    let h = Vec3::new(-0.5, -0.8, -0.3).normalized();
+    0.18 * view_dir.normalized().dot(h).max(0.0).powi(8)
+}
+
+/// Converts a signed distance to a volume density.
+///
+/// Inside the surface (negative distance) density saturates at `sigma_max`;
+/// it decays smoothly across a shell of width `softness` so the field is
+/// friendly to trilinear reconstruction at the hash-grid resolutions.
+///
+/// ```
+/// use asdr_scenes::field::density_from_sdf;
+/// assert!(density_from_sdf(-1.0, 40.0, 0.02) > 39.0); // deep inside
+/// assert_eq!(density_from_sdf(1.0, 40.0, 0.02), 0.0); // far outside
+/// ```
+#[inline]
+pub fn density_from_sdf(d: f32, sigma_max: f32, softness: f32) -> f32 {
+    debug_assert!(softness > 0.0);
+    if d >= softness {
+        0.0
+    } else if d <= -softness {
+        sigma_max
+    } else {
+        // smoothstep from 1 (inside) to 0 (outside)
+        let t = (softness - d) / (2.0 * softness); // 0 at d=softness, 1 at d=-softness
+        sigma_max * t * t * (3.0 - 2.0 * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A solid unit-radius sphere of uniform red, for trait-default checks.
+    struct Ball;
+
+    impl SceneField for Ball {
+        fn density(&self, p: Vec3) -> f32 {
+            density_from_sdf(p.norm() - 1.0, 50.0, 0.05)
+        }
+        fn albedo(&self, _p: Vec3) -> Rgb {
+            Rgb::new(0.8, 0.1, 0.1)
+        }
+        fn bounds(&self) -> Aabb {
+            Aabb::centered(1.5)
+        }
+    }
+
+    #[test]
+    fn density_profile_shape() {
+        assert_eq!(density_from_sdf(0.2, 40.0, 0.05), 0.0);
+        assert_eq!(density_from_sdf(-0.2, 40.0, 0.05), 40.0);
+        let mid = density_from_sdf(0.0, 40.0, 0.05);
+        assert!(mid > 0.0 && mid < 40.0);
+        // monotone decreasing across the shell
+        let a = density_from_sdf(-0.04, 40.0, 0.05);
+        let b = density_from_sdf(0.0, 40.0, 0.05);
+        let c = density_from_sdf(0.04, 40.0, 0.05);
+        assert!(a > b && b > c);
+    }
+
+    #[test]
+    fn ball_density_inside_outside() {
+        let ball = Ball;
+        assert!(ball.density(Vec3::ZERO) > 49.0);
+        assert_eq!(ball.density(Vec3::new(2.0, 0.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn normal_points_outward() {
+        let ball = Ball;
+        let p = Vec3::new(1.0, 0.0, 0.0);
+        let n = ball.normal(p);
+        assert!(n.dot(Vec3::X) > 0.9, "normal {n} should point along +X");
+    }
+
+    #[test]
+    fn color_is_view_dependent() {
+        let ball = Ball;
+        let p = Vec3::new(0.0, 1.0, 0.0);
+        let c1 = ball.color(p, Vec3::new(-0.5, -0.8, -0.3).normalized());
+        let c2 = ball.color(p, Vec3::Y);
+        // specular lobe differs between viewing directions
+        assert!(c1.max_channel_abs_diff(c2) > 1e-4);
+        // diffuse part itself is view independent
+        assert_eq!(ball.diffuse(p), ball.diffuse(p));
+    }
+
+    #[test]
+    fn specular_lobe_is_bounded_and_peaked() {
+        let peak_dir = Vec3::new(-0.5, -0.8, -0.3).normalized();
+        let peak = specular_lobe(peak_dir);
+        assert!(peak > 0.15 && peak <= 0.18 + 1e-6);
+        assert_eq!(specular_lobe(-peak_dir), 0.0);
+    }
+
+    #[test]
+    fn occupancy_of_ball_in_box() {
+        let ball = Ball;
+        let occ = ball.occupancy(1.0, 16);
+        // sphere of r=1 inside box of half-extent 1.5: 4/3π / 27 ≈ 0.155
+        assert!(occ > 0.08 && occ < 0.25, "occ = {occ}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Procedural scene fields and ground-truth rendering for the ASDR
+//! reproduction.
+//!
+//! The paper evaluates on ten scenes drawn from five datasets (Table 1):
+//! Synthetic-NeRF (Mic, Hotdog, Ship, Chair, Ficus, Lego), Synthetic-NSVF
+//! (Palace), BlendedMVS (Fountain), Tanks&Temples (Family) and the
+//! Instant-NGP Fox capture. Trained checkpoints and the underlying photos are
+//! not available offline, so this crate provides *analytic procedural stand-
+//! ins*: each scene is a signed-distance-field composition with an albedo
+//! field and simple view-dependent shading. The neural-rendering substrate
+//! (`asdr-nerf`) fits its hash-grid model to these fields, after which every
+//! pipeline stage behaves exactly as with a trained model (see DESIGN.md §1).
+//!
+//! # Example
+//!
+//! ```
+//! use asdr_scenes::{SceneId, registry};
+//!
+//! let scene = registry::build(SceneId::Lego);
+//! let cam = registry::standard_camera(SceneId::Lego, 32, 32);
+//! let gt = asdr_scenes::gt::render_ground_truth(scene.as_ref(), &cam, 64);
+//! assert_eq!(gt.width(), 32);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod field;
+pub mod gt;
+pub mod procedural;
+pub mod registry;
+pub mod sdf;
+
+pub use field::SceneField;
+pub use registry::{SceneId, SceneInfo, SceneKind};

@@ -1,0 +1,386 @@
+//! The ten procedural stand-in scenes.
+//!
+//! Each scene is a function `Vec3 -> (signed distance, albedo)` wrapped in
+//! [`SdfScene`]. The shapes are rough caricatures of the originals (a blocky
+//! excavator for Lego, a studio microphone for Mic, …) — what matters for the
+//! reproduction is that they span the same *difficulty spectrum*: large empty
+//! backgrounds, thin structures (Ficus leaves, ship rigging), flat easy
+//! regions (Hotdog plate), and dense clutter (Palace, Family).
+
+use crate::field::{density_from_sdf, SceneField};
+use crate::sdf::*;
+use asdr_math::{Aabb, Rgb, Vec3};
+use std::fmt;
+
+/// A scene defined by a single SDF+albedo function.
+#[derive(Clone)]
+pub struct SdfScene {
+    name: &'static str,
+    eval: fn(Vec3) -> (f32, Rgb),
+    sigma_max: f32,
+    softness: f32,
+    bounds: Aabb,
+}
+
+impl fmt::Debug for SdfScene {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SdfScene")
+            .field("name", &self.name)
+            .field("sigma_max", &self.sigma_max)
+            .field("softness", &self.softness)
+            .finish()
+    }
+}
+
+impl SdfScene {
+    /// Wraps an SDF+albedo function into a scene field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_max <= 0` or `softness <= 0`.
+    pub fn new(name: &'static str, eval: fn(Vec3) -> (f32, Rgb), sigma_max: f32, softness: f32) -> Self {
+        assert!(sigma_max > 0.0 && softness > 0.0);
+        SdfScene { name, eval, sigma_max, softness, bounds: Aabb::centered(1.0) }
+    }
+
+    /// Scene display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Raw signed distance at `p` (used by tests).
+    pub fn distance(&self, p: Vec3) -> f32 {
+        (self.eval)(p).0
+    }
+}
+
+impl SceneField for SdfScene {
+    fn density(&self, p: Vec3) -> f32 {
+        if !self.bounds.contains(p) {
+            return 0.0;
+        }
+        density_from_sdf((self.eval)(p).0, self.sigma_max, self.softness)
+    }
+
+    fn albedo(&self, p: Vec3) -> Rgb {
+        (self.eval)(p).1
+    }
+
+    fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+}
+
+/// Helper: keep the (distance, albedo) pair with the smaller distance.
+#[inline]
+fn closest(a: (f32, Rgb), b: (f32, Rgb)) -> (f32, Rgb) {
+    if a.0 <= b.0 {
+        a
+    } else {
+        b
+    }
+}
+
+/// Lego — blocky excavator: base plate, tracked chassis, cab, boom arm.
+pub fn lego(p: Vec3) -> (f32, Rgb) {
+    let yellow = Rgb::new(0.85, 0.65, 0.08);
+    let grey = Rgb::new(0.35, 0.35, 0.38);
+    let dark = Rgb::new(0.12, 0.12, 0.12);
+    // studded texture on yellow parts
+    let stud = 0.03 * value_noise(p, 14.0);
+
+    let plate = (boxed(p, Vec3::new(0.0, -0.72, 0.0), Vec3::new(0.85, 0.06, 0.85)), grey);
+    let track_l = (rounded_box(p, Vec3::new(-0.42, -0.52, 0.0), Vec3::new(0.16, 0.12, 0.55), 0.04), dark);
+    let track_r = (rounded_box(p, Vec3::new(0.42, -0.52, 0.0), Vec3::new(0.16, 0.12, 0.55), 0.04), dark);
+    let body = (rounded_box(p, Vec3::new(0.0, -0.18, -0.05), Vec3::new(0.38, 0.22, 0.42), 0.03) + stud, yellow);
+    let cab = (rounded_box(p, Vec3::new(-0.1, 0.22, -0.25), Vec3::new(0.2, 0.18, 0.18), 0.02) + stud, yellow);
+    let boom = (capsule(p, Vec3::new(0.05, 0.15, 0.1), Vec3::new(0.25, 0.55, 0.55), 0.09) + stud, yellow);
+    let stick = (capsule(p, Vec3::new(0.25, 0.55, 0.55), Vec3::new(0.15, 0.05, 0.85), 0.06), yellow);
+    let bucket = (boxed(p, Vec3::new(0.15, -0.02, 0.88), Vec3::new(0.16, 0.1, 0.08)), grey);
+
+    [track_l, track_r, body, cab, boom, stick, bucket]
+        .into_iter()
+        .fold(plate, closest)
+}
+
+/// Mic — studio microphone: mesh ball head, short neck, tripod stand.
+pub fn mic(p: Vec3) -> (f32, Rgb) {
+    let mesh = Rgb::new(0.55, 0.55, 0.6);
+    let metal = Rgb::new(0.25, 0.25, 0.28);
+    let accent = Rgb::new(0.7, 0.1, 0.1);
+
+    let head_c = Vec3::new(0.0, 0.45, 0.0);
+    let grille = 0.015 * value_noise(p, 30.0);
+    let head = (sphere(p, head_c, 0.32) + grille, mesh);
+    let band = (torus_xz(p, head_c, 0.32, 0.035), accent);
+    let neck = (capsule(p, Vec3::new(0.0, 0.13, 0.0), Vec3::new(0.0, -0.35, 0.0), 0.05), metal);
+    let hinge = (sphere(p, Vec3::new(0.0, -0.35, 0.0), 0.08), metal);
+    let mut out = [band, neck, hinge].into_iter().fold(head, closest);
+    // three tripod legs
+    for k in 0..3 {
+        let ang = k as f32 * std::f32::consts::TAU / 3.0;
+        let foot = Vec3::new(0.5 * ang.cos(), -0.85, 0.5 * ang.sin());
+        let leg = (capsule(p, Vec3::new(0.0, -0.38, 0.0), foot, 0.035), metal);
+        out = closest(out, leg);
+    }
+    out
+}
+
+/// Ship — hull on a water disk, deck, two masts with yards.
+pub fn ship(p: Vec3) -> (f32, Rgb) {
+    let wood = Rgb::new(0.45, 0.27, 0.12);
+    let sail = Rgb::new(0.85, 0.82, 0.72);
+    let water = Rgb::new(0.1, 0.25, 0.4);
+
+    let waves = 0.02 * value_noise(p, 10.0);
+    let sea = (boxed(p, Vec3::new(0.0, -0.8, 0.0), Vec3::new(0.95, 0.08, 0.95)) + waves, water);
+    // hull: elongated rounded box carved by a sphere from above
+    let hull_core = rounded_box(p, Vec3::new(0.0, -0.52, 0.0), Vec3::new(0.22, 0.16, 0.6), 0.06);
+    let hollow = sphere(p, Vec3::new(0.0, -0.25, 0.0), 0.45);
+    let hull = (subtract(hull_core, hollow) + 0.01 * value_noise(p, 22.0), wood);
+    let deck = (boxed(p, Vec3::new(0.0, -0.42, 0.0), Vec3::new(0.18, 0.02, 0.55)), wood);
+    let mast1 = (capsule(p, Vec3::new(0.0, -0.42, 0.2), Vec3::new(0.0, 0.65, 0.2), 0.035), wood);
+    let mast2 = (capsule(p, Vec3::new(0.0, -0.42, -0.25), Vec3::new(0.0, 0.45, -0.25), 0.03), wood);
+    let sail1 = (boxed(p, Vec3::new(0.0, 0.25, 0.2), Vec3::new(0.3, 0.28, 0.02)), sail);
+    let sail2 = (boxed(p, Vec3::new(0.0, 0.12, -0.25), Vec3::new(0.24, 0.2, 0.02)), sail);
+
+    [hull, deck, mast1, mast2, sail1, sail2].into_iter().fold(sea, closest)
+}
+
+/// Chair — seat, backrest, four legs, two armrests.
+pub fn chair(p: Vec3) -> (f32, Rgb) {
+    let wood = Rgb::new(0.55, 0.35, 0.18);
+    let cushion = Rgb::new(0.65, 0.15, 0.2);
+
+    let seat = (rounded_box(p, Vec3::new(0.0, -0.1, 0.0), Vec3::new(0.42, 0.06, 0.4), 0.03), cushion);
+    let back = (rounded_box(p, Vec3::new(0.0, 0.42, -0.36), Vec3::new(0.4, 0.45, 0.05), 0.03), cushion);
+    let mut out = closest(seat, back);
+    for (sx, sz) in [(-1.0f32, -1.0f32), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0)] {
+        let top = Vec3::new(0.36 * sx, -0.16, 0.34 * sz);
+        let bottom = Vec3::new(0.36 * sx, -0.9, 0.34 * sz);
+        out = closest(out, (capsule(p, top, bottom, 0.045), wood));
+    }
+    for sx in [-1.0f32, 1.0] {
+        let arm = (capsule(p, Vec3::new(0.42 * sx, 0.12, -0.3), Vec3::new(0.42 * sx, 0.12, 0.25), 0.04), wood);
+        out = closest(out, arm);
+    }
+    out
+}
+
+/// Ficus — potted plant: pot, trunk, three branches, noisy foliage blobs.
+pub fn ficus(p: Vec3) -> (f32, Rgb) {
+    let terracotta = Rgb::new(0.6, 0.3, 0.15);
+    let bark = Rgb::new(0.35, 0.22, 0.1);
+    let leaf = Rgb::new(0.12, 0.45, 0.15);
+
+    let pot = (cylinder_y(p, Vec3::new(0.0, -0.75, 0.0), 0.3, 0.2), terracotta);
+    let trunk = (capsule(p, Vec3::new(0.0, -0.6, 0.0), Vec3::new(0.05, 0.1, 0.0), 0.06), bark);
+    let mut out = closest(pot, trunk);
+    let crowns = [
+        (Vec3::new(0.0, 0.45, 0.0), 0.42),
+        (Vec3::new(-0.35, 0.25, 0.15), 0.27),
+        (Vec3::new(0.32, 0.3, -0.2), 0.3),
+    ];
+    for (c, r) in crowns {
+        let branch = (capsule(p, Vec3::new(0.03, 0.0, 0.0), c, 0.035), bark);
+        // strongly perturbed surface → thin-structure foliage
+        let blob = (sphere(p, c, r) + 0.09 * value_noise(p, 16.0), leaf);
+        out = closest(out, closest(branch, blob));
+    }
+    out
+}
+
+/// Hotdog — plate with two buns and a sausage.
+pub fn hotdog(p: Vec3) -> (f32, Rgb) {
+    let plate_c = Rgb::new(0.9, 0.9, 0.92);
+    let bun = Rgb::new(0.85, 0.6, 0.3);
+    let sausage_c = Rgb::new(0.65, 0.2, 0.12);
+
+    let plate = (cylinder_y(p, Vec3::new(0.0, -0.6, 0.0), 0.8, 0.05), plate_c);
+    let bun1 = (capsule(p, Vec3::new(-0.14, -0.45, -0.45), Vec3::new(-0.14, -0.45, 0.45), 0.14), bun);
+    let bun2 = (capsule(p, Vec3::new(0.14, -0.45, -0.45), Vec3::new(0.14, -0.45, 0.45), 0.14), bun);
+    let sausage = (capsule(p, Vec3::new(0.0, -0.34, -0.52), Vec3::new(0.0, -0.34, 0.52), 0.09), sausage_c);
+    [bun1, bun2, sausage].into_iter().fold(plate, closest)
+}
+
+/// Palace — stepped terraces, four corner towers with conical roofs, a dome.
+pub fn palace(p: Vec3) -> (f32, Rgb) {
+    let stone = Rgb::new(0.75, 0.7, 0.6);
+    let roof = Rgb::new(0.5, 0.15, 0.1);
+    let gold = Rgb::new(0.85, 0.7, 0.2);
+
+    let tex = 0.012 * value_noise(p, 24.0);
+    let base = (boxed(p, Vec3::new(0.0, -0.7, 0.0), Vec3::new(0.85, 0.12, 0.85)) + tex, stone);
+    let tier2 = (boxed(p, Vec3::new(0.0, -0.42, 0.0), Vec3::new(0.6, 0.16, 0.6)) + tex, stone);
+    let tier3 = (boxed(p, Vec3::new(0.0, -0.1, 0.0), Vec3::new(0.4, 0.18, 0.4)) + tex, stone);
+    let dome = (sphere(p, Vec3::new(0.0, 0.25, 0.0), 0.3), gold);
+    let mut out = [tier2, tier3, dome].into_iter().fold(base, closest);
+    for (sx, sz) in [(-1.0f32, -1.0f32), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0)] {
+        let c = Vec3::new(0.72 * sx, 0.0, 0.72 * sz);
+        let tower = (cylinder_y(p, c - Vec3::new(0.0, 0.35, 0.0), 0.1, 0.5) + tex, stone);
+        let cap = (cone_y(p, c + Vec3::new(0.0, 0.15, 0.0), 0.14, 0.3), roof);
+        out = closest(out, closest(tower, cap));
+    }
+    out
+}
+
+/// Fountain — basin ring, pedestal, bowl, central jet with noisy water dome.
+pub fn fountain(p: Vec3) -> (f32, Rgb) {
+    let stone = Rgb::new(0.65, 0.65, 0.62);
+    let water = Rgb::new(0.25, 0.45, 0.65);
+
+    let tex = 0.015 * value_noise(p, 18.0);
+    let basin = (torus_xz(p, Vec3::new(0.0, -0.7, 0.0), 0.68, 0.12) + tex, stone);
+    let pool = (cylinder_y(p, Vec3::new(0.0, -0.74, 0.0), 0.64, 0.04) + 0.02 * value_noise(p, 12.0), water);
+    let pedestal = (cylinder_y(p, Vec3::new(0.0, -0.45, 0.0), 0.1, 0.3) + tex, stone);
+    let bowl_core = cylinder_y(p, Vec3::new(0.0, -0.08, 0.0), 0.38, 0.08);
+    let bowl = (subtract(bowl_core, sphere(p, Vec3::new(0.0, 0.06, 0.0), 0.34)) + tex, stone);
+    let jet = (capsule(p, Vec3::new(0.0, -0.1, 0.0), Vec3::new(0.0, 0.55, 0.0), 0.05), water);
+    let spray = (sphere(p, Vec3::new(0.0, 0.55, 0.0), 0.18) + 0.06 * value_noise(p, 20.0), water);
+    [pool, pedestal, bowl, jet, spray].into_iter().fold(basin, closest)
+}
+
+/// Family — four stylized figures of decreasing height on a ground slab.
+pub fn family(p: Vec3) -> (f32, Rgb) {
+    let ground = Rgb::new(0.4, 0.4, 0.38);
+    let coats = [
+        Rgb::new(0.2, 0.3, 0.6),
+        Rgb::new(0.6, 0.25, 0.2),
+        Rgb::new(0.25, 0.5, 0.3),
+        Rgb::new(0.65, 0.55, 0.2),
+    ];
+    let skin = Rgb::new(0.85, 0.68, 0.55);
+
+    let slab = (boxed(p, Vec3::new(0.0, -0.85, 0.0), Vec3::new(0.9, 0.06, 0.5)), ground);
+    let mut out = slab;
+    let xs = [-0.55f32, -0.18, 0.2, 0.55];
+    let heights = [0.75f32, 0.7, 0.45, 0.35];
+    for i in 0..4 {
+        let foot = Vec3::new(xs[i], -0.79, 0.0);
+        let top = foot + Vec3::new(0.0, heights[i], 0.0);
+        let body = (capsule(p, foot, top, 0.1 + 0.02 * (i % 2) as f32), coats[i]);
+        let head = (sphere(p, top + Vec3::new(0.0, 0.09, 0.0), 0.085), skin);
+        out = closest(out, closest(body, head));
+    }
+    out
+}
+
+/// Fox — ellipsoid body, head with two conical ears, bushy tail.
+pub fn fox(p: Vec3) -> (f32, Rgb) {
+    let fur = Rgb::new(0.8, 0.4, 0.1);
+    let belly = Rgb::new(0.9, 0.85, 0.8);
+    let dark = Rgb::new(0.2, 0.12, 0.08);
+
+    let fuzz = 0.025 * value_noise(p, 18.0);
+    // ellipsoid body via anisotropic scaling
+    let q = (p - Vec3::new(0.0, -0.35, 0.0)).hadamard(Vec3::new(1.0, 1.6, 0.8));
+    let body = (q.norm() - 0.42 + fuzz, fur);
+    let chest = (sphere(p, Vec3::new(0.0, -0.35, 0.28), 0.28) + fuzz, belly);
+    let head = (sphere(p, Vec3::new(0.0, 0.15, 0.3), 0.22) + fuzz, fur);
+    let snout = (cone_y(p.hadamard(Vec3::new(1.0, 1.0, -1.0)) + Vec3::new(0.0, 0.1, 0.52), Vec3::ZERO, 0.1, 0.25), dark);
+    let ear_l = (cone_y(p, Vec3::new(-0.12, 0.28, 0.25), 0.08, 0.22), dark);
+    let ear_r = (cone_y(p, Vec3::new(0.12, 0.28, 0.25), 0.08, 0.22), dark);
+    let tail = (capsule(p, Vec3::new(0.0, -0.5, -0.3), Vec3::new(0.15, -0.1, -0.75), 0.14) + fuzz, fur);
+    let tip = (sphere(p, Vec3::new(0.15, -0.1, -0.75), 0.1), belly);
+    let legs = {
+        let mut d = (f32::INFINITY, fur);
+        for (sx, sz) in [(-1.0f32, -1.0f32), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0)] {
+            let top = Vec3::new(0.18 * sx, -0.5, 0.15 * sz);
+            let bottom = Vec3::new(0.18 * sx, -0.85, 0.15 * sz);
+            d = closest(d, (capsule(p, top, bottom, 0.05), dark));
+        }
+        d
+    };
+    [chest, head, snout, ear_l, ear_r, tail, tip, legs].into_iter().fold(body, closest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::SceneField;
+
+    fn all_scenes() -> Vec<SdfScene> {
+        vec![
+            SdfScene::new("lego", lego, 50.0, 0.03),
+            SdfScene::new("mic", mic, 50.0, 0.03),
+            SdfScene::new("ship", ship, 50.0, 0.03),
+            SdfScene::new("chair", chair, 50.0, 0.03),
+            SdfScene::new("ficus", ficus, 50.0, 0.03),
+            SdfScene::new("hotdog", hotdog, 50.0, 0.03),
+            SdfScene::new("palace", palace, 50.0, 0.03),
+            SdfScene::new("fountain", fountain, 50.0, 0.03),
+            SdfScene::new("family", family, 50.0, 0.03),
+            SdfScene::new("fox", fox, 50.0, 0.03),
+        ]
+    }
+
+    #[test]
+    fn every_scene_has_content_and_background() {
+        for s in all_scenes() {
+            let occ = s.occupancy(1.0, 24);
+            assert!(occ > 0.005, "{} is almost empty (occ={occ})", s.name());
+            assert!(occ < 0.6, "{} has too little background (occ={occ})", s.name());
+        }
+    }
+
+    #[test]
+    fn density_zero_outside_bounds() {
+        for s in all_scenes() {
+            assert_eq!(s.density(Vec3::splat(1.5)), 0.0, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn albedo_channels_in_unit_range() {
+        for s in all_scenes() {
+            for i in 0..64 {
+                let p = Vec3::new(
+                    ((i * 7) % 16) as f32 / 8.0 - 1.0,
+                    ((i * 5) % 16) as f32 / 8.0 - 1.0,
+                    ((i * 3) % 16) as f32 / 8.0 - 1.0,
+                );
+                let a = s.albedo(p);
+                assert!(a.r >= 0.0 && a.r <= 1.0);
+                assert!(a.g >= 0.0 && a.g <= 1.0);
+                assert!(a.b >= 0.0 && a.b <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scene_fields_are_deterministic() {
+        for s in all_scenes() {
+            let p = Vec3::new(0.1, -0.2, 0.3);
+            assert_eq!(s.density(p), s.density(p));
+            assert_eq!(s.albedo(p), s.albedo(p));
+        }
+    }
+
+    #[test]
+    fn scenes_are_distinct() {
+        let scenes = all_scenes();
+        // compare coarse density fingerprints pairwise
+        let fingerprint = |s: &SdfScene| -> Vec<bool> {
+            let mut v = Vec::new();
+            for i in 0..6 {
+                for j in 0..6 {
+                    for k in 0..6 {
+                        let p = Vec3::new(
+                            i as f32 / 3.0 - 1.0,
+                            j as f32 / 3.0 - 1.0,
+                            k as f32 / 3.0 - 1.0,
+                        );
+                        v.push(s.density(p) > 1.0);
+                    }
+                }
+            }
+            v
+        };
+        let fps: Vec<_> = scenes.iter().map(fingerprint).collect();
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "{} and {} look identical", scenes[i].name(), scenes[j].name());
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Scene registry: ids, Table-1 metadata, standard cameras.
+
+use crate::procedural;
+use crate::procedural::SdfScene;
+use crate::SceneField;
+use asdr_math::{Camera, Vec3};
+use std::fmt;
+
+/// Identifier for each of the ten evaluation scenes (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum SceneId {
+    Mic,
+    Hotdog,
+    Ship,
+    Chair,
+    Ficus,
+    Lego,
+    Palace,
+    Fountain,
+    Family,
+    Fox,
+}
+
+impl SceneId {
+    /// All scenes in the order the paper lists them in Table 1.
+    pub const ALL: [SceneId; 10] = [
+        SceneId::Mic,
+        SceneId::Hotdog,
+        SceneId::Ship,
+        SceneId::Chair,
+        SceneId::Ficus,
+        SceneId::Lego,
+        SceneId::Palace,
+        SceneId::Fountain,
+        SceneId::Family,
+        SceneId::Fox,
+    ];
+
+    /// The five scenes used by the performance figures (Figs. 17–19, 22,
+    /// 25–27).
+    pub const PERF: [SceneId; 5] =
+        [SceneId::Palace, SceneId::Fountain, SceneId::Family, SceneId::Fox, SceneId::Mic];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SceneId::Mic => "Mic",
+            SceneId::Hotdog => "Hotdog",
+            SceneId::Ship => "Ship",
+            SceneId::Chair => "Chair",
+            SceneId::Ficus => "Ficus",
+            SceneId::Lego => "Lego",
+            SceneId::Palace => "Palace",
+            SceneId::Fountain => "Fountain",
+            SceneId::Family => "Family",
+            SceneId::Fox => "Fox",
+        }
+    }
+
+    /// Parses a case-insensitive scene name.
+    pub fn parse(s: &str) -> Option<SceneId> {
+        SceneId::ALL.iter().copied().find(|id| id.name().eq_ignore_ascii_case(s))
+    }
+}
+
+impl fmt::Display for SceneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Synthetic or real-world capture (Table 1 "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SceneKind {
+    /// Rendered synthetic dataset.
+    Synthetic,
+    /// Real-world photographic capture.
+    RealWorld,
+}
+
+impl fmt::Display for SceneKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SceneKind::Synthetic => f.write_str("Synthetic"),
+            SceneKind::RealWorld => f.write_str("Real World"),
+        }
+    }
+}
+
+/// Per-scene metadata reproducing Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SceneInfo {
+    /// Scene id.
+    pub id: SceneId,
+    /// Source dataset name.
+    pub dataset: &'static str,
+    /// Native evaluation resolution (width, height).
+    pub resolution: (u32, u32),
+    /// Synthetic vs real-world.
+    pub kind: SceneKind,
+}
+
+/// Table-1 metadata for a scene.
+pub fn info(id: SceneId) -> SceneInfo {
+    let (dataset, resolution, kind) = match id {
+        SceneId::Mic | SceneId::Hotdog | SceneId::Ship | SceneId::Chair | SceneId::Ficus | SceneId::Lego => {
+            ("Synthetic-NeRF", (800, 800), SceneKind::Synthetic)
+        }
+        SceneId::Palace => ("Synthetic-NSVF", (800, 800), SceneKind::Synthetic),
+        SceneId::Fountain => ("BlendedMVS", (768, 576), SceneKind::RealWorld),
+        SceneId::Family => ("Tanks&Temples", (1920, 1080), SceneKind::RealWorld),
+        SceneId::Fox => ("Instant-NGP", (1080, 1920), SceneKind::RealWorld),
+    };
+    SceneInfo { id, dataset, resolution, kind }
+}
+
+/// Builds the procedural field for a scene.
+pub fn build(id: SceneId) -> Box<dyn SceneField> {
+    Box::new(build_sdf(id))
+}
+
+/// Builds the concrete [`SdfScene`] (exposes `distance` for tests).
+pub fn build_sdf(id: SceneId) -> SdfScene {
+    let (name, f): (&'static str, fn(Vec3) -> (f32, asdr_math::Rgb)) = match id {
+        SceneId::Lego => ("Lego", procedural::lego),
+        SceneId::Mic => ("Mic", procedural::mic),
+        SceneId::Ship => ("Ship", procedural::ship),
+        SceneId::Chair => ("Chair", procedural::chair),
+        SceneId::Ficus => ("Ficus", procedural::ficus),
+        SceneId::Hotdog => ("Hotdog", procedural::hotdog),
+        SceneId::Palace => ("Palace", procedural::palace),
+        SceneId::Fountain => ("Fountain", procedural::fountain),
+        SceneId::Family => ("Family", procedural::family),
+        SceneId::Fox => ("Fox", procedural::fox),
+    };
+    SdfScene::new(name, f, 50.0, 0.03)
+}
+
+/// The standard evaluation viewpoint for a scene at the requested output
+/// resolution. Azimuth/elevation vary per scene so each has a distinct ray
+/// distribution.
+pub fn standard_camera(id: SceneId, width: u32, height: u32) -> Camera {
+    let (az, el, radius) = match id {
+        SceneId::Lego => (35.0, 25.0, 3.2),
+        SceneId::Mic => (-30.0, 15.0, 3.0),
+        SceneId::Ship => (60.0, 20.0, 3.4),
+        SceneId::Chair => (15.0, 18.0, 3.2),
+        SceneId::Ficus => (-50.0, 12.0, 3.0),
+        SceneId::Hotdog => (0.0, 40.0, 3.2),
+        SceneId::Palace => (45.0, 22.0, 3.6),
+        SceneId::Fountain => (-20.0, 18.0, 3.4),
+        SceneId::Family => (5.0, 10.0, 3.4),
+        SceneId::Fox => (25.0, 8.0, 3.0),
+    };
+    Camera::orbit(Vec3::ZERO, radius, az, el, 42.0, width, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_metadata_matches_paper() {
+        assert_eq!(info(SceneId::Lego).dataset, "Synthetic-NeRF");
+        assert_eq!(info(SceneId::Lego).resolution, (800, 800));
+        assert_eq!(info(SceneId::Palace).dataset, "Synthetic-NSVF");
+        assert_eq!(info(SceneId::Fountain).resolution, (768, 576));
+        assert_eq!(info(SceneId::Family).resolution, (1920, 1080));
+        assert_eq!(info(SceneId::Fox).resolution, (1080, 1920));
+        assert_eq!(info(SceneId::Fox).kind, SceneKind::RealWorld);
+        assert_eq!(info(SceneId::Mic).kind, SceneKind::Synthetic);
+    }
+
+    #[test]
+    fn seven_synthetic_three_real() {
+        let synth = SceneId::ALL.iter().filter(|&&s| info(s).kind == SceneKind::Synthetic).count();
+        assert_eq!(synth, 7);
+        assert_eq!(SceneId::ALL.len() - synth, 3);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for id in SceneId::ALL {
+            assert_eq!(SceneId::parse(id.name()), Some(id));
+            assert_eq!(SceneId::parse(&id.name().to_lowercase()), Some(id));
+        }
+        assert_eq!(SceneId::parse("nonexistent"), None);
+    }
+
+    #[test]
+    fn all_scenes_buildable() {
+        for id in SceneId::ALL {
+            let f = build(id);
+            // camera looks at content: center ray must enter the bounds
+            let cam = standard_camera(id, 16, 16);
+            let ray = cam.ray_for_pixel(8, 8);
+            assert!(f.bounds().intersect(&ray).is_some(), "{id}: camera misses scene");
+        }
+    }
+
+    #[test]
+    fn perf_subset_is_five_distinct() {
+        let mut v = SceneId::PERF.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 5);
+    }
+}

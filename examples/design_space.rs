@@ -1,0 +1,71 @@
+//! Design-space exploration walk-through: how the two algorithm knobs — the
+//! adaptive-sampling threshold δ and the color-decoupling group size n —
+//! trade quality against work (the §6.5 study, interactively).
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use asdr::core::algo::adaptive::AdaptiveConfig;
+use asdr::core::algo::{render, RenderOptions};
+use asdr::math::metrics::psnr;
+use asdr::nerf::{fit, grid::GridConfig};
+use asdr::scenes::gt::render_ground_truth;
+use asdr::scenes::{registry, SceneId};
+
+fn main() {
+    let id = SceneId::Chair;
+    let base_ns = 96;
+    let scene = registry::build_sdf(id);
+    let cam = registry::standard_camera(id, 96, 96);
+    let gt = render_ground_truth(&scene, &cam, 256);
+    let model = fit::fit_ngp(&scene, &GridConfig::small());
+
+    println!("== δ sweep (adaptive sampling) on {id} ==");
+    println!("{:<12} {:>12} {:>12} {:>14}", "delta", "PSNR (dB)", "avg samples", "density evals");
+    let reference = render(&model, &cam, &RenderOptions::instant_ngp(base_ns));
+    println!(
+        "{:<12} {:>12.2} {:>12.1} {:>14}",
+        "off",
+        psnr(&reference.image, &gt),
+        base_ns as f64,
+        reference.stats.total_density()
+    );
+    for delta in [0.0, 1.0 / 2048.0, 1.0 / 512.0, 1.0 / 256.0, 1.0 / 64.0] {
+        let cfg = AdaptiveConfig { delta, ..AdaptiveConfig::for_resolution(base_ns, 96) };
+        let opts = RenderOptions {
+            base_ns,
+            adaptive: Some(cfg),
+            approx_group: 1,
+            early_termination: false,
+        };
+        let out = render(&model, &cam, &opts);
+        println!(
+            "{:<12} {:>12.2} {:>12.1} {:>14}",
+            format!("1/{:.0}", 1.0 / delta.max(1.0 / 65536.0)),
+            psnr(&out.image, &gt),
+            out.plan.average(),
+            out.stats.total_density()
+        );
+    }
+
+    println!("\n== n sweep (color-density decoupling) on {id} ==");
+    println!("{:<6} {:>12} {:>14} {:>16}", "n", "PSNR (dB)", "color evals", "vs full color");
+    for n in [1usize, 2, 3, 4, 6, 8] {
+        let opts = RenderOptions {
+            base_ns,
+            adaptive: None,
+            approx_group: n,
+            early_termination: false,
+        };
+        let out = render(&model, &cam, &opts);
+        println!(
+            "{:<6} {:>12.2} {:>14} {:>15.1}%",
+            n,
+            psnr(&out.image, &gt),
+            out.stats.total_color(),
+            out.stats.total_color() as f64 / reference.stats.total_color() as f64 * 100.0
+        );
+    }
+    println!("\nThe paper picks δ = 1/2048 and n = 2 as the quality-preserving defaults (§6.5).");
+}

@@ -1,0 +1,83 @@
+//! Quickstart: fit a model to a procedural scene, render it with the fixed
+//! Instant-NGP pipeline and with ASDR's optimizations, compare quality and
+//! workload, and simulate both frames on the ASDR-Edge chip.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use asdr::core::algo::{render, RenderOptions};
+use asdr::core::arch::chip::{simulate_chip, ChipOptions};
+use asdr::math::metrics::psnr;
+use asdr::nerf::{fit, grid::GridConfig};
+use asdr::scenes::gt::render_ground_truth;
+use asdr::scenes::{registry, SceneId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scene_id = SceneId::Lego;
+    let base_ns = 96;
+    println!("== ASDR quickstart: {scene_id} ==");
+
+    // 1. the analytic scene stands in for a trained dataset (DESIGN.md §1)
+    let scene = registry::build_sdf(scene_id);
+    let cam = registry::standard_camera(scene_id, 128, 128);
+    println!("rendering analytic ground truth…");
+    let gt = render_ground_truth(&scene, &cam, 256);
+
+    // 2. fit the Instant-NGP model (the offline substitute for training)
+    println!("fitting the hash-grid model…");
+    let model = fit::fit_ngp(&scene, &GridConfig::small());
+
+    // 3. render: fixed sampling vs ASDR (adaptive + color decoupling)
+    println!("rendering…");
+    let ngp = render(&model, &cam, &RenderOptions::instant_ngp(base_ns));
+    let asdr = render(&model, &cam, &RenderOptions::asdr_default(base_ns));
+
+    println!("\nquality (PSNR vs ground truth):");
+    println!("  Instant-NGP : {:.2} dB", psnr(&ngp.image, &gt));
+    println!("  ASDR        : {:.2} dB", psnr(&asdr.image, &gt));
+    println!("  ASDR vs NGP : {:.2} dB (optimization loss alone)", psnr(&asdr.image, &ngp.image));
+
+    println!("\nworkload:");
+    println!("  fixed sampling : {} density evals", ngp.stats.total_density());
+    println!(
+        "  ASDR           : {} density evals, {} color evals ({:.1} avg samples/pixel of {})",
+        asdr.stats.total_density(),
+        asdr.stats.total_color(),
+        asdr.plan.average(),
+        base_ns
+    );
+
+    // 4. chip-level simulation (ASDR-Edge, native ReRAM)
+    let opts = ChipOptions::edge();
+    let perf_ngp = simulate_chip(&model, &cam, &ngp, &opts);
+    let perf_asdr = simulate_chip(&model, &cam, &asdr, &opts);
+    println!("\nASDR-Edge chip simulation:");
+    println!(
+        "  fixed workload : {:.2} ms/frame ({:.0} fps), {:.2} mJ",
+        perf_ngp.time_s * 1e3,
+        perf_ngp.fps,
+        perf_ngp.total_energy_j * 1e3
+    );
+    println!(
+        "  ASDR workload  : {:.2} ms/frame ({:.0} fps), {:.2} mJ  -> {:.2}x speedup",
+        perf_asdr.time_s * 1e3,
+        perf_asdr.fps,
+        perf_asdr.total_energy_j * 1e3,
+        perf_ngp.time_s / perf_asdr.time_s
+    );
+    println!("  register-cache hit rate: {:.1}%", perf_asdr.cache_hit_rate * 100.0);
+
+    // 5. write the images and a model checkpoint for inspection/reuse
+    let dir = std::env::temp_dir().join("asdr_quickstart");
+    std::fs::create_dir_all(&dir)?;
+    gt.write_ppm(dir.join("ground_truth.ppm"))?;
+    ngp.image.write_ppm(dir.join("instant_ngp.ppm"))?;
+    asdr.image.write_ppm(dir.join("asdr.ppm"))?;
+    let ckpt = dir.join("lego.asdr");
+    asdr::nerf::io::save_model_file(&model, &ckpt)?;
+    let reloaded = asdr::nerf::io::load_model_file(&ckpt)?;
+    assert_eq!(reloaded.encoder().config(), model.encoder().config());
+    println!("\nimages + checkpoint written to {} (checkpoint reload verified)", dir.display());
+    Ok(())
+}

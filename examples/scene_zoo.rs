@@ -1,0 +1,48 @@
+//! Scene zoo: renders the procedural stand-ins for all ten evaluation
+//! scenes (ground truth + fitted model + ASDR) and writes PPM images, so the
+//! substitution for the paper's datasets can be inspected visually.
+//!
+//! ```sh
+//! cargo run --release --example scene_zoo [output_dir]
+//! ```
+
+use asdr::core::algo::{render, RenderOptions};
+use asdr::math::metrics::psnr;
+use asdr::nerf::{fit, grid::GridConfig};
+use asdr::scenes::gt::render_ground_truth;
+use asdr::scenes::{registry, SceneId};
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("asdr_scene_zoo"));
+    std::fs::create_dir_all(&dir)?;
+    println!("writing renders to {}", dir.display());
+    println!("{:<10} {:>12} {:>12} {:>12}", "scene", "occupancy", "NGP PSNR", "ASDR PSNR");
+
+    for id in SceneId::ALL {
+        let scene = registry::build_sdf(id);
+        let cam = registry::standard_camera(id, 96, 96);
+        let gt = render_ground_truth(&scene, &cam, 256);
+        let model = fit::fit_ngp(&scene, &GridConfig::small());
+        let ngp = render(&model, &cam, &RenderOptions::instant_ngp(96));
+        let asdr = render(&model, &cam, &RenderOptions::asdr_default(96));
+
+        let name = id.name().to_lowercase();
+        gt.write_ppm(dir.join(format!("{name}_gt.ppm")))?;
+        ngp.image.write_ppm(dir.join(format!("{name}_ngp.ppm")))?;
+        asdr.image.write_ppm(dir.join(format!("{name}_asdr.ppm")))?;
+
+        use asdr::scenes::SceneField;
+        println!(
+            "{:<10} {:>11.1}% {:>11.2} {:>11.2}",
+            id.name(),
+            scene.occupancy(1.0, 16) * 100.0,
+            psnr(&ngp.image, &gt),
+            psnr(&asdr.image, &gt)
+        );
+    }
+    Ok(())
+}

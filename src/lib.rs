@@ -1,0 +1,34 @@
+//! ASDR — a full-stack Rust reproduction of *"ASDR: Exploiting Adaptive
+//! Sampling and Data Reuse for CIM-based Instant Neural Rendering"*
+//! (ASPLOS 2025).
+//!
+//! This façade crate re-exports the workspace's layers:
+//!
+//! * [`math`] — geometry, imaging, quality metrics,
+//! * [`scenes`] — procedural scene fields + ground-truth renderer,
+//! * [`nerf`] — Instant-NGP / TensoRF substrates,
+//! * [`cim`] — ReRAM/SRAM crossbar, systolic array, energy models,
+//! * [`core`] — the ASDR algorithms and chip simulator,
+//! * [`baselines`] — GPU roofline models, NeuRex, Re-NeRF.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour, DESIGN.md for the
+//! system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+//!
+//! ```
+//! use asdr::core::algo::{render, RenderOptions};
+//! use asdr::nerf::{fit, grid::GridConfig};
+//! use asdr::scenes::{registry, SceneId};
+//!
+//! let scene = registry::build_sdf(SceneId::Mic);
+//! let model = fit::fit_ngp(&scene, &GridConfig::tiny());
+//! let cam = registry::standard_camera(SceneId::Mic, 32, 32);
+//! let out = render(&model, &cam, &RenderOptions::asdr_default(48));
+//! assert!(out.stats.planned_points < out.stats.base_points);
+//! ```
+
+pub use asdr_baselines as baselines;
+pub use asdr_cim as cim;
+pub use asdr_core as core;
+pub use asdr_math as math;
+pub use asdr_nerf as nerf;
+pub use asdr_scenes as scenes;

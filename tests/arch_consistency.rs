@@ -1,0 +1,112 @@
+//! Architecture-simulator invariants across configurations and workloads.
+
+use asdr::cim::device::MemTech;
+use asdr::core::algo::{render, RenderOptions};
+use asdr::core::arch::addrgen::{HybridAddressGenerator, MappingMode};
+use asdr::core::arch::chip::{simulate_chip, ChipOptions};
+use asdr::nerf::fit::fit_ngp;
+use asdr::nerf::grid::GridConfig;
+use asdr::nerf::NgpModel;
+use asdr::scenes::{registry, SceneId};
+
+fn setup() -> (NgpModel, asdr::math::Camera) {
+    let scene = registry::build_sdf(SceneId::Lego);
+    let model = fit_ngp(&scene, &GridConfig::tiny());
+    let cam = registry::standard_camera(SceneId::Lego, 32, 32);
+    (model, cam)
+}
+
+#[test]
+fn every_optimization_knob_moves_time_the_right_way() {
+    let (model, cam) = setup();
+    let fixed = render(&model, &cam, &RenderOptions::instant_ngp(48));
+    let asdr = render(&model, &cam, &RenderOptions::asdr_default(48));
+    let optimized = ChipOptions::edge();
+    let strawman = ChipOptions::edge().strawman();
+
+    let t = |out, opts: &ChipOptions| simulate_chip(&model, &cam, out, opts).total_cycles;
+    let straw_fixed = t(&fixed, &strawman);
+    let straw_asdr = t(&asdr, &strawman);
+    let opt_fixed = t(&fixed, &optimized);
+    let opt_asdr = t(&asdr, &optimized);
+    // SW opts help on either chip; HW opts help on either workload
+    assert!(straw_asdr < straw_fixed);
+    assert!(opt_asdr < opt_fixed);
+    assert!(opt_fixed < straw_fixed);
+    assert!(opt_asdr < straw_asdr);
+    // combined is the fastest of all four corners
+    assert!(opt_asdr <= straw_fixed && opt_asdr <= straw_asdr && opt_asdr <= opt_fixed);
+}
+
+#[test]
+fn server_dominates_edge_in_time_but_not_power() {
+    let (model, cam) = setup();
+    let out = render(&model, &cam, &RenderOptions::asdr_default(48));
+    let s = simulate_chip(&model, &cam, &out, &ChipOptions::server());
+    let e = simulate_chip(&model, &cam, &out, &ChipOptions::edge());
+    assert!(s.total_cycles < e.total_cycles);
+    assert!(
+        ChipOptions::server().config.total_power_w() > ChipOptions::edge().config.total_power_w()
+    );
+}
+
+#[test]
+fn hybrid_mapping_dominates_naive_in_utilization_and_conflicts() {
+    let cfg = GridConfig::tiny();
+    let naive = HybridAddressGenerator::new(cfg.clone(), MappingMode::AllHash);
+    let hybrid = HybridAddressGenerator::new(cfg, MappingMode::Hybrid);
+    assert!(hybrid.average_utilization() > naive.average_utilization());
+
+    let (model, cam) = setup();
+    let out = render(&model, &cam, &RenderOptions::instant_ngp(48));
+    let opt_naive = ChipOptions { mapping: MappingMode::AllHash, ..ChipOptions::edge() };
+    let r_naive = simulate_chip(&model, &cam, &out, &opt_naive);
+    let r_hybrid = simulate_chip(&model, &cam, &out, &ChipOptions::edge());
+    assert!(r_hybrid.conflicts_per_point <= r_naive.conflicts_per_point);
+}
+
+#[test]
+fn tech_variants_preserve_functionality_and_order_energy() {
+    let (model, cam) = setup();
+    let out = render(&model, &cam, &RenderOptions::asdr_default(48));
+    let mk = |tech| simulate_chip(&model, &cam, &out, &ChipOptions { tech, ..ChipOptions::server() });
+    let reram = mk(MemTech::Reram);
+    let sram = mk(MemTech::SramCim);
+    let sa = mk(MemTech::SramDigital);
+    assert!(reram.mlp_energy_j < sram.mlp_energy_j);
+    assert!(sram.mlp_energy_j < sa.mlp_energy_j);
+    assert!(reram.mlp_cycles <= sram.mlp_cycles);
+    assert!(sram.mlp_cycles <= sa.mlp_cycles);
+}
+
+#[test]
+fn energy_breakdown_sums_to_total() {
+    let (model, cam) = setup();
+    let out = render(&model, &cam, &RenderOptions::asdr_default(48));
+    let r = simulate_chip(&model, &cam, &out, &ChipOptions::edge());
+    let dynamic = r.encoding_energy_j + r.mlp_energy_j + r.render_energy_j + r.buffer_energy_j
+        + r.dram_energy_j;
+    assert!(r.total_energy_j >= dynamic, "total must include static power");
+    assert!(r.total_energy_j < dynamic + 2.0 * r.time_s * 1.5, "static term bounded by power budget");
+}
+
+#[test]
+fn bigger_trace_stride_changes_little() {
+    // the sampled-trace methodology must be stable under the sampling rate
+    let (model, cam) = setup();
+    let out = render(&model, &cam, &RenderOptions::instant_ngp(48));
+    let dense = simulate_chip(
+        &model,
+        &cam,
+        &out,
+        &ChipOptions { trace_ray_stride: 2, ..ChipOptions::edge() },
+    );
+    let sparse = simulate_chip(
+        &model,
+        &cam,
+        &out,
+        &ChipOptions { trace_ray_stride: 6, ..ChipOptions::edge() },
+    );
+    let rel = (dense.total_cycles - sparse.total_cycles).abs() / dense.total_cycles;
+    assert!(rel < 0.25, "trace sampling unstable: {rel:.3}");
+}

@@ -1,0 +1,83 @@
+//! End-to-end pipeline integration tests: scene → fit → render → quality.
+
+use asdr::core::algo::{render, render_reference, RenderOptions};
+use asdr::math::metrics::{psnr, quality};
+use asdr::nerf::fit::fit_ngp;
+use asdr::nerf::grid::GridConfig;
+use asdr::scenes::gt::render_ground_truth;
+use asdr::scenes::{registry, SceneId};
+
+#[test]
+fn fitted_model_reconstructs_every_scene() {
+    for id in SceneId::ALL {
+        let scene = registry::build_sdf(id);
+        let model = fit_ngp(&scene, &GridConfig::tiny());
+        let cam = registry::standard_camera(id, 32, 32);
+        let gt = render_ground_truth(&scene, &cam, 128);
+        let img = render_reference(&model, &cam, 48);
+        let p = psnr(&img, &gt);
+        assert!(p > 17.0, "{id}: fitted model too far from ground truth ({p:.2} dB)");
+        assert!(img.mean_luminance() > 0.005, "{id}: render is empty");
+    }
+}
+
+#[test]
+fn asdr_pipeline_is_near_lossless_and_cheaper() {
+    let id = SceneId::Hotdog;
+    let scene = registry::build_sdf(id);
+    let model = fit_ngp(&scene, &GridConfig::tiny());
+    let cam = registry::standard_camera(id, 40, 40);
+    let ngp = render(&model, &cam, &RenderOptions::instant_ngp(48));
+    let asdr = render(&model, &cam, &RenderOptions::asdr_default(48));
+    // cheaper on both axes the paper optimizes
+    assert!(asdr.stats.total_density() < ngp.stats.total_density());
+    assert!(asdr.stats.total_color() < ngp.stats.total_color() / 2 + ngp.stats.probe_points);
+    // and close to the unoptimized render
+    let fidelity = psnr(&asdr.image, &ngp.image);
+    assert!(fidelity > 28.0, "optimization loss too large: {fidelity:.2} dB");
+}
+
+#[test]
+fn rendering_is_deterministic_across_runs() {
+    let id = SceneId::Mic;
+    let scene = registry::build_sdf(id);
+    let model_a = fit_ngp(&scene, &GridConfig::tiny());
+    let model_b = fit_ngp(&scene, &GridConfig::tiny());
+    let cam = registry::standard_camera(id, 24, 24);
+    let a = render(&model_a, &cam, &RenderOptions::asdr_default(48));
+    let b = render(&model_b, &cam, &RenderOptions::asdr_default(48));
+    assert_eq!(a.image, b.image, "fit + render must be bit-reproducible");
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn quality_metrics_agree_on_ordering() {
+    // PSNR, SSIM and the LPIPS proxy must agree about which render is better
+    let id = SceneId::Chair;
+    let scene = registry::build_sdf(id);
+    let model = fit_ngp(&scene, &GridConfig::tiny());
+    let cam = registry::standard_camera(id, 32, 32);
+    let gt = render_ground_truth(&scene, &cam, 128);
+    let good = render_reference(&model, &cam, 48);
+    let bad = render_reference(&model, &cam, 4); // drastic undersampling
+    let q_good = quality(&good, &gt);
+    let q_bad = quality(&bad, &gt);
+    assert!(q_good.psnr > q_bad.psnr);
+    assert!(q_good.ssim > q_bad.ssim);
+    assert!(q_good.lpips < q_bad.lpips);
+}
+
+#[test]
+fn early_termination_is_lossless_on_opaque_content() {
+    let id = SceneId::Palace;
+    let scene = registry::build_sdf(id);
+    let model = fit_ngp(&scene, &GridConfig::tiny());
+    let cam = registry::standard_camera(id, 32, 32);
+    let mut et_opts = RenderOptions::instant_ngp(48);
+    et_opts.early_termination = true;
+    let base = render(&model, &cam, &RenderOptions::instant_ngp(48));
+    let et = render(&model, &cam, &et_opts);
+    assert!(et.stats.density_points < base.stats.density_points, "ET saved nothing");
+    let p = psnr(&et.image, &base.image);
+    assert!(p > 45.0, "ET must be visually lossless: {p:.2} dB");
+}

@@ -1,0 +1,59 @@
+//! Smoke test of the full experiment harness at tiny scale: every table and
+//! figure generator must run and produce shape-correct output.
+
+use asdr_bench::experiments::*;
+use asdr_bench::{Harness, Scale};
+use asdr::scenes::SceneId;
+
+#[test]
+fn every_experiment_runs_at_tiny_scale() {
+    let mut h = Harness::new(Scale::Tiny);
+
+    let t1 = tables::run_table1(&mut h);
+    assert_eq!(t1.len(), 10);
+    let t2 = tables::run_table2();
+    assert_eq!(t2.len(), 2);
+
+    let f4 = motivation::run_fig4(&mut h);
+    assert!(f4.mean_stride > 0.0);
+    let f5 = motivation::run_fig5(&mut h);
+    assert!(f5.color > 50.0);
+    let f13 = motivation::run_fig13(&mut h);
+    assert!(f13.hybrid_avg > f13.naive_avg);
+
+    let q = quality::run_fig16(&mut h, &[SceneId::Mic]);
+    assert_eq!(q.len(), 1);
+    assert!(q[0].instant_ngp.psnr.is_finite());
+
+    let perf = performance::run_perf(&mut h, &[SceneId::Mic]);
+    assert!(perf[0].asdr_server.fps > 0.0);
+
+    let f20 = ablation::run_fig20(&mut h, &[SceneId::Mic]);
+    assert!(f20[0].full >= f20[0].strawman);
+
+    let f21a = dse::run_fig21a(&mut h, SceneId::Mic, &[1.0 / 2048.0]);
+    assert_eq!(f21a.len(), 2);
+    let f22 = dse::run_fig22(&mut h, SceneId::Mic, &[0, 8]);
+    assert!(f22[1].speedup >= 1.0);
+
+    let f24 = gpu_sw::run_fig24(&mut h, &[SceneId::Mic]);
+    assert!(f24[0].as_ra >= 1.0);
+
+    let f25 = tensorf_exp::run_fig25(&mut h, &[SceneId::Mic]);
+    assert!(f25[0].asdr_arch_speedup > 1.0);
+
+    let hw = hwconfig::run_hwconfig(&mut h, &[SceneId::Mic], false);
+    assert!(hw[0].reram_speedup > 1.0);
+}
+
+#[test]
+fn printers_do_not_panic() {
+    let mut h = Harness::new(Scale::Tiny);
+    tables::print_table1(&tables::run_table1(&mut h));
+    tables::print_table2(&tables::run_table2());
+    motivation::print_fig5(&motivation::run_fig5(&mut h));
+    motivation::print_fig13(&motivation::run_fig13(&mut h));
+    let q = quality::run_fig16(&mut h, &[SceneId::Mic]);
+    quality::print_fig16(&q);
+    quality::print_table3(&q);
+}
