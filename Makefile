@@ -1,0 +1,34 @@
+# Local entry points, kept identical to .github/workflows/ci.yml and the
+# justfile (use whichever runner you have; the recipes are the same).
+
+.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke ci
+
+# Tier-1 gate: what must stay green on every commit.
+verify:
+	cargo build --release
+	cargo test -q
+
+# The seven layer crates' own suites (tier-1 covers only the root package).
+test-crates:
+	cargo test --workspace --exclude asdr -q
+
+fmt:
+	cargo fmt --all
+
+fmt-check:
+	cargo fmt --all --check
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+# Compile-check everything that is not exercised by `cargo test`, so benches
+# and examples can never silently rot.
+check-extras:
+	cargo build --workspace --benches --examples
+
+# A fast taste of the wall-clock benchmarks.
+bench-smoke:
+	cargo bench -p asdr_bench --bench adaptive --bench regcache
+
+# Everything CI runs, in one shot.
+ci: fmt-check clippy verify test-crates check-extras

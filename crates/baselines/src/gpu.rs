@@ -115,7 +115,13 @@ fn encoding_bytes_per_point(levels: usize, feat_dim: usize) -> f64 {
 
 /// Simulates one frame on `spec` given renderer statistics and the model's
 /// per-point stage FLOPs.
-pub fn simulate_gpu<M: RadianceModel>(spec: &GpuSpec, model: &M, stats: &RenderStats, levels: usize, feat_dim: usize) -> GpuPerf {
+pub fn simulate_gpu<M: RadianceModel>(
+    spec: &GpuSpec,
+    model: &M,
+    stats: &RenderStats,
+    levels: usize,
+    feat_dim: usize,
+) -> GpuPerf {
     spec.validate().expect("invalid GPU spec");
     let (enc_flops, den_flops, col_flops) = model.stage_flops();
     let density_execs = stats.total_density() as f64;
@@ -169,8 +175,10 @@ mod tests {
         let (model, cam) = setup();
         let out = render(&model, &cam, &RenderOptions::instant_ngp(32));
         let cfg = model.encoder().config();
-        let desktop = simulate_gpu(&GpuSpec::rtx3070(), &model, &out.stats, cfg.levels, cfg.feat_dim);
-        let edge = simulate_gpu(&GpuSpec::xavier_nx(), &model, &out.stats, cfg.levels, cfg.feat_dim);
+        let desktop =
+            simulate_gpu(&GpuSpec::rtx3070(), &model, &out.stats, cfg.levels, cfg.feat_dim);
+        let edge =
+            simulate_gpu(&GpuSpec::xavier_nx(), &model, &out.stats, cfg.levels, cfg.feat_dim);
         // at the tiny test scale the fixed frame overhead blunts the ratio
         assert!(edge.total_s > 2.5 * desktop.total_s, "{} vs {}", edge.total_s, desktop.total_s);
     }

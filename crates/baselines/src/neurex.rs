@@ -91,7 +91,11 @@ impl NeurexPerf {
 /// full-color* render (NeuRex implements none of ASDR's algorithm
 /// optimizations, though it does use early termination like the reference
 /// CUDA code).
-pub fn simulate_neurex(model: &NgpModel, stats: &RenderStats, variant: NeurexVariant) -> NeurexPerf {
+pub fn simulate_neurex(
+    model: &NgpModel,
+    stats: &RenderStats,
+    variant: NeurexVariant,
+) -> NeurexPerf {
     let cfg = model.encoder().config();
     let points = stats.total_encoded() as f64;
     // encoding: 8 lookups × levels per point over the banked grid buffer,
@@ -101,8 +105,7 @@ pub fn simulate_neurex(model: &NgpModel, stats: &RenderStats, variant: NeurexVar
         + points * accesses_per_point * variant.miss_rate() * MISS_PENALTY_CYCLES
             / variant.encoder_banks() as f64;
     // MLP: dense digital MACs
-    let macs_per_point =
-        (model.density_mlp().macs() + model.color_mlp().macs()) as f64;
+    let macs_per_point = (model.density_mlp().macs() + model.color_mlp().macs()) as f64;
     let mlp_cycles = points * macs_per_point / variant.macs_per_cycle() as f64;
     let encoding_s = enc_cycles / NEUREX_CLOCK_HZ;
     let mlp_s = mlp_cycles / NEUREX_CLOCK_HZ;
@@ -119,7 +122,7 @@ pub fn simulate_neurex(model: &NgpModel, stats: &RenderStats, variant: NeurexVar
 ///
 /// Panics if `bits` is 0 or > 16.
 pub fn quantize_model_features(model: &NgpModel, bits: u32) -> NgpModel {
-    assert!(bits >= 1 && bits <= 16, "bits out of range");
+    assert!((1..=16).contains(&bits), "bits out of range");
     let mut out = model.clone();
     let levels = out.encoder().config().levels;
     let q_levels = ((1u32 << (bits - 1)) - 1).max(1) as f32;

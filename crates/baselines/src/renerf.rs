@@ -24,7 +24,12 @@ pub const RENERF_FEATURE_BITS: u32 = 4;
 /// # Panics
 ///
 /// Panics if `reduction == 0` or it does not divide `base_ns`.
-pub fn render_renerf(model: &NgpModel, cam: &Camera, base_ns: usize, reduction: usize) -> RenderOutput {
+pub fn render_renerf(
+    model: &NgpModel,
+    cam: &Camera,
+    base_ns: usize,
+    reduction: usize,
+) -> RenderOutput {
     assert!(reduction > 0, "reduction must be positive");
     assert_eq!(base_ns % reduction, 0, "reduction must divide base_ns");
     let compressed = quantize_model_features(model, RENERF_FEATURE_BITS);

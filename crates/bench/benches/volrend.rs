@@ -1,6 +1,8 @@
 //! Wall-clock benchmark of the volume-rendering (Eq. 1) kernels.
 
-use asdr_core::algo::volrend::{composite, composite_early_term, composite_subsampled, SamplePoint};
+use asdr_core::algo::volrend::{
+    composite, composite_early_term, composite_subsampled, SamplePoint,
+};
 use asdr_math::Rgb;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 

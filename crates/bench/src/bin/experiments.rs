@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! experiments <id>... [--scale tiny|small|paper]
-//! ids: table1 table2 fig4 fig5 fig8 fig13 fig15 fig16 table3 fig17 fig18
-//!      fig19 fig20 fig21 fig22 fig23 fig24 fig25 table4 fig26 fig27
-//!      quality perf all debug
+//! ids: every paper table/figure plus `quality`, `perf`, `precision`,
+//!      `debug`, and `all` — run `experiments --help` for the full list
+//!      (kept in [`KNOWN_IDS`])
 //! ```
 
 use asdr_bench::experiments::*;
@@ -12,6 +12,40 @@ use asdr_bench::{Harness, Scale};
 use asdr_core::algo::{render, RenderOptions};
 use asdr_core::arch::chip::{simulate_chip, ChipOptions};
 use asdr_scenes::SceneId;
+
+/// Every id `run_one` accepts, so arguments can be validated up front
+/// (a typo must not abort a multi-hour run halfway through).
+const KNOWN_IDS: [&str; 29] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig13",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "fig24",
+    "fig25",
+    "fig26",
+    "fig27",
+    "quality",
+    "perf",
+    "precision",
+    "debug",
+    "all",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +74,9 @@ fn main() {
         print_usage();
         std::process::exit(2);
     }
+    if let Some(bad) = ids.iter().find(|id| !KNOWN_IDS.contains(&id.as_str())) {
+        die(&format!("unknown experiment id: {bad} (see --help)"));
+    }
     let mut h = Harness::new(scale);
     println!("# ASDR experiments (scale: {scale:?})");
     for id in &ids {
@@ -53,12 +90,11 @@ fn die(msg: &str) -> ! {
 }
 
 fn print_usage() {
-    println!(
-        "usage: experiments <id>... [--scale tiny|small|paper]\n\
-         ids: table1 table2 fig4 fig5 fig7 fig8 fig9 fig13 fig15 fig16 table3 fig17\n\
-         \x20    fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 table4 fig26 fig27\n\
-         \x20    quality perf all debug"
-    );
+    println!("usage: experiments <id>... [--scale tiny|small|paper]");
+    println!("ids:");
+    for chunk in KNOWN_IDS.chunks(12) {
+        println!("    {}", chunk.join(" "));
+    }
 }
 
 fn run_one(h: &mut Harness, id: &str) {
@@ -80,11 +116,8 @@ fn run_one(h: &mut Harness, id: &str) {
         "fig16" | "table3" | "quality" => {
             let rows = quality::run_fig16(h, &SceneId::ALL);
             quality::print_fig16(&rows);
-            let t3: Vec<_> = rows
-                .iter()
-                .filter(|r| quality::TABLE3_SCENES.contains(&r.id))
-                .cloned()
-                .collect();
+            let t3: Vec<_> =
+                rows.iter().filter(|r| quality::TABLE3_SCENES.contains(&r.id)).cloned().collect();
             quality::print_table3(&t3);
         }
         "fig17" | "fig18" | "fig19" | "perf" => {
@@ -137,14 +170,35 @@ fn run_one(h: &mut Harness, id: &str) {
         "debug" => debug_stage_cycles(h),
         "all" => {
             for id in [
-                "table1", "table2", "fig4", "fig5", "fig7", "fig8", "fig9", "fig13", "fig15",
-                "quality", "perf", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
-                "table4", "table5", "fig26", "precision",
+                "table1",
+                "table2",
+                "fig4",
+                "fig5",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig13",
+                "fig15",
+                "quality",
+                "perf",
+                "fig20",
+                "fig21",
+                "fig22",
+                "fig23",
+                "fig24",
+                "fig25",
+                "table4",
+                "table5",
+                "fig26",
+                "precision",
             ] {
                 run_one(h, id);
             }
         }
-        other => eprintln!("unknown experiment id: {other} (see --help)"),
+        other => {
+            eprintln!("unknown experiment id: {other} (see --help)");
+            std::process::exit(2);
+        }
     }
 }
 

@@ -34,7 +34,13 @@ pub fn run_fig20(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig20Row> {
             let cfg = model.encoder().config().clone();
             let fixed = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
             let asdr = render(&*model, &cam, &asdr_opts);
-            let gpu = simulate_gpu(&GpuSpec::xavier_nx(), &*model, &fixed.stats, cfg.levels, cfg.feat_dim);
+            let gpu = simulate_gpu(
+                &GpuSpec::xavier_nx(),
+                &*model,
+                &fixed.stats,
+                cfg.levels,
+                cfg.feat_dim,
+            );
             let edge = ChipOptions::edge();
             let straw_opts = ChipOptions::edge().strawman();
             let strawman = simulate_chip(&model, &cam, &fixed, &straw_opts);
@@ -57,13 +63,7 @@ pub fn print_fig20(rows: &[Fig20Row]) {
     println!("\nFig. 20: Contribution analysis (speedup over Xavier NX, edge config)");
     print_header(&["Scene", "Strawman", "SW only", "HW only", "ASDR (SW+HW)"]);
     for r in rows {
-        print_row(&[
-            r.id.to_string(),
-            fmt_x(r.strawman),
-            fmt_x(r.sw),
-            fmt_x(r.hw),
-            fmt_x(r.full),
-        ]);
+        print_row(&[r.id.to_string(), fmt_x(r.strawman), fmt_x(r.sw), fmt_x(r.hw), fmt_x(r.full)]);
     }
     println!("(paper, Family: strawman 2.49x -> SW 12.86x / HW 10.60x -> full 44.31x)");
 }
@@ -125,12 +125,7 @@ pub fn print_fig23(rows: &[Fig23Row]) {
         print_row(&[r.id.to_string(), fmt_x(r.et), fmt_x(r.as_only), fmt_x(r.et_as)]);
     }
     let n = rows.len() as f64;
-    print_row(&[
-        "Average".into(),
-        fmt_x(acc[0] / n),
-        fmt_x(acc[1] / n),
-        fmt_x(acc[2] / n),
-    ]);
+    print_row(&["Average".into(), fmt_x(acc[0] / n), fmt_x(acc[1] / n), fmt_x(acc[2] / n)]);
     println!("(paper averages: ET 3.67x, AS 4.40x, ET+AS 11.07x)");
 }
 

@@ -43,11 +43,8 @@ pub fn run_fig21a(h: &mut Harness, id: SceneId, deltas: &[f32]) -> Vec<DeltaPoin
     }];
     let probe = AdaptiveConfig::for_resolution(base_ns, h.scale().resolution()).probe_stride;
     for &d in deltas {
-        let cfg = AdaptiveConfig {
-            delta: d,
-            probe_stride: probe,
-            ..AdaptiveConfig::paper(base_ns)
-        };
+        let cfg =
+            AdaptiveConfig { delta: d, probe_stride: probe, ..AdaptiveConfig::paper(base_ns) };
         let out = render_with(Some(cfg));
         let t = simulate_chip(&model, &cam, &out, &chip).time_s;
         points.push(DeltaPoint {
@@ -67,8 +64,13 @@ pub fn print_fig21a(id: SceneId, points: &[DeltaPoint]) {
     for p in points {
         let name = match p.delta {
             None => "no AS".to_string(),
-            Some(d) if d == 0.0 => "0".to_string(),
-            Some(d) => format!("1/{:.0}", 1.0 / d),
+            Some(d) => {
+                if d == 0.0 {
+                    "0".to_string()
+                } else {
+                    format!("1/{:.0}", 1.0 / d)
+                }
+            }
         };
         print_row(&[
             name,
@@ -99,7 +101,8 @@ pub fn run_fig21b(h: &mut Harness, id: SceneId, ns: &[usize]) -> Vec<GroupPoint>
     let gt = h.ground_truth(id);
     let chip = ChipOptions::edge();
     let run_n = |n: usize| {
-        let opts = RenderOptions { base_ns, adaptive: None, approx_group: n, early_termination: false };
+        let opts =
+            RenderOptions { base_ns, adaptive: None, approx_group: n, early_termination: false };
         let out = render(&*model, &cam, &opts);
         let e = simulate_chip(&model, &cam, &out, &chip).total_energy_j;
         (e, psnr(&out.image, &gt))

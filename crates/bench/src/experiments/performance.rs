@@ -41,8 +41,20 @@ pub fn run_perf(h: &mut Harness, scenes: &[SceneId]) -> Vec<ScenePerf> {
             let asdr = render(&*model, &cam, &asdr_opts);
             ScenePerf {
                 id,
-                gpu_server: simulate_gpu(&GpuSpec::rtx3070(), &*model, &baseline.stats, cfg.levels, cfg.feat_dim),
-                gpu_edge: simulate_gpu(&GpuSpec::xavier_nx(), &*model, &baseline.stats, cfg.levels, cfg.feat_dim),
+                gpu_server: simulate_gpu(
+                    &GpuSpec::rtx3070(),
+                    &*model,
+                    &baseline.stats,
+                    cfg.levels,
+                    cfg.feat_dim,
+                ),
+                gpu_edge: simulate_gpu(
+                    &GpuSpec::xavier_nx(),
+                    &*model,
+                    &baseline.stats,
+                    cfg.levels,
+                    cfg.feat_dim,
+                ),
                 neurex_server: simulate_neurex(&model, &baseline.stats, NeurexVariant::Server),
                 neurex_edge: simulate_neurex(&model, &baseline.stats, NeurexVariant::Edge),
                 asdr_server: simulate_chip(&model, &cam, &asdr, &ChipOptions::server()),

@@ -120,10 +120,7 @@ mod tests {
     fn device_accuracy_improves_with_adc_bits_and_degrades_with_noise() {
         let pts = run_device_accuracy(&[4, 6, 8], &[0.0, 0.1]);
         let err = |adc: u32, sigma: f64| {
-            pts.iter()
-                .find(|p| p.adc_bits == adc && p.noise_sigma == sigma)
-                .unwrap()
-                .rel_rms_error
+            pts.iter().find(|p| p.adc_bits == adc && p.noise_sigma == sigma).unwrap().rel_rms_error
         };
         assert!(err(8, 0.0) < err(4, 0.0));
         assert!(err(6, 0.1) > err(6, 0.0));

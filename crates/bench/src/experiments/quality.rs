@@ -59,9 +59,10 @@ pub fn run_fig16(h: &mut Harness, scenes: &[SceneId]) -> Vec<QualityRow> {
             let cam = h.camera(id);
             let gt = h.ground_truth(id);
             let ngp_img = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
-            let renerf_img = render_renerf(&*model, &cam, base_ns, 2).image;
+            let renerf_img = render_renerf(&model, &cam, base_ns, 2).image;
             let neurex_model = quantize_model_features(&model, NEUREX_EFFECTIVE_BITS);
-            let neurex_img = render(&neurex_model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
+            let neurex_img =
+                render(&neurex_model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
             let asdr_out = render(&*model, &cam, &asdr_opts);
             QualityRow {
                 id,
@@ -81,7 +82,15 @@ pub fn run_fig16(h: &mut Harness, scenes: &[SceneId]) -> Vec<QualityRow> {
 /// Prints Fig. 16 (PSNR columns plus the fidelity-vs-NGP contrast).
 pub fn print_fig16(rows: &[QualityRow]) {
     println!("\nFig. 16: Rendering quality comparison (PSNR dB vs ground truth)");
-    print_header(&["Scene", "InstNGP", "Re-NeRF", "NeuRex", "ASDR", "dPSNR(ASDR-NGP)", "avg samples"]);
+    print_header(&[
+        "Scene",
+        "InstNGP",
+        "Re-NeRF",
+        "NeuRex",
+        "ASDR",
+        "dPSNR(ASDR-NGP)",
+        "avg samples",
+    ]);
     print_fig16_gt_rows(rows);
     println!("\nFidelity vs the Instant-NGP render (higher = less optimization loss):");
     print_header(&["Scene", "Re-NeRF", "NeuRex", "ASDR"]);

@@ -119,7 +119,15 @@ pub fn run_table4(h: &mut Harness, scenes: &[SceneId]) -> Vec<Table4Row> {
 /// Prints Table 4.
 pub fn print_table4(rows: &[Table4Row]) {
     println!("\nTable 4: TensoRF rendering quality (vs ground truth)");
-    print_header(&["Scene", "PSNR TensoRF", "PSNR ASDR", "SSIM TensoRF", "SSIM ASDR", "LPIPS TensoRF", "LPIPS ASDR"]);
+    print_header(&[
+        "Scene",
+        "PSNR TensoRF",
+        "PSNR ASDR",
+        "SSIM TensoRF",
+        "SSIM ASDR",
+        "LPIPS TensoRF",
+        "LPIPS ASDR",
+    ]);
     let mut acc = [0.0f64; 6];
     for r in rows {
         acc[0] += r.tensorf.psnr;

@@ -147,7 +147,9 @@ pub fn print_fig9(r: &Fig9Result) {
         format!("{:.2}", r.approx_psnr),
         format!("{:.0}% color MLP", r.approx_color_frac * 100.0),
     ]);
-    println!("(paper, Lego: 35.01 / 33.32 / 35.03 dB — the approximation is ~1.7 dB better than naive)");
+    println!(
+        "(paper, Lego: 35.01 / 33.32 / 35.03 dB — the approximation is ~1.7 dB better than naive)"
+    );
 }
 
 #[cfg(test)]

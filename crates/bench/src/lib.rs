@@ -106,7 +106,12 @@ pub struct Harness {
 impl Harness {
     /// Creates an empty harness at the given scale.
     pub fn new(scale: Scale) -> Self {
-        Harness { scale, models: HashMap::new(), tensorf_models: HashMap::new(), gts: HashMap::new() }
+        Harness {
+            scale,
+            models: HashMap::new(),
+            tensorf_models: HashMap::new(),
+            gts: HashMap::new(),
+        }
     }
 
     /// The harness scale.

@@ -88,14 +88,11 @@ mod tests {
 
     #[test]
     fn hierarchy_ordering_enforced() {
-        let mut t = EnergyTable::default();
-        t.reg_cache_access_pj = 10.0;
+        let t = EnergyTable { reg_cache_access_pj: 10.0, ..EnergyTable::default() };
         assert!(t.validate().is_err());
-        let mut t = EnergyTable::default();
-        t.dram_access_pj_per_byte = 0.1;
+        let t = EnergyTable { dram_access_pj_per_byte: 0.1, ..EnergyTable::default() };
         assert!(t.validate().is_err());
-        let mut t = EnergyTable::default();
-        t.adc_conversion_pj = -1.0;
+        let t = EnergyTable { adc_conversion_pj: -1.0, ..EnergyTable::default() };
         assert!(t.validate().is_err());
     }
 

@@ -30,7 +30,14 @@ impl XbarGeometry {
     /// The paper's configuration: 64×64, 5-bit ADC, 8-bit inputs/weights,
     /// SLC cells.
     pub fn paper() -> Self {
-        XbarGeometry { rows: 64, cols: 64, adc_bits: 5, input_bits: 8, weight_bits: 8, bits_per_cell: 1 }
+        XbarGeometry {
+            rows: 64,
+            cols: 64,
+            adc_bits: 5,
+            input_bits: 8,
+            weight_bits: 8,
+            bits_per_cell: 1,
+        }
     }
 
     /// Physical columns one logical weight occupies.
@@ -75,7 +82,13 @@ impl XbarGeometry {
     }
 
     /// Energy (pJ) of one MVM over an `out_dim × in_dim` matrix.
-    pub fn mvm_energy_pj(&self, out_dim: usize, in_dim: usize, tech: MemTech, e: &EnergyTable) -> f64 {
+    pub fn mvm_energy_pj(
+        &self,
+        out_dim: usize,
+        in_dim: usize,
+        tech: MemTech,
+        e: &EnergyTable,
+    ) -> f64 {
         let adcs = self.adc_conversions(out_dim, in_dim) as f64;
         let dacs = (in_dim as u64 * self.input_bits as u64) as f64;
         let array = self.xbars_for(out_dim, in_dim) as f64 * self.input_bits as f64;
@@ -147,8 +160,8 @@ impl XbarGeometry {
             // exact digital offset correction:
             // Σ(w'−W)(x'−X) = Σw'x' − X·Σw' − W·Σx' + n·W·X
             let sum_wq: i64 = wrow.iter().sum();
-            let corrected = analog - x_half * sum_wq - w_half * sum_xq
-                + in_dim as i64 * w_half * x_half;
+            let corrected =
+                analog - x_half * sum_wq - w_half * sum_xq + in_dim as i64 * w_half * x_half;
             *out_v = corrected as f32 * scale;
         }
         out
@@ -305,11 +318,7 @@ mod tests {
         let x: Vec<f32> = (0..in_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let exact = lo.mvm_exact(&w, &x, out_dim);
         let err = |g: &XbarGeometry| -> f32 {
-            g.mvm_quantized(&w, &x, out_dim)
-                .iter()
-                .zip(&exact)
-                .map(|(q, e)| (q - e).abs())
-                .sum()
+            g.mvm_quantized(&w, &x, out_dim).iter().zip(&exact).map(|(q, e)| (q - e).abs()).sum()
         };
         assert!(err(&hi) <= err(&lo), "more ADC bits must not hurt: {} vs {}", err(&hi), err(&lo));
     }
@@ -329,9 +338,8 @@ mod tests {
         let b = g.mvm_quantized_noisy(&w, &x, out_dim, 0.05, 7);
         assert_eq!(a, b);
         // more noise → larger deviation (on average)
-        let dev = |ys: &[f32]| -> f32 {
-            ys.iter().zip(&clean).map(|(y, c)| (y - c).abs()).sum::<f32>()
-        };
+        let dev =
+            |ys: &[f32]| -> f32 { ys.iter().zip(&clean).map(|(y, c)| (y - c).abs()).sum::<f32>() };
         let lo = dev(&g.mvm_quantized_noisy(&w, &x, out_dim, 0.01, 3));
         let hi = dev(&g.mvm_quantized_noisy(&w, &x, out_dim, 0.2, 3));
         assert!(hi > lo, "noise should scale: {hi} vs {lo}");

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset the ASDR benches use — [`black_box`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark is timed with a short calibration pass followed by
+//! fixed-count measurement batches; the mean, min, and max per-iteration
+//! wall-clock times are printed. There is no statistical analysis, no
+//! comparison with saved baselines, and no HTML report.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+/// Number of measurement batches reported.
+const BATCHES: u32 = 10;
+
+/// Entry point handed to benchmark functions, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Registers and immediately runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and immediately runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores the sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores the measurement time.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Closes the group. No-op in the shim.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_batch: u64,
+    batch_times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing its result from being optimised away.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(routine());
+            }
+            self.batch_times.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    // Calibrate: find an iteration count whose batch lasts a measurable slice
+    // of the target budget.
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        let mut b = Bencher { iters_per_batch: iters, batch_times: Vec::new() };
+        // The routine runs BATCHES batches; use the calibration run directly
+        // once it is long enough.
+        f(&mut b);
+        let elapsed = start.elapsed();
+        if b.batch_times.is_empty() {
+            println!("{name:<48} (no iterations recorded)");
+            return;
+        }
+        if elapsed >= MEASURE_TARGET || iters >= 1 << 24 {
+            report(name, iters, &b.batch_times);
+            return;
+        }
+        let grow = (MEASURE_TARGET.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 128);
+        iters = iters.saturating_mul(grow as u64);
+    }
+}
+
+fn report(name: &str, iters: u64, batches: &[Duration]) {
+    let per_iter: Vec<f64> = batches.iter().map(|d| d.as_nanos() as f64 / iters as f64).collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("{name:<48} time: [{} {} {}]", fmt_ns(min), fmt_ns(mean), fmt_ns(max));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the ASDR property tests use: the [`proptest!`]
+//! macro, `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//! `prop_assume!`, the [`strategy::Strategy`] trait with `prop_map`, range
+//! and tuple strategies, [`collection::vec`], [`collection::hash_set`] and
+//! [`array::uniform4`] / [`array::uniform8`].
+//!
+//! Each `#[test]` runs a fixed number of deterministic cases seeded from the
+//! test name, and failures report the generated inputs. Unlike the real
+//! proptest there is no shrinking and no persisted failure file.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies producing fixed-size arrays.
+pub mod array {
+    use crate::strategy::{Strategy, UniformArray};
+
+    /// Strategy for `[S::Value; 4]` drawing each element from `strategy`.
+    pub fn uniform4<S: Strategy + Clone>(strategy: S) -> UniformArray<S, 4> {
+        UniformArray::new(strategy)
+    }
+
+    /// Strategy for `[S::Value; 8]` drawing each element from `strategy`.
+    pub fn uniform8<S: Strategy + Clone>(strategy: S) -> UniformArray<S, 8> {
+        UniformArray::new(strategy)
+    }
+}
+
+/// Strategies producing collections.
+pub mod collection {
+    use crate::strategy::{HashSetStrategy, SizeRange, Strategy, VecStrategy};
+    use std::hash::Hash;
+
+    /// Strategy for a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        VecStrategy::new(element, size.pick_bounds())
+    }
+
+    /// Strategy for a `HashSet` with a target size drawn from `size`.
+    ///
+    /// Element generation retries on duplicates; if the element domain is
+    /// too small to reach the target size the set is returned smaller (the
+    /// real proptest rejects instead, which no test here relies on).
+    pub fn hash_set<S>(element: S, size: impl SizeRange) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy::new(element, size.pick_bounds())
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property-based tests.
+///
+/// ```text
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            const CASES: u32 = 96;
+            let mut accepted = 0u32;
+            let mut rejected = 0u32;
+            let mut case_index: u64 = 0;
+            while accepted < CASES {
+                assert!(
+                    rejected < CASES * 32,
+                    "proptest: too many prop_assume! rejections in {}",
+                    stringify!($name)
+                );
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name), case_index);
+                case_index += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => rejected += 1,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                        "proptest case #{} of {} failed: {}\ninputs: {:#?}",
+                        case_index - 1,
+                        stringify!($name),
+                        msg,
+                        ($(&$arg,)*)
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case (recoverably) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (without failing) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

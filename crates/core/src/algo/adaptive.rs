@@ -68,7 +68,7 @@ impl AdaptiveConfig {
             if n <= prev {
                 return Err("ladder must be strictly ascending".into());
             }
-            if base_ns % n != 0 {
+            if !base_ns.is_multiple_of(n) {
                 return Err(format!("ladder entry {n} must divide base {base_ns}"));
             }
             prev = n;
@@ -111,7 +111,12 @@ pub struct SamplePlan {
 impl SamplePlan {
     /// A uniform plan (no adaptivity) at `base_ns` samples everywhere.
     pub fn uniform(width: u32, height: u32, base_ns: usize) -> Self {
-        SamplePlan { width, height, base_ns, counts: vec![base_ns as u32; (width * height) as usize] }
+        SamplePlan {
+            width,
+            height,
+            base_ns,
+            counts: vec![base_ns as u32; (width * height) as usize],
+        }
     }
 
     /// Builds a plan by bilinear interpolation from probe counts.
@@ -129,8 +134,8 @@ impl SamplePlan {
         d: u32,
         probe_counts: &[Vec<u32>],
     ) -> Self {
-        let gx = (width + d - 1) / d; // probes per row
-        let gy = (height + d - 1) / d;
+        let gx = width.div_ceil(d); // probes per row
+        let gy = height.div_ceil(d);
         assert!(probe_counts.len() as u32 >= gy, "probe rows missing");
         assert!(probe_counts.iter().all(|r| r.len() as u32 >= gx), "probe cols missing");
         let clamp_probe = |ix: i64, iy: i64| -> f32 {

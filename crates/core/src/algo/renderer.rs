@@ -132,7 +132,11 @@ pub struct RenderOutput {
 /// # Panics
 ///
 /// Panics if `opts` fail validation.
-pub fn render<M: RadianceModel + Sync>(model: &M, cam: &Camera, opts: &RenderOptions) -> RenderOutput {
+pub fn render<M: RadianceModel + Sync>(
+    model: &M,
+    cam: &Camera,
+    opts: &RenderOptions,
+) -> RenderOutput {
     opts.validate().expect("invalid render options");
     let mut stats = RenderStats { rays: cam.pixel_count() as u64, ..Default::default() };
     stats.base_points = stats.rays * opts.base_ns as u64;
@@ -143,8 +147,8 @@ pub fn render<M: RadianceModel + Sync>(model: &M, cam: &Camera, opts: &RenderOpt
         None => SamplePlan::uniform(cam.width(), cam.height(), opts.base_ns),
         Some(acfg) => {
             let d = acfg.probe_stride;
-            let gx = (cam.width() + d - 1) / d;
-            let gy = (cam.height() + d - 1) / d;
+            let gx = cam.width().div_ceil(d);
+            let gy = cam.height().div_ceil(d);
             let mut probe_counts = vec![vec![opts.base_ns as u32; gx as usize]; gy as usize];
             for jy in 0..gy {
                 for jx in 0..gx {
@@ -167,7 +171,8 @@ pub fn render<M: RadianceModel + Sync>(model: &M, cam: &Camera, opts: &RenderOpt
     let mut image = Image::new(cam.width(), cam.height());
     let height = cam.height() as usize;
     let width = cam.width() as usize;
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(height.max(1));
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(height.max(1));
     let rows_per_worker = height.div_ceil(workers.max(1));
     let mut partials: Vec<(Vec<Rgb>, RenderStats)> = Vec::new();
     std::thread::scope(|scope| {

@@ -108,9 +108,7 @@ mod tests {
     use super::*;
 
     fn uniform_points(n: usize, sigma: f32, color: Rgb) -> Vec<SamplePoint> {
-        (0..n)
-            .map(|i| SamplePoint { t: i as f32 * 0.1, sigma, color })
-            .collect()
+        (0..n).map(|i| SamplePoint { t: i as f32 * 0.1, sigma, color }).collect()
     }
 
     #[test]

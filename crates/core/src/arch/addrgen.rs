@@ -129,8 +129,9 @@ impl HybridAddressGenerator {
     fn dehashed_index(&self, level: usize, x: u32, y: u32, z: u32) -> u64 {
         let v = self.cfg.level_vertex_res(level);
         let bits = 32 - (v - 1).leading_zeros().max(1); // bits per axis
-        let naive_rest =
-            ((x >> 1) as u64) | (((y >> 1) as u64) << (bits - 1)) | (((z >> 1) as u64) << (2 * (bits - 1)));
+        let naive_rest = ((x >> 1) as u64)
+            | (((y >> 1) as u64) << (bits - 1))
+            | (((z >> 1) as u64) << (2 * (bits - 1)));
         let low = ((x & 1) << 2 | (y & 1) << 1 | (z & 1)) as u64;
         (low << (3 * (bits - 1))) | naive_rest
     }
@@ -194,7 +195,8 @@ impl HybridAddressGenerator {
 
     /// Mean utilization over all levels.
     pub fn average_utilization(&self) -> f64 {
-        (0..self.cfg.levels).map(|l| self.level_utilization(l)).sum::<f64>() / self.cfg.levels as f64
+        (0..self.cfg.levels).map(|l| self.level_utilization(l)).sum::<f64>()
+            / self.cfg.levels as f64
     }
 }
 
@@ -215,9 +217,8 @@ mod tests {
     fn voxel_corners_hit_distinct_xbars_under_hybrid() {
         let (naive, hybrid) = gens();
         // the 8 corners of voxel (6,10,3)..(7,11,4) — Fig. 14's example
-        let corners: Vec<(u32, u32, u32)> = (0..8)
-            .map(|i| (6 + (i & 1), 10 + ((i >> 1) & 1), 3 + ((i >> 2) & 1)))
-            .collect();
+        let corners: Vec<(u32, u32, u32)> =
+            (0..8).map(|i| (6 + (i & 1), 10 + ((i >> 1) & 1), 3 + ((i >> 2) & 1))).collect();
         let hybrid_xbars: HashSet<u32> =
             corners.iter().map(|&(x, y, z)| hybrid.translate(0, x, y, z, 0).xbar).collect();
         assert_eq!(hybrid_xbars.len(), 8, "hybrid mapping must fan corners out");

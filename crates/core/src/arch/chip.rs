@@ -115,7 +115,12 @@ impl PerfReport {
 ///
 /// `out` must be the [`RenderOutput`] of the same model/camera (its plan
 /// drives the encoding trace and its stats drive the throughput models).
-pub fn simulate_chip(model: &NgpModel, cam: &Camera, out: &RenderOutput, opts: &ChipOptions) -> PerfReport {
+pub fn simulate_chip(
+    model: &NgpModel,
+    cam: &Camera,
+    out: &RenderOutput,
+    opts: &ChipOptions,
+) -> PerfReport {
     opts.config.validate().expect("invalid chip config");
     let cfg = model.encoder().config();
     let cache_entries = opts
@@ -175,8 +180,8 @@ pub fn simulate_chip(model: &NgpModel, cam: &Camera, out: &RenderOutput, opts: &
 
     // ---- energy ---------------------------------------------------------
     let e = &opts.energy;
-    let total_accesses = (profile.hits + profile.misses) as f64 / profile.points.max(1) as f64
-        * total_points;
+    let total_accesses =
+        (profile.hits + profile.misses) as f64 / profile.points.max(1) as f64 * total_points;
     let misses = profile.misses_per_point() * total_points;
     let encoding_energy_pj = misses * e.mem_row_read_pj
         + total_accesses * e.reg_cache_access_pj
@@ -186,15 +191,17 @@ pub fn simulate_chip(model: &NgpModel, cam: &Camera, out: &RenderOutput, opts: &
     let render_energy_pj = work.energy_pj(e);
     // buffer traffic: encoded features in, σ/color out per point
     let buffer_bytes_per_point = (cfg.encoded_dim() + 16 + 4) as f64;
-    let buffer_energy_pj = total_points
-        * buffer_bytes_per_point
-        * opts.config.buffer().access_energy_pj()
-        / 32.0; // energy model is per 32-byte access width
+    let buffer_energy_pj =
+        total_points * buffer_bytes_per_point * opts.config.buffer().access_energy_pj() / 32.0; // energy model is per 32-byte access width
     let dram_energy_pj = spilled_reads * feat_bytes * e.dram_access_pj_per_byte;
     // static / background power of the whole chip (Table 2 published total)
     let static_energy_pj = opts.config.total_power_w() * time_s * 1e12;
-    let total_energy_pj = encoding_energy_pj + mlp_energy_pj + render_energy_pj + buffer_energy_pj
-        + dram_energy_pj + static_energy_pj;
+    let total_energy_pj = encoding_energy_pj
+        + mlp_energy_pj
+        + render_energy_pj
+        + buffer_energy_pj
+        + dram_energy_pj
+        + static_energy_pj;
 
     PerfReport {
         encoding_cycles,
@@ -216,7 +223,12 @@ pub fn simulate_chip(model: &NgpModel, cam: &Camera, out: &RenderOutput, opts: &
 
 /// Returns the raw encoding profile for a render (exposed for the cache-size
 /// and mapping DSE experiments).
-pub fn encoding_profile(model: &NgpModel, cam: &Camera, out: &RenderOutput, opts: &ChipOptions) -> EncodingProfile {
+pub fn encoding_profile(
+    model: &NgpModel,
+    cam: &Camera,
+    out: &RenderOutput,
+    opts: &ChipOptions,
+) -> EncodingProfile {
     let cfg = model.encoder().config();
     let cache_entries = opts
         .cache_entries_per_table

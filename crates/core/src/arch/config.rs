@@ -98,7 +98,7 @@ impl AsdrConfig {
             self.rgb_units,
             self.adaptive_units,
         ];
-        if counts.iter().any(|&c| c == 0) {
+        if counts.contains(&0) {
             return Err("all unit counts must be positive".into());
         }
         if self.mem_xbar_bytes == 0 || self.buffer_bytes == 0 {
@@ -120,16 +120,76 @@ impl AsdrConfig {
         let server = self.name.ends_with("Server");
         let pick = |s: f64, e: f64| if server { s } else { e };
         vec![
-            Table2Row::new("Encoding", "Address Generator", pick(0.013, 0.003), pick(8.04, 2.01), self.addr_generators as u64),
-            Table2Row::new("Encoding", "Reg-based Cache", pick(0.007, 0.002), pick(2.66, 0.67), self.reg_cache_entries as u64),
-            Table2Row::new("Encoding", "Mem Xbars", pick(5.03, 1.26), pick(5.33, 1.33), self.mem_xbar_bytes >> 20),
-            Table2Row::new("Encoding", "Fusion Unit", pick(0.220, 0.055), pick(107.99, 27.00), self.fusion_units as u64),
-            Table2Row::new("MLP", "Density SubEngine", pick(3.44, 0.86), pick(28.44, 7.11), self.density_engines as u64),
-            Table2Row::new("MLP", "Color SubEngine", pick(5.76, 1.44), pick(47.30, 11.82), self.color_engines as u64),
-            Table2Row::new("Render", "Approximation Unit", pick(0.118, 0.029), pick(52.21, 13.05), self.approx_units as u64),
-            Table2Row::new("Render", "RGB Unit", pick(0.013, 0.003), pick(5.40, 1.35), self.rgb_units as u64),
-            Table2Row::new("Render", "Adaptive Sample Unit", pick(0.0007, 0.0002), pick(0.27, 0.07), self.adaptive_units as u64),
-            Table2Row::new("-", "Buffers", pick(0.27, 0.06), pick(79.0, 19.55), self.buffer_bytes >> 10),
+            Table2Row::new(
+                "Encoding",
+                "Address Generator",
+                pick(0.013, 0.003),
+                pick(8.04, 2.01),
+                self.addr_generators as u64,
+            ),
+            Table2Row::new(
+                "Encoding",
+                "Reg-based Cache",
+                pick(0.007, 0.002),
+                pick(2.66, 0.67),
+                self.reg_cache_entries as u64,
+            ),
+            Table2Row::new(
+                "Encoding",
+                "Mem Xbars",
+                pick(5.03, 1.26),
+                pick(5.33, 1.33),
+                self.mem_xbar_bytes >> 20,
+            ),
+            Table2Row::new(
+                "Encoding",
+                "Fusion Unit",
+                pick(0.220, 0.055),
+                pick(107.99, 27.00),
+                self.fusion_units as u64,
+            ),
+            Table2Row::new(
+                "MLP",
+                "Density SubEngine",
+                pick(3.44, 0.86),
+                pick(28.44, 7.11),
+                self.density_engines as u64,
+            ),
+            Table2Row::new(
+                "MLP",
+                "Color SubEngine",
+                pick(5.76, 1.44),
+                pick(47.30, 11.82),
+                self.color_engines as u64,
+            ),
+            Table2Row::new(
+                "Render",
+                "Approximation Unit",
+                pick(0.118, 0.029),
+                pick(52.21, 13.05),
+                self.approx_units as u64,
+            ),
+            Table2Row::new(
+                "Render",
+                "RGB Unit",
+                pick(0.013, 0.003),
+                pick(5.40, 1.35),
+                self.rgb_units as u64,
+            ),
+            Table2Row::new(
+                "Render",
+                "Adaptive Sample Unit",
+                pick(0.0007, 0.0002),
+                pick(0.27, 0.07),
+                self.adaptive_units as u64,
+            ),
+            Table2Row::new(
+                "-",
+                "Buffers",
+                pick(0.27, 0.06),
+                pick(79.0, 19.55),
+                self.buffer_bytes >> 10,
+            ),
         ]
     }
 
@@ -174,7 +234,13 @@ pub struct Table2Row {
 }
 
 impl Table2Row {
-    fn new(engine: &'static str, component: &'static str, area_mm2: f64, power_mw: f64, config: u64) -> Self {
+    fn new(
+        engine: &'static str,
+        component: &'static str,
+        area_mm2: f64,
+        power_mw: f64,
+        config: u64,
+    ) -> Self {
         Table2Row { engine, component, area_mm2, power_mw, config }
     }
 }

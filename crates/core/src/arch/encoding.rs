@@ -29,6 +29,10 @@ use asdr_math::{Camera, Vec3};
 use asdr_nerf::NgpModel;
 use std::collections::HashMap;
 
+/// One in-flight Mem-Xbar access: (physical row tag, stream index, vertex
+/// coordinate).
+type TagEntry = (u64, usize, (u32, u32, u32));
+
 /// Cycles between successive row reads a Mem Xbar can sustain (ReRAM row
 /// cycle time at 1 GHz).
 pub const XBAR_READ_INTERVAL: u64 = 4;
@@ -143,7 +147,7 @@ pub fn simulate_encoding_with_span(
     let mut ray_points: Vec<Vec<Vec3>> = Vec::new();
     for py in (0..cam.height()).step_by(stride) {
         for px in 0..cam.width() {
-            if (px as usize / streams.max(1)) % stride != 0 {
+            if !(px as usize / streams.max(1)).is_multiple_of(stride) {
                 continue;
             }
             let ray = cam.ray_for_pixel(px, py);
@@ -152,8 +156,11 @@ pub fn simulate_encoding_with_span(
                 continue;
             }
             let count = plan.count(px, py) as usize;
-            let pts: Vec<Vec3> =
-                tr.midpoints(count).into_iter().map(|t| model.bounds().normalize(ray.at(t))).collect();
+            let pts: Vec<Vec3> = tr
+                .midpoints(count)
+                .into_iter()
+                .map(|t| model.bounds().normalize(ray.at(t)))
+                .collect();
             ray_points.push(pts);
         }
     }
@@ -164,7 +171,8 @@ pub fn simulate_encoding_with_span(
     // next cycle each crossbar can *start* a row read (queueing model)
     let mut xbar_free: HashMap<u32, u64> = HashMap::new();
     let mut now: u64 = 0;
-    let mut level_tags: Vec<Vec<(u64, usize, (u32, u32, u32))>> = vec![Vec::new(); cfg.levels];
+    // (physical row tag, stream index, vertex coordinate) per in-flight access
+    let mut level_tags: Vec<Vec<TagEntry>> = vec![Vec::new(); cfg.levels];
 
     for group in ray_points.chunks(streams) {
         let max_len = group.iter().map(Vec::len).max().unwrap_or(0);

@@ -82,7 +82,10 @@ mod tests {
     use asdr_nerf::mlp::{Activation, Dense};
 
     fn density_like() -> Mlp {
-        Mlp::new(vec![Dense::zeros(32, 64, Activation::Relu), Dense::zeros(64, 16, Activation::None)])
+        Mlp::new(vec![
+            Dense::zeros(32, 64, Activation::Relu),
+            Dense::zeros(64, 16, Activation::None),
+        ])
     }
 
     fn color_like() -> Mlp {
@@ -130,7 +133,8 @@ mod tests {
     #[test]
     fn energy_ordering_across_techs() {
         let e = EnergyTable::default();
-        let mk = |t| MlpEngineModel::new(&color_like(), XbarGeometry::paper(), t).energy_per_exec_pj(&e);
+        let mk =
+            |t| MlpEngineModel::new(&color_like(), XbarGeometry::paper(), t).energy_per_exec_pj(&e);
         let reram = mk(MemTech::Reram);
         let sram = mk(MemTech::SramCim);
         let digital = mk(MemTech::SramDigital);

@@ -86,7 +86,8 @@ mod tests {
     fn energy_scales_with_ops() {
         let e = EnergyTable::default();
         let a = work().energy_pj(&e);
-        let double = RenderEngineWork { interpolations: 2000, composite_steps: 8000, difficulty_evals: 200 };
+        let double =
+            RenderEngineWork { interpolations: 2000, composite_steps: 8000, difficulty_evals: 200 };
         assert!((double.energy_pj(&e) / a - 2.0).abs() < 1e-9);
     }
 

@@ -2,7 +2,9 @@
 
 use asdr_core::algo::adaptive::{choose_count, AdaptiveConfig, SamplePlan};
 use asdr_core::algo::approx::{interpolate_followers, leader_indices};
-use asdr_core::algo::volrend::{composite, composite_early_term, composite_subsampled, SamplePoint};
+use asdr_core::algo::volrend::{
+    composite, composite_early_term, composite_subsampled, SamplePoint,
+};
 use asdr_core::arch::addrgen::{HybridAddressGenerator, MappingMode};
 use asdr_core::arch::RegCache;
 use asdr_math::Rgb;

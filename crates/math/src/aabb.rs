@@ -1,7 +1,7 @@
 //! Axis-aligned bounding boxes and ray/box intersection.
 
-use crate::{Ray, Vec3};
 use crate::ray::TRange;
+use crate::{Ray, Vec3};
 
 /// An axis-aligned bounding box.
 ///
@@ -71,11 +71,7 @@ impl Aabb {
     #[inline]
     pub fn normalize(&self, p: Vec3) -> Vec3 {
         let e = self.extent();
-        Vec3::new(
-            (p.x - self.min.x) / e.x,
-            (p.y - self.min.y) / e.y,
-            (p.z - self.min.z) / e.z,
-        )
+        Vec3::new((p.x - self.min.x) / e.x, (p.y - self.min.y) / e.y, (p.z - self.min.z) / e.z)
     }
 
     /// Maps normalized `[0,1]^3` coordinates back into this box.

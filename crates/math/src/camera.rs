@@ -31,7 +31,14 @@ impl Camera {
     /// # Panics
     ///
     /// Panics if `width` or `height` is zero, or `eye == target`.
-    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3, vfov_deg: f32, width: u32, height: u32) -> Self {
+    pub fn look_at(
+        eye: Vec3,
+        target: Vec3,
+        up: Vec3,
+        vfov_deg: f32,
+        width: u32,
+        height: u32,
+    ) -> Self {
         assert!(width > 0 && height > 0, "image must be non-empty");
         assert!((eye - target).norm() > 1e-9, "eye and target coincide");
         let aspect = width as f32 / height as f32;
@@ -94,7 +101,15 @@ impl Camera {
 
     /// A standard orbit viewpoint: camera on a circle of radius `radius`
     /// around `target` at azimuth `az_deg` and elevation `el_deg`.
-    pub fn orbit(target: Vec3, radius: f32, az_deg: f32, el_deg: f32, vfov_deg: f32, width: u32, height: u32) -> Self {
+    pub fn orbit(
+        target: Vec3,
+        radius: f32,
+        az_deg: f32,
+        el_deg: f32,
+        vfov_deg: f32,
+        width: u32,
+        height: u32,
+    ) -> Self {
         let az = az_deg.to_radians();
         let el = el_deg.to_radians();
         let eye = target

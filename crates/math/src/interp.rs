@@ -40,16 +40,8 @@ pub fn trilinear_weights(fx: f32, fy: f32, fz: f32) -> [f32; 8] {
 }
 
 /// The corner offsets matching [`trilinear_weights`] ordering.
-pub const CORNER_OFFSETS: [(u32, u32, u32); 8] = [
-    (0, 0, 0),
-    (1, 0, 0),
-    (0, 1, 0),
-    (1, 1, 0),
-    (0, 0, 1),
-    (1, 0, 1),
-    (0, 1, 1),
-    (1, 1, 1),
-];
+pub const CORNER_OFFSETS: [(u32, u32, u32); 8] =
+    [(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0), (0, 0, 1), (1, 0, 1), (0, 1, 1), (1, 1, 1)];
 
 /// Interpolates eight per-corner feature vectors (each of dimension `F`) into
 /// `out`, accumulating `sum_i w_i * corner_i`.
@@ -96,7 +88,8 @@ mod tests {
 
     #[test]
     fn weights_sum_to_one() {
-        for &(fx, fy, fz) in &[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (0.25, 0.5, 0.75), (0.9, 0.1, 0.5)] {
+        for &(fx, fy, fz) in &[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (0.25, 0.5, 0.75), (0.9, 0.1, 0.5)]
+        {
             let s: f32 = trilinear_weights(fx, fy, fz).iter().sum();
             assert!((s - 1.0).abs() < 1e-6, "sum {s} at ({fx},{fy},{fz})");
         }

@@ -169,8 +169,7 @@ impl DvgoModel {
                             }
                         }
                         let d = field.diffuse(pw);
-                        let target =
-                            [field.density(pw) / SIGMA_SCALE, d.r, d.g, d.b];
+                        let target = [field.density(pw) / SIGMA_SCALE, d.r, d.g, d.b];
                         let dst = level.vertex_mut(x, y, z);
                         for c in 0..DVGO_CHANNELS {
                             dst[c] = target[c] - prior[c];
@@ -222,8 +221,8 @@ impl RadianceModel for DvgoModel {
         scratch.channels = [0.0; DVGO_CHANNELS];
         for l in &self.levels {
             l.sample(p01, &mut acc);
-            for c in 0..DVGO_CHANNELS {
-                scratch.channels[c] += acc[c];
+            for (ch, a) in scratch.channels.iter_mut().zip(&acc) {
+                *ch += a;
             }
         }
         if !self.occupancy.occupied_world(p_world) {
@@ -235,12 +234,8 @@ impl RadianceModel for DvgoModel {
     fn color_into(&self, view_dir: Vec3, scratch: &mut DvgoScratch) -> Rgb {
         eval_sh4(view_dir, &mut scratch.sh);
         let spec: f32 = scratch.sh.iter().zip(&self.spec_sh).map(|(y, c)| y * c).sum();
-        Rgb::new(
-            scratch.channels[1] + spec,
-            scratch.channels[2] + spec,
-            scratch.channels[3] + spec,
-        )
-        .clamp01()
+        Rgb::new(scratch.channels[1] + spec, scratch.channels[2] + spec, scratch.channels[3] + spec)
+            .clamp01()
     }
 
     fn stage_flops(&self) -> (u64, u64, u64) {
@@ -289,7 +284,8 @@ mod tests {
         let mut max_err = 0.0f32;
         for i in 0..60 {
             let (x, y, z) = ((i * 7) % res, (i * 5) % res, (i * 3) % res);
-            let p01 = Vec3::new(x as f32 / res as f32, y as f32 / res as f32, z as f32 / res as f32);
+            let p01 =
+                Vec3::new(x as f32 / res as f32, y as f32 / res as f32, z as f32 / res as f32);
             let pw = model.model_bounds().denormalize(p01);
             if !model.occupancy().occupied_world(pw) {
                 continue;

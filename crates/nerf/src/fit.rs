@@ -92,7 +92,12 @@ fn decode_plans(cfg: &GridConfig) -> [DecodePlan; 4] {
 
 /// Trilinear reconstruction of one quantity at normalized point `p01` using
 /// only the given `(level, slot, weight)` lanes.
-fn recon_at(enc_cfg: &GridConfig, tables: &EmbeddingSet, lanes: &[(usize, usize, f32)], p01: Vec3) -> f32 {
+fn recon_at(
+    enc_cfg: &GridConfig,
+    tables: &EmbeddingSet,
+    lanes: &[(usize, usize, f32)],
+    p01: Vec3,
+) -> f32 {
     let mut acc = 0.0f32;
     for &(level, slot, w) in lanes {
         let table = tables.table(level);
@@ -134,7 +139,11 @@ impl OccupancyMask {
         for z in 0..v {
             for y in 0..v {
                 for x in 0..v {
-                    let u = Vec3::new(x as f32 / res as f32, y as f32 / res as f32, z as f32 / res as f32);
+                    let u = Vec3::new(
+                        x as f32 / res as f32,
+                        y as f32 / res as f32,
+                        z as f32 / res as f32,
+                    );
                     probe[x + v * (y + v * z)] = field.density(b.denormalize(u)) > 0.0;
                 }
             }
@@ -161,7 +170,8 @@ impl OccupancyMask {
                         for dz in -1i64..=1 {
                             for dy in -1i64..=1 {
                                 for dx in -1i64..=1 {
-                                    let (nx, ny, nz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                                    let (nx, ny, nz) =
+                                        (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                                     if nx >= 0
                                         && ny >= 0
                                         && nz >= 0
@@ -169,7 +179,8 @@ impl OccupancyMask {
                                         && (ny as usize) < res
                                         && (nz as usize) < res
                                     {
-                                        dilated[nx as usize + res * (ny as usize + res * nz as usize)] = true;
+                                        dilated[nx as usize
+                                            + res * (ny as usize + res * nz as usize)] = true;
                                     }
                                 }
                             }
@@ -341,8 +352,9 @@ fn solve_gauss<const N: usize>(a: &mut [[f64; N]; N], b: &mut [f64; N]) -> [f64;
         assert!(d.abs() > 1e-15, "singular SH normal matrix");
         for r in col + 1..N {
             let f = a[r][col] / d;
-            for c in col..N {
-                a[r][c] -= f * a[col][c];
+            let pivot_row = a[col];
+            for (av, pv) in a[r][col..].iter_mut().zip(&pivot_row[col..]) {
+                *av -= f * pv;
             }
             b[r] -= f * b[col];
         }
@@ -454,7 +466,13 @@ pub fn fit_ngp(field: &dyn SceneField, cfg: &GridConfig) -> NgpModel {
 ///
 /// This exists to demonstrate that the pipeline is trainable end-to-end; the
 /// experiment harness uses the constructed fit directly.
-pub fn refine_sgd(model: &mut NgpModel, field: &dyn SceneField, steps: usize, lr: f32, seed: u64) -> (f64, f64) {
+pub fn refine_sgd(
+    model: &mut NgpModel,
+    field: &dyn SceneField,
+    steps: usize,
+    lr: f32,
+    seed: u64,
+) -> (f64, f64) {
     let cfg = model.encoder().config().clone();
     let plans = decode_plans(&cfg);
     let bounds = field.bounds();
@@ -470,9 +488,7 @@ pub fn refine_sgd(model: &mut NgpModel, field: &dyn SceneField, steps: usize, lr
         acc / pts.len() as f64
     };
     let probe: Vec<Vec3> = (0..256)
-        .map(|_| {
-            bounds.denormalize(Vec3::new(rng.gen::<f32>(), rng.gen(), rng.gen()))
-        })
+        .map(|_| bounds.denormalize(Vec3::new(rng.gen::<f32>(), rng.gen(), rng.gen())))
         .collect();
     let before = eval_err(model, &probe);
 
@@ -531,7 +547,11 @@ mod tests {
         // deep inside the mic head
         let inside = Vec3::new(0.0, 0.45, 0.0);
         let sig_in = model.query_density_into(inside, &mut s);
-        assert!(sig_in > 0.3 * scene.density(inside), "inside: {sig_in} vs {}", scene.density(inside));
+        assert!(
+            sig_in > 0.3 * scene.density(inside),
+            "inside: {sig_in} vs {}",
+            scene.density(inside)
+        );
         // far empty corner
         let outside = Vec3::new(0.9, 0.9, 0.9);
         let sig_out = model.query_density_into(outside, &mut s);
@@ -548,10 +568,7 @@ mod tests {
         let _sigma = model.query_density_into(p, &mut s);
         let c = model.query_color_into(dir, &mut s);
         let want = scene.color(p, dir);
-        assert!(
-            c.max_channel_abs_diff(want) < 0.3,
-            "model color {c} too far from field {want}"
-        );
+        assert!(c.max_channel_abs_diff(want) < 0.3, "model color {c} too far from field {want}");
     }
 
     #[test]

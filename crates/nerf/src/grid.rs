@@ -168,7 +168,7 @@ mod tests {
         let mut was_hashed = false;
         for l in 0..c.levels {
             let hashed = !c.is_dense(l);
-            assert!(!(was_hashed && !hashed), "density split must be monotone");
+            assert!(!was_hashed || hashed, "density split must be monotone");
             was_hashed = hashed;
         }
     }
@@ -178,8 +178,7 @@ mod tests {
         // Fig. 13(a): storing everything hashed wastes ~38% on average
         // because dense levels occupy a small slice of the table.
         let c = GridConfig::paper();
-        let avg: f64 =
-            (0..c.levels).map(|l| c.level_utilization(l)).sum::<f64>() / c.levels as f64;
+        let avg: f64 = (0..c.levels).map(|l| c.level_utilization(l)).sum::<f64>() / c.levels as f64;
         assert!(avg > 0.4 && avg < 0.8, "average utilization {avg} out of plausible band");
         assert!(c.level_utilization(0) < 0.01, "coarsest level wastes nearly the whole table");
         assert!((c.level_utilization(c.levels - 1) - 1.0).abs() < 1e-9);

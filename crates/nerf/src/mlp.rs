@@ -54,7 +54,13 @@ impl Dense {
     /// Panics if either dimension is zero.
     pub fn zeros(in_dim: usize, out_dim: usize, act: Activation) -> Self {
         assert!(in_dim > 0 && out_dim > 0);
-        Dense { in_dim, out_dim, weights: vec![0.0; in_dim * out_dim], bias: vec![0.0; out_dim], act }
+        Dense {
+            in_dim,
+            out_dim,
+            weights: vec![0.0; in_dim * out_dim],
+            bias: vec![0.0; out_dim],
+            act,
+        }
     }
 
     /// Input dimension.
@@ -303,7 +309,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn dimension_mismatch_panics() {
-        let _ = Mlp::new(vec![Dense::zeros(4, 8, Activation::Relu), Dense::zeros(9, 2, Activation::None)]);
+        let _ = Mlp::new(vec![
+            Dense::zeros(4, 8, Activation::Relu),
+            Dense::zeros(9, 2, Activation::None),
+        ]);
     }
 
     #[test]

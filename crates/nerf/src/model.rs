@@ -134,11 +134,8 @@ impl NgpModel {
 
     /// Allocates scratch buffers for the `_into` query variants.
     pub fn make_scratch(&self) -> Scratch {
-        let mlp_len = self
-            .density_mlp
-            .make_scratch()
-            .len()
-            .max(self.color_mlp.make_scratch().len());
+        let mlp_len =
+            self.density_mlp.make_scratch().len().max(self.color_mlp.make_scratch().len());
         Scratch {
             encoded: vec![0.0; self.encoder.encoded_dim()],
             density_out: vec![0.0; DENSITY_OUT_DIM],
@@ -162,7 +159,11 @@ impl NgpModel {
     pub fn query_density_into(&self, p_world: Vec3, scratch: &mut Scratch) -> f32 {
         let p01 = self.bounds.normalize(p_world);
         self.encoder.encode(p01, &mut scratch.encoded);
-        self.density_mlp.forward_scratch(&scratch.encoded, &mut scratch.density_out, &mut scratch.mlp);
+        self.density_mlp.forward_scratch(
+            &scratch.encoded,
+            &mut scratch.density_out,
+            &mut scratch.mlp,
+        );
         if !self.occupancy.occupied_world(p_world) {
             return 0.0;
         }
@@ -270,7 +271,9 @@ mod tests {
         let mut m = dummy_model();
         // give the model some nonzero parameters
         for l in 0..m.encoder().config().levels {
-            for (i, v) in m.encoder_mut().tables_mut().table_mut(l).params_mut().iter_mut().enumerate() {
+            for (i, v) in
+                m.encoder_mut().tables_mut().table_mut(l).params_mut().iter_mut().enumerate()
+            {
                 *v = ((i % 7) as f32 - 3.0) * 0.1;
             }
         }

@@ -39,7 +39,11 @@ impl OccupancyGrid {
         for z in 0..v {
             for y in 0..v {
                 for x in 0..v {
-                    let u = Vec3::new(x as f32 / res as f32, y as f32 / res as f32, z as f32 / res as f32);
+                    let u = Vec3::new(
+                        x as f32 / res as f32,
+                        y as f32 / res as f32,
+                        z as f32 / res as f32,
+                    );
                     probe[x + v * (y + v * z)] = field.density(bounds.denormalize(u)) > 0.0;
                 }
             }
@@ -50,7 +54,8 @@ impl OccupancyGrid {
                 for x in 0..res {
                     let mut occ = false;
                     for &(dx, dy, dz) in &CORNER_OFFSETS {
-                        occ |= probe[(x + dx as usize) + v * ((y + dy as usize) + v * (z + dz as usize))];
+                        occ |= probe
+                            [(x + dx as usize) + v * ((y + dy as usize) + v * (z + dz as usize))];
                     }
                     raw[x + res * (y + res * z)] = occ;
                 }
@@ -64,7 +69,8 @@ impl OccupancyGrid {
                         for dz in -1i64..=1 {
                             for dy in -1i64..=1 {
                                 for dx in -1i64..=1 {
-                                    let (nx, ny, nz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                                    let (nx, ny, nz) =
+                                        (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                                     if nx >= 0
                                         && ny >= 0
                                         && nz >= 0
@@ -72,7 +78,8 @@ impl OccupancyGrid {
                                         && (ny as usize) < res
                                         && (nz as usize) < res
                                     {
-                                        cells[nx as usize + res * (ny as usize + res * nz as usize)] = true;
+                                        cells[nx as usize
+                                            + res * (ny as usize + res * nz as usize)] = true;
                                     }
                                 }
                             }

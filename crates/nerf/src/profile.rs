@@ -27,7 +27,12 @@ pub fn global_address(model: &NgpModel, level: usize, row: u32) -> u64 {
 /// Collects the embedding addresses touched by the first `n_points` sample
 /// points in rendering order (row-major pixels, front-to-back samples,
 /// all levels).
-pub fn trace_addresses(model: &NgpModel, cam: &Camera, samples_per_ray: usize, n_points: usize) -> Vec<u64> {
+pub fn trace_addresses(
+    model: &NgpModel,
+    cam: &Camera,
+    samples_per_ray: usize,
+    n_points: usize,
+) -> Vec<u64> {
     let mut out = Vec::with_capacity(n_points * 8);
     let mut encoded = vec![0.0; model.encoder().encoded_dim()];
     let mut trace = Vec::new();
@@ -68,11 +73,7 @@ pub fn mean_address_stride(addresses: &[u64]) -> f64 {
 pub fn flops_breakdown<M: RadianceModel>(model: &M) -> (f64, f64, f64) {
     let (e, d, c) = model.stage_flops();
     let total = (e + d + c) as f64;
-    (
-        e as f64 / total * 100.0,
-        d as f64 / total * 100.0,
-        c as f64 / total * 100.0,
-    )
+    (e as f64 / total * 100.0, d as f64 / total * 100.0, c as f64 / total * 100.0)
 }
 
 /// Summary of adjacent-point color similarity along rays (Fig. 8).
@@ -92,7 +93,12 @@ pub struct SimilarityStats {
 /// Measures cosine similarity between colors of adjacent sample points along
 /// every `stride`-th ray. Only points with non-negligible density are
 /// compared (transparent points never contribute to the pixel).
-pub fn color_similarity(model: &NgpModel, cam: &Camera, samples_per_ray: usize, stride: u32) -> SimilarityStats {
+pub fn color_similarity(
+    model: &NgpModel,
+    cam: &Camera,
+    samples_per_ray: usize,
+    stride: u32,
+) -> SimilarityStats {
     let mut sims: Vec<f32> = Vec::new();
     let mut scratch = model.make_scratch();
     for py in (0..cam.height()).step_by(stride.max(1) as usize) {
@@ -149,7 +155,12 @@ pub struct RepetitionProfile {
 
 /// Profiles voxel repetition between horizontally neighbouring rays and
 /// within single rays, over every `stride`-th pixel.
-pub fn repetition_rates(model: &NgpModel, cam: &Camera, samples_per_ray: usize, stride: u32) -> RepetitionProfile {
+pub fn repetition_rates(
+    model: &NgpModel,
+    cam: &Camera,
+    samples_per_ray: usize,
+    stride: u32,
+) -> RepetitionProfile {
     let cfg = model.encoder().config().clone();
     let levels = cfg.levels;
     let mut inter_acc = vec![0.0f64; levels];

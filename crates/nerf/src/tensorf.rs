@@ -81,9 +81,8 @@ impl VmFactor {
     /// flow into the planes first).
     pub fn init(res: usize, rank: usize, rng: &mut impl Rng) -> Self {
         let planes = std::array::from_fn(|_| vec![0.0; rank * res * res]);
-        let lines = std::array::from_fn(|_| {
-            (0..rank * res).map(|_| rng.gen_range(0.05..0.25)).collect()
-        });
+        let lines =
+            std::array::from_fn(|_| (0..rank * res).map(|_| rng.gen_range(0.05..0.25)).collect());
         VmFactor { res, rank, planes, lines }
     }
 
@@ -158,10 +157,8 @@ impl VmFactor {
                 ];
                 let lv = self.lines[axis][r * self.res + w0] * (1.0 - fw)
                     + self.lines[axis][r * self.res + w1] * fw;
-                let pv = corners
-                    .iter()
-                    .map(|&(i, wgt)| self.planes[axis][base + i] * wgt)
-                    .sum::<f32>();
+                let pv =
+                    corners.iter().map(|&(i, wgt)| self.planes[axis][base + i] * wgt).sum::<f32>();
                 // ∂q/∂plane_corner = corner_weight · line_value
                 for &(i, wgt) in &corners {
                     self.planes[axis][base + i] -= lr * grad * wgt * lv;
@@ -176,7 +173,8 @@ impl VmFactor {
 
     /// Total stored parameters.
     pub fn param_count(&self) -> usize {
-        self.planes.iter().map(Vec::len).sum::<usize>() + self.lines.iter().map(Vec::len).sum::<usize>()
+        self.planes.iter().map(Vec::len).sum::<usize>()
+            + self.lines.iter().map(Vec::len).sum::<usize>()
     }
 }
 
@@ -255,7 +253,14 @@ impl TensoRfModel {
             color[2].sgd_step(p01, d.b, lr);
         }
 
-        TensoRfModel { sigma, color, spec_sh: fit_specular_sh(), bounds, occupancy, cfg: cfg.clone() }
+        TensoRfModel {
+            sigma,
+            color,
+            spec_sh: fit_specular_sh(),
+            bounds,
+            occupancy,
+            cfg: cfg.clone(),
+        }
     }
 
     /// Fitting configuration.
@@ -307,12 +312,8 @@ impl RadianceModel for TensoRfModel {
     fn color_into(&self, view_dir: Vec3, scratch: &mut TensoRfScratch) -> Rgb {
         eval_sh4(view_dir, &mut scratch.sh);
         let spec: f32 = scratch.sh.iter().zip(&self.spec_sh).map(|(y, c)| y * c).sum();
-        Rgb::new(
-            scratch.diffuse[0] + spec,
-            scratch.diffuse[1] + spec,
-            scratch.diffuse[2] + spec,
-        )
-        .clamp01()
+        Rgb::new(scratch.diffuse[0] + spec, scratch.diffuse[1] + spec, scratch.diffuse[2] + spec)
+            .clamp01()
     }
 
     fn stage_flops(&self) -> (u64, u64, u64) {

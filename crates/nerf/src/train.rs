@@ -83,7 +83,11 @@ struct TrainSample {
 
 /// Decodes the four linear quantities (σ', r, g, b) at `p01` straight from
 /// the tables (bypassing the MLP, which implements the same function).
-fn decode_quantities(model: &NgpModel, plans: &[Vec<(usize, usize, f32)>; 4], p01: Vec3) -> [f32; 4] {
+fn decode_quantities(
+    model: &NgpModel,
+    plans: &[Vec<(usize, usize, f32)>; 4],
+    p01: Vec3,
+) -> [f32; 4] {
     let cfg = model.encoder().config();
     let tables = model.encoder().tables();
     let mut out = [0.0f32; 4];
@@ -153,7 +157,11 @@ fn scatter_gradient(
 ///
 /// Panics if `cfg` is invalid, `views` is empty, or a view's camera and
 /// image disagree on resolution.
-pub fn train_volumetric(model: &mut NgpModel, views: &[(Camera, Image)], cfg: &TrainConfig) -> TrainReport {
+pub fn train_volumetric(
+    model: &mut NgpModel,
+    views: &[(Camera, Image)],
+    cfg: &TrainConfig,
+) -> TrainReport {
     cfg.validate().expect("invalid train config");
     assert!(!views.is_empty(), "need at least one training view");
     for (cam, img) in views {
@@ -197,11 +205,8 @@ pub fn train_volumetric(model: &mut NgpModel, views: &[(Camera, Image)], cfg: &T
                 continue;
             }
             let want = img.get(px, py);
-            let dl_dc = [
-                2.0 * (pred[0] - want.r),
-                2.0 * (pred[1] - want.g),
-                2.0 * (pred[2] - want.b),
-            ];
+            let dl_dc =
+                [2.0 * (pred[0] - want.r), 2.0 * (pred[1] - want.g), 2.0 * (pred[2] - want.b)];
 
             // suffix sums Σ_{j>i} T_j α_j c_j for the transmittance term
             let n = samples.len();
@@ -209,8 +214,9 @@ pub fn train_volumetric(model: &mut NgpModel, views: &[(Camera, Image)], cfg: &T
             for i in (0..n).rev() {
                 let s = &samples[i];
                 let wgt = s.trans * s.alpha;
-                for c in 0..3 {
-                    suffix[i][c] = suffix[i + 1][c] + wgt * s.color[c];
+                let next = suffix[i + 1];
+                for (c, out) in suffix[i].iter_mut().enumerate() {
+                    *out = next[c] + wgt * s.color[c];
                 }
             }
 
@@ -222,8 +228,8 @@ pub fn train_volumetric(model: &mut NgpModel, views: &[(Camera, Image)], cfg: &T
                 let weight = s.trans * s.alpha;
                 // color gradients (diffuse channels; the view-dependent term
                 // is a constant offset)
-                for c in 0..3 {
-                    let g = dl_dc[c] * weight;
+                for (c, &d) in dl_dc.iter().enumerate() {
+                    let g = d * weight;
                     scatter_gradient(model, &plans, s.p01, 1 + c, g, lr);
                 }
                 // density gradient through α_i and the later transmittances
@@ -231,8 +237,8 @@ pub fn train_volumetric(model: &mut NgpModel, views: &[(Camera, Image)], cfg: &T
                     let dalpha_dsigma = s.delta * (1.0 - s.alpha); // δ·exp(−σδ)
                     let mut dl_dalpha = 0.0f32;
                     for c in 0..3 {
-                        let dc_dalpha = s.trans * s.color[c]
-                            - suffix[i + 1][c] / (1.0 - s.alpha).max(1e-4);
+                        let dc_dalpha =
+                            s.trans * s.color[c] - suffix[i + 1][c] / (1.0 - s.alpha).max(1e-4);
                         dl_dalpha += dl_dc[c] * dc_dalpha;
                     }
                     // σ = σ' · SIGMA_SCALE with ReLU; in the clipped region

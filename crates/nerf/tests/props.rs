@@ -1,11 +1,11 @@
 //! Property-based tests of the neural-rendering substrates.
 
+use asdr_math::Vec3;
 use asdr_nerf::embedding::EmbeddingSet;
 use asdr_nerf::encoder::HashEncoder;
 use asdr_nerf::grid::GridConfig;
 use asdr_nerf::hash::{dense_index, spatial_hash};
 use asdr_nerf::mlp::{Activation, Dense, Mlp};
-use asdr_math::Vec3;
 use proptest::prelude::*;
 
 fn tiny_encoder_with(fill: u64) -> HashEncoder {

@@ -38,7 +38,12 @@ impl SdfScene {
     /// # Panics
     ///
     /// Panics if `sigma_max <= 0` or `softness <= 0`.
-    pub fn new(name: &'static str, eval: fn(Vec3) -> (f32, Rgb), sigma_max: f32, softness: f32) -> Self {
+    pub fn new(
+        name: &'static str,
+        eval: fn(Vec3) -> (f32, Rgb),
+        sigma_max: f32,
+        softness: f32,
+    ) -> Self {
         assert!(sigma_max > 0.0 && softness > 0.0);
         SdfScene { name, eval, sigma_max, softness, bounds: Aabb::centered(1.0) }
     }
@@ -90,17 +95,25 @@ pub fn lego(p: Vec3) -> (f32, Rgb) {
     let stud = 0.03 * value_noise(p, 14.0);
 
     let plate = (boxed(p, Vec3::new(0.0, -0.72, 0.0), Vec3::new(0.85, 0.06, 0.85)), grey);
-    let track_l = (rounded_box(p, Vec3::new(-0.42, -0.52, 0.0), Vec3::new(0.16, 0.12, 0.55), 0.04), dark);
-    let track_r = (rounded_box(p, Vec3::new(0.42, -0.52, 0.0), Vec3::new(0.16, 0.12, 0.55), 0.04), dark);
-    let body = (rounded_box(p, Vec3::new(0.0, -0.18, -0.05), Vec3::new(0.38, 0.22, 0.42), 0.03) + stud, yellow);
-    let cab = (rounded_box(p, Vec3::new(-0.1, 0.22, -0.25), Vec3::new(0.2, 0.18, 0.18), 0.02) + stud, yellow);
-    let boom = (capsule(p, Vec3::new(0.05, 0.15, 0.1), Vec3::new(0.25, 0.55, 0.55), 0.09) + stud, yellow);
-    let stick = (capsule(p, Vec3::new(0.25, 0.55, 0.55), Vec3::new(0.15, 0.05, 0.85), 0.06), yellow);
+    let track_l =
+        (rounded_box(p, Vec3::new(-0.42, -0.52, 0.0), Vec3::new(0.16, 0.12, 0.55), 0.04), dark);
+    let track_r =
+        (rounded_box(p, Vec3::new(0.42, -0.52, 0.0), Vec3::new(0.16, 0.12, 0.55), 0.04), dark);
+    let body = (
+        rounded_box(p, Vec3::new(0.0, -0.18, -0.05), Vec3::new(0.38, 0.22, 0.42), 0.03) + stud,
+        yellow,
+    );
+    let cab = (
+        rounded_box(p, Vec3::new(-0.1, 0.22, -0.25), Vec3::new(0.2, 0.18, 0.18), 0.02) + stud,
+        yellow,
+    );
+    let boom =
+        (capsule(p, Vec3::new(0.05, 0.15, 0.1), Vec3::new(0.25, 0.55, 0.55), 0.09) + stud, yellow);
+    let stick =
+        (capsule(p, Vec3::new(0.25, 0.55, 0.55), Vec3::new(0.15, 0.05, 0.85), 0.06), yellow);
     let bucket = (boxed(p, Vec3::new(0.15, -0.02, 0.88), Vec3::new(0.16, 0.1, 0.08)), grey);
 
-    [track_l, track_r, body, cab, boom, stick, bucket]
-        .into_iter()
-        .fold(plate, closest)
+    [track_l, track_r, body, cab, boom, stick, bucket].into_iter().fold(plate, closest)
 }
 
 /// Mic — studio microphone: mesh ball head, short neck, tripod stand.
@@ -152,8 +165,10 @@ pub fn chair(p: Vec3) -> (f32, Rgb) {
     let wood = Rgb::new(0.55, 0.35, 0.18);
     let cushion = Rgb::new(0.65, 0.15, 0.2);
 
-    let seat = (rounded_box(p, Vec3::new(0.0, -0.1, 0.0), Vec3::new(0.42, 0.06, 0.4), 0.03), cushion);
-    let back = (rounded_box(p, Vec3::new(0.0, 0.42, -0.36), Vec3::new(0.4, 0.45, 0.05), 0.03), cushion);
+    let seat =
+        (rounded_box(p, Vec3::new(0.0, -0.1, 0.0), Vec3::new(0.42, 0.06, 0.4), 0.03), cushion);
+    let back =
+        (rounded_box(p, Vec3::new(0.0, 0.42, -0.36), Vec3::new(0.4, 0.45, 0.05), 0.03), cushion);
     let mut out = closest(seat, back);
     for (sx, sz) in [(-1.0f32, -1.0f32), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0)] {
         let top = Vec3::new(0.36 * sx, -0.16, 0.34 * sz);
@@ -161,7 +176,10 @@ pub fn chair(p: Vec3) -> (f32, Rgb) {
         out = closest(out, (capsule(p, top, bottom, 0.045), wood));
     }
     for sx in [-1.0f32, 1.0] {
-        let arm = (capsule(p, Vec3::new(0.42 * sx, 0.12, -0.3), Vec3::new(0.42 * sx, 0.12, 0.25), 0.04), wood);
+        let arm = (
+            capsule(p, Vec3::new(0.42 * sx, 0.12, -0.3), Vec3::new(0.42 * sx, 0.12, 0.25), 0.04),
+            wood,
+        );
         out = closest(out, arm);
     }
     out
@@ -197,9 +215,11 @@ pub fn hotdog(p: Vec3) -> (f32, Rgb) {
     let sausage_c = Rgb::new(0.65, 0.2, 0.12);
 
     let plate = (cylinder_y(p, Vec3::new(0.0, -0.6, 0.0), 0.8, 0.05), plate_c);
-    let bun1 = (capsule(p, Vec3::new(-0.14, -0.45, -0.45), Vec3::new(-0.14, -0.45, 0.45), 0.14), bun);
+    let bun1 =
+        (capsule(p, Vec3::new(-0.14, -0.45, -0.45), Vec3::new(-0.14, -0.45, 0.45), 0.14), bun);
     let bun2 = (capsule(p, Vec3::new(0.14, -0.45, -0.45), Vec3::new(0.14, -0.45, 0.45), 0.14), bun);
-    let sausage = (capsule(p, Vec3::new(0.0, -0.34, -0.52), Vec3::new(0.0, -0.34, 0.52), 0.09), sausage_c);
+    let sausage =
+        (capsule(p, Vec3::new(0.0, -0.34, -0.52), Vec3::new(0.0, -0.34, 0.52), 0.09), sausage_c);
     [bun1, bun2, sausage].into_iter().fold(plate, closest)
 }
 
@@ -231,7 +251,10 @@ pub fn fountain(p: Vec3) -> (f32, Rgb) {
 
     let tex = 0.015 * value_noise(p, 18.0);
     let basin = (torus_xz(p, Vec3::new(0.0, -0.7, 0.0), 0.68, 0.12) + tex, stone);
-    let pool = (cylinder_y(p, Vec3::new(0.0, -0.74, 0.0), 0.64, 0.04) + 0.02 * value_noise(p, 12.0), water);
+    let pool = (
+        cylinder_y(p, Vec3::new(0.0, -0.74, 0.0), 0.64, 0.04) + 0.02 * value_noise(p, 12.0),
+        water,
+    );
     let pedestal = (cylinder_y(p, Vec3::new(0.0, -0.45, 0.0), 0.1, 0.3) + tex, stone);
     let bowl_core = cylinder_y(p, Vec3::new(0.0, -0.08, 0.0), 0.38, 0.08);
     let bowl = (subtract(bowl_core, sphere(p, Vec3::new(0.0, 0.06, 0.0), 0.34)) + tex, stone);
@@ -277,10 +300,19 @@ pub fn fox(p: Vec3) -> (f32, Rgb) {
     let body = (q.norm() - 0.42 + fuzz, fur);
     let chest = (sphere(p, Vec3::new(0.0, -0.35, 0.28), 0.28) + fuzz, belly);
     let head = (sphere(p, Vec3::new(0.0, 0.15, 0.3), 0.22) + fuzz, fur);
-    let snout = (cone_y(p.hadamard(Vec3::new(1.0, 1.0, -1.0)) + Vec3::new(0.0, 0.1, 0.52), Vec3::ZERO, 0.1, 0.25), dark);
+    let snout = (
+        cone_y(
+            p.hadamard(Vec3::new(1.0, 1.0, -1.0)) + Vec3::new(0.0, 0.1, 0.52),
+            Vec3::ZERO,
+            0.1,
+            0.25,
+        ),
+        dark,
+    );
     let ear_l = (cone_y(p, Vec3::new(-0.12, 0.28, 0.25), 0.08, 0.22), dark);
     let ear_r = (cone_y(p, Vec3::new(0.12, 0.28, 0.25), 0.08, 0.22), dark);
-    let tail = (capsule(p, Vec3::new(0.0, -0.5, -0.3), Vec3::new(0.15, -0.1, -0.75), 0.14) + fuzz, fur);
+    let tail =
+        (capsule(p, Vec3::new(0.0, -0.5, -0.3), Vec3::new(0.15, -0.1, -0.75), 0.14) + fuzz, fur);
     let tip = (sphere(p, Vec3::new(0.15, -0.1, -0.75), 0.1), belly);
     let legs = {
         let mut d = (f32::INFINITY, fur);
@@ -379,7 +411,13 @@ mod tests {
         let fps: Vec<_> = scenes.iter().map(fingerprint).collect();
         for i in 0..fps.len() {
             for j in (i + 1)..fps.len() {
-                assert_ne!(fps[i], fps[j], "{} and {} look identical", scenes[i].name(), scenes[j].name());
+                assert_ne!(
+                    fps[i],
+                    fps[j],
+                    "{} and {} look identical",
+                    scenes[i].name(),
+                    scenes[j].name()
+                );
             }
         }
     }

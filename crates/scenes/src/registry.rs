@@ -104,9 +104,12 @@ pub struct SceneInfo {
 /// Table-1 metadata for a scene.
 pub fn info(id: SceneId) -> SceneInfo {
     let (dataset, resolution, kind) = match id {
-        SceneId::Mic | SceneId::Hotdog | SceneId::Ship | SceneId::Chair | SceneId::Ficus | SceneId::Lego => {
-            ("Synthetic-NeRF", (800, 800), SceneKind::Synthetic)
-        }
+        SceneId::Mic
+        | SceneId::Hotdog
+        | SceneId::Ship
+        | SceneId::Chair
+        | SceneId::Ficus
+        | SceneId::Lego => ("Synthetic-NeRF", (800, 800), SceneKind::Synthetic),
         SceneId::Palace => ("Synthetic-NSVF", (800, 800), SceneKind::Synthetic),
         SceneId::Fountain => ("BlendedMVS", (768, 576), SceneKind::RealWorld),
         SceneId::Family => ("Tanks&Temples", (1920, 1080), SceneKind::RealWorld),
@@ -120,9 +123,12 @@ pub fn build(id: SceneId) -> Box<dyn SceneField> {
     Box::new(build_sdf(id))
 }
 
+/// Signature of a procedural field: position to (signed distance, albedo).
+type FieldFn = fn(Vec3) -> (f32, asdr_math::Rgb);
+
 /// Builds the concrete [`SdfScene`] (exposes `distance` for tests).
 pub fn build_sdf(id: SceneId) -> SdfScene {
-    let (name, f): (&'static str, fn(Vec3) -> (f32, asdr_math::Rgb)) = match id {
+    let (name, f): (&'static str, FieldFn) = match id {
         SceneId::Lego => ("Lego", procedural::lego),
         SceneId::Mic => ("Mic", procedural::mic),
         SceneId::Ship => ("Ship", procedural::ship),

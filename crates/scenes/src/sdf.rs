@@ -144,8 +144,9 @@ fn hash3(p: Vec3) -> f32 {
     let xi = p.x as i64;
     let yi = p.y as i64;
     let zi = p.z as i64;
-    let mut h = (xi.wrapping_mul(73_856_093) ^ yi.wrapping_mul(19_349_663) ^ zi.wrapping_mul(83_492_791))
-        as u64;
+    let mut h = (xi.wrapping_mul(73_856_093)
+        ^ yi.wrapping_mul(19_349_663)
+        ^ zi.wrapping_mul(83_492_791)) as u64;
     h ^= h >> 13;
     h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
     h ^= h >> 33;

@@ -52,12 +52,8 @@ fn main() {
     println!("\n== n sweep (color-density decoupling) on {id} ==");
     println!("{:<6} {:>12} {:>14} {:>16}", "n", "PSNR (dB)", "color evals", "vs full color");
     for n in [1usize, 2, 3, 4, 6, 8] {
-        let opts = RenderOptions {
-            base_ns,
-            adaptive: None,
-            approx_group: n,
-            early_termination: false,
-        };
+        let opts =
+            RenderOptions { base_ns, adaptive: None, approx_group: n, early_termination: false };
         let out = render(&model, &cam, &opts);
         println!(
             "{:<6} {:>12.2} {:>14} {:>15.1}%",

@@ -35,7 +35,8 @@ fn main() {
         let fixed = render(&model, &cam, &RenderOptions::instant_ngp(base_ns));
         let asdr = render(&model, &cam, &RenderOptions::asdr_default(base_ns));
         let cfg = model.encoder().config();
-        let gpu = simulate_gpu(&GpuSpec::xavier_nx(), &model, &fixed.stats, cfg.levels, cfg.feat_dim);
+        let gpu =
+            simulate_gpu(&GpuSpec::xavier_nx(), &model, &fixed.stats, cfg.levels, cfg.feat_dim);
         let chip = simulate_chip(&model, &cam, &asdr, &ChipOptions::edge());
         let ok = chip.fps >= VR_FPS;
         pass += ok as u32;

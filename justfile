@@ -1,0 +1,34 @@
+# Local entry points, kept identical to what CI runs (.github/workflows/ci.yml)
+# and the Makefile (use whichever runner you have; the recipes are the same).
+
+# Tier-1 gate: what must stay green on every commit.
+verify:
+    cargo build --release
+    cargo test -q
+
+# The seven layer crates' own suites (tier-1 covers only the root package).
+test-crates:
+    cargo test --workspace --exclude asdr -q
+
+# Formatting and lints, exactly as CI enforces them.
+fmt:
+    cargo fmt --all
+
+fmt-check:
+    cargo fmt --all --check
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Compile-check everything that is not exercised by `cargo test`, so benches
+# and examples can never silently rot.
+check-extras:
+    cargo build --workspace --benches --examples
+
+# A fast taste of the wall-clock benchmarks (the compat criterion shim keeps
+# each one to a few seconds).
+bench-smoke:
+    cargo bench -p asdr_bench --bench adaptive --bench regcache
+
+# Everything CI runs, in one shot.
+ci: fmt-check clippy verify test-crates check-extras

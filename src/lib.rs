@@ -11,8 +11,9 @@
 //! * [`core`] — the ASDR algorithms and chip simulator,
 //! * [`baselines`] — GPU roofline models, NeuRex, Re-NeRF.
 //!
-//! See `examples/quickstart.rs` for the five-minute tour, DESIGN.md for the
-//! system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+//! See `examples/quickstart.rs` for the five-minute tour, `DESIGN.md` for
+//! the crate inventory and dependency DAG, and `README.md` for the
+//! quickstart and verification commands.
 //!
 //! ```
 //! use asdr::core::algo::{render, RenderOptions};

@@ -69,7 +69,8 @@ fn hybrid_mapping_dominates_naive_in_utilization_and_conflicts() {
 fn tech_variants_preserve_functionality_and_order_energy() {
     let (model, cam) = setup();
     let out = render(&model, &cam, &RenderOptions::asdr_default(48));
-    let mk = |tech| simulate_chip(&model, &cam, &out, &ChipOptions { tech, ..ChipOptions::server() });
+    let mk =
+        |tech| simulate_chip(&model, &cam, &out, &ChipOptions { tech, ..ChipOptions::server() });
     let reram = mk(MemTech::Reram);
     let sram = mk(MemTech::SramCim);
     let sa = mk(MemTech::SramDigital);
@@ -84,10 +85,16 @@ fn energy_breakdown_sums_to_total() {
     let (model, cam) = setup();
     let out = render(&model, &cam, &RenderOptions::asdr_default(48));
     let r = simulate_chip(&model, &cam, &out, &ChipOptions::edge());
-    let dynamic = r.encoding_energy_j + r.mlp_energy_j + r.render_energy_j + r.buffer_energy_j
+    let dynamic = r.encoding_energy_j
+        + r.mlp_energy_j
+        + r.render_energy_j
+        + r.buffer_energy_j
         + r.dram_energy_j;
     assert!(r.total_energy_j >= dynamic, "total must include static power");
-    assert!(r.total_energy_j < dynamic + 2.0 * r.time_s * 1.5, "static term bounded by power budget");
+    assert!(
+        r.total_energy_j < dynamic + 2.0 * r.time_s * 1.5,
+        "static term bounded by power budget"
+    );
 }
 
 #[test]

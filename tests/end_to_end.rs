@@ -21,6 +21,26 @@ fn fitted_model_reconstructs_every_scene() {
     }
 }
 
+/// Slow tier: the same reconstruction check at the default evaluation scale
+/// (16-level grid, 96×96 frames). Run with `cargo test -- --ignored` or
+/// `cargo test --features slow-tests`.
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "GridConfig::small over all 10 scenes takes minutes; tier-1 runs GridConfig::tiny above"
+)]
+fn fitted_model_reconstructs_every_scene_at_evaluation_scale() {
+    for id in SceneId::ALL {
+        let scene = registry::build_sdf(id);
+        let model = fit_ngp(&scene, &GridConfig::small());
+        let cam = registry::standard_camera(id, 96, 96);
+        let gt = render_ground_truth(&scene, &cam, 192);
+        let img = render_reference(&model, &cam, 96);
+        let p = psnr(&img, &gt);
+        assert!(p > 19.0, "{id}: fitted model too far from ground truth ({p:.2} dB)");
+    }
+}
+
 #[test]
 fn asdr_pipeline_is_near_lossless_and_cheaper() {
     let id = SceneId::Hotdog;

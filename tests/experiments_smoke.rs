@@ -1,9 +1,9 @@
 //! Smoke test of the full experiment harness at tiny scale: every table and
 //! figure generator must run and produce shape-correct output.
 
+use asdr::scenes::SceneId;
 use asdr_bench::experiments::*;
 use asdr_bench::{Harness, Scale};
-use asdr::scenes::SceneId;
 
 #[test]
 fn every_experiment_runs_at_tiny_scale() {
@@ -56,4 +56,25 @@ fn printers_do_not_panic() {
     let q = quality::run_fig16(&mut h, &[SceneId::Mic]);
     quality::print_fig16(&q);
     quality::print_table3(&q);
+}
+
+/// Slow tier: the default-evaluation-scale sweep over the performance scene
+/// subset. Run with `cargo test -- --ignored` or
+/// `cargo test --features slow-tests`.
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "Scale::Small sweep over 5 scenes takes minutes; tier-1 runs Scale::Tiny above"
+)]
+fn quality_and_perf_at_evaluation_scale() {
+    let mut h = Harness::new(Scale::Small);
+    let q = quality::run_fig16(&mut h, &SceneId::PERF);
+    assert_eq!(q.len(), SceneId::PERF.len());
+    for row in &q {
+        assert!(row.instant_ngp.psnr.is_finite());
+    }
+    let perf = performance::run_perf(&mut h, &SceneId::PERF);
+    for row in &perf {
+        assert!(row.asdr_server.fps > 0.0);
+    }
 }
