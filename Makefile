@@ -1,7 +1,7 @@
 # Local entry points, kept identical to .github/workflows/ci.yml and the
 # justfile (use whichever runner you have; the recipes are the same).
 
-.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke ci
+.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke bench-check ci
 
 # Tier-1 gate: what must stay green on every commit.
 verify:
@@ -29,6 +29,13 @@ check-extras:
 # A fast taste of the wall-clock benchmarks.
 bench-smoke:
 	cargo bench -p asdr_bench --bench adaptive --bench regcache
+
+# Full benches + regression check against the committed baseline. Starts
+# from a clean dump so stale entries from earlier runs can't mask anything.
+bench-check:
+	rm -f target/bench-results.json
+	cargo bench -p asdr_bench
+	scripts/bench_check.sh
 
 # Everything CI runs, in one shot.
 ci: fmt-check clippy verify test-crates check-extras

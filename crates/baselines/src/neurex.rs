@@ -143,12 +143,11 @@ mod tests {
     use asdr_math::metrics::psnr;
     use asdr_nerf::fit::fit_ngp;
     use asdr_nerf::grid::GridConfig;
-    use asdr_scenes::registry::{build_sdf, standard_camera};
-    use asdr_scenes::SceneId;
+    use asdr_scenes::registry;
 
     fn setup() -> (NgpModel, asdr_math::Camera) {
-        let m = fit_ngp(&build_sdf(SceneId::Lego), &GridConfig::tiny());
-        let cam = standard_camera(SceneId::Lego, 24, 24);
+        let m = fit_ngp(registry::handle("Lego").build().as_ref(), &GridConfig::tiny());
+        let cam = registry::handle("Lego").camera(24, 24);
         (m, cam)
     }
 

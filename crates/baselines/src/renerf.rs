@@ -43,16 +43,15 @@ mod tests {
     use asdr_math::metrics::psnr;
     use asdr_nerf::fit::fit_ngp;
     use asdr_nerf::grid::GridConfig;
-    use asdr_scenes::registry::{build_sdf, standard_camera};
-    use asdr_scenes::SceneId;
+    use asdr_scenes::registry;
 
     #[test]
     fn naive_reduction_hurts_more_than_asdr() {
         // the Fig. 9 comparison: at ~the same budget, ASDR's decoupling
         // preserves quality better than naive halving
-        let scene = build_sdf(SceneId::Lego);
+        let scene = registry::handle("Lego").build();
         let model = fit_ngp(&scene, &GridConfig::tiny());
-        let cam = standard_camera(SceneId::Lego, 24, 24);
+        let cam = registry::handle("Lego").camera(24, 24);
         let reference = render_reference(&model, &cam, 64);
 
         let renerf = render_renerf(&model, &cam, 64, 2);
@@ -71,9 +70,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn non_dividing_reduction_panics() {
-        let scene = build_sdf(SceneId::Mic);
+        let scene = registry::handle("Mic").build();
         let model = fit_ngp(&scene, &GridConfig::tiny());
-        let cam = standard_camera(SceneId::Mic, 4, 4);
+        let cam = registry::handle("Mic").camera(4, 4);
         let _ = render_renerf(&model, &cam, 64, 7);
     }
 }

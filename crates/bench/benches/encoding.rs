@@ -3,12 +3,11 @@
 use asdr_math::Vec3;
 use asdr_nerf::fit::fit_ngp;
 use asdr_nerf::grid::GridConfig;
-use asdr_scenes::registry::build_sdf;
-use asdr_scenes::SceneId;
+use asdr_scenes::registry;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_encoding(c: &mut Criterion) {
-    let model = fit_ngp(&build_sdf(SceneId::Lego), &GridConfig::tiny());
+    let model = fit_ngp(registry::handle("Lego").build().as_ref(), &GridConfig::tiny());
     let enc = model.encoder();
     let mut out = vec![0.0f32; enc.encoded_dim()];
     let points: Vec<Vec3> = (0..256)

@@ -6,13 +6,12 @@
 use asdr_core::algo::{render, RenderOptions};
 use asdr_nerf::fit::fit_ngp;
 use asdr_nerf::grid::GridConfig;
-use asdr_scenes::registry::{build_sdf, standard_camera};
-use asdr_scenes::SceneId;
+use asdr_scenes::registry;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_endtoend(c: &mut Criterion) {
-    let model = fit_ngp(&build_sdf(SceneId::Lego), &GridConfig::tiny());
-    let cam = standard_camera(SceneId::Lego, 32, 32);
+    let model = fit_ngp(registry::handle("Lego").build().as_ref(), &GridConfig::tiny());
+    let cam = registry::handle("Lego").camera(32, 32);
 
     let mut g = c.benchmark_group("frame_32x32");
     g.sample_size(10);

@@ -3,12 +3,11 @@
 use asdr_math::Vec3;
 use asdr_nerf::fit::fit_ngp;
 use asdr_nerf::grid::GridConfig;
-use asdr_scenes::registry::build_sdf;
-use asdr_scenes::SceneId;
+use asdr_scenes::registry;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_mlp(c: &mut Criterion) {
-    let model = fit_ngp(&build_sdf(SceneId::Mic), &GridConfig::tiny());
+    let model = fit_ngp(registry::handle("Mic").build().as_ref(), &GridConfig::tiny());
     let mut scratch = model.make_scratch();
     let p = Vec3::new(0.0, 0.45, 0.0);
     let dir = Vec3::new(0.3, -0.5, 0.8).normalized();

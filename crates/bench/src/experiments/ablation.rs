@@ -5,13 +5,13 @@ use crate::{fmt_x, print_header, print_row, Harness};
 use asdr_baselines::gpu::{simulate_gpu, GpuSpec};
 use asdr_core::algo::{render, RenderOptions};
 use asdr_core::arch::chip::{simulate_chip, ChipOptions};
-use asdr_scenes::SceneId;
+use asdr_scenes::SceneHandle;
 
 /// Fig. 20 row: speedups over the Xavier NX GPU for each design point.
 #[derive(Debug, Clone)]
 pub struct Fig20Row {
     /// Scene.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// Strawman CIM (no SW or HW optimizations).
     pub strawman: f64,
     /// Software optimizations only (AS + RA on the strawman chip).
@@ -23,12 +23,12 @@ pub struct Fig20Row {
 }
 
 /// Runs Fig. 20 on the paper's three scenes.
-pub fn run_fig20(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig20Row> {
+pub fn run_fig20(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Fig20Row> {
     let base_ns = h.scale().base_ns();
     let asdr_opts = h.asdr_options();
     scenes
         .iter()
-        .map(|&id| {
+        .map(|id| {
             let model = h.model(id);
             let cam = h.camera(id);
             let cfg = model.encoder().config().clone();
@@ -48,7 +48,7 @@ pub fn run_fig20(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig20Row> {
             let hw = simulate_chip(&model, &cam, &fixed, &edge);
             let full = simulate_chip(&model, &cam, &asdr, &edge);
             Fig20Row {
-                id,
+                id: id.clone(),
                 strawman: gpu.total_s / strawman.time_s,
                 sw: gpu.total_s / sw.time_s,
                 hw: gpu.total_s / hw.time_s,
@@ -73,7 +73,7 @@ pub fn print_fig20(rows: &[Fig20Row]) {
 #[derive(Debug, Clone)]
 pub struct Fig23Row {
     /// Scene.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// ET only.
     pub et: f64,
     /// AS only.
@@ -83,12 +83,12 @@ pub struct Fig23Row {
 }
 
 /// Runs Fig. 23.
-pub fn run_fig23(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig23Row> {
+pub fn run_fig23(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Fig23Row> {
     let base_ns = h.scale().base_ns();
     let as_opts = h.as_only_options();
     scenes
         .iter()
-        .map(|&id| {
+        .map(|id| {
             let model = h.model(id);
             let cam = h.camera(id);
             let opts = ChipOptions::edge();
@@ -104,7 +104,7 @@ pub fn run_fig23(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig23Row> {
             };
             let strawman = mk(false, false);
             Fig23Row {
-                id,
+                id: id.clone(),
                 et: strawman / mk(true, false),
                 as_only: strawman / mk(false, true),
                 et_as: strawman / mk(true, true),
@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn fig20_components_compose() {
         let mut h = Harness::new(Scale::Tiny);
-        let rows = run_fig20(&mut h, &[SceneId::Palace]);
+        let rows = run_fig20(&mut h, &["Palace"].map(asdr_scenes::registry::handle));
         let r = &rows[0];
         assert!(r.strawman > 0.5, "strawman should at least approach the edge GPU: {r:?}");
         assert!(r.sw > r.strawman, "SW opts must help: {r:?}");
@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn fig23_combination_is_best() {
         let mut h = Harness::new(Scale::Tiny);
-        let rows = run_fig23(&mut h, &[SceneId::Hotdog]);
+        let rows = run_fig23(&mut h, &["Hotdog"].map(asdr_scenes::registry::handle));
         let r = &rows[0];
         assert!(r.et > 1.0, "ET must help on an opaque scene: {r:?}");
         assert!(r.as_only > 1.0, "AS must help: {r:?}");

@@ -6,7 +6,7 @@ use asdr_core::algo::adaptive::AdaptiveConfig;
 use asdr_core::algo::{render, RenderOptions};
 use asdr_core::arch::chip::{encoding_profile, simulate_chip, ChipOptions};
 use asdr_math::metrics::psnr;
-use asdr_scenes::SceneId;
+use asdr_scenes::SceneHandle;
 
 /// One δ design point (Fig. 21(a)).
 #[derive(Debug, Clone)]
@@ -22,7 +22,7 @@ pub struct DeltaPoint {
 }
 
 /// Runs the δ sweep on one scene.
-pub fn run_fig21a(h: &mut Harness, id: SceneId, deltas: &[f32]) -> Vec<DeltaPoint> {
+pub fn run_fig21a(h: &mut Harness, id: &SceneHandle, deltas: &[f32]) -> Vec<DeltaPoint> {
     let base_ns = h.scale().base_ns();
     let model = h.model(id);
     let cam = h.camera(id);
@@ -58,7 +58,7 @@ pub fn run_fig21a(h: &mut Harness, id: SceneId, deltas: &[f32]) -> Vec<DeltaPoin
 }
 
 /// Prints Fig. 21(a).
-pub fn print_fig21a(id: SceneId, points: &[DeltaPoint]) {
+pub fn print_fig21a(id: &SceneHandle, points: &[DeltaPoint]) {
     println!("\nFig. 21(a): Adaptive-sampling threshold sweep ({id})");
     print_header(&["delta", "Speedup", "PSNR (dB)", "avg samples"]);
     for p in points {
@@ -94,7 +94,7 @@ pub struct GroupPoint {
 }
 
 /// Runs the group-size sweep on one scene.
-pub fn run_fig21b(h: &mut Harness, id: SceneId, ns: &[usize]) -> Vec<GroupPoint> {
+pub fn run_fig21b(h: &mut Harness, id: &SceneHandle, ns: &[usize]) -> Vec<GroupPoint> {
     let base_ns = h.scale().base_ns();
     let model = h.model(id);
     let cam = h.camera(id);
@@ -120,7 +120,7 @@ pub fn run_fig21b(h: &mut Harness, id: SceneId, ns: &[usize]) -> Vec<GroupPoint>
 }
 
 /// Prints Fig. 21(b).
-pub fn print_fig21b(id: SceneId, points: &[GroupPoint]) {
+pub fn print_fig21b(id: &SceneHandle, points: &[GroupPoint]) {
     println!("\nFig. 21(b): Rendering-approximation group size sweep ({id})");
     print_header(&["n", "Energy saving", "PSNR (dB)"]);
     for p in points {
@@ -141,7 +141,7 @@ pub struct CachePoint {
 }
 
 /// Runs the cache sweep on one scene.
-pub fn run_fig22(h: &mut Harness, id: SceneId, sizes: &[usize]) -> Vec<CachePoint> {
+pub fn run_fig22(h: &mut Harness, id: &SceneHandle, sizes: &[usize]) -> Vec<CachePoint> {
     let model = h.model(id);
     let cam = h.camera(id);
     let out = render(&*model, &cam, &h.asdr_options());
@@ -164,7 +164,7 @@ pub fn run_fig22(h: &mut Harness, id: SceneId, sizes: &[usize]) -> Vec<CachePoin
 }
 
 /// Prints Fig. 22.
-pub fn print_fig22(id: SceneId, points: &[CachePoint]) {
+pub fn print_fig22(id: &SceneHandle, points: &[CachePoint]) {
     println!("\nFig. 22: Register-cache size sweep ({id}, encoding-stage speedup)");
     print_header(&["Entries/table", "Speedup vs no cache", "Hit rate"]);
     for p in points {
@@ -185,7 +185,11 @@ mod tests {
     #[test]
     fn delta_sweep_trades_quality_for_speed() {
         let mut h = Harness::new(Scale::Tiny);
-        let pts = run_fig21a(&mut h, SceneId::Mic, &[0.0, 1.0 / 2048.0, 1.0 / 256.0]);
+        let pts = run_fig21a(
+            &mut h,
+            &asdr_scenes::registry::handle("Mic"),
+            &[0.0, 1.0 / 2048.0, 1.0 / 256.0],
+        );
         assert_eq!(pts.len(), 4);
         // speedup grows with looser thresholds
         assert!(pts[3].speedup >= pts[1].speedup * 0.95);
@@ -197,7 +201,7 @@ mod tests {
     #[test]
     fn group_sweep_saves_energy_with_bounded_loss() {
         let mut h = Harness::new(Scale::Tiny);
-        let pts = run_fig21b(&mut h, SceneId::Chair, &[2, 3, 4]);
+        let pts = run_fig21b(&mut h, &asdr_scenes::registry::handle("Chair"), &[2, 3, 4]);
         assert_eq!(pts.len(), 4);
         for w in pts.windows(2) {
             assert!(w[1].energy_saving >= w[0].energy_saving * 0.98, "{pts:?}");
@@ -209,7 +213,7 @@ mod tests {
     #[test]
     fn cache_sweep_saturates() {
         let mut h = Harness::new(Scale::Tiny);
-        let pts = run_fig22(&mut h, SceneId::Lego, &[0, 2, 4, 8, 16]);
+        let pts = run_fig22(&mut h, &asdr_scenes::registry::handle("Lego"), &[0, 2, 4, 8, 16]);
         assert_eq!(pts[0].speedup, 1.0);
         assert!(pts[3].speedup > pts[1].speedup * 0.99, "more cache should not hurt: {pts:?}");
         assert!(pts[4].hit_rate >= pts[1].hit_rate);

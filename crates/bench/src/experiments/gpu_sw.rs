@@ -3,13 +3,13 @@
 use crate::{fmt_x, print_header, print_row, Harness};
 use asdr_baselines::gpu::{simulate_gpu, GpuSpec};
 use asdr_core::algo::{render, RenderOptions};
-use asdr_scenes::SceneId;
+use asdr_scenes::SceneHandle;
 
 /// Fig. 24 row: GPU speedups from ASDR's algorithms alone.
 #[derive(Debug, Clone)]
 pub struct Fig24Row {
     /// Scene.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// Adaptive sampling only.
     pub as_only: f64,
     /// Adaptive sampling + rendering approximation.
@@ -17,12 +17,12 @@ pub struct Fig24Row {
 }
 
 /// Runs Fig. 24 on the given scenes (RTX 3070 model).
-pub fn run_fig24(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig24Row> {
+pub fn run_fig24(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Fig24Row> {
     let base_ns = h.scale().base_ns();
     let spec = GpuSpec::rtx3070();
     scenes
         .iter()
-        .map(|&id| {
+        .map(|id| {
             let model = h.model(id);
             let cam = h.camera(id);
             let cfg = model.encoder().config().clone();
@@ -33,7 +33,7 @@ pub fn run_fig24(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig24Row> {
             let base = t(&RenderOptions::instant_ngp(base_ns));
             let as_time = t(&h.as_only_options());
             let asra_time = t(&h.asdr_options());
-            Fig24Row { id, as_only: base / as_time, as_ra: base / asra_time }
+            Fig24Row { id: id.clone(), as_only: base / as_time, as_ra: base / asra_time }
         })
         .collect()
 }
@@ -61,7 +61,7 @@ mod tests {
     #[test]
     fn software_speedups_stack() {
         let mut h = Harness::new(Scale::Tiny);
-        let rows = run_fig24(&mut h, &[SceneId::Mic, SceneId::Hotdog]);
+        let rows = run_fig24(&mut h, &["Mic", "Hotdog"].map(asdr_scenes::registry::handle));
         for r in &rows {
             assert!(r.as_only > 1.0, "AS must help: {r:?}");
             assert!(r.as_ra >= r.as_only * 0.98, "RA must stack: {r:?}");

@@ -7,14 +7,14 @@ use asdr_baselines::neurex::{simulate_neurex, NeurexVariant};
 use asdr_cim::device::MemTech;
 use asdr_core::algo::{render, RenderOptions};
 use asdr_core::arch::chip::{simulate_chip, ChipOptions};
-use asdr_scenes::SceneId;
+use asdr_scenes::SceneHandle;
 
 /// One scene's results across hardware configurations (speedup and energy
 /// efficiency normalized to the setting's GPU).
 #[derive(Debug, Clone)]
 pub struct HwConfigRow {
     /// Scene.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// NeuRex reference.
     pub neurex_speedup: f64,
     /// ASDR(SA): SRAM encoding + systolic MLP.
@@ -29,12 +29,12 @@ pub struct HwConfigRow {
 
 /// Runs Figs. 26–27 for one setting (`server = true` → RTX 3070 + server
 /// configs).
-pub fn run_hwconfig(h: &mut Harness, scenes: &[SceneId], server: bool) -> Vec<HwConfigRow> {
+pub fn run_hwconfig(h: &mut Harness, scenes: &[SceneHandle], server: bool) -> Vec<HwConfigRow> {
     let base_ns = h.scale().base_ns();
     let asdr_opts = h.asdr_options();
     scenes
         .iter()
-        .map(|&id| {
+        .map(|id| {
             let model = h.model(id);
             let cam = h.camera(id);
             let cfg = model.encoder().config().clone();
@@ -55,7 +55,7 @@ pub fn run_hwconfig(h: &mut Harness, scenes: &[SceneId], server: bool) -> Vec<Hw
             let sram = chip(MemTech::SramCim);
             let reram = chip(MemTech::Reram);
             HwConfigRow {
-                id,
+                id: id.clone(),
                 neurex_speedup: gpu.total_s / neurex.total_s,
                 sa_speedup: gpu.total_s / sa.time_s,
                 sram_speedup: gpu.total_s / sram.time_s,
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn tech_variants_order_correctly() {
         let mut h = Harness::new(Scale::Tiny);
-        let rows = run_hwconfig(&mut h, &[SceneId::Palace], true);
+        let rows = run_hwconfig(&mut h, &["Palace"].map(asdr_scenes::registry::handle), true);
         let r = &rows[0];
         // Fig. 26 ordering among ASDR variants: ReRAM ≥ SRAM ≥ SA
         assert!(r.reram_speedup >= r.sram_speedup * 0.99, "{r:?}");

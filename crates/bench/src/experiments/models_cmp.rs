@@ -13,7 +13,7 @@ use asdr_math::metrics::psnr;
 use asdr_math::{Camera, Image};
 use asdr_nerf::dvgo::{DvgoConfig, DvgoModel};
 use asdr_nerf::model::RadianceModel;
-use asdr_scenes::SceneId;
+use asdr_scenes::SceneHandle;
 
 /// One model family's measured row.
 #[derive(Debug, Clone)]
@@ -51,7 +51,7 @@ fn measure<M: RadianceModel + Sync>(
 }
 
 /// Runs Table 5 on one scene.
-pub fn run_table5(h: &mut Harness, id: SceneId) -> Vec<Table5Row> {
+pub fn run_table5(h: &mut Harness, id: &SceneHandle) -> Vec<Table5Row> {
     let cam = h.camera(id);
     let gt = h.ground_truth(id);
     let full = h.ngp_options();
@@ -63,7 +63,7 @@ pub fn run_table5(h: &mut Harness, id: SceneId) -> Vec<Table5Row> {
         crate::Scale::Tiny => DvgoConfig::tiny(),
         _ => DvgoConfig::small(),
     };
-    let dvgo = DvgoModel::fit(&asdr_scenes::registry::build_sdf(id), &dvgo_cfg);
+    let dvgo = DvgoModel::fit(id.build().as_ref(), &dvgo_cfg);
 
     let (p1, a1, w1) = measure(&*ngp, &cam, &gt, &full, &asdr);
     let (p2, a2, w2) = measure(&*tensorf, &cam, &gt, &full, &asdr);
@@ -101,7 +101,7 @@ pub fn run_table5(h: &mut Harness, id: SceneId) -> Vec<Table5Row> {
 }
 
 /// Prints Table 5.
-pub fn print_table5(id: SceneId, rows: &[Table5Row]) {
+pub fn print_table5(id: &SceneHandle, rows: &[Table5Row]) {
     println!("\nTable 5: NeRF model families under ASDR ({id})");
     print_header(&[
         "Model",
@@ -134,7 +134,7 @@ mod tests {
     #[test]
     fn asdr_generalizes_across_model_families() {
         let mut h = Harness::new(Scale::Tiny);
-        let rows = run_table5(&mut h, SceneId::Mic);
+        let rows = run_table5(&mut h, &asdr_scenes::registry::handle("Mic"));
         assert_eq!(rows.len(), 3);
         for r in &rows {
             // ASDR cuts work on every family…

@@ -4,7 +4,7 @@
 use crate::{print_header, print_row, Harness};
 use asdr_core::arch::addrgen::{HybridAddressGenerator, MappingMode};
 use asdr_nerf::profile;
-use asdr_scenes::SceneId;
+use asdr_scenes::{registry, SceneHandle};
 
 /// Fig. 4 result: the address stream and its locality summary.
 #[derive(Debug, Clone)]
@@ -20,8 +20,9 @@ pub struct Fig4Result {
 /// Runs Fig. 4 on the Lego scene (1500 consecutive sample points, as the
 /// paper plots).
 pub fn run_fig4(h: &mut Harness) -> Fig4Result {
-    let model = h.model(SceneId::Lego);
-    let cam = h.camera(SceneId::Lego);
+    let lego = registry::handle("Lego");
+    let model = h.model(&lego);
+    let cam = h.camera(&lego);
     let addrs = profile::trace_addresses(&model, &cam, h.scale().base_ns(), 1500);
     let n = addrs.len();
     let step = (n / 60).max(1);
@@ -57,7 +58,7 @@ pub struct Fig5Result {
 
 /// Runs Fig. 5.
 pub fn run_fig5(h: &mut Harness) -> Fig5Result {
-    let model = h.model(SceneId::Lego);
+    let model = h.model(&registry::handle("Lego"));
     let (e, d, c) = profile::flops_breakdown(&*model);
     Fig5Result { embedding: e, density: d, color: c }
 }
@@ -77,7 +78,7 @@ pub fn print_fig5(r: &Fig5Result) {
 #[derive(Debug, Clone)]
 pub struct Fig8Row {
     /// Scene.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// 5th-percentile cosine similarity ("95% of similarities ≥ this").
     pub p05: f32,
     /// Fraction of similarities ≥ 0.9.
@@ -88,13 +89,23 @@ pub struct Fig8Row {
 
 /// Runs Fig. 8 on the paper's three scenes (Mic, Lego, Palace).
 pub fn run_fig8(h: &mut Harness) -> Vec<Fig8Row> {
-    [SceneId::Mic, SceneId::Lego, SceneId::Palace]
+    run_fig8_on(h, &["Mic", "Lego", "Palace"].map(registry::handle))
+}
+
+/// Runs Fig. 8 on any scene set.
+pub fn run_fig8_on(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Fig8Row> {
+    scenes
         .iter()
-        .map(|&id| {
+        .map(|id| {
             let model = h.model(id);
             let cam = h.camera(id);
             let stats = profile::color_similarity(&model, &cam, h.scale().base_ns(), 3);
-            Fig8Row { id, p05: stats.p05, frac_high: stats.frac_high, count: stats.count }
+            Fig8Row {
+                id: id.clone(),
+                p05: stats.p05,
+                frac_high: stats.frac_high,
+                count: stats.count,
+            }
         })
         .collect()
 }
@@ -166,8 +177,9 @@ pub struct Fig15Result {
 
 /// Runs Fig. 15 on Lego.
 pub fn run_fig15(h: &mut Harness) -> Fig15Result {
-    let model = h.model(SceneId::Lego);
-    let cam = h.camera(SceneId::Lego);
+    let lego = registry::handle("Lego");
+    let model = h.model(&lego);
+    let cam = h.camera(&lego);
     let p = profile::repetition_rates(&model, &cam, h.scale().base_ns(), 5);
     Fig15Result { inter_ray: p.inter_ray, intra_ray: p.intra_ray }
 }

@@ -6,13 +6,13 @@ use asdr_baselines::gpu::{simulate_gpu, GpuPerf, GpuSpec};
 use asdr_baselines::neurex::{simulate_neurex, NeurexPerf, NeurexVariant};
 use asdr_core::algo::{render, RenderOptions};
 use asdr_core::arch::chip::{simulate_chip, ChipOptions, PerfReport};
-use asdr_scenes::SceneId;
+use asdr_scenes::SceneHandle;
 
 /// All platform results for one scene.
 #[derive(Debug, Clone)]
 pub struct ScenePerf {
     /// Scene.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// RTX 3070 running the fixed Instant-NGP workload.
     pub gpu_server: GpuPerf,
     /// Xavier NX running the fixed Instant-NGP workload.
@@ -28,19 +28,19 @@ pub struct ScenePerf {
 }
 
 /// Runs the per-scene platform suite used by Figs. 17–19.
-pub fn run_perf(h: &mut Harness, scenes: &[SceneId]) -> Vec<ScenePerf> {
+pub fn run_perf(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<ScenePerf> {
     let base_ns = h.scale().base_ns();
     let asdr_opts = h.asdr_options();
     scenes
         .iter()
-        .map(|&id| {
+        .map(|id| {
             let model = h.model(id);
             let cam = h.camera(id);
             let cfg = model.encoder().config().clone();
             let baseline = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
             let asdr = render(&*model, &cam, &asdr_opts);
             ScenePerf {
-                id,
+                id: id.clone(),
                 gpu_server: simulate_gpu(
                     &GpuSpec::rtx3070(),
                     &*model,
@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn platform_ordering_matches_fig17() {
         let mut h = Harness::new(Scale::Tiny);
-        let rows = run_perf(&mut h, &[SceneId::Palace]);
+        let rows = run_perf(&mut h, &["Palace"].map(asdr_scenes::registry::handle));
         let r = &rows[0];
         // server: ASDR > NeuRex > GPU
         assert!(r.neurex_server.total_s < r.gpu_server.total_s, "NeuRex must beat the GPU");
@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn energy_efficiency_favors_asdr() {
         let mut h = Harness::new(Scale::Tiny);
-        let rows = run_perf(&mut h, &[SceneId::Mic]);
+        let rows = run_perf(&mut h, &["Mic"].map(asdr_scenes::registry::handle));
         let r = &rows[0];
         assert!(r.asdr_server.total_energy_j < r.gpu_server.energy_j);
         assert!(r.asdr_edge.total_energy_j < r.neurex_edge.energy_j);

@@ -12,7 +12,7 @@ use asdr_cim::XbarGeometry;
 use asdr_core::algo::render_reference;
 use asdr_math::metrics::psnr;
 use asdr_math::rng::seeded;
-use asdr_scenes::SceneId;
+use asdr_scenes::SceneHandle;
 use rand::Rng;
 
 /// Quality at one feature bit width.
@@ -25,7 +25,7 @@ pub struct FeatureBitsPoint {
 }
 
 /// Sweeps grid-feature precision on one scene.
-pub fn run_feature_bits(h: &mut Harness, id: SceneId, bits: &[u32]) -> Vec<FeatureBitsPoint> {
+pub fn run_feature_bits(h: &mut Harness, id: &SceneHandle, bits: &[u32]) -> Vec<FeatureBitsPoint> {
     let base_ns = h.scale().base_ns();
     let model = h.model(id);
     let cam = h.camera(id);
@@ -84,7 +84,7 @@ pub fn run_device_accuracy(adc_bits: &[u32], noises: &[f64]) -> Vec<DevicePoint>
 }
 
 /// Prints both sweeps.
-pub fn print_precision(id: SceneId, feat: &[FeatureBitsPoint], dev: &[DevicePoint]) {
+pub fn print_precision(id: &SceneHandle, feat: &[FeatureBitsPoint], dev: &[DevicePoint]) {
     println!("\nPrecision ablation (extension): grid-feature bits ({id})");
     print_header(&["feature bits", "PSNR vs fp32 render"]);
     for p in feat {
@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn feature_bits_sweep_is_monotone() {
         let mut h = Harness::new(Scale::Tiny);
-        let pts = run_feature_bits(&mut h, SceneId::Mic, &[4, 6, 8]);
+        let pts = run_feature_bits(&mut h, &asdr_scenes::registry::handle("Mic"), &[4, 6, 8]);
         assert_eq!(pts.len(), 3);
         assert!(pts[2].fidelity_db > pts[0].fidelity_db, "{pts:?}");
         assert!(pts[2].fidelity_db > 30.0, "8-bit must be near-lossless: {pts:?}");

@@ -21,13 +21,13 @@ pub const NEUREX_EFFECTIVE_BITS: u32 = 5;
 use asdr_baselines::renerf::render_renerf;
 use asdr_core::algo::{render, RenderOptions};
 use asdr_math::metrics::{psnr, quality, QualityReport};
-use asdr_scenes::SceneId;
+use asdr_scenes::SceneHandle;
 
 /// Quality of the four systems on one scene.
 #[derive(Debug, Clone)]
 pub struct QualityRow {
     /// Scene.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// Instant-NGP (fitted model, full sampling) vs ground truth.
     pub instant_ngp: QualityReport,
     /// Re-NeRF (naive half sampling).
@@ -49,12 +49,12 @@ pub struct QualityRow {
 }
 
 /// Runs Fig. 16 / Table 3 on the given scenes.
-pub fn run_fig16(h: &mut Harness, scenes: &[SceneId]) -> Vec<QualityRow> {
+pub fn run_fig16(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<QualityRow> {
     let base_ns = h.scale().base_ns();
     let asdr_opts = h.asdr_options();
     scenes
         .iter()
-        .map(|&id| {
+        .map(|id| {
             let model = h.model(id);
             let cam = h.camera(id);
             let gt = h.ground_truth(id);
@@ -65,7 +65,7 @@ pub fn run_fig16(h: &mut Harness, scenes: &[SceneId]) -> Vec<QualityRow> {
                 render(&neurex_model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
             let asdr_out = render(&*model, &cam, &asdr_opts);
             QualityRow {
-                id,
+                id: id.clone(),
                 instant_ngp: quality(&ngp_img, &gt),
                 renerf: quality(&renerf_img, &gt),
                 neurex: quality(&neurex_img, &gt),
@@ -164,8 +164,12 @@ pub fn print_table3(rows: &[QualityRow]) {
 }
 
 /// Scenes Table 3 reports (the six Synthetic-NeRF scenes).
-pub const TABLE3_SCENES: [SceneId; 6] =
-    [SceneId::Lego, SceneId::Ship, SceneId::Hotdog, SceneId::Chair, SceneId::Mic, SceneId::Ficus];
+pub fn table3_scenes() -> Vec<SceneHandle> {
+    ["Lego", "Ship", "Hotdog", "Chair", "Mic", "Ficus"]
+        .iter()
+        .map(|n| asdr_scenes::registry::handle(n))
+        .collect()
+}
 
 #[cfg(test)]
 mod tests {
@@ -175,7 +179,7 @@ mod tests {
     #[test]
     fn quality_ordering_matches_paper() {
         let mut h = Harness::new(Scale::Tiny);
-        let rows = run_fig16(&mut h, &[SceneId::Mic, SceneId::Lego]);
+        let rows = run_fig16(&mut h, &["Mic", "Lego"].map(asdr_scenes::registry::handle));
         for r in &rows {
             // ASDR must track Instant-NGP closely…
             assert!(

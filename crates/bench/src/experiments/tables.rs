@@ -2,16 +2,16 @@
 
 use crate::{print_header, print_row, Harness};
 use asdr_core::arch::AsdrConfig;
-use asdr_scenes::registry::{build_sdf, info};
-use asdr_scenes::{SceneField, SceneId};
+use asdr_scenes::{registry, SceneHandle};
 
-/// One Table-1 row: paper metadata plus the procedural stand-in's occupancy.
+/// One Table-1 row: registry metadata plus the procedural stand-in's
+/// occupancy.
 #[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Scene id.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// Source dataset.
-    pub dataset: &'static str,
+    pub dataset: String,
     /// Native resolution.
     pub resolution: (u32, u32),
     /// Synthetic / real-world.
@@ -20,18 +20,22 @@ pub struct Table1Row {
     pub occupancy: f32,
 }
 
-/// Collects Table 1.
-pub fn run_table1(_h: &mut Harness) -> Vec<Table1Row> {
-    SceneId::ALL
+/// Collects Table 1 over the paper scenes.
+pub fn run_table1(h: &mut Harness) -> Vec<Table1Row> {
+    run_table1_on(h, &registry::paper_scenes())
+}
+
+/// Collects Table 1 rows for any scene set.
+pub fn run_table1_on(_h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Table1Row> {
+    scenes
         .iter()
-        .map(|&id| {
-            let meta = info(id);
-            let field = build_sdf(id);
+        .map(|id| {
+            let field = id.build();
             Table1Row {
-                id,
-                dataset: meta.dataset,
-                resolution: meta.resolution,
-                kind: meta.kind.to_string(),
+                id: id.clone(),
+                dataset: id.dataset().to_string(),
+                resolution: id.resolution(),
+                kind: id.kind().to_string(),
                 occupancy: field.occupancy(1.0, 16),
             }
         })

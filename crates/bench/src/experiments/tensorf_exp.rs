@@ -11,7 +11,7 @@ use crate::{fmt_x, print_header, print_row, Harness};
 use asdr_baselines::gpu::{simulate_gpu, GpuPerf, GpuSpec};
 use asdr_core::algo::{render, RenderOptions, RenderStats};
 use asdr_math::metrics::{quality, QualityReport};
-use asdr_scenes::SceneId;
+use asdr_scenes::SceneHandle;
 
 /// Analytic ASDR-chip time for a TensoRF workload.
 ///
@@ -33,7 +33,7 @@ pub fn tensorf_chip_time_s(stats: &RenderStats, lanes: u32, decode_macs_per_poin
 #[derive(Debug, Clone)]
 pub struct Fig25Row {
     /// Scene.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// GPU baseline frame time.
     pub gpu: GpuPerf,
     /// ASDR software (adaptive sampling) on the GPU.
@@ -43,12 +43,12 @@ pub struct Fig25Row {
 }
 
 /// Runs Fig. 25.
-pub fn run_fig25(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig25Row> {
+pub fn run_fig25(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Fig25Row> {
     let base_ns = h.scale().base_ns();
     let spec = GpuSpec::rtx3070();
     scenes
         .iter()
-        .map(|&id| {
+        .map(|id| {
             let model = h.tensorf_model(id);
             let cam = h.camera(id);
             let baseline = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
@@ -65,7 +65,7 @@ pub fn run_fig25(h: &mut Harness, scenes: &[SceneId]) -> Vec<Fig25Row> {
             let decode_macs = (e + d + c) as f64 / 2.0;
             let arch_t = tensorf_chip_time_s(&asdr_sw.stats, 64, decode_macs);
             Fig25Row {
-                id,
+                id: id.clone(),
                 gpu,
                 asdr_gpu_speedup: gpu.total_s / gpu_sw.total_s,
                 asdr_arch_speedup: gpu.total_s / arch_t,
@@ -93,7 +93,7 @@ pub fn print_fig25(rows: &[Fig25Row]) {
 #[derive(Debug, Clone)]
 pub struct Table4Row {
     /// Scene.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// TensoRF at full sampling vs ground truth.
     pub tensorf: QualityReport,
     /// ASDR-optimized TensoRF vs ground truth.
@@ -101,17 +101,17 @@ pub struct Table4Row {
 }
 
 /// Runs Table 4.
-pub fn run_table4(h: &mut Harness, scenes: &[SceneId]) -> Vec<Table4Row> {
+pub fn run_table4(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Table4Row> {
     let base_ns = h.scale().base_ns();
     scenes
         .iter()
-        .map(|&id| {
+        .map(|id| {
             let model = h.tensorf_model(id);
             let cam = h.camera(id);
             let gt = h.ground_truth(id);
             let full = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
             let asdr = render(&*model, &cam, &h.asdr_options()).image;
-            Table4Row { id, tensorf: quality(&full, &gt), asdr: quality(&asdr, &gt) }
+            Table4Row { id: id.clone(), tensorf: quality(&full, &gt), asdr: quality(&asdr, &gt) }
         })
         .collect()
 }
@@ -167,11 +167,11 @@ mod tests {
     #[test]
     fn tensorf_experiments_hold_shape() {
         let mut h = Harness::new(Scale::Tiny);
-        let f25 = run_fig25(&mut h, &[SceneId::Mic]);
+        let f25 = run_fig25(&mut h, &["Mic"].map(asdr_scenes::registry::handle));
         assert!(f25[0].asdr_gpu_speedup > 1.0, "{f25:?}");
         assert!(f25[0].asdr_arch_speedup > f25[0].asdr_gpu_speedup, "{f25:?}");
 
-        let t4 = run_table4(&mut h, &[SceneId::Mic]);
+        let t4 = run_table4(&mut h, &["Mic"].map(asdr_scenes::registry::handle));
         let r = &t4[0];
         assert!(r.tensorf.psnr - r.asdr.psnr < 2.0, "ASDR must be near-lossless: {r:?}");
         assert!(r.tensorf.psnr > 15.0, "TensoRF fit too weak: {r:?}");

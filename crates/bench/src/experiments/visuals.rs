@@ -6,7 +6,7 @@ use asdr_core::algo::adaptive::SamplePlan;
 use asdr_core::algo::{render, RenderOptions};
 use asdr_math::metrics::psnr;
 use asdr_math::{Image, Rgb};
-use asdr_scenes::SceneId;
+use asdr_scenes::SceneHandle;
 use std::path::Path;
 
 /// Renders the per-pixel sample-count plan as a blue→red heatmap (the
@@ -33,7 +33,7 @@ pub fn plan_heatmap(plan: &SamplePlan) -> Image {
 #[derive(Debug, Clone)]
 pub struct Fig7Result {
     /// Scene.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// Mean planned samples per pixel.
     pub avg_samples: f64,
     /// Base (full) sample count.
@@ -50,7 +50,7 @@ pub struct Fig7Result {
 }
 
 /// Runs Fig. 7 on a scene.
-pub fn run_fig7(h: &mut Harness, id: SceneId) -> Fig7Result {
+pub fn run_fig7(h: &mut Harness, id: &SceneHandle) -> Fig7Result {
     let base_ns = h.scale().base_ns();
     let model = h.model(id);
     let cam = h.camera(id);
@@ -62,7 +62,7 @@ pub fn run_fig7(h: &mut Harness, id: SceneId) -> Fig7Result {
     let frac_minimum = out.plan.counts().iter().filter(|&&c| c == min_count).count() as f64
         / out.plan.counts().len() as f64;
     Fig7Result {
-        id,
+        id: id.clone(),
         avg_samples: out.plan.average(),
         base_ns,
         frac_minimum,
@@ -98,7 +98,7 @@ pub fn print_fig7(r: &Fig7Result, dir: Option<&Path>) {
 #[derive(Debug, Clone)]
 pub struct Fig9Result {
     /// Scene.
-    pub id: SceneId,
+    pub id: SceneHandle,
     /// PSNR of the full render vs ground truth.
     pub original_psnr: f64,
     /// PSNR of naive half sampling vs ground truth.
@@ -112,7 +112,7 @@ pub struct Fig9Result {
 }
 
 /// Runs Fig. 9 on a scene (paper uses Lego: 35.01 / 33.32 / 35.03 dB).
-pub fn run_fig9(h: &mut Harness, id: SceneId) -> Fig9Result {
+pub fn run_fig9(h: &mut Harness, id: &SceneHandle) -> Fig9Result {
     let base_ns = h.scale().base_ns();
     let model = h.model(id);
     let cam = h.camera(id);
@@ -123,7 +123,7 @@ pub fn run_fig9(h: &mut Harness, id: SceneId) -> Fig9Result {
     approx_opts.approx_group = 2;
     let approx = render(&*model, &cam, &approx_opts);
     Fig9Result {
-        id,
+        id: id.clone(),
         original_psnr: psnr(&full.image, &gt),
         naive_psnr: psnr(&naive.image, &gt),
         approx_psnr: psnr(&approx.image, &gt),
@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn fig7_heatmap_reflects_plan() {
         let mut h = Harness::new(Scale::Tiny);
-        let r = run_fig7(&mut h, SceneId::Mic);
+        let r = run_fig7(&mut h, &asdr_scenes::registry::handle("Mic"));
         assert_eq!(r.heatmap.width(), h.scale().resolution());
         assert!(r.avg_samples < r.base_ns as f64);
         assert!(r.frac_minimum > 0.05, "a background-heavy scene has minimum-count pixels");
@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn fig9_approximation_beats_naive() {
         let mut h = Harness::new(Scale::Tiny);
-        let r = run_fig9(&mut h, SceneId::Lego);
+        let r = run_fig9(&mut h, &asdr_scenes::registry::handle("Lego"));
         // at toy scale the base count is generous relative to scene
         // frequency content, so naive halving barely hurts and the paper's
         // 1.7 dB contrast compresses; the approximation must at least stay

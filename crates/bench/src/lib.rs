@@ -10,9 +10,10 @@
 //! ```no_run
 //! use asdr_bench::{Harness, Scale};
 //! use asdr_bench::experiments::quality;
+//! use asdr_scenes::registry;
 //!
 //! let mut h = Harness::new(Scale::Tiny);
-//! let rows = quality::run_fig16(&mut h, &[asdr_scenes::SceneId::Mic]);
+//! let rows = quality::run_fig16(&mut h, &[registry::handle("Mic")]);
 //! quality::print_fig16(&rows);
 //! ```
 
@@ -28,8 +29,7 @@ use asdr_nerf::grid::GridConfig;
 use asdr_nerf::tensorf::{TensoRfConfig, TensoRfModel};
 use asdr_nerf::NgpModel;
 use asdr_scenes::gt::render_ground_truth;
-use asdr_scenes::registry::{build_sdf, standard_camera};
-use asdr_scenes::SceneId;
+use asdr_scenes::SceneHandle;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -94,13 +94,34 @@ impl Scale {
 }
 
 /// Caches fitted models and ground-truth renders across experiments within
-/// one process.
+/// one process. Caches are keyed by registry scene name, so any registered
+/// scene — builtin or custom — flows through unchanged. Each entry also
+/// remembers the exact `SceneDef` it was computed from ([`SceneHandle`]
+/// equality is name-only), so a handle from an isolated registry that
+/// happens to reuse a name refits instead of aliasing the cached result.
 #[derive(Debug)]
 pub struct Harness {
     scale: Scale,
-    models: HashMap<SceneId, Arc<NgpModel>>,
-    tensorf_models: HashMap<SceneId, Arc<TensoRfModel>>,
-    gts: HashMap<SceneId, Image>,
+    models: HashMap<&'static str, (SceneHandle, Arc<NgpModel>)>,
+    tensorf_models: HashMap<&'static str, (SceneHandle, Arc<TensoRfModel>)>,
+    gts: HashMap<&'static str, (SceneHandle, Image)>,
+}
+
+/// Cache lookup honoring def identity: a same-name handle with a different
+/// `SceneDef` recomputes and replaces the entry.
+fn cached<T: Clone>(
+    map: &mut HashMap<&'static str, (SceneHandle, T)>,
+    scene: &SceneHandle,
+    compute: impl FnOnce() -> T,
+) -> T {
+    match map.get(scene.name()) {
+        Some((owner, value)) if owner.shares_def(scene) => value.clone(),
+        _ => {
+            let value = compute();
+            map.insert(scene.name(), (scene.clone(), value.clone()));
+            value
+        }
+    }
 }
 
 impl Harness {
@@ -120,33 +141,23 @@ impl Harness {
     }
 
     /// The standard evaluation camera for a scene at this scale.
-    pub fn camera(&self, id: SceneId) -> Camera {
+    pub fn camera(&self, scene: &SceneHandle) -> Camera {
         let r = self.scale.resolution();
-        standard_camera(id, r, r)
+        scene.camera(r, r)
     }
 
     /// The fitted NGP model for a scene (fitted once, cached).
-    pub fn model(&mut self, id: SceneId) -> Arc<NgpModel> {
+    pub fn model(&mut self, scene: &SceneHandle) -> Arc<NgpModel> {
         let scale = self.scale;
-        self.models
-            .entry(id)
-            .or_insert_with(|| {
-                let scene = build_sdf(id);
-                Arc::new(fit_ngp(&scene, &scale.grid()))
-            })
-            .clone()
+        cached(&mut self.models, scene, || Arc::new(fit_ngp(scene.build().as_ref(), &scale.grid())))
     }
 
     /// The fitted TensoRF model for a scene (fitted once, cached).
-    pub fn tensorf_model(&mut self, id: SceneId) -> Arc<TensoRfModel> {
+    pub fn tensorf_model(&mut self, scene: &SceneHandle) -> Arc<TensoRfModel> {
         let scale = self.scale;
-        self.tensorf_models
-            .entry(id)
-            .or_insert_with(|| {
-                let scene = build_sdf(id);
-                Arc::new(TensoRfModel::fit(&scene, &scale.tensorf(), 0))
-            })
-            .clone()
+        cached(&mut self.tensorf_models, scene, || {
+            Arc::new(TensoRfModel::fit(scene.build().as_ref(), &scale.tensorf(), 0))
+        })
     }
 
     /// The ASDR render options at this scale: adaptive sampling with a
@@ -172,19 +183,13 @@ impl Harness {
     }
 
     /// Analytic ground-truth render for a scene (cached).
-    pub fn ground_truth(&mut self, id: SceneId) -> Image {
+    pub fn ground_truth(&mut self, scene: &SceneHandle) -> Image {
         let scale = self.scale;
-        self.gts
-            .entry(id)
-            .or_insert_with(|| {
-                let scene = build_sdf(id);
-                let cam = {
-                    let r = scale.resolution();
-                    standard_camera(id, r, r)
-                };
-                render_ground_truth(&scene, &cam, scale.base_ns() * 3)
-            })
-            .clone()
+        cached(&mut self.gts, scene, || {
+            let r = scale.resolution();
+            let cam = scene.camera(r, r);
+            render_ground_truth(scene.build().as_ref(), &cam, scale.base_ns() * 3)
+        })
     }
 }
 
@@ -202,4 +207,39 @@ pub fn print_row(cells: &[String]) {
 pub fn print_header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
     println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdr_scenes::procedural::SdfScene;
+    use asdr_scenes::registry::SceneDef;
+    use asdr_scenes::{registry, SceneRegistry};
+
+    #[test]
+    fn harness_cache_does_not_alias_same_name_different_def() {
+        let mut h = Harness::new(Scale::Tiny);
+        let global_mic = registry::handle("Mic");
+        let cached_global = h.model(&global_mic);
+        assert!(Arc::ptr_eq(&cached_global, &h.model(&global_mic)), "same handle must hit");
+
+        // an isolated registry reusing the name with a different field
+        let mut isolated = SceneRegistry::empty();
+        let impostor = isolated
+            .register(SceneDef::new("Mic", || {
+                Box::new(SdfScene::new(
+                    "impostor",
+                    |p| (p.norm() - 0.2, asdr_math::Rgb::WHITE),
+                    50.0,
+                    0.03,
+                ))
+            }))
+            .unwrap();
+        let cached_impostor = h.model(&impostor);
+        assert!(
+            !Arc::ptr_eq(&cached_global, &cached_impostor),
+            "same-name handle with a different def must refit, not alias"
+        );
+        assert!(Arc::ptr_eq(&cached_impostor, &h.model(&impostor)));
+    }
 }

@@ -5,12 +5,15 @@
 //! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
 //! macros. Each benchmark is timed with a short calibration pass followed by
 //! fixed-count measurement batches; the mean, min, and max per-iteration
-//! wall-clock times are printed. There is no statistical analysis, no
-//! comparison with saved baselines, and no HTML report.
+//! wall-clock times are printed, and [`write_results_json`] persists them to
+//! `target/bench-results.json` (override with `BENCH_RESULTS_PATH`) so
+//! `scripts/bench_check.sh` can compare runs against a committed baseline.
+//! There is no statistical analysis and no HTML report.
 
 #![warn(missing_docs)]
 
 pub use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock time spent measuring each benchmark.
@@ -122,6 +125,121 @@ fn report(name: &str, iters: u64, batches: &[Duration]) {
     let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     println!("{name:<48} time: [{} {} {}]", fmt_ns(min), fmt_ns(mean), fmt_ns(max));
+    results().lock().unwrap().push(BenchResult {
+        name: name.to_string(),
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+    });
+}
+
+/// One benchmark's summary, as written to the JSON dump.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+    &RESULTS
+}
+
+/// Default location of the JSON dump, relative to the working directory.
+pub const DEFAULT_RESULTS_PATH: &str = "target/bench-results.json";
+
+/// Writes every benchmark recorded so far to the JSON results file
+/// (`BENCH_RESULTS_PATH` or [`DEFAULT_RESULTS_PATH`]), merging with entries
+/// already present — `cargo bench` runs one process per bench target, and
+/// each appends its benches to the shared dump. The generated
+/// [`criterion_main!`] calls this automatically.
+///
+/// Entries persist across invocations (a partial run updates only its own
+/// benches), so regression gating must start from a clean dump: delete the
+/// file, run the full suite, then run `scripts/bench_check.sh` — which
+/// fails on baseline entries the dump is missing. `make bench-check` and
+/// the nightly workflow encode exactly that sequence.
+pub fn write_results_json() {
+    // cargo runs bench binaries with the *package* dir as CWD; resolve the
+    // default path against the workspace root (nearest ancestor holding
+    // Cargo.lock) so every bench target appends to one shared dump
+    let path = std::env::var("BENCH_RESULTS_PATH").unwrap_or_else(|_| {
+        workspace_root()
+            .map(|r| r.join(DEFAULT_RESULTS_PATH).to_string_lossy().into_owned())
+            .unwrap_or_else(|| DEFAULT_RESULTS_PATH.to_string())
+    });
+    let fresh = results().lock().unwrap().clone();
+    if fresh.is_empty() {
+        return;
+    }
+    let existing =
+        std::fs::read_to_string(&path).map(|s| parse_results_json(&s)).unwrap_or_default();
+    let mut merged: Vec<BenchResult> =
+        existing.into_iter().filter(|old| !fresh.iter().any(|new| new.name == old.name)).collect();
+    merged.extend(fresh);
+    merged.sort_by(|a, b| a.name.cmp(&b.name));
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let out = render_results_json(&merged);
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench results written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+/// The nearest ancestor of the working directory containing `Cargo.lock`.
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Renders the dump: one entry per line, the exact format
+/// [`parse_results_json`] reads back.
+fn render_results_json(rows: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\":{:?},\"mean_ns\":{:.2},\"min_ns\":{:.2},\"max_ns\":{:.2}}}{comma}\n",
+            r.name, r.mean_ns, r.min_ns, r.max_ns
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses the dump this shim writes (one entry per line). Only needs to
+/// understand its own output format.
+fn parse_results_json(s: &str) -> Vec<BenchResult> {
+    let field = |line: &str, key: &str| -> Option<f64> {
+        let idx = line.find(&format!("\"{key}\":"))?;
+        let rest = &line[idx + key.len() + 3..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim().parse().ok()
+    };
+    s.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let start = line.find("\"name\":\"")? + 8;
+            let end = start + line[start..].find('"')?;
+            Some(BenchResult {
+                name: line[start..end].to_string(),
+                mean_ns: field(line, "mean_ns")?,
+                min_ns: field(line, "min_ns")?,
+                max_ns: field(line, "max_ns")?,
+            })
+        })
+        .collect()
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -150,12 +268,38 @@ macro_rules! criterion_group {
 }
 
 /// Generates `main` running the given groups, mirroring criterion's macro of
-/// the same name.
+/// the same name. After all groups finish, the per-bench means are appended
+/// to the JSON results dump (see [`write_results_json`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_results_json();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_dump_round_trips_through_the_parser() {
+        let rows = [
+            BenchResult { name: "grp/alpha".into(), mean_ns: 123.45, min_ns: 100.0, max_ns: 150.5 },
+            BenchResult { name: "beta".into(), mean_ns: 9.87, min_ns: 9.0, max_ns: 11.0 },
+        ];
+        let parsed = parse_results_json(&render_results_json(&rows));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "grp/alpha");
+        assert!((parsed[0].mean_ns - 123.45).abs() < 1e-9);
+        assert!((parsed[1].max_ns - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parser_ignores_garbage_lines() {
+        let parsed = parse_results_json("{\n  \"benches\": [\n  not json at all\n  ]\n}\n");
+        assert!(parsed.is_empty());
+    }
 }

@@ -390,17 +390,16 @@ mod tests {
     use asdr_nerf::fit::fit_ngp;
     use asdr_nerf::grid::GridConfig;
     use asdr_nerf::NgpModel;
-    use asdr_scenes::registry::{build_sdf, standard_camera};
-    use asdr_scenes::SceneId;
+    use asdr_scenes::registry;
 
-    fn model(id: SceneId) -> NgpModel {
-        fit_ngp(&build_sdf(id), &GridConfig::tiny())
+    fn model(name: &str) -> NgpModel {
+        fit_ngp(registry::handle(name).build().as_ref(), &GridConfig::tiny())
     }
 
     #[test]
     fn fixed_rendering_matches_direct_composite() {
-        let m = model(SceneId::Mic);
-        let cam = standard_camera(SceneId::Mic, 16, 16);
+        let m = model("Mic");
+        let cam = registry::handle("Mic").camera(16, 16);
         let out = render(&m, &cam, &RenderOptions::instant_ngp(48));
         assert_eq!(out.stats.density_points, out.stats.color_points);
         assert_eq!(out.stats.planned_points, 16 * 16 * 48);
@@ -410,8 +409,8 @@ mod tests {
 
     #[test]
     fn approximation_halves_color_work() {
-        let m = model(SceneId::Lego);
-        let cam = standard_camera(SceneId::Lego, 16, 16);
+        let m = model("Lego");
+        let cam = registry::handle("Lego").camera(16, 16);
         let mut opts = RenderOptions::instant_ngp(48);
         opts.approx_group = 2;
         let out = render(&m, &cam, &opts);
@@ -423,8 +422,8 @@ mod tests {
 
     #[test]
     fn approximation_quality_loss_is_small() {
-        let m = model(SceneId::Hotdog);
-        let cam = standard_camera(SceneId::Hotdog, 24, 24);
+        let m = model("Hotdog");
+        let cam = registry::handle("Hotdog").camera(24, 24);
         let reference = render_reference(&m, &cam, 64);
         let mut opts = RenderOptions::instant_ngp(64);
         opts.approx_group = 2;
@@ -435,8 +434,8 @@ mod tests {
 
     #[test]
     fn adaptive_reduces_planned_points() {
-        let m = model(SceneId::Mic);
-        let cam = standard_camera(SceneId::Mic, 25, 25);
+        let m = model("Mic");
+        let cam = registry::handle("Mic").camera(25, 25);
         let out = render(&m, &cam, &RenderOptions::asdr_default(48));
         assert!(
             out.stats.planned_points < out.stats.base_points,
@@ -451,8 +450,8 @@ mod tests {
 
     #[test]
     fn adaptive_quality_close_to_reference() {
-        let m = model(SceneId::Chair);
-        let cam = standard_camera(SceneId::Chair, 25, 25);
+        let m = model("Chair");
+        let cam = registry::handle("Chair").camera(25, 25);
         let reference = render_reference(&m, &cam, 64);
         let out = render(&m, &cam, &RenderOptions::asdr_default(64));
         let p = psnr(&out.image, &reference);
@@ -461,8 +460,8 @@ mod tests {
 
     #[test]
     fn early_termination_saves_work_losslessly() {
-        let m = model(SceneId::Hotdog);
-        let cam = standard_camera(SceneId::Hotdog, 20, 20);
+        let m = model("Hotdog");
+        let cam = registry::handle("Hotdog").camera(20, 20);
         let mut with_et = RenderOptions::instant_ngp(64);
         with_et.early_termination = true;
         let base = render(&m, &cam, &RenderOptions::instant_ngp(64));
@@ -475,8 +474,8 @@ mod tests {
 
     #[test]
     fn stats_are_internally_consistent() {
-        let m = model(SceneId::Ficus);
-        let cam = standard_camera(SceneId::Ficus, 15, 15);
+        let m = model("Ficus");
+        let cam = registry::handle("Ficus").camera(15, 15);
         let out = render(&m, &cam, &RenderOptions::asdr_default(48));
         let s = &out.stats;
         assert_eq!(s.rays, 225);
@@ -488,8 +487,8 @@ mod tests {
 
     #[test]
     fn invalid_options_panic() {
-        let m = model(SceneId::Mic);
-        let cam = standard_camera(SceneId::Mic, 4, 4);
+        let m = model("Mic");
+        let cam = registry::handle("Mic").camera(4, 4);
         let mut opts = RenderOptions::instant_ngp(16);
         opts.approx_group = 0;
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| render(&m, &cam, &opts)));

@@ -18,11 +18,12 @@
 //! ```
 //! use asdr_core::algo::{render, RenderOptions};
 //! use asdr_nerf::{fit, grid::GridConfig};
-//! use asdr_scenes::{registry, SceneId};
+//! use asdr_scenes::registry;
 //!
-//! let scene = registry::build_sdf(SceneId::Mic);
-//! let model = fit::fit_ngp(&scene, &GridConfig::tiny());
-//! let cam = registry::standard_camera(SceneId::Mic, 32, 32);
+//! let mic = registry::handle("Mic");
+//! let scene = mic.build();
+//! let model = fit::fit_ngp(scene.as_ref(), &GridConfig::tiny());
+//! let cam = mic.camera(32, 32);
 //! let out = render(&model, &cam, &RenderOptions::asdr_default(64));
 //! assert!(out.stats.color_points < out.stats.density_points);
 //! ```

@@ -250,8 +250,7 @@ impl RadianceModel for DvgoModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asdr_scenes::registry::build_sdf;
-    use asdr_scenes::SceneId;
+    use asdr_scenes::registry;
 
     #[test]
     fn config_validation() {
@@ -263,8 +262,8 @@ mod tests {
 
     #[test]
     fn fitted_dvgo_tracks_field() {
-        let scene = build_sdf(SceneId::Mic);
-        let model = DvgoModel::fit(&scene, &DvgoConfig::tiny());
+        let scene = registry::handle("Mic").build();
+        let model = DvgoModel::fit(scene.as_ref(), &DvgoConfig::tiny());
         let mut s = model.make_query_scratch();
         let inside = Vec3::new(0.0, 0.45, 0.0);
         let sigma = model.density_into(inside, &mut s);
@@ -276,9 +275,9 @@ mod tests {
     fn dense_grid_has_no_hash_artifacts() {
         // unlike the hashed NGP, the dense fit reproduces vertex values
         // exactly: query a fine-grid vertex position
-        let scene = build_sdf(SceneId::Hotdog);
+        let scene = registry::handle("Hotdog").build();
         let cfg = DvgoConfig::tiny();
-        let model = DvgoModel::fit(&scene, &cfg);
+        let model = DvgoModel::fit(scene.as_ref(), &cfg);
         let res = *cfg.resolutions.last().unwrap();
         let mut s = model.make_query_scratch();
         let mut max_err = 0.0f32;
@@ -298,8 +297,8 @@ mod tests {
 
     #[test]
     fn color_includes_diffuse_and_spec() {
-        let scene = build_sdf(SceneId::Lego);
-        let model = DvgoModel::fit(&scene, &DvgoConfig::tiny());
+        let scene = registry::handle("Lego").build();
+        let model = DvgoModel::fit(scene.as_ref(), &DvgoConfig::tiny());
         let mut s = model.make_query_scratch();
         let p = Vec3::new(0.0, -0.18, -0.05); // lego body (yellow)
         let _ = model.density_into(p, &mut s);
@@ -310,8 +309,8 @@ mod tests {
     #[test]
     fn params_and_lookups() {
         let cfg = DvgoConfig::tiny();
-        let scene = build_sdf(SceneId::Mic);
-        let model = DvgoModel::fit(&scene, &cfg);
+        let scene = registry::handle("Mic").build();
+        let model = DvgoModel::fit(scene.as_ref(), &cfg);
         assert_eq!(model.param_count(), cfg.total_params());
         assert_eq!(model.lookups_per_point(), 16);
     }

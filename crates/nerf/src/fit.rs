@@ -531,18 +531,17 @@ pub fn refine_sgd(
 mod tests {
     use super::*;
     use asdr_math::Rgb;
-    use asdr_scenes::registry::{build_sdf, standard_camera};
-    use asdr_scenes::SceneId;
+    use asdr_scenes::registry;
 
-    fn tiny_model(id: SceneId) -> (asdr_scenes::procedural::SdfScene, NgpModel) {
-        let scene = build_sdf(id);
-        let model = fit_ngp(&scene, &GridConfig::tiny());
+    fn tiny_model(name: &str) -> (Box<dyn SceneField>, NgpModel) {
+        let scene = registry::handle(name).build();
+        let model = fit_ngp(scene.as_ref(), &GridConfig::tiny());
         (scene, model)
     }
 
     #[test]
     fn fitted_density_tracks_field() {
-        let (scene, model) = tiny_model(SceneId::Mic);
+        let (scene, model) = tiny_model("Mic");
         let mut s = model.make_scratch();
         // deep inside the mic head
         let inside = Vec3::new(0.0, 0.45, 0.0);
@@ -560,7 +559,7 @@ mod tests {
 
     #[test]
     fn fitted_color_tracks_diffuse_plus_spec() {
-        let (scene, model) = tiny_model(SceneId::Lego);
+        let (scene, model) = tiny_model("Lego");
         let mut s = model.make_scratch();
         // a surface point on the lego body
         let p = Vec3::new(0.0, 0.04, -0.05);
@@ -612,9 +611,9 @@ mod tests {
 
     #[test]
     fn refine_sgd_does_not_increase_error() {
-        let scene = build_sdf(SceneId::Chair);
-        let mut model = fit_ngp(&scene, &GridConfig::tiny());
-        let (before, after) = refine_sgd(&mut model, &scene, 500, 0.05, 1);
+        let scene = registry::handle("Chair").build();
+        let mut model = fit_ngp(scene.as_ref(), &GridConfig::tiny());
+        let (before, after) = refine_sgd(&mut model, scene.as_ref(), 500, 0.05, 1);
         assert!(after <= before * 1.05, "SGD made things worse: {before} -> {after}");
     }
 
@@ -622,8 +621,8 @@ mod tests {
     fn model_render_smoke() {
         // end-to-end sanity: fitted model produces a non-empty image close
         // to the ground truth in the mean.
-        let (scene, model) = tiny_model(SceneId::Hotdog);
-        let cam = standard_camera(SceneId::Hotdog, 16, 16);
+        let (scene, model) = tiny_model("Hotdog");
+        let cam = registry::handle("Hotdog").camera(16, 16);
         let mut s = model.make_scratch();
         let mut mean_model = Rgb::BLACK;
         let mut mean_gt = Rgb::BLACK;

@@ -4,6 +4,12 @@
 //! let downstream users fit once and reload instantly. The format is a
 //! simple little-endian binary container (magic + version + sections), with
 //! no external dependencies.
+//!
+//! Version 2 embeds the scene's registry name as a length-prefixed string
+//! right after the version word, so a checkpoint of any registered scene —
+//! including custom ones added via `asdr_scenes::registry::register` —
+//! round-trips with enough information to find its scene again. Version 1
+//! files (no name) still load, with [`Checkpoint::scene`] empty.
 
 use crate::embedding::EmbeddingSet;
 use crate::encoder::HashEncoder;
@@ -18,7 +24,22 @@ use std::path::Path;
 /// File magic: `ASDRNGP\0`.
 pub const MAGIC: [u8; 8] = *b"ASDRNGP\0";
 /// Current format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
+/// Oldest version the reader still accepts.
+pub const MIN_VERSION: u32 = 1;
+/// Longest scene name (bytes) a checkpoint may carry; the reader treats
+/// longer length fields as corruption and the writer refuses to emit them.
+pub const MAX_SCENE_NAME: usize = 256;
+
+/// A loaded checkpoint: the model plus the scene name the file was saved
+/// under (empty for v1 files, which predate the name field).
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// The reconstructed model.
+    pub model: NgpModel,
+    /// Registry name of the scene the model was fitted to, if recorded.
+    pub scene: Option<String>,
+}
 
 /// Errors from checkpoint loading.
 #[derive(Debug)]
@@ -139,14 +160,38 @@ fn read_mlp<R: Read>(r: &mut R) -> Result<Mlp, LoadError> {
     Ok(Mlp::new(layers))
 }
 
-/// Writes a model checkpoint.
+/// Writes a model checkpoint tagged with its scene's registry name.
 ///
 /// # Errors
 ///
-/// Returns any underlying I/O error.
-pub fn save_model<W: Write>(model: &NgpModel, w: &mut W) -> io::Result<()> {
+/// Returns any underlying I/O error, or `InvalidInput` if `scene` exceeds
+/// [`MAX_SCENE_NAME`] bytes (the reader rejects longer names, so writing
+/// one would produce an unloadable file).
+pub fn save_model<W: Write>(model: &NgpModel, scene: &str, w: &mut W) -> io::Result<()> {
+    if scene.len() > MAX_SCENE_NAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("scene name exceeds {MAX_SCENE_NAME} bytes"),
+        ));
+    }
+    save_model_versioned(model, scene, VERSION, w)
+}
+
+/// Version-parameterized writer; `version` 1 omits the scene name (kept so
+/// the v1 read path stays testable).
+fn save_model_versioned<W: Write>(
+    model: &NgpModel,
+    scene: &str,
+    version: u32,
+    w: &mut W,
+) -> io::Result<()> {
     w.write_all(&MAGIC)?;
-    w_u32(w, VERSION)?;
+    w_u32(w, version)?;
+    if version >= 2 {
+        let name = scene.as_bytes();
+        w_u32(w, name.len() as u32)?;
+        w.write_all(name)?;
+    }
     // grid config
     let cfg = model.encoder().config();
     w_u32(w, cfg.levels as u32)?;
@@ -197,21 +242,38 @@ fn occupancy_bits(occ: &OccupancyGrid) -> Vec<u8> {
     out
 }
 
-/// Reads a model checkpoint.
+/// Reads a model checkpoint (v1 or v2).
 ///
 /// # Errors
 ///
 /// Returns [`LoadError`] for I/O failures or malformed files.
-pub fn load_model<R: Read>(r: &mut R) -> Result<NgpModel, LoadError> {
+pub fn load_model<R: Read>(r: &mut R) -> Result<Checkpoint, LoadError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
         return Err(LoadError::BadMagic);
     }
     let version = r_u32(r)?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(LoadError::BadVersion(version));
     }
+    let scene = if version >= 2 {
+        let n = r_u32(r)? as usize;
+        if n > MAX_SCENE_NAME {
+            return Err(LoadError::Corrupt("oversized scene name"));
+        }
+        let mut buf = vec![0u8; n];
+        r.read_exact(&mut buf)?;
+        let name =
+            String::from_utf8(buf).map_err(|_| LoadError::Corrupt("scene name is not UTF-8"))?;
+        if name.is_empty() {
+            None
+        } else {
+            Some(name)
+        }
+    } else {
+        None
+    };
     let cfg = GridConfig {
         levels: r_u32(r)? as usize,
         base_res: r_u32(r)?,
@@ -250,26 +312,26 @@ pub fn load_model<R: Read>(r: &mut R) -> Result<NgpModel, LoadError> {
     let occupancy = OccupancyGrid::from_cells(res, bounds, cells)
         .map_err(|_| LoadError::Corrupt("occupancy rebuild failed"))?;
     let encoder = HashEncoder::new(cfg, set);
-    Ok(NgpModel::new(encoder, density, color, bounds, occupancy))
+    Ok(Checkpoint { model: NgpModel::new(encoder, density, color, bounds, occupancy), scene })
 }
 
-/// Saves a model to a file path.
+/// Saves a model to a file path, tagged with its scene's registry name.
 ///
 /// # Errors
 ///
 /// Returns any underlying I/O error.
-pub fn save_model_file<P: AsRef<Path>>(model: &NgpModel, path: P) -> io::Result<()> {
+pub fn save_model_file<P: AsRef<Path>>(model: &NgpModel, scene: &str, path: P) -> io::Result<()> {
     let f = std::fs::File::create(path)?;
     let mut w = io::BufWriter::new(f);
-    save_model(model, &mut w)
+    save_model(model, scene, &mut w)
 }
 
-/// Loads a model from a file path.
+/// Loads a checkpoint from a file path.
 ///
 /// # Errors
 ///
 /// Returns [`LoadError`] for I/O failures or malformed files.
-pub fn load_model_file<P: AsRef<Path>>(path: P) -> Result<NgpModel, LoadError> {
+pub fn load_model_file<P: AsRef<Path>>(path: P) -> Result<Checkpoint, LoadError> {
     let f = std::fs::File::open(path)?;
     let mut r = io::BufReader::new(f);
     load_model(&mut r)
@@ -280,19 +342,24 @@ mod tests {
     use super::*;
     use crate::fit::fit_ngp;
     use asdr_math::Rgb;
-    use asdr_scenes::registry::build_sdf;
-    use asdr_scenes::SceneId;
+    use asdr_scenes::registry;
 
-    fn roundtrip(model: &NgpModel) -> NgpModel {
+    fn fitted(scene: &str) -> NgpModel {
+        fit_ngp(registry::handle(scene).build().as_ref(), &GridConfig::tiny())
+    }
+
+    fn roundtrip(model: &NgpModel, scene: &str) -> Checkpoint {
         let mut buf = Vec::new();
-        save_model(model, &mut buf).unwrap();
+        save_model(model, scene, &mut buf).unwrap();
         load_model(&mut buf.as_slice()).unwrap()
     }
 
     #[test]
     fn checkpoint_roundtrip_preserves_queries() {
-        let model = fit_ngp(&build_sdf(SceneId::Mic), &GridConfig::tiny());
-        let loaded = roundtrip(&model);
+        let model = fitted("Mic");
+        let ckpt = roundtrip(&model, "Mic");
+        assert_eq!(ckpt.scene.as_deref(), Some("Mic"));
+        let loaded = ckpt.model;
         let mut s1 = model.make_scratch();
         let mut s2 = loaded.make_scratch();
         for i in 0..50 {
@@ -311,14 +378,37 @@ mod tests {
 
     #[test]
     fn file_roundtrip_works() {
-        let model = fit_ngp(&build_sdf(SceneId::Chair), &GridConfig::tiny());
+        let model = fitted("Chair");
         let dir = std::env::temp_dir().join("asdr_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("chair.asdr");
-        save_model_file(&model, &path).unwrap();
-        let loaded = load_model_file(&path).unwrap();
-        assert_eq!(loaded.encoder().config(), model.encoder().config());
-        assert_eq!(loaded.bounds(), model.bounds());
+        save_model_file(&model, "Chair", &path).unwrap();
+        let ckpt = load_model_file(&path).unwrap();
+        assert_eq!(ckpt.scene.as_deref(), Some("Chair"));
+        assert_eq!(ckpt.model.encoder().config(), model.encoder().config());
+        assert_eq!(ckpt.model.bounds(), model.bounds());
+    }
+
+    #[test]
+    fn custom_scene_names_round_trip() {
+        // a registered custom scene's name survives the checkpoint — the
+        // point of the v2 header
+        let model = fitted("Mic");
+        let ckpt = roundtrip(&model, "my-custom-scene");
+        assert_eq!(ckpt.scene.as_deref(), Some("my-custom-scene"));
+    }
+
+    #[test]
+    fn v1_files_still_load_without_a_scene_name() {
+        let model = fitted("Mic");
+        let mut buf = Vec::new();
+        save_model_versioned(&model, "Mic", 1, &mut buf).unwrap();
+        let ckpt = load_model(&mut buf.as_slice()).unwrap();
+        assert_eq!(ckpt.scene, None, "v1 files carry no scene name");
+        let mut s1 = model.make_scratch();
+        let mut s2 = ckpt.model.make_scratch();
+        let p = Vec3::new(0.0, 0.45, 0.0);
+        assert_eq!(model.query_density_into(p, &mut s1), ckpt.model.query_density_into(p, &mut s2));
     }
 
     #[test]
@@ -329,9 +419,9 @@ mod tests {
 
     #[test]
     fn truncated_file_is_rejected() {
-        let model = fit_ngp(&build_sdf(SceneId::Mic), &GridConfig::tiny());
+        let model = fitted("Mic");
         let mut buf = Vec::new();
-        save_model(&model, &mut buf).unwrap();
+        save_model(&model, "Mic", &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         let err = load_model(&mut buf.as_slice()).unwrap_err();
         assert!(matches!(err, LoadError::Io(_) | LoadError::Corrupt(_)), "{err}");
@@ -339,11 +429,25 @@ mod tests {
 
     #[test]
     fn wrong_version_is_rejected() {
-        let model = fit_ngp(&build_sdf(SceneId::Mic), &GridConfig::tiny());
+        let model = fitted("Mic");
         let mut buf = Vec::new();
-        save_model(&model, &mut buf).unwrap();
+        save_model(&model, "Mic", &mut buf).unwrap();
         buf[8] = 99; // clobber version
         let err = load_model(&mut buf.as_slice()).unwrap_err();
-        assert!(matches!(err, LoadError::BadVersion(_)), "{err}");
+        assert!(matches!(err, LoadError::BadVersion(99)), "{err}");
+    }
+
+    #[test]
+    fn oversized_scene_name_is_rejected() {
+        let model = fitted("Mic");
+        let mut buf = Vec::new();
+        save_model(&model, "Mic", &mut buf).unwrap();
+        // clobber the name length to something absurd
+        buf[12..16].copy_from_slice(&(10_000u32).to_le_bytes());
+        let err = load_model(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadError::Corrupt(_)), "{err}");
+        // and the writer refuses to produce such a file in the first place
+        let err = save_model(&model, &"x".repeat(MAX_SCENE_NAME + 1), &mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

@@ -22,10 +22,10 @@
 //!
 //! ```
 //! use asdr_nerf::{fit, grid::GridConfig};
-//! use asdr_scenes::{registry, SceneId};
+//! use asdr_scenes::registry;
 //!
-//! let scene = registry::build_sdf(SceneId::Mic);
-//! let model = fit::fit_ngp(&scene, &GridConfig::tiny());
+//! let scene = registry::handle("Mic").build();
+//! let model = fit::fit_ngp(scene.as_ref(), &GridConfig::tiny());
 //! let (sigma, _feat) = model.query_density(asdr_math::Vec3::new(0.0, 0.45, 0.0));
 //! assert!(sigma > 1.0); // inside the mic head
 //! ```

@@ -150,8 +150,7 @@ impl OccupancyGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asdr_scenes::registry::build_sdf;
-    use asdr_scenes::SceneId;
+    use asdr_scenes::registry;
 
     #[test]
     fn solid_grid_accepts_everything_inside() {
@@ -164,8 +163,8 @@ mod tests {
 
     #[test]
     fn scene_grid_matches_content() {
-        let scene = build_sdf(SceneId::Mic);
-        let g = OccupancyGrid::build(&scene, 32);
+        let scene = registry::handle("Mic").build();
+        let g = OccupancyGrid::build(scene.as_ref(), 32);
         // mic head region occupied
         assert!(g.occupied_world(Vec3::new(0.0, 0.45, 0.0)));
         // far empty corner unoccupied
@@ -176,8 +175,8 @@ mod tests {
 
     #[test]
     fn dilation_covers_surface_shell() {
-        let scene = build_sdf(SceneId::Lego);
-        let g = OccupancyGrid::build(&scene, 32);
+        let scene = registry::handle("Lego").build();
+        let g = OccupancyGrid::build(scene.as_ref(), 32);
         // a point just outside the density support must still be occupied
         // (the transition shell matters for interpolation)
         let p = Vec3::new(0.0, -0.72 + 0.08, 0.0); // just above the base plate

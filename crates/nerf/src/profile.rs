@@ -217,17 +217,16 @@ mod tests {
     use super::*;
     use crate::fit::fit_ngp;
     use crate::grid::GridConfig;
-    use asdr_scenes::registry::{build_sdf, standard_camera};
-    use asdr_scenes::SceneId;
+    use asdr_scenes::registry;
 
-    fn test_model(id: SceneId) -> NgpModel {
-        fit_ngp(&build_sdf(id), &GridConfig::tiny())
+    fn test_model(name: &str) -> NgpModel {
+        fit_ngp(registry::handle(name).build().as_ref(), &GridConfig::tiny())
     }
 
     #[test]
     fn trace_is_nonempty_and_irregular() {
-        let model = test_model(SceneId::Lego);
-        let cam = standard_camera(SceneId::Lego, 16, 16);
+        let model = test_model("Lego");
+        let cam = registry::handle("Lego").camera(16, 16);
         let trace = trace_addresses(&model, &cam, 32, 200);
         assert!(trace.len() >= 200 * 8);
         // Fig. 4's point: the hash stream has huge strides compared to the
@@ -238,7 +237,7 @@ mod tests {
 
     #[test]
     fn flops_breakdown_sums_to_100_and_color_dominates() {
-        let model = test_model(SceneId::Mic);
+        let model = test_model("Mic");
         let (e, d, c) = flops_breakdown(&model);
         assert!((e + d + c - 100.0).abs() < 1e-9);
         assert!(c > d && d > e, "expected color > density > encoding: {e:.1}/{d:.1}/{c:.1}");
@@ -248,8 +247,8 @@ mod tests {
     #[test]
     fn color_similarity_is_high() {
         // Fig. 8: adjacent in-object samples have near-identical colors
-        let model = test_model(SceneId::Hotdog);
-        let cam = standard_camera(SceneId::Hotdog, 24, 24);
+        let model = test_model("Hotdog");
+        let cam = registry::handle("Hotdog").camera(24, 24);
         let stats = color_similarity(&model, &cam, 48, 2);
         assert!(stats.count > 50, "too few pairs: {}", stats.count);
         assert!(stats.frac_high > 0.8, "high-similarity fraction {}", stats.frac_high);
@@ -262,8 +261,8 @@ mod tests {
         // neighbouring rays; the finest level shares fewer.
         // neighbouring-pixel locality needs a realistic pixel pitch: use a
         // fine camera but probe only every 16th pixel
-        let model = test_model(SceneId::Chair);
-        let cam = standard_camera(SceneId::Chair, 96, 96);
+        let model = test_model("Chair");
+        let cam = registry::handle("Chair").camera(96, 96);
         let prof = repetition_rates(&model, &cam, 48, 16);
         let l = prof.inter_ray.len();
         assert!(prof.inter_ray[0] > prof.inter_ray[l - 1]);

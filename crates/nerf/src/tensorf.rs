@@ -330,8 +330,7 @@ impl RadianceModel for TensoRfModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asdr_scenes::registry::build_sdf;
-    use asdr_scenes::SceneId;
+    use asdr_scenes::registry;
 
     #[test]
     fn vm_factor_fits_separable_function() {
@@ -369,8 +368,8 @@ mod tests {
 
     #[test]
     fn fitted_tensorf_tracks_field() {
-        let scene = build_sdf(SceneId::Hotdog);
-        let model = TensoRfModel::fit(&scene, &TensoRfConfig::tiny(), 0);
+        let scene = registry::handle("Hotdog").build();
+        let model = TensoRfModel::fit(scene.as_ref(), &TensoRfConfig::tiny(), 0);
         let mut s = model.make_query_scratch();
         // inside the sausage
         let inside = Vec3::new(0.0, -0.34, 0.0);
@@ -383,8 +382,8 @@ mod tests {
 
     #[test]
     fn color_includes_specular() {
-        let scene = build_sdf(SceneId::Chair);
-        let model = TensoRfModel::fit(&scene, &TensoRfConfig::tiny(), 0);
+        let scene = registry::handle("Chair").build();
+        let model = TensoRfModel::fit(scene.as_ref(), &TensoRfConfig::tiny(), 0);
         let mut s = model.make_query_scratch();
         let p = Vec3::new(0.0, -0.1, 0.0);
         let _ = model.density_into(p, &mut s);
@@ -397,8 +396,8 @@ mod tests {
 
     #[test]
     fn flops_and_params_positive() {
-        let scene = build_sdf(SceneId::Mic);
-        let model = TensoRfModel::fit(&scene, &TensoRfConfig::tiny(), 0);
+        let scene = registry::handle("Mic").build();
+        let model = TensoRfModel::fit(scene.as_ref(), &TensoRfConfig::tiny(), 0);
         let (e, d, c) = model.stage_flops();
         assert!(e > 0 && d > 0 && c > 0);
         assert!(model.param_count() > 0);

@@ -304,16 +304,15 @@ mod tests {
     use crate::grid::GridConfig;
     use asdr_math::rng::seeded as seeded_rng;
     use asdr_scenes::gt::render_ground_truth;
-    use asdr_scenes::registry::{build_sdf, standard_camera};
-    use asdr_scenes::SceneId;
+    use asdr_scenes::registry;
 
-    fn training_views(id: SceneId, n: usize, res: u32) -> Vec<(Camera, Image)> {
-        let scene = build_sdf(id);
+    fn training_views(name: &str, n: usize, res: u32) -> Vec<(Camera, Image)> {
+        let scene = registry::handle(name).build();
         (0..n)
             .map(|i| {
                 let az = i as f32 * 360.0 / n as f32;
                 let cam = Camera::orbit(Vec3::ZERO, 3.2, az, 20.0, 42.0, res, res);
-                let img = render_ground_truth(&scene, &cam, 96);
+                let img = render_ground_truth(scene.as_ref(), &cam, 96);
                 (cam, img)
             })
             .collect()
@@ -321,8 +320,8 @@ mod tests {
 
     #[test]
     fn training_reduces_loss_from_perturbed_start() {
-        let scene = build_sdf(SceneId::Mic);
-        let mut model = fit_ngp(&scene, &GridConfig::tiny());
+        let scene = registry::handle("Mic").build();
+        let mut model = fit_ngp(scene.as_ref(), &GridConfig::tiny());
         // perturb the fitted tables to create something to recover
         let mut rng = seeded_rng("train-perturb", 0);
         for l in 0..model.encoder().config().levels {
@@ -330,7 +329,7 @@ mod tests {
                 *v += rng.gen_range(-0.08..0.08);
             }
         }
-        let views = training_views(SceneId::Mic, 3, 24);
+        let views = training_views("Mic", 3, 24);
         let report = train_volumetric(&mut model, &views, &TrainConfig::tiny());
         assert!(
             report.final_loss < report.initial_loss * 0.8,
@@ -341,18 +340,18 @@ mod tests {
     #[test]
     fn training_improves_held_out_view() {
         use asdr_math::metrics::psnr;
-        let scene = build_sdf(SceneId::Hotdog);
-        let mut model = fit_ngp(&scene, &GridConfig::tiny());
+        let scene = registry::handle("Hotdog").build();
+        let mut model = fit_ngp(scene.as_ref(), &GridConfig::tiny());
         let mut rng = seeded_rng("train-perturb2", 1);
         for l in 0..model.encoder().config().levels {
             for v in model.encoder_mut().tables_mut().table_mut(l).params_mut() {
                 *v += rng.gen_range(-0.06..0.06);
             }
         }
-        let views = training_views(SceneId::Hotdog, 4, 24);
+        let views = training_views("Hotdog", 4, 24);
         // held-out view
-        let held_cam = standard_camera(SceneId::Hotdog, 24, 24);
-        let held_gt = render_ground_truth(&scene, &held_cam, 96);
+        let held_cam = registry::handle("Hotdog").camera(24, 24);
+        let held_gt = render_ground_truth(scene.as_ref(), &held_cam, 96);
         let before = render_with_decode(&model, &held_cam);
         let report = train_volumetric(&mut model, &views, &TrainConfig::tiny());
         let after = render_with_decode(&model, &held_cam);

@@ -1,0 +1,127 @@
+//! A time-parameterized animated field: the pulsating SDF ("Pulse").
+//!
+//! The ten paper scenes are plain `fn(Vec3)` fields; this family shows what
+//! the open registry unlocks — a [`SceneField`] that carries *state* (the
+//! animation phase) which the closed `FieldFn` API could not express. The
+//! registered `Pulse` scene is one frozen phase of the animation; callers
+//! that want the full animation build frames directly with
+//! [`PulseScene::at_phase`] (each frame fits and renders like any scene).
+
+use crate::field::{density_from_sdf, SceneField};
+use crate::registry::{OrbitCamera, SceneDef, SceneKind};
+use crate::sdf::{smooth_union, sphere, torus_xz};
+use asdr_math::{Aabb, Rgb, Vec3};
+
+/// A breathing central blob orbited by three pulsing satellites, all driven
+/// by one phase parameter in `[0, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct PulseScene {
+    /// Animation phase in `[0, 1)` (wraps).
+    phase: f32,
+}
+
+impl PulseScene {
+    /// The phase the registered `Pulse` scene is frozen at.
+    pub const REGISTERED_PHASE: f32 = 0.3;
+
+    /// The scene at animation phase `phase` (wrapped into `[0, 1)`).
+    pub fn at_phase(phase: f32) -> Self {
+        PulseScene { phase: phase.rem_euclid(1.0) }
+    }
+
+    /// This frame's animation phase.
+    pub fn phase(&self) -> f32 {
+        self.phase
+    }
+
+    /// Signed distance of the animated composition at `p`.
+    pub fn distance(&self, p: Vec3) -> f32 {
+        self.eval(p).0
+    }
+
+    fn eval(&self, p: Vec3) -> (f32, Rgb) {
+        let t = self.phase * std::f32::consts::TAU;
+        // central blob breathes between 0.28 and 0.44
+        let core_r = 0.36 + 0.08 * t.sin();
+        let core = sphere(p, Vec3::new(0.0, -0.1, 0.0), core_r);
+        // an equatorial ring swells in counter-phase
+        let ring = torus_xz(p, Vec3::new(0.0, -0.1, 0.0), 0.55, 0.06 + 0.03 * (t + 1.5).sin());
+        let mut d = smooth_union(core, ring, 0.08);
+        let mut albedo = Rgb::new(0.85, 0.35, 0.1);
+        // three satellites orbit and pulse at staggered phases
+        for k in 0..3 {
+            let ang = t + k as f32 * std::f32::consts::TAU / 3.0;
+            let c = Vec3::new(0.62 * ang.cos(), 0.25 * (2.0 * ang).sin(), 0.62 * ang.sin());
+            let r = 0.12 + 0.05 * (3.0 * ang).cos();
+            let s = sphere(p, c, r);
+            if s < d {
+                albedo = Rgb::new(0.2, 0.45, 0.85);
+            }
+            d = smooth_union(d, s, 0.05);
+        }
+        (d, albedo)
+    }
+}
+
+impl SceneField for PulseScene {
+    fn density(&self, p: Vec3) -> f32 {
+        if !self.bounds().contains(p) {
+            return 0.0;
+        }
+        density_from_sdf(self.eval(p).0, 50.0, 0.03)
+    }
+
+    fn albedo(&self, p: Vec3) -> Rgb {
+        self.eval(p).1
+    }
+
+    fn bounds(&self) -> Aabb {
+        Aabb::centered(1.0)
+    }
+}
+
+/// The `Pulse` scene's registry descriptor (frozen at
+/// [`PulseScene::REGISTERED_PHASE`]).
+pub fn scene_def() -> SceneDef {
+    SceneDef::new("Pulse", || Box::new(PulseScene::at_phase(PulseScene::REGISTERED_PHASE)))
+        .dataset("ASDR-Zoo")
+        .resolution(800, 800)
+        .kind(SceneKind::Synthetic)
+        .camera_spec(OrbitCamera::new(20.0, 24.0, 3.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn animation_actually_moves() {
+        let a = PulseScene::at_phase(0.0);
+        let b = PulseScene::at_phase(0.5);
+        let probes =
+            [Vec3::new(0.0, -0.1, 0.4), Vec3::new(0.5, 0.0, 0.3), Vec3::new(-0.3, 0.2, -0.5)];
+        assert!(
+            probes.iter().any(|&p| (a.distance(p) - b.distance(p)).abs() > 1e-3),
+            "two phases half a period apart must differ"
+        );
+    }
+
+    #[test]
+    fn phase_wraps() {
+        let a = PulseScene::at_phase(0.25);
+        let b = PulseScene::at_phase(1.25);
+        let p = Vec3::new(0.3, 0.1, -0.2);
+        assert_eq!(a.distance(p), b.distance(p));
+    }
+
+    #[test]
+    fn every_phase_has_content_and_background() {
+        for i in 0..5 {
+            let s = PulseScene::at_phase(i as f32 / 5.0);
+            let occ = s.occupancy(1.0, 20);
+            assert!(occ > 0.005, "phase {i}: almost empty (occ={occ})");
+            assert!(occ < 0.6, "phase {i}: too little background (occ={occ})");
+            assert_eq!(s.density(Vec3::splat(1.5)), 0.0);
+        }
+    }
+}

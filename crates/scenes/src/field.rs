@@ -87,6 +87,27 @@ pub trait SceneField: Send + Sync {
     }
 }
 
+impl<T: SceneField + ?Sized> SceneField for Box<T> {
+    fn density(&self, p: Vec3) -> f32 {
+        (**self).density(p)
+    }
+    fn albedo(&self, p: Vec3) -> Rgb {
+        (**self).albedo(p)
+    }
+    fn bounds(&self) -> Aabb {
+        (**self).bounds()
+    }
+    fn normal(&self, p: Vec3) -> Vec3 {
+        (**self).normal(p)
+    }
+    fn diffuse(&self, p: Vec3) -> Rgb {
+        (**self).diffuse(p)
+    }
+    fn color(&self, p: Vec3, view_dir: Vec3) -> Rgb {
+        (**self).color(p, view_dir)
+    }
+}
+
 /// The global specular highlight as a function of view direction only.
 ///
 /// A Phong-style lobe around a fixed reflected-light direction; shared by all

@@ -55,14 +55,13 @@ pub fn render_ground_truth(field: &dyn SceneField, cam: &Camera, samples: usize)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::{build, standard_camera};
-    use crate::SceneId;
+    use crate::registry;
     use asdr_math::metrics::psnr;
 
     #[test]
     fn ground_truth_has_content() {
-        let scene = build(SceneId::Lego);
-        let cam = standard_camera(SceneId::Lego, 24, 24);
+        let scene = registry::handle("Lego").build();
+        let cam = registry::handle("Lego").camera(24, 24);
         let img = render_ground_truth(scene.as_ref(), &cam, 64);
         assert!(img.mean_luminance() > 0.01, "image is empty");
         assert!(img.mean_luminance() < 0.9, "image is saturated");
@@ -70,8 +69,8 @@ mod tests {
 
     #[test]
     fn more_samples_converge() {
-        let scene = build(SceneId::Mic);
-        let cam = standard_camera(SceneId::Mic, 16, 16);
+        let scene = registry::handle("Mic").build();
+        let cam = registry::handle("Mic").camera(16, 16);
         let coarse = render_ground_truth(scene.as_ref(), &cam, 64);
         let fine = render_ground_truth(scene.as_ref(), &cam, 256);
         let finer = render_ground_truth(scene.as_ref(), &cam, 512);
@@ -84,8 +83,8 @@ mod tests {
 
     #[test]
     fn background_pixels_are_black() {
-        let scene = build(SceneId::Mic);
-        let cam = standard_camera(SceneId::Mic, 32, 32);
+        let scene = registry::handle("Mic").build();
+        let cam = registry::handle("Mic").camera(32, 32);
         let img = render_ground_truth(scene.as_ref(), &cam, 32);
         // corners look past the object
         let corner = img.get(0, 0);
@@ -94,8 +93,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let scene = build(SceneId::Chair);
-        let cam = standard_camera(SceneId::Chair, 12, 12);
+        let scene = registry::handle("Chair").build();
+        let cam = registry::handle("Chair").camera(12, 12);
         let a = render_ground_truth(scene.as_ref(), &cam, 48);
         let b = render_ground_truth(scene.as_ref(), &cam, 48);
         assert_eq!(a, b);

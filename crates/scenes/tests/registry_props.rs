@@ -1,0 +1,133 @@
+//! Generic properties every registered scene must satisfy — the contract a
+//! `SceneDef` signs up to when it joins the registry. These run over the
+//! *entire* global registry (paper scenes, the zoo families, and anything a
+//! future crate adds), so a new scene gets the full battery for free.
+
+use asdr_math::Vec3;
+use asdr_scenes::procedural::SdfScene;
+use asdr_scenes::registry::{self, RegistryError, SceneDef, SceneRegistry};
+
+/// Deterministic low-discrepancy probe points in `[0, 1)^3`.
+fn probes01(n: usize) -> Vec<Vec3> {
+    // additive recurrence with irrational strides (Kronecker sequence)
+    (0..n)
+        .map(|i| {
+            let k = i as f32 + 0.5;
+            Vec3::new(
+                (k * 0.754_877_7).fract(),
+                (k * 0.569_840_3).fract(),
+                (k * 0.138_719_5).fract(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn density_is_finite_nonnegative_and_bounded_inside_bounds() {
+    for scene in registry::all() {
+        let f = scene.build();
+        let b = f.bounds();
+        for u in probes01(512) {
+            let p = b.denormalize(u);
+            let d = f.density(p);
+            assert!(d.is_finite(), "{scene}: density({p}) is not finite");
+            assert!(d >= 0.0, "{scene}: density({p}) = {d} is negative");
+            assert!(d <= 1e4, "{scene}: density({p}) = {d} is implausibly large");
+            let a = f.albedo(p);
+            assert!(a.is_finite(), "{scene}: albedo({p}) is not finite");
+        }
+    }
+}
+
+#[test]
+fn density_vanishes_outside_bounds() {
+    for scene in registry::all() {
+        let f = scene.build();
+        let b = f.bounds();
+        let half = (b.max - b.min) * 0.5;
+        let center = (b.max + b.min) * 0.5;
+        for u in probes01(64) {
+            // points pushed 10–60% beyond the faces
+            let dir = (u * 2.0 - Vec3::splat(1.0)).normalized();
+            let p = center + dir.hadamard(half) * 1.6;
+            if b.contains(p) {
+                continue;
+            }
+            assert_eq!(f.density(p), 0.0, "{scene}: density outside bounds at {p}");
+        }
+    }
+}
+
+#[test]
+fn standard_camera_center_ray_hits_bounds() {
+    for scene in registry::all() {
+        let f = scene.build();
+        let cam = scene.camera(32, 32);
+        let ray = cam.ray_for_pixel(16, 16);
+        assert!(
+            f.bounds().intersect(&ray).is_some(),
+            "{scene}: standard camera's center ray misses the scene bounds"
+        );
+    }
+}
+
+#[test]
+fn every_scene_has_content() {
+    for scene in registry::all() {
+        let f = scene.build();
+        let occ = f.occupancy(0.5, 16);
+        assert!(occ > 0.0, "{scene}: no occupied cells at all");
+    }
+}
+
+#[test]
+fn name_lookup_round_trips() {
+    for scene in registry::all() {
+        assert_eq!(registry::get(scene.name()), Some(scene.clone()));
+        assert_eq!(registry::get(&scene.name().to_lowercase()), Some(scene.clone()));
+        assert_eq!(registry::handle(scene.name()), scene);
+    }
+}
+
+#[test]
+fn registry_names_are_unique_and_metadata_present() {
+    let all = registry::all();
+    let mut names: Vec<String> = all.iter().map(|s| s.name().to_lowercase()).collect();
+    names.sort();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate scene names in the registry");
+    for s in &all {
+        assert!(!s.dataset().is_empty(), "{s}: empty dataset label");
+        let (w, h) = s.resolution();
+        assert!(w > 0 && h > 0, "{s}: degenerate native resolution");
+    }
+}
+
+fn dummy_def(name: &str) -> SceneDef {
+    SceneDef::new(name.to_string(), || {
+        Box::new(SdfScene::new("dummy", |q| (q.norm() - 0.4, asdr_math::Rgb::WHITE), 50.0, 0.03))
+    })
+}
+
+#[test]
+fn duplicate_registration_is_rejected_globally_and_locally() {
+    // global: a builtin name, any case
+    let err = registry::register(dummy_def("lego")).unwrap_err();
+    assert!(matches!(err, RegistryError::DuplicateName(_)), "{err}");
+    // local: fresh registry, same name twice
+    let mut reg = SceneRegistry::empty();
+    reg.register(dummy_def("solo")).unwrap();
+    let err = reg.register(dummy_def("SOLO")).unwrap_err();
+    assert!(matches!(err, RegistryError::DuplicateName(_)), "{err}");
+    assert_eq!(reg.len(), 1);
+}
+
+#[test]
+fn zoo_families_are_registered() {
+    for name in ["Pulse", "Carved", "Cloud"] {
+        let s = registry::handle(name);
+        assert_eq!(s.dataset(), "ASDR-Zoo");
+        assert!(s.build().occupancy(0.5, 12) > 0.0, "{name} has no content");
+    }
+}

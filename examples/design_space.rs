@@ -11,15 +11,15 @@ use asdr::core::algo::{render, RenderOptions};
 use asdr::math::metrics::psnr;
 use asdr::nerf::{fit, grid::GridConfig};
 use asdr::scenes::gt::render_ground_truth;
-use asdr::scenes::{registry, SceneId};
+use asdr::scenes::registry;
 
 fn main() {
-    let id = SceneId::Chair;
+    let id = registry::handle("Chair");
     let base_ns = 96;
-    let scene = registry::build_sdf(id);
-    let cam = registry::standard_camera(id, 96, 96);
-    let gt = render_ground_truth(&scene, &cam, 256);
-    let model = fit::fit_ngp(&scene, &GridConfig::small());
+    let scene = id.build();
+    let cam = id.camera(96, 96);
+    let gt = render_ground_truth(scene.as_ref(), &cam, 256);
+    let model = fit::fit_ngp(scene.as_ref(), &GridConfig::small());
 
     println!("== δ sweep (adaptive sampling) on {id} ==");
     println!("{:<12} {:>12} {:>12} {:>14}", "delta", "PSNR (dB)", "avg samples", "density evals");

@@ -11,22 +11,22 @@ use asdr::core::arch::chip::{simulate_chip, ChipOptions};
 use asdr::math::metrics::psnr;
 use asdr::nerf::{fit, grid::GridConfig};
 use asdr::scenes::gt::render_ground_truth;
-use asdr::scenes::{registry, SceneId};
+use asdr::scenes::registry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scene_id = SceneId::Lego;
+    let scene_id = registry::handle("Lego");
     let base_ns = 96;
     println!("== ASDR quickstart: {scene_id} ==");
 
     // 1. the analytic scene stands in for a trained dataset (DESIGN.md §1)
-    let scene = registry::build_sdf(scene_id);
-    let cam = registry::standard_camera(scene_id, 128, 128);
+    let scene = scene_id.build();
+    let cam = scene_id.camera(128, 128);
     println!("rendering analytic ground truth…");
-    let gt = render_ground_truth(&scene, &cam, 256);
+    let gt = render_ground_truth(scene.as_ref(), &cam, 256);
 
     // 2. fit the Instant-NGP model (the offline substitute for training)
     println!("fitting the hash-grid model…");
-    let model = fit::fit_ngp(&scene, &GridConfig::small());
+    let model = fit::fit_ngp(scene.as_ref(), &GridConfig::small());
 
     // 3. render: fixed sampling vs ASDR (adaptive + color decoupling)
     println!("rendering…");
@@ -75,9 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ngp.image.write_ppm(dir.join("instant_ngp.ppm"))?;
     asdr.image.write_ppm(dir.join("asdr.ppm"))?;
     let ckpt = dir.join("lego.asdr");
-    asdr::nerf::io::save_model_file(&model, &ckpt)?;
+    asdr::nerf::io::save_model_file(&model, scene_id.name(), &ckpt)?;
     let reloaded = asdr::nerf::io::load_model_file(&ckpt)?;
-    assert_eq!(reloaded.encoder().config(), model.encoder().config());
+    assert_eq!(reloaded.model.encoder().config(), model.encoder().config());
+    assert_eq!(reloaded.scene.as_deref(), Some(scene_id.name()));
     println!("\nimages + checkpoint written to {} (checkpoint reload verified)", dir.display());
     Ok(())
 }

@@ -1,6 +1,6 @@
-//! Scene zoo: renders the procedural stand-ins for all ten evaluation
-//! scenes (ground truth + fitted model + ASDR) and writes PPM images, so the
-//! substitution for the paper's datasets can be inspected visually.
+//! Scene zoo: renders every scene in the registry (ground truth + fitted
+//! model + ASDR) and writes PPM images, so the procedural stand-ins — and
+//! any custom scene you register — can be inspected visually.
 //!
 //! ```sh
 //! cargo run --release --example scene_zoo [output_dir]
@@ -10,7 +10,8 @@ use asdr::core::algo::{render, RenderOptions};
 use asdr::math::metrics::psnr;
 use asdr::nerf::{fit, grid::GridConfig};
 use asdr::scenes::gt::render_ground_truth;
-use asdr::scenes::{registry, SceneId};
+use asdr::scenes::registry;
+use asdr::scenes::SceneField;
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,13 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or_else(|| std::env::temp_dir().join("asdr_scene_zoo"));
     std::fs::create_dir_all(&dir)?;
     println!("writing renders to {}", dir.display());
-    println!("{:<10} {:>12} {:>12} {:>12}", "scene", "occupancy", "NGP PSNR", "ASDR PSNR");
+    println!(
+        "{:<10} {:<14} {:>12} {:>12} {:>12}",
+        "scene", "dataset", "occupancy", "NGP PSNR", "ASDR PSNR"
+    );
 
-    for id in SceneId::ALL {
-        let scene = registry::build_sdf(id);
-        let cam = registry::standard_camera(id, 96, 96);
-        let gt = render_ground_truth(&scene, &cam, 256);
-        let model = fit::fit_ngp(&scene, &GridConfig::small());
+    for id in registry::all() {
+        let scene = id.build();
+        let cam = id.camera(96, 96);
+        let gt = render_ground_truth(scene.as_ref(), &cam, 256);
+        let model = fit::fit_ngp(scene.as_ref(), &GridConfig::small());
         let ngp = render(&model, &cam, &RenderOptions::instant_ngp(96));
         let asdr = render(&model, &cam, &RenderOptions::asdr_default(96));
 
@@ -35,10 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ngp.image.write_ppm(dir.join(format!("{name}_ngp.ppm")))?;
         asdr.image.write_ppm(dir.join(format!("{name}_asdr.ppm")))?;
 
-        use asdr::scenes::SceneField;
         println!(
-            "{:<10} {:>11.1}% {:>11.2} {:>11.2}",
+            "{:<10} {:<14} {:>11.1}% {:>11.2} {:>11.2}",
             id.name(),
+            id.dataset(),
             scene.occupancy(1.0, 16) * 100.0,
             psnr(&ngp.image, &gt),
             psnr(&asdr.image, &gt)

@@ -13,7 +13,7 @@ use asdr::baselines::gpu::{simulate_gpu, GpuSpec};
 use asdr::core::algo::{render, RenderOptions};
 use asdr::core::arch::chip::{simulate_chip, ChipOptions};
 use asdr::nerf::{fit, grid::GridConfig};
-use asdr::scenes::{registry, SceneId};
+use asdr::scenes::registry;
 
 /// VR needs at least 120 frames per second (§1 of the paper).
 const VR_FPS: f64 = 120.0;
@@ -28,10 +28,10 @@ fn main() {
         "scene", "XavierNX fps", "ASDR-Edge fps", "speedup", "VR?"
     );
     let mut pass = 0;
-    for id in SceneId::ALL {
-        let scene = registry::build_sdf(id);
-        let model = fit::fit_ngp(&scene, &GridConfig::small());
-        let cam = registry::standard_camera(id, w, hgt);
+    for id in registry::paper_scenes() {
+        let scene = id.build();
+        let model = fit::fit_ngp(scene.as_ref(), &GridConfig::small());
+        let cam = id.camera(w, hgt);
         let fixed = render(&model, &cam, &RenderOptions::instant_ngp(base_ns));
         let asdr = render(&model, &cam, &RenderOptions::asdr_default(base_ns));
         let cfg = model.encoder().config();

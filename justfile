@@ -30,5 +30,12 @@ check-extras:
 bench-smoke:
     cargo bench -p asdr_bench --bench adaptive --bench regcache
 
+# Full benches + regression check against the committed baseline. Starts
+# from a clean dump so stale entries from earlier runs can't mask anything.
+bench-check:
+    rm -f target/bench-results.json
+    cargo bench -p asdr_bench
+    scripts/bench_check.sh
+
 # Everything CI runs, in one shot.
 ci: fmt-check clippy verify test-crates check-extras

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Compares a bench-results JSON dump (written by the criterion shim via
+# `cargo bench`) against the committed baseline and fails on regressions.
+#
+# usage: scripts/bench_check.sh [current.json] [baseline.json]
+#
+# Environment:
+#   BENCH_TOLERANCE      max allowed mean_ns ratio current/baseline (default
+#                        2.0 — wall-clock benches on shared CI runners are
+#                        noisy; this catches order-of-magnitude regressions,
+#                        not 10%).
+#   BENCH_ALLOW_MISSING  set to 1 to tolerate baseline benches absent from
+#                        the current dump (default: missing benches FAIL —
+#                        a bench that silently vanishes is unchecked, and
+#                        the gating workflow always runs the full suite
+#                        from a clean dump).
+set -euo pipefail
+
+current="${1:-target/bench-results.json}"
+baseline="${2:-scripts/bench-baseline.json}"
+tolerance="${BENCH_TOLERANCE:-2.0}"
+
+if [[ ! -f "$current" ]]; then
+    echo "error: no current results at $current (run \`cargo bench -p asdr_bench\` first)" >&2
+    exit 2
+fi
+if [[ ! -f "$baseline" ]]; then
+    echo "error: no baseline at $baseline" >&2
+    exit 2
+fi
+
+# extract "name mean_ns" pairs from the shim's one-entry-per-line dump
+extract() {
+    sed -n 's/.*"name":"\([^"]*\)","mean_ns":\([0-9.]*\).*/\1 \2/p' "$1"
+}
+
+extract "$baseline" > /tmp/bench_base.$$
+extract "$current" > /tmp/bench_cur.$$
+trap 'rm -f /tmp/bench_base.$$ /tmp/bench_cur.$$' EXIT
+
+fail=0
+missing=0
+while read -r name base_mean; do
+    cur_mean=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_cur.$$)
+    if [[ -z "$cur_mean" ]]; then
+        echo "WARN  $name: in baseline but not in current results"
+        missing=$((missing + 1))
+        continue
+    fi
+    ratio=$(awk -v c="$cur_mean" -v b="$base_mean" 'BEGIN { printf "%.3f", c / b }')
+    over=$(awk -v r="$ratio" -v t="$tolerance" 'BEGIN { print (r > t) ? 1 : 0 }')
+    if [[ "$over" == "1" ]]; then
+        echo "FAIL  $name: ${cur_mean}ns vs baseline ${base_mean}ns (${ratio}x > ${tolerance}x)"
+        fail=$((fail + 1))
+    else
+        echo "ok    $name: ${cur_mean}ns vs ${base_mean}ns (${ratio}x)"
+    fi
+done < /tmp/bench_base.$$
+
+new=$(awk 'NR == FNR { seen[$1]; next } !($1 in seen) { print $1 }' /tmp/bench_base.$$ /tmp/bench_cur.$$)
+for name in $new; do
+    echo "NEW   $name: not in baseline (add it by refreshing scripts/bench-baseline.json)"
+done
+
+echo
+if [[ $fail -gt 0 ]]; then
+    echo "$fail benchmark(s) regressed past ${tolerance}x"
+    exit 1
+fi
+if [[ $missing -gt 0 && "${BENCH_ALLOW_MISSING:-0}" != "1" ]]; then
+    echo "$missing baseline benchmark(s) missing from $current — run the full suite from a clean dump (or set BENCH_ALLOW_MISSING=1)"
+    exit 1
+fi
+echo "all benchmarks within ${tolerance}x of baseline ($missing missing)"

@@ -18,11 +18,12 @@
 //! ```
 //! use asdr::core::algo::{render, RenderOptions};
 //! use asdr::nerf::{fit, grid::GridConfig};
-//! use asdr::scenes::{registry, SceneId};
+//! use asdr::scenes::registry;
 //!
-//! let scene = registry::build_sdf(SceneId::Mic);
-//! let model = fit::fit_ngp(&scene, &GridConfig::tiny());
-//! let cam = registry::standard_camera(SceneId::Mic, 32, 32);
+//! let mic = registry::handle("Mic");
+//! let scene = mic.build();
+//! let model = fit::fit_ngp(scene.as_ref(), &GridConfig::tiny());
+//! let cam = mic.camera(32, 32);
 //! let out = render(&model, &cam, &RenderOptions::asdr_default(48));
 //! assert!(out.stats.planned_points < out.stats.base_points);
 //! ```

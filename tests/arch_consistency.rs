@@ -7,12 +7,12 @@ use asdr::core::arch::chip::{simulate_chip, ChipOptions};
 use asdr::nerf::fit::fit_ngp;
 use asdr::nerf::grid::GridConfig;
 use asdr::nerf::NgpModel;
-use asdr::scenes::{registry, SceneId};
+use asdr::scenes::registry;
 
 fn setup() -> (NgpModel, asdr::math::Camera) {
-    let scene = registry::build_sdf(SceneId::Lego);
-    let model = fit_ngp(&scene, &GridConfig::tiny());
-    let cam = registry::standard_camera(SceneId::Lego, 32, 32);
+    let lego = registry::handle("Lego");
+    let model = fit_ngp(lego.build().as_ref(), &GridConfig::tiny());
+    let cam = lego.camera(32, 32);
     (model, cam)
 }
 

@@ -9,14 +9,13 @@ use asdr::core::arch::chip::{simulate_chip, ChipOptions};
 use asdr::math::metrics::psnr;
 use asdr::nerf::fit::fit_ngp;
 use asdr::nerf::grid::GridConfig;
-use asdr::scenes::{registry, SceneId};
+use asdr::scenes::registry;
 
 #[test]
 fn platform_hierarchy_holds_on_multiple_scenes() {
-    for id in [SceneId::Palace, SceneId::Family] {
-        let scene = registry::build_sdf(id);
-        let model = fit_ngp(&scene, &GridConfig::tiny());
-        let cam = registry::standard_camera(id, 32, 32);
+    for id in ["Palace", "Family"].map(registry::handle) {
+        let model = fit_ngp(id.build().as_ref(), &GridConfig::tiny());
+        let cam = id.camera(32, 32);
         let fixed = render(&model, &cam, &RenderOptions::instant_ngp(48));
         let asdr = render(&model, &cam, &RenderOptions::asdr_default(48));
         let cfg = model.encoder().config();
@@ -32,10 +31,9 @@ fn platform_hierarchy_holds_on_multiple_scenes() {
 
 #[test]
 fn quality_hierarchy_matches_fig16() {
-    let id = SceneId::Lego;
-    let scene = registry::build_sdf(id);
-    let model = fit_ngp(&scene, &GridConfig::tiny());
-    let cam = registry::standard_camera(id, 32, 32);
+    let id = registry::handle("Lego");
+    let model = fit_ngp(id.build().as_ref(), &GridConfig::tiny());
+    let cam = id.camera(32, 32);
     let base = 48;
     let ngp = render(&model, &cam, &RenderOptions::instant_ngp(base));
     // probe pitch scaled to the 32px test frame, as the evaluation harness does
@@ -56,10 +54,9 @@ fn quality_hierarchy_matches_fig16() {
 fn edge_setting_amplifies_asdr_advantage() {
     // Fig. 17: the gap to the GPU is larger at the edge (49.6x) than at the
     // server (11.8x)
-    let id = SceneId::Fox;
-    let scene = registry::build_sdf(id);
-    let model = fit_ngp(&scene, &GridConfig::tiny());
-    let cam = registry::standard_camera(id, 32, 32);
+    let id = registry::handle("Fox");
+    let model = fit_ngp(id.build().as_ref(), &GridConfig::tiny());
+    let cam = id.camera(32, 32);
     let fixed = render(&model, &cam, &RenderOptions::instant_ngp(48));
     let asdr = render(&model, &cam, &RenderOptions::asdr_default(48));
     let cfg = model.encoder().config();

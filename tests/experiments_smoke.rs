@@ -1,13 +1,14 @@
 //! Smoke test of the full experiment harness at tiny scale: every table and
 //! figure generator must run and produce shape-correct output.
 
-use asdr::scenes::SceneId;
+use asdr::scenes::registry;
 use asdr_bench::experiments::*;
 use asdr_bench::{Harness, Scale};
 
 #[test]
 fn every_experiment_runs_at_tiny_scale() {
     let mut h = Harness::new(Scale::Tiny);
+    let mic = registry::handle("Mic");
 
     let t1 = tables::run_table1(&mut h);
     assert_eq!(t1.len(), 10);
@@ -21,28 +22,28 @@ fn every_experiment_runs_at_tiny_scale() {
     let f13 = motivation::run_fig13(&mut h);
     assert!(f13.hybrid_avg > f13.naive_avg);
 
-    let q = quality::run_fig16(&mut h, &[SceneId::Mic]);
+    let q = quality::run_fig16(&mut h, std::slice::from_ref(&mic));
     assert_eq!(q.len(), 1);
     assert!(q[0].instant_ngp.psnr.is_finite());
 
-    let perf = performance::run_perf(&mut h, &[SceneId::Mic]);
+    let perf = performance::run_perf(&mut h, std::slice::from_ref(&mic));
     assert!(perf[0].asdr_server.fps > 0.0);
 
-    let f20 = ablation::run_fig20(&mut h, &[SceneId::Mic]);
+    let f20 = ablation::run_fig20(&mut h, std::slice::from_ref(&mic));
     assert!(f20[0].full >= f20[0].strawman);
 
-    let f21a = dse::run_fig21a(&mut h, SceneId::Mic, &[1.0 / 2048.0]);
+    let f21a = dse::run_fig21a(&mut h, &mic, &[1.0 / 2048.0]);
     assert_eq!(f21a.len(), 2);
-    let f22 = dse::run_fig22(&mut h, SceneId::Mic, &[0, 8]);
+    let f22 = dse::run_fig22(&mut h, &mic, &[0, 8]);
     assert!(f22[1].speedup >= 1.0);
 
-    let f24 = gpu_sw::run_fig24(&mut h, &[SceneId::Mic]);
+    let f24 = gpu_sw::run_fig24(&mut h, std::slice::from_ref(&mic));
     assert!(f24[0].as_ra >= 1.0);
 
-    let f25 = tensorf_exp::run_fig25(&mut h, &[SceneId::Mic]);
+    let f25 = tensorf_exp::run_fig25(&mut h, std::slice::from_ref(&mic));
     assert!(f25[0].asdr_arch_speedup > 1.0);
 
-    let hw = hwconfig::run_hwconfig(&mut h, &[SceneId::Mic], false);
+    let hw = hwconfig::run_hwconfig(&mut h, std::slice::from_ref(&mic), false);
     assert!(hw[0].reram_speedup > 1.0);
 }
 
@@ -53,9 +54,28 @@ fn printers_do_not_panic() {
     tables::print_table2(&tables::run_table2());
     motivation::print_fig5(&motivation::run_fig5(&mut h));
     motivation::print_fig13(&motivation::run_fig13(&mut h));
-    let q = quality::run_fig16(&mut h, &[SceneId::Mic]);
+    let q = quality::run_fig16(&mut h, &[registry::handle("Mic")]);
     quality::print_fig16(&q);
     quality::print_table3(&q);
+}
+
+#[test]
+fn experiments_run_on_registered_zoo_scenes() {
+    // the experiment harness is scene-agnostic: the animated, CSG, and
+    // volumetric families run through the same quality + perf paths as the
+    // paper scenes, with zero special-casing
+    let mut h = Harness::new(Scale::Tiny);
+    let zoo: Vec<_> = ["Pulse", "Carved", "Cloud"].map(registry::handle).into();
+    let q = quality::run_fig16(&mut h, &zoo);
+    assert_eq!(q.len(), 3);
+    for r in &q {
+        assert!(r.instant_ngp.psnr.is_finite(), "{}: non-finite PSNR", r.id);
+        assert!(r.asdr_avg_samples > 0.0, "{}: empty sample plan", r.id);
+    }
+    let perf = performance::run_perf(&mut h, &zoo[..1]);
+    assert!(perf[0].asdr_server.fps > 0.0);
+    let t1 = tables::run_table1_on(&mut h, &zoo);
+    assert!(t1.iter().all(|r| r.dataset == "ASDR-Zoo" && r.occupancy > 0.0));
 }
 
 /// Slow tier: the default-evaluation-scale sweep over the performance scene
@@ -68,12 +88,13 @@ fn printers_do_not_panic() {
 )]
 fn quality_and_perf_at_evaluation_scale() {
     let mut h = Harness::new(Scale::Small);
-    let q = quality::run_fig16(&mut h, &SceneId::PERF);
-    assert_eq!(q.len(), SceneId::PERF.len());
+    let perf_set = registry::perf_scenes();
+    let q = quality::run_fig16(&mut h, &perf_set);
+    assert_eq!(q.len(), perf_set.len());
     for row in &q {
         assert!(row.instant_ngp.psnr.is_finite());
     }
-    let perf = performance::run_perf(&mut h, &SceneId::PERF);
+    let perf = performance::run_perf(&mut h, &perf_set);
     for row in &perf {
         assert!(row.asdr_server.fps > 0.0);
     }
