@@ -148,7 +148,7 @@ pub fn simulate_gpu<M: RadianceModel>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asdr_core::algo::{render, RenderOptions};
+    use asdr_core::algo::{ExecPolicy, FrameEngine, RenderOptions, RenderOutput};
     use asdr_nerf::fit::fit_ngp;
     use asdr_nerf::grid::GridConfig;
     use asdr_nerf::NgpModel;
@@ -158,6 +158,12 @@ mod tests {
         let m = fit_ngp(registry::handle("Lego").build().as_ref(), &GridConfig::tiny());
         let cam = registry::handle("Lego").camera(24, 24);
         (m, cam)
+    }
+
+    fn render(model: &NgpModel, cam: &asdr_math::Camera, opts: &RenderOptions) -> RenderOutput {
+        FrameEngine::new(opts.clone(), ExecPolicy::TileStealing { tile_size: 12 })
+            .expect("options are valid")
+            .render_frame(model, cam)
     }
 
     #[test]

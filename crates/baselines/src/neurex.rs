@@ -139,7 +139,7 @@ pub fn quantize_model_features(model: &NgpModel, bits: u32) -> NgpModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asdr_core::algo::{render, render_reference, RenderOptions};
+    use asdr_core::algo::{render_reference, ExecPolicy, FrameEngine, RenderOptions, RenderOutput};
     use asdr_math::metrics::psnr;
     use asdr_nerf::fit::fit_ngp;
     use asdr_nerf::grid::GridConfig;
@@ -149,6 +149,12 @@ mod tests {
         let m = fit_ngp(registry::handle("Lego").build().as_ref(), &GridConfig::tiny());
         let cam = registry::handle("Lego").camera(24, 24);
         (m, cam)
+    }
+
+    fn render(model: &NgpModel, cam: &asdr_math::Camera, opts: &RenderOptions) -> RenderOutput {
+        FrameEngine::new(opts.clone(), ExecPolicy::Sequential)
+            .expect("options are valid")
+            .render_frame(model, cam)
     }
 
     #[test]

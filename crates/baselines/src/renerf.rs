@@ -9,7 +9,7 @@
 //! of Fig. 9(b)).
 
 use crate::neurex::quantize_model_features;
-use asdr_core::algo::{render, RenderOptions, RenderOutput};
+use asdr_core::algo::{ExecPolicy, FrameEngine, RenderOptions, RenderOutput};
 use asdr_math::Camera;
 use asdr_nerf::NgpModel;
 
@@ -33,7 +33,9 @@ pub fn render_renerf(
     assert!(reduction > 0, "reduction must be positive");
     assert_eq!(base_ns % reduction, 0, "reduction must divide base_ns");
     let compressed = quantize_model_features(model, RENERF_FEATURE_BITS);
-    render(&compressed, cam, &RenderOptions::instant_ngp(base_ns / reduction))
+    FrameEngine::new(RenderOptions::instant_ngp(base_ns / reduction), ExecPolicy::default())
+        .expect("instant_ngp options are always valid")
+        .render_frame(&compressed, cam)
 }
 
 #[cfg(test)]
@@ -59,7 +61,8 @@ mod tests {
 
         let mut asdr_opts = RenderOptions::instant_ngp(64);
         asdr_opts.approx_group = 2; // same color-budget reduction
-        let asdr = render(&model, &cam, &asdr_opts);
+        let asdr =
+            FrameEngine::new(asdr_opts, ExecPolicy::default()).unwrap().render_frame(&model, &cam);
         let p_asdr = psnr(&asdr.image, &reference);
 
         assert!(p_asdr > p_naive, "ASDR {p_asdr} should beat naive {p_naive}");

@@ -1,0 +1,63 @@
+//! Wall-clock benchmark of the frame engine's execution policies and of
+//! sequence plan reuse.
+//!
+//! The frame benches render an adaptive-sampled frame, where per-row cost is
+//! uneven: `StaticRows` leaves workers idle while the heaviest block
+//! finishes, `TileStealing` rebalances — that delta is the point of the
+//! bench. The sequence benches render a 4-frame Pulse animation with and
+//! without carrying the sample plan across frames.
+
+use asdr_core::algo::{ExecPolicy, FrameEngine, PlanPolicy, RenderOptions, SequenceFrame};
+use asdr_nerf::fit::fit_ngp;
+use asdr_nerf::grid::GridConfig;
+use asdr_nerf::NgpModel;
+use asdr_scenes::animated::PulseScene;
+use asdr_scenes::registry;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_exec_policies(c: &mut Criterion) {
+    let model = fit_ngp(registry::handle("Lego").build().as_ref(), &GridConfig::tiny());
+    let cam = registry::handle("Lego").camera(32, 32);
+    let opts = RenderOptions::asdr_default(48);
+
+    let mut g = c.benchmark_group("engine_frame_32x32");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("static_rows", ExecPolicy::StaticRows),
+        ("tile_stealing_8", ExecPolicy::TileStealing { tile_size: 8 }),
+    ] {
+        let engine = FrameEngine::new(opts.clone(), policy).expect("valid options");
+        g.bench_function(name, |b| b.iter(|| black_box(engine.render_frame(&model, &cam))));
+    }
+    g.finish();
+}
+
+fn bench_plan_reuse(c: &mut Criterion) {
+    let grid = GridConfig::tiny();
+    let cam = registry::handle("Pulse").camera(24, 24);
+    let models: Vec<NgpModel> =
+        (0..4).map(|i| fit_ngp(&PulseScene::at_phase(0.30 + i as f32 * 0.02), &grid)).collect();
+    let frames: Vec<_> = models.iter().map(|m| SequenceFrame::new(m, cam.clone())).collect();
+    let engine = FrameEngine::new(
+        RenderOptions::asdr_default(48),
+        ExecPolicy::TileStealing { tile_size: 8 },
+    )
+    .expect("valid options");
+
+    let mut g = c.benchmark_group("engine_sequence_4x24x24");
+    g.sample_size(10);
+    g.bench_function("per_frame_probe", |b| {
+        b.iter(|| black_box(engine.render_sequence(&frames, &PlanPolicy::PerFrame).unwrap()))
+    });
+    g.bench_function("plan_reuse_4", |b| {
+        b.iter(|| {
+            black_box(
+                engine.render_sequence(&frames, &PlanPolicy::Reuse { refresh_every: 4 }).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_exec_policies, bench_plan_reuse);
+criterion_main!(benches);

@@ -14,7 +14,7 @@
 
 use asdr_bench::experiments::*;
 use asdr_bench::{Harness, Scale};
-use asdr_core::algo::{render, RenderOptions};
+use asdr_core::algo::RenderOptions;
 use asdr_core::arch::chip::{simulate_chip, ChipOptions};
 use asdr_scenes::{registry, SceneHandle};
 
@@ -311,6 +311,17 @@ const EXPERIMENTS: &[Experiment] = &[
         },
     },
     Experiment {
+        id: "sequence",
+        describe: "multi-frame sequences: plan reuse vs per-frame re-probing",
+        in_all: true,
+        scene_aware: true,
+        run: |h, sel| {
+            for id in sel.each("Pulse") {
+                sequence::print_sequence(&sequence::run_sequence(h, &id, 6, 3));
+            }
+        },
+    },
+    Experiment {
         id: "debug",
         describe: "raw per-stage cycle breakdown (simulator calibration)",
         in_all: false,
@@ -469,8 +480,8 @@ fn debug_stage_cycles(h: &mut Harness, sel: &SceneSel) {
     for id in sel.subset(&["Palace", "Mic"]) {
         let model = h.model(&id);
         let cam = h.camera(&id);
-        let fixed = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
-        let asdr = render(&*model, &cam, &RenderOptions::asdr_default(base_ns));
+        let fixed = h.render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
+        let asdr = h.render(&*model, &cam, &RenderOptions::asdr_default(base_ns));
         for (label, out) in [("fixed", &fixed), ("asdr", &asdr)] {
             for (cfg_label, opts) in [
                 ("server", ChipOptions::server()),

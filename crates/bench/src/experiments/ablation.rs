@@ -3,7 +3,7 @@
 
 use crate::{fmt_x, print_header, print_row, Harness};
 use asdr_baselines::gpu::{simulate_gpu, GpuSpec};
-use asdr_core::algo::{render, RenderOptions};
+use asdr_core::algo::RenderOptions;
 use asdr_core::arch::chip::{simulate_chip, ChipOptions};
 use asdr_scenes::SceneHandle;
 
@@ -32,8 +32,8 @@ pub fn run_fig20(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Fig20Row> {
             let model = h.model(id);
             let cam = h.camera(id);
             let cfg = model.encoder().config().clone();
-            let fixed = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
-            let asdr = render(&*model, &cam, &asdr_opts);
+            let fixed = h.render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
+            let asdr = h.render(&*model, &cam, &asdr_opts);
             let gpu = simulate_gpu(
                 &GpuSpec::xavier_nx(),
                 &*model,
@@ -99,7 +99,7 @@ pub fn run_fig23(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Fig23Row> {
                     RenderOptions::instant_ngp(base_ns)
                 };
                 ro.early_termination = early;
-                let out = render(&*model, &cam, &ro);
+                let out = h.render(&*model, &cam, &ro);
                 simulate_chip(&model, &cam, &out, &opts).time_s
             };
             let strawman = mk(false, false);

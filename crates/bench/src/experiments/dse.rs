@@ -3,7 +3,7 @@
 
 use crate::{fmt_x, print_header, print_row, Harness};
 use asdr_core::algo::adaptive::AdaptiveConfig;
-use asdr_core::algo::{render, RenderOptions};
+use asdr_core::algo::RenderOptions;
 use asdr_core::arch::chip::{encoding_profile, simulate_chip, ChipOptions};
 use asdr_math::metrics::psnr;
 use asdr_scenes::SceneHandle;
@@ -31,7 +31,7 @@ pub fn run_fig21a(h: &mut Harness, id: &SceneHandle, deltas: &[f32]) -> Vec<Delt
 
     let render_with = |adaptive: Option<AdaptiveConfig>| {
         let opts = RenderOptions { base_ns, adaptive, approx_group: 1, early_termination: false };
-        render(&*model, &cam, &opts)
+        h.render(&*model, &cam, &opts)
     };
     let base = render_with(None);
     let base_time = simulate_chip(&model, &cam, &base, &chip).time_s;
@@ -103,7 +103,7 @@ pub fn run_fig21b(h: &mut Harness, id: &SceneHandle, ns: &[usize]) -> Vec<GroupP
     let run_n = |n: usize| {
         let opts =
             RenderOptions { base_ns, adaptive: None, approx_group: n, early_termination: false };
-        let out = render(&*model, &cam, &opts);
+        let out = h.render(&*model, &cam, &opts);
         let e = simulate_chip(&model, &cam, &out, &chip).total_energy_j;
         (e, psnr(&out.image, &gt))
     };
@@ -144,7 +144,7 @@ pub struct CachePoint {
 pub fn run_fig22(h: &mut Harness, id: &SceneHandle, sizes: &[usize]) -> Vec<CachePoint> {
     let model = h.model(id);
     let cam = h.camera(id);
-    let out = render(&*model, &cam, &h.asdr_options());
+    let out = h.render(&*model, &cam, &h.asdr_options());
     let profile_for = |entries: usize| {
         let opts = ChipOptions { cache_entries_per_table: Some(entries), ..ChipOptions::edge() };
         encoding_profile(&model, &cam, &out, &opts)

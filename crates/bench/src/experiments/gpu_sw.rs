@@ -2,7 +2,7 @@
 
 use crate::{fmt_x, print_header, print_row, Harness};
 use asdr_baselines::gpu::{simulate_gpu, GpuSpec};
-use asdr_core::algo::{render, RenderOptions};
+use asdr_core::algo::RenderOptions;
 use asdr_scenes::SceneHandle;
 
 /// Fig. 24 row: GPU speedups from ASDR's algorithms alone.
@@ -27,7 +27,7 @@ pub fn run_fig24(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Fig24Row> {
             let cam = h.camera(id);
             let cfg = model.encoder().config().clone();
             let t = |opts: &RenderOptions| {
-                let out = render(&*model, &cam, opts);
+                let out = h.render(&*model, &cam, opts);
                 simulate_gpu(&spec, &*model, &out.stats, cfg.levels, cfg.feat_dim).total_s
             };
             let base = t(&RenderOptions::instant_ngp(base_ns));

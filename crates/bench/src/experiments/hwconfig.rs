@@ -5,7 +5,7 @@ use crate::{fmt_x, print_header, print_row, Harness};
 use asdr_baselines::gpu::{simulate_gpu, GpuSpec};
 use asdr_baselines::neurex::{simulate_neurex, NeurexVariant};
 use asdr_cim::device::MemTech;
-use asdr_core::algo::{render, RenderOptions};
+use asdr_core::algo::RenderOptions;
 use asdr_core::arch::chip::{simulate_chip, ChipOptions};
 use asdr_scenes::SceneHandle;
 
@@ -38,8 +38,8 @@ pub fn run_hwconfig(h: &mut Harness, scenes: &[SceneHandle], server: bool) -> Ve
             let model = h.model(id);
             let cam = h.camera(id);
             let cfg = model.encoder().config().clone();
-            let fixed = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
-            let asdr = render(&*model, &cam, &asdr_opts);
+            let fixed = h.render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
+            let asdr = h.render(&*model, &cam, &asdr_opts);
             let gpu_spec = if server { GpuSpec::rtx3070() } else { GpuSpec::xavier_nx() };
             let gpu = simulate_gpu(&gpu_spec, &*model, &fixed.stats, cfg.levels, cfg.feat_dim);
             let neurex = simulate_neurex(

@@ -9,6 +9,7 @@ pub mod motivation;
 pub mod performance;
 pub mod precision;
 pub mod quality;
+pub mod sequence;
 pub mod tables;
 pub mod tensorf_exp;
 pub mod visuals;

@@ -8,7 +8,7 @@
 //! generalization claim quantitatively.
 
 use crate::{fmt_x, print_header, print_row, Harness};
-use asdr_core::algo::{render, RenderOptions};
+use asdr_core::algo::RenderOptions;
 use asdr_math::metrics::psnr;
 use asdr_math::{Camera, Image};
 use asdr_nerf::dvgo::{DvgoConfig, DvgoModel};
@@ -35,14 +35,15 @@ pub struct Table5Row {
 }
 
 fn measure<M: RadianceModel + Sync>(
+    h: &Harness,
     model: &M,
     cam: &Camera,
     gt: &Image,
     full_opts: &RenderOptions,
     asdr_opts: &RenderOptions,
 ) -> (f64, f64, f64) {
-    let full = render(model, cam, full_opts);
-    let asdr = render(model, cam, asdr_opts);
+    let full = h.render(model, cam, full_opts);
+    let asdr = h.render(model, cam, asdr_opts);
     (
         psnr(&full.image, gt),
         psnr(&asdr.image, gt),
@@ -65,9 +66,9 @@ pub fn run_table5(h: &mut Harness, id: &SceneHandle) -> Vec<Table5Row> {
     };
     let dvgo = DvgoModel::fit(id.build().as_ref(), &dvgo_cfg);
 
-    let (p1, a1, w1) = measure(&*ngp, &cam, &gt, &full, &asdr);
-    let (p2, a2, w2) = measure(&*tensorf, &cam, &gt, &full, &asdr);
-    let (p3, a3, w3) = measure(&dvgo, &cam, &gt, &full, &asdr);
+    let (p1, a1, w1) = measure(h, &*ngp, &cam, &gt, &full, &asdr);
+    let (p2, a2, w2) = measure(h, &*tensorf, &cam, &gt, &full, &asdr);
+    let (p3, a3, w3) = measure(h, &dvgo, &cam, &gt, &full, &asdr);
 
     vec![
         Table5Row {

@@ -4,7 +4,7 @@
 use crate::{fmt_x, print_header, print_row, Harness};
 use asdr_baselines::gpu::{simulate_gpu, GpuPerf, GpuSpec};
 use asdr_baselines::neurex::{simulate_neurex, NeurexPerf, NeurexVariant};
-use asdr_core::algo::{render, RenderOptions};
+use asdr_core::algo::RenderOptions;
 use asdr_core::arch::chip::{simulate_chip, ChipOptions, PerfReport};
 use asdr_scenes::SceneHandle;
 
@@ -37,8 +37,8 @@ pub fn run_perf(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<ScenePerf> {
             let model = h.model(id);
             let cam = h.camera(id);
             let cfg = model.encoder().config().clone();
-            let baseline = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
-            let asdr = render(&*model, &cam, &asdr_opts);
+            let baseline = h.render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
+            let asdr = h.render(&*model, &cam, &asdr_opts);
             ScenePerf {
                 id: id.clone(),
                 gpu_server: simulate_gpu(

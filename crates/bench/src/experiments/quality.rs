@@ -19,7 +19,7 @@ use asdr_baselines::neurex::quantize_model_features;
 /// (DESIGN.md §1).
 pub const NEUREX_EFFECTIVE_BITS: u32 = 5;
 use asdr_baselines::renerf::render_renerf;
-use asdr_core::algo::{render, RenderOptions};
+use asdr_core::algo::RenderOptions;
 use asdr_math::metrics::{psnr, quality, QualityReport};
 use asdr_scenes::SceneHandle;
 
@@ -58,12 +58,12 @@ pub fn run_fig16(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<QualityRow> {
             let model = h.model(id);
             let cam = h.camera(id);
             let gt = h.ground_truth(id);
-            let ngp_img = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
+            let ngp_img = h.render(&*model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
             let renerf_img = render_renerf(&model, &cam, base_ns, 2).image;
             let neurex_model = quantize_model_features(&model, NEUREX_EFFECTIVE_BITS);
             let neurex_img =
-                render(&neurex_model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
-            let asdr_out = render(&*model, &cam, &asdr_opts);
+                h.render(&neurex_model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
+            let asdr_out = h.render(&*model, &cam, &asdr_opts);
             QualityRow {
                 id: id.clone(),
                 instant_ngp: quality(&ngp_img, &gt),

@@ -1,0 +1,213 @@
+//! The `sequence` experiment: temporal coherence through sample-plan reuse
+//! (ROADMAP "Animation sequences"; the VR deployment of §1 implies frames
+//! arrive as streams, not one-offs).
+//!
+//! For the animated `Pulse` scene the keyframes are geometry morphs — one
+//! [`PulseScene::at_phase`] fit per frame under a fixed camera. For every
+//! other scene the keyframes are a slow camera orbit around one fitted
+//! model. Either way the sequence renders twice: once re-probing Phase I
+//! per frame ([`PlanPolicy::PerFrame`]) and once carrying the plan forward
+//! ([`PlanPolicy::Reuse`]), and the report quantifies what reuse saves
+//! (probe points avoided) and what it costs (PSNR vs the re-probed frames).
+
+use crate::{print_header, print_row, Harness};
+use asdr_core::algo::{PlanPolicy, SequenceFrame, SequenceOutput};
+use asdr_math::metrics::psnr;
+use asdr_nerf::fit::fit_ngp;
+use asdr_nerf::NgpModel;
+use asdr_scenes::animated::PulseScene;
+use asdr_scenes::SceneHandle;
+
+/// Animation phase advanced per Pulse keyframe (slow morph — temporally
+/// coherent, the regime plan reuse targets).
+const PULSE_PHASE_STEP: f32 = 0.02;
+/// Camera azimuth degrees advanced per keyframe for static scenes.
+const ORBIT_STEP_DEG: f32 = 1.5;
+
+/// The measured comparison between per-frame probing and plan reuse.
+#[derive(Debug, Clone)]
+pub struct SequenceReport {
+    /// Scene name.
+    pub scene: String,
+    /// Frames rendered.
+    pub frames: usize,
+    /// Probe refresh period of the reuse run.
+    pub refresh_every: usize,
+    /// Whether keyframes morph geometry (Pulse) or orbit the camera.
+    pub animated_geometry: bool,
+    /// Aggregate probe points with per-frame re-probing.
+    pub probe_points_per_frame: u64,
+    /// Aggregate probe points with plan reuse.
+    pub probe_points_reuse: u64,
+    /// Frames that skipped Phase I entirely.
+    pub reused_frames: usize,
+    /// Per-frame plan reuse as the engine recorded it (a refresh boundary
+    /// or resolution change re-probes regardless of the period).
+    pub plan_reused: Vec<bool>,
+    /// Per-frame PSNR of the reuse run against the re-probed run (dB).
+    pub psnr_vs_per_frame: Vec<f64>,
+    /// Wall-clock seconds of the per-frame run (probe + render).
+    pub per_frame_wall_s: f64,
+    /// Wall-clock seconds of the reuse run.
+    pub reuse_wall_s: f64,
+}
+
+impl SequenceReport {
+    /// Fraction of probe work the reuse run avoided.
+    pub fn probe_savings(&self) -> f64 {
+        1.0 - self.probe_points_reuse as f64 / self.probe_points_per_frame.max(1) as f64
+    }
+
+    /// Worst per-frame PSNR against the re-probed sequence.
+    pub fn min_psnr(&self) -> f64 {
+        self.psnr_vs_per_frame.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Renders `n_frames` keyframes of a scene under both plan policies and
+/// measures what reuse saves.
+///
+/// # Panics
+///
+/// Panics if `n_frames == 0` or `refresh_every == 0`.
+pub fn run_sequence(
+    h: &mut Harness,
+    id: &SceneHandle,
+    n_frames: usize,
+    refresh_every: usize,
+) -> SequenceReport {
+    assert!(n_frames > 0, "sequence needs at least one frame");
+    let res = h.scale().resolution();
+    let engine = h.engine(h.asdr_options());
+    let animated_geometry = id.name() == "Pulse";
+
+    // keyframes: per-phase fits for Pulse, a camera orbit otherwise
+    let (per_frame, reuse) = if animated_geometry {
+        let grid = h.scale().grid();
+        let cam = id.camera(res, res);
+        let models: Vec<NgpModel> = (0..n_frames)
+            .map(|i| {
+                let phase = PulseScene::REGISTERED_PHASE + i as f32 * PULSE_PHASE_STEP;
+                fit_ngp(&PulseScene::at_phase(phase), &grid)
+            })
+            .collect();
+        let frames: Vec<_> = models.iter().map(|m| SequenceFrame::new(m, cam.clone())).collect();
+        render_both(&engine, &frames, refresh_every)
+    } else {
+        let model = h.model(id);
+        let orbit = id.def().camera_orbit();
+        let frames: Vec<_> = (0..n_frames)
+            .map(|i| {
+                let mut o = orbit;
+                o.azimuth_deg += i as f32 * ORBIT_STEP_DEG;
+                SequenceFrame::new(&*model, o.camera(res, res))
+            })
+            .collect();
+        render_both(&engine, &frames, refresh_every)
+    };
+    report(id, refresh_every, animated_geometry, &per_frame, &reuse)
+}
+
+/// Renders the same frames under both plan policies.
+fn render_both(
+    engine: &asdr_core::algo::FrameEngine,
+    frames: &[SequenceFrame<'_, NgpModel>],
+    refresh_every: usize,
+) -> (SequenceOutput, SequenceOutput) {
+    let per_frame = engine
+        .render_sequence(frames, &PlanPolicy::PerFrame)
+        .expect("non-empty validated sequence");
+    let reuse = engine
+        .render_sequence(frames, &PlanPolicy::Reuse { refresh_every })
+        .expect("non-empty validated sequence");
+    (per_frame, reuse)
+}
+
+fn report(
+    id: &SceneHandle,
+    refresh_every: usize,
+    animated_geometry: bool,
+    per_frame: &SequenceOutput,
+    reuse: &SequenceOutput,
+) -> SequenceReport {
+    let psnr_vs_per_frame =
+        per_frame.frames.iter().zip(&reuse.frames).map(|(a, b)| psnr(&b.image, &a.image)).collect();
+    SequenceReport {
+        scene: id.name().to_string(),
+        frames: per_frame.frames.len(),
+        refresh_every,
+        animated_geometry,
+        probe_points_per_frame: per_frame.probe_points(),
+        probe_points_reuse: reuse.probe_points(),
+        reused_frames: reuse.reused_frames(),
+        plan_reused: reuse.frames.iter().map(|f| f.plan_reused).collect(),
+        psnr_vs_per_frame,
+        per_frame_wall_s: per_frame.timings.total_s(),
+        reuse_wall_s: reuse.timings.total_s(),
+    }
+}
+
+/// Prints the sequence report.
+pub fn print_sequence(r: &SequenceReport) {
+    let kind = if r.animated_geometry { "geometry morph" } else { "camera orbit" };
+    println!(
+        "\nSequence: {} x{} frames ({kind}), plan refresh every {}",
+        r.scene, r.frames, r.refresh_every
+    );
+    print_header(&["Frame", "Plan", "PSNR vs re-probe (dB)"]);
+    for (i, p) in r.psnr_vs_per_frame.iter().enumerate() {
+        let reused = r.plan_reused.get(i).copied().unwrap_or(false);
+        print_row(&[
+            i.to_string(),
+            (if reused { "reused" } else { "probed" }).to_string(),
+            if p.is_finite() { format!("{p:.2}") } else { "inf (identical)".to_string() },
+        ]);
+    }
+    println!(
+        "probe work: {} -> {} points ({:.0}% avoided over {} reused frames)",
+        r.probe_points_per_frame,
+        r.probe_points_reuse,
+        r.probe_savings() * 100.0,
+        r.reused_frames,
+    );
+    println!(
+        "wall-clock: per-frame {:.3} s vs reuse {:.3} s (phase timings, this machine)",
+        r.per_frame_wall_s, r.reuse_wall_s
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use asdr_scenes::registry;
+
+    #[test]
+    fn pulse_sequence_saves_probe_work_with_bounded_loss() {
+        let mut h = Harness::new(Scale::Tiny);
+        let r = run_sequence(&mut h, &registry::handle("Pulse"), 4, 4);
+        assert!(r.animated_geometry);
+        assert_eq!(r.reused_frames, 3);
+        assert!(
+            r.probe_points_reuse * 3 < r.probe_points_per_frame,
+            "reuse must avoid most probe work: {} vs {}",
+            r.probe_points_reuse,
+            r.probe_points_per_frame
+        );
+        // slow morph: the carried plan stays valid
+        assert!(r.min_psnr() > 25.0, "reuse diverged: {:?}", r.psnr_vs_per_frame);
+        // frame 0 probes in both runs, so it is bit-identical
+        assert!(r.psnr_vs_per_frame[0].is_infinite());
+    }
+
+    #[test]
+    fn orbit_sequence_works_on_static_scenes() {
+        let mut h = Harness::new(Scale::Tiny);
+        let r = run_sequence(&mut h, &registry::handle("Mic"), 3, 3);
+        assert!(!r.animated_geometry);
+        assert_eq!(r.frames, 3);
+        assert_eq!(r.reused_frames, 2);
+        assert!(r.probe_savings() > 0.5);
+        assert!(r.min_psnr() > 25.0, "orbit reuse diverged: {:?}", r.psnr_vs_per_frame);
+    }
+}

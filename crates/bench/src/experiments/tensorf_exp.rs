@@ -9,7 +9,7 @@
 
 use crate::{fmt_x, print_header, print_row, Harness};
 use asdr_baselines::gpu::{simulate_gpu, GpuPerf, GpuSpec};
-use asdr_core::algo::{render, RenderOptions, RenderStats};
+use asdr_core::algo::{RenderOptions, RenderStats};
 use asdr_math::metrics::{quality, QualityReport};
 use asdr_scenes::SceneHandle;
 
@@ -51,9 +51,9 @@ pub fn run_fig25(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Fig25Row> {
         .map(|id| {
             let model = h.tensorf_model(id);
             let cam = h.camera(id);
-            let baseline = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
+            let baseline = h.render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
             // the paper's TensoRF software optimization is AS-driven
-            let asdr_sw = render(&*model, &cam, &h.as_only_options());
+            let asdr_sw = h.render(&*model, &cam, &h.as_only_options());
             // TensoRF has 3 plane levels per quantity; bytes per lookup ≈ 2
             let gpu = simulate_gpu(&spec, &*model, &baseline.stats, 12, 2);
             let gpu_sw = simulate_gpu(&spec, &*model, &asdr_sw.stats, 12, 2);
@@ -109,8 +109,8 @@ pub fn run_table4(h: &mut Harness, scenes: &[SceneHandle]) -> Vec<Table4Row> {
             let model = h.tensorf_model(id);
             let cam = h.camera(id);
             let gt = h.ground_truth(id);
-            let full = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
-            let asdr = render(&*model, &cam, &h.asdr_options()).image;
+            let full = h.render(&*model, &cam, &RenderOptions::instant_ngp(base_ns)).image;
+            let asdr = h.render(&*model, &cam, &h.asdr_options()).image;
             Table4Row { id: id.clone(), tensorf: quality(&full, &gt), asdr: quality(&asdr, &gt) }
         })
         .collect()

@@ -3,7 +3,7 @@
 
 use crate::{print_header, print_row, Harness};
 use asdr_core::algo::adaptive::SamplePlan;
-use asdr_core::algo::{render, RenderOptions};
+use asdr_core::algo::RenderOptions;
 use asdr_math::metrics::psnr;
 use asdr_math::{Image, Rgb};
 use asdr_scenes::SceneHandle;
@@ -54,10 +54,10 @@ pub fn run_fig7(h: &mut Harness, id: &SceneHandle) -> Fig7Result {
     let base_ns = h.scale().base_ns();
     let model = h.model(id);
     let cam = h.camera(id);
-    let fixed = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
+    let fixed = h.render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
     let mut opts = h.asdr_options();
     opts.approx_group = 1; // Fig. 7 isolates adaptive sampling
-    let out = render(&*model, &cam, &opts);
+    let out = h.render(&*model, &cam, &opts);
     let min_count = out.plan.counts().iter().copied().min().unwrap_or(0);
     let frac_minimum = out.plan.counts().iter().filter(|&&c| c == min_count).count() as f64
         / out.plan.counts().len() as f64;
@@ -117,11 +117,11 @@ pub fn run_fig9(h: &mut Harness, id: &SceneHandle) -> Fig9Result {
     let model = h.model(id);
     let cam = h.camera(id);
     let gt = h.ground_truth(id);
-    let full = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
-    let naive = render(&*model, &cam, &RenderOptions::instant_ngp(base_ns / 2));
+    let full = h.render(&*model, &cam, &RenderOptions::instant_ngp(base_ns));
+    let naive = h.render(&*model, &cam, &RenderOptions::instant_ngp(base_ns / 2));
     let mut approx_opts = RenderOptions::instant_ngp(base_ns);
     approx_opts.approx_group = 2;
-    let approx = render(&*model, &cam, &approx_opts);
+    let approx = h.render(&*model, &cam, &approx_opts);
     Fig9Result {
         id: id.clone(),
         original_psnr: psnr(&full.image, &gt),

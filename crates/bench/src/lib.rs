@@ -22,10 +22,11 @@
 pub mod experiments;
 
 use asdr_core::algo::adaptive::AdaptiveConfig;
-use asdr_core::algo::RenderOptions;
+use asdr_core::algo::{ExecPolicy, FrameEngine, RenderOptions, RenderOutput};
 use asdr_math::{Camera, Image};
 use asdr_nerf::fit::fit_ngp;
 use asdr_nerf::grid::GridConfig;
+use asdr_nerf::model::RadianceModel;
 use asdr_nerf::tensorf::{TensoRfConfig, TensoRfModel};
 use asdr_nerf::NgpModel;
 use asdr_scenes::gt::render_ground_truth;
@@ -102,6 +103,7 @@ impl Scale {
 #[derive(Debug)]
 pub struct Harness {
     scale: Scale,
+    exec_policy: ExecPolicy,
     models: HashMap<&'static str, (SceneHandle, Arc<NgpModel>)>,
     tensorf_models: HashMap<&'static str, (SceneHandle, Arc<TensoRfModel>)>,
     gts: HashMap<&'static str, (SceneHandle, Image)>,
@@ -125,10 +127,21 @@ fn cached<T: Clone>(
 }
 
 impl Harness {
-    /// Creates an empty harness at the given scale.
+    /// Default tile edge for the harness's work-stealing execution policy.
+    pub const DEFAULT_TILE: u32 = 16;
+
+    /// Creates an empty harness at the given scale. Frames render under
+    /// [`ExecPolicy::TileStealing`] — adaptive sampling makes per-row cost
+    /// uneven, and every policy is image- and stats-identical anyway.
     pub fn new(scale: Scale) -> Self {
+        Harness::with_policy(scale, ExecPolicy::TileStealing { tile_size: Self::DEFAULT_TILE })
+    }
+
+    /// Creates an empty harness with an explicit execution policy.
+    pub fn with_policy(scale: Scale, exec_policy: ExecPolicy) -> Self {
         Harness {
             scale,
+            exec_policy,
             models: HashMap::new(),
             tensorf_models: HashMap::new(),
             gts: HashMap::new(),
@@ -138,6 +151,32 @@ impl Harness {
     /// The harness scale.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// The harness's Phase-II execution policy.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        self.exec_policy
+    }
+
+    /// A frame engine over `opts` at the harness's execution policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts` fail validation (harness option constructors always
+    /// produce valid options).
+    pub fn engine(&self, opts: RenderOptions) -> FrameEngine {
+        FrameEngine::new(opts, self.exec_policy).expect("invalid render options")
+    }
+
+    /// Renders one frame through the harness's engine — the single render
+    /// path every experiment goes through.
+    pub fn render<M: RadianceModel + Sync>(
+        &self,
+        model: &M,
+        cam: &Camera,
+        opts: &RenderOptions,
+    ) -> RenderOutput {
+        self.engine(opts.clone()).render_frame(model, cam)
     }
 
     /// The standard evaluation camera for a scene at this scale.

@@ -2,9 +2,13 @@
 
 pub mod adaptive;
 pub mod approx;
+pub mod engine;
 pub mod renderer;
 pub mod volrend;
 
 pub use adaptive::{AdaptiveConfig, SamplePlan};
+pub use engine::{
+    ExecPolicy, FrameEngine, FrameRecord, PhaseTimings, PlanPolicy, SequenceFrame, SequenceOutput,
+};
 pub use renderer::{render, render_reference, RenderOptions, RenderOutput, RenderStats};
 pub use volrend::{composite, composite_early_term, CompositeResult, SamplePoint};

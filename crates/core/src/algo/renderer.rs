@@ -10,9 +10,14 @@
 //! Beyond the image, the renderer returns [`RenderStats`] — the exact
 //! operation counts (density executions, color executions, probe overhead,
 //! interpolations) that drive the architecture and baseline timing models.
+//!
+//! The [`render`] free function survives as a thin shim; the session API —
+//! execution policies, sample-plan reuse, multi-frame sequences — lives in
+//! [`crate::algo::engine::FrameEngine`].
 
 use crate::algo::adaptive::{choose_count, AdaptiveConfig, SamplePlan};
 use crate::algo::approx::interpolate_followers;
+use crate::algo::engine::{ExecPolicy, FrameEngine, PhaseTimings};
 use crate::algo::volrend::{SamplePoint, EARLY_TERM_TRANSMITTANCE};
 use asdr_math::{Camera, Image, Ray, Rgb};
 use asdr_nerf::model::RadianceModel;
@@ -90,6 +95,19 @@ pub struct RenderStats {
 }
 
 impl RenderStats {
+    /// Adds another frame's counts into this one (sequence aggregation).
+    pub fn accumulate(&mut self, other: &RenderStats) {
+        self.rays += other.rays;
+        self.probe_rays += other.probe_rays;
+        self.probe_points += other.probe_points;
+        self.density_points += other.density_points;
+        self.color_points += other.color_points;
+        self.interpolated_points += other.interpolated_points;
+        self.planned_points += other.planned_points;
+        self.base_points += other.base_points;
+        self.et_terminated_rays += other.et_terminated_rays;
+    }
+
     /// Total density-MLP executions including the probe phase.
     pub fn total_density(&self) -> u64 {
         self.probe_points + self.density_points
@@ -122,106 +140,58 @@ pub struct RenderOutput {
     pub stats: RenderStats,
     /// The per-pixel sample plan used in Phase II.
     pub plan: SamplePlan,
+    /// Wall-clock time spent in each phase.
+    pub timings: PhaseTimings,
 }
 
 /// Renders a frame with the ASDR pipeline.
 ///
-/// Phase II is parallelized over pixel rows (each worker owns a query
-/// scratch); results are deterministic because pixels are independent.
+/// Thin shim over [`FrameEngine`] at the default execution policy
+/// ([`ExecPolicy::StaticRows`]), kept so pre-engine callers keep compiling.
+/// New code should build a [`FrameEngine`] and reuse it across frames.
 ///
 /// # Panics
 ///
-/// Panics if `opts` fail validation.
+/// Panics if `opts` fail validation ([`FrameEngine::new`] returns the same
+/// message as an `Err` instead — this shim preserves the historical panic).
 pub fn render<M: RadianceModel + Sync>(
     model: &M,
     cam: &Camera,
     opts: &RenderOptions,
 ) -> RenderOutput {
-    opts.validate().expect("invalid render options");
-    let mut stats = RenderStats { rays: cam.pixel_count() as u64, ..Default::default() };
-    stats.base_points = stats.rays * opts.base_ns as u64;
-    let mut scratch = model.make_query_scratch();
+    FrameEngine::new(opts.clone(), ExecPolicy::StaticRows)
+        .expect("invalid render options")
+        .render_frame(model, cam)
+}
 
-    // ---- Phase I: probe and plan -----------------------------------
-    let plan = match &opts.adaptive {
-        None => SamplePlan::uniform(cam.width(), cam.height(), opts.base_ns),
-        Some(acfg) => {
-            let d = acfg.probe_stride;
-            let gx = cam.width().div_ceil(d);
-            let gy = cam.height().div_ceil(d);
-            let mut probe_counts = vec![vec![opts.base_ns as u32; gx as usize]; gy as usize];
-            for jy in 0..gy {
-                for jx in 0..gx {
-                    let px = (jx * d).min(cam.width() - 1);
-                    let py = (jy * d).min(cam.height() - 1);
-                    let ray = cam.ray_for_pixel(px, py);
-                    let pts = evaluate_full_ray(model, &ray, opts.base_ns, &mut scratch);
-                    stats.probe_rays += 1;
-                    stats.probe_points += pts.len() as u64;
-                    probe_counts[jy as usize][jx as usize] =
-                        choose_count(&pts, acfg, opts.base_ns) as u32;
-                }
-            }
-            SamplePlan::from_probes(cam.width(), cam.height(), opts.base_ns, d, &probe_counts)
-        }
+/// Phase I: probes the sparse pixel grid and derives the sample plan,
+/// charging probe work to `stats` (no-op plan when adaptivity is off).
+pub(crate) fn probe_plan<M: RadianceModel>(
+    model: &M,
+    cam: &Camera,
+    opts: &RenderOptions,
+    stats: &mut RenderStats,
+) -> SamplePlan {
+    let Some(acfg) = &opts.adaptive else {
+        return SamplePlan::uniform(cam.width(), cam.height(), opts.base_ns);
     };
-    stats.planned_points = plan.total();
-
-    // ---- Phase II: full image rendering (parallel over rows) ---------
-    let mut image = Image::new(cam.width(), cam.height());
-    let height = cam.height() as usize;
-    let width = cam.width() as usize;
-    let workers =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(height.max(1));
-    let rows_per_worker = height.div_ceil(workers.max(1));
-    let mut partials: Vec<(Vec<Rgb>, RenderStats)> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let row_lo = w * rows_per_worker;
-            let row_hi = ((w + 1) * rows_per_worker).min(height);
-            if row_lo >= row_hi {
-                continue;
-            }
-            let plan_ref = &plan;
-            handles.push(scope.spawn(move || {
-                let mut scratch = model.make_query_scratch();
-                let mut pixels = vec![Rgb::BLACK; (row_hi - row_lo) * width];
-                let mut local = RenderStats::default();
-                for py in row_lo..row_hi {
-                    for px in 0..width {
-                        let ray = cam.ray_for_pixel(px as u32, py as u32);
-                        let count = plan_ref.count(px as u32, py as u32) as usize;
-                        let (color, work) = render_ray(model, &ray, count, opts, &mut scratch);
-                        local.density_points += work.density;
-                        local.color_points += work.color;
-                        local.interpolated_points += work.interpolated;
-                        if work.terminated {
-                            local.et_terminated_rays += 1;
-                        }
-                        pixels[(py - row_lo) * width + px] = color;
-                    }
-                }
-                (row_lo, pixels, local)
-            }));
+    let mut scratch = model.make_query_scratch();
+    let d = acfg.probe_stride;
+    let gx = cam.width().div_ceil(d);
+    let gy = cam.height().div_ceil(d);
+    let mut probe_counts = vec![vec![opts.base_ns as u32; gx as usize]; gy as usize];
+    for jy in 0..gy {
+        for jx in 0..gx {
+            let px = (jx * d).min(cam.width() - 1);
+            let py = (jy * d).min(cam.height() - 1);
+            let ray = cam.ray_for_pixel(px, py);
+            let pts = evaluate_full_ray(model, &ray, opts.base_ns, &mut scratch);
+            stats.probe_rays += 1;
+            stats.probe_points += pts.len() as u64;
+            probe_counts[jy as usize][jx as usize] = choose_count(&pts, acfg, opts.base_ns) as u32;
         }
-        for h in handles {
-            let (row_lo, pixels, local) = h.join().expect("render worker panicked");
-            partials.push((pixels, local));
-            for (i, c) in partials.last().unwrap().0.iter().enumerate() {
-                let py = row_lo + i / width;
-                let px = i % width;
-                image.set(px as u32, py as u32, *c);
-            }
-        }
-    });
-    for (_, local) in &partials {
-        stats.density_points += local.density_points;
-        stats.color_points += local.color_points;
-        stats.interpolated_points += local.interpolated_points;
-        stats.et_terminated_rays += local.et_terminated_rays;
     }
-    RenderOutput { image, stats, plan }
+    SamplePlan::from_probes(cam.width(), cam.height(), opts.base_ns, d, &probe_counts)
 }
 
 /// Fully evaluates `count` samples (density + color) along a ray — the
@@ -251,16 +221,16 @@ fn evaluate_full_ray<M: RadianceModel>(
 }
 
 #[derive(Debug, Default, Clone, Copy)]
-struct RayWork {
-    density: u64,
-    color: u64,
-    interpolated: u64,
-    terminated: bool,
+pub(crate) struct RayWork {
+    pub(crate) density: u64,
+    pub(crate) color: u64,
+    pub(crate) interpolated: u64,
+    pub(crate) terminated: bool,
 }
 
 /// Phase-II per-ray pipeline: density for every sample, color for group
 /// leaders, follower interpolation, group-granular early termination.
-fn render_ray<M: RadianceModel>(
+pub(crate) fn render_ray<M: RadianceModel>(
     model: &M,
     ray: &Ray,
     count: usize,

@@ -250,7 +250,8 @@ pub fn encoding_profile(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algo::renderer::{render, RenderOptions};
+    use crate::algo::engine::{ExecPolicy, FrameEngine};
+    use crate::algo::renderer::RenderOptions;
     use asdr_nerf::fit::fit_ngp;
     use asdr_nerf::grid::GridConfig;
     use asdr_scenes::registry;
@@ -259,6 +260,12 @@ mod tests {
         let model = fit_ngp(registry::handle("Lego").build().as_ref(), &GridConfig::tiny());
         let cam = registry::handle("Lego").camera(24, 24);
         (model, cam)
+    }
+
+    fn render(model: &NgpModel, cam: &asdr_math::Camera, opts: &RenderOptions) -> RenderOutput {
+        FrameEngine::new(opts.clone(), ExecPolicy::TileStealing { tile_size: 8 })
+            .expect("options are valid")
+            .render_frame(model, cam)
     }
 
     #[test]

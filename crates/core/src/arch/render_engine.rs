@@ -25,7 +25,9 @@ pub struct RenderEngineWork {
 
 impl RenderEngineWork {
     /// Derives the engine work from renderer statistics (`ladder_len` =
-    /// entries evaluated per probe ray).
+    /// entries evaluated per probe ray). Accepts a single frame's stats or a
+    /// sequence aggregate ([`crate::algo::engine::SequenceOutput`]) — the
+    /// counts are additive either way.
     pub fn from_stats(stats: &RenderStats, ladder_len: usize) -> Self {
         RenderEngineWork {
             interpolations: stats.interpolated_points,
@@ -104,5 +106,23 @@ mod tests {
         assert_eq!(w.interpolations, 7);
         assert_eq!(w.composite_steps, 24);
         assert_eq!(w.difficulty_evals, 12);
+    }
+
+    #[test]
+    fn sequence_aggregate_work_is_additive() {
+        // a sequence aggregate (summed frame stats) derives the same engine
+        // work as summing per-frame derivations
+        let frame = RenderStats {
+            interpolated_points: 7,
+            density_points: 11,
+            probe_points: 13,
+            probe_rays: 3,
+            ..Default::default()
+        };
+        let mut aggregate = frame;
+        aggregate.accumulate(&frame);
+        let w2 = RenderEngineWork::from_stats(&aggregate, 4);
+        let w1 = RenderEngineWork::from_stats(&frame, 4);
+        assert_eq!(w2.total_macs(), 2 * w1.total_macs());
     }
 }

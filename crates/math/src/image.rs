@@ -76,6 +76,25 @@ impl Image {
         self.data[i] = c;
     }
 
+    /// Writes a horizontal span of pixels starting at `(x, y)` in one copy
+    /// (the frame-assembly path of the renderer's merge step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span does not fit inside row `y`.
+    #[inline]
+    pub fn set_row_span(&mut self, x: u32, y: u32, span: &[Rgb]) {
+        assert!(
+            x as usize + span.len() <= self.width as usize && y < self.height,
+            "span of {} pixels at ({x},{y}) exceeds {}x{} image",
+            span.len(),
+            self.width,
+            self.height
+        );
+        let start = self.idx(x, y);
+        self.data[start..start + span.len()].copy_from_slice(span);
+    }
+
     /// Immutable access to the raw pixel slice (row-major).
     pub fn pixels(&self) -> &[Rgb] {
         &self.data
@@ -161,6 +180,25 @@ mod tests {
         img.set(4, 3, c);
         assert_eq!(img.get(4, 3), c);
         assert_eq!(img.get(0, 0), Rgb::BLACK);
+    }
+
+    #[test]
+    fn row_span_matches_per_pixel_writes() {
+        let span = [Rgb::new(0.1, 0.0, 0.0), Rgb::new(0.0, 0.2, 0.0), Rgb::new(0.0, 0.0, 0.3)];
+        let mut a = Image::new(5, 3);
+        a.set_row_span(1, 2, &span);
+        let mut b = Image::new(5, 3);
+        for (i, &c) in span.iter().enumerate() {
+            b.set(1 + i as u32, 2, c);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_span_overflow_panics() {
+        let mut img = Image::new(4, 4);
+        img.set_row_span(2, 0, &[Rgb::BLACK; 3]);
     }
 
     #[test]

@@ -7,11 +7,22 @@
 //! ```
 
 use asdr::core::algo::adaptive::AdaptiveConfig;
-use asdr::core::algo::{render, RenderOptions};
+use asdr::core::algo::{ExecPolicy, FrameEngine, RenderOptions};
 use asdr::math::metrics::psnr;
-use asdr::nerf::{fit, grid::GridConfig};
+use asdr::nerf::{fit, grid::GridConfig, NgpModel};
 use asdr::scenes::gt::render_ground_truth;
 use asdr::scenes::registry;
+
+/// Each design point is one engine: the options are the design point.
+fn render(
+    model: &NgpModel,
+    cam: &asdr::math::Camera,
+    opts: RenderOptions,
+) -> asdr::core::algo::RenderOutput {
+    FrameEngine::new(opts, ExecPolicy::TileStealing { tile_size: 16 })
+        .expect("sweep options are valid")
+        .render_frame(model, cam)
+}
 
 fn main() {
     let id = registry::handle("Chair");
@@ -23,7 +34,7 @@ fn main() {
 
     println!("== δ sweep (adaptive sampling) on {id} ==");
     println!("{:<12} {:>12} {:>12} {:>14}", "delta", "PSNR (dB)", "avg samples", "density evals");
-    let reference = render(&model, &cam, &RenderOptions::instant_ngp(base_ns));
+    let reference = render(&model, &cam, RenderOptions::instant_ngp(base_ns));
     println!(
         "{:<12} {:>12.2} {:>12.1} {:>14}",
         "off",
@@ -39,7 +50,7 @@ fn main() {
             approx_group: 1,
             early_termination: false,
         };
-        let out = render(&model, &cam, &opts);
+        let out = render(&model, &cam, opts);
         println!(
             "{:<12} {:>12.2} {:>12.1} {:>14}",
             format!("1/{:.0}", 1.0 / delta.max(1.0 / 65536.0)),
@@ -54,7 +65,7 @@ fn main() {
     for n in [1usize, 2, 3, 4, 6, 8] {
         let opts =
             RenderOptions { base_ns, adaptive: None, approx_group: n, early_termination: false };
-        let out = render(&model, &cam, &opts);
+        let out = render(&model, &cam, opts);
         println!(
             "{:<6} {:>12.2} {:>14} {:>15.1}%",
             n,

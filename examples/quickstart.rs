@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use asdr::core::algo::{render, RenderOptions};
+use asdr::core::algo::{ExecPolicy, FrameEngine, RenderOptions};
 use asdr::core::arch::chip::{simulate_chip, ChipOptions};
 use asdr::math::metrics::psnr;
 use asdr::nerf::{fit, grid::GridConfig};
@@ -28,10 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("fitting the hash-grid model…");
     let model = fit::fit_ngp(scene.as_ref(), &GridConfig::small());
 
-    // 3. render: fixed sampling vs ASDR (adaptive + color decoupling)
+    // 3. render: fixed sampling vs ASDR (adaptive + color decoupling).
+    //    A FrameEngine validates its options once and is reused per frame;
+    //    TileStealing load-balances the uneven rows adaptive sampling creates.
     println!("rendering…");
-    let ngp = render(&model, &cam, &RenderOptions::instant_ngp(base_ns));
-    let asdr = render(&model, &cam, &RenderOptions::asdr_default(base_ns));
+    let policy = ExecPolicy::TileStealing { tile_size: 16 };
+    let ngp =
+        FrameEngine::new(RenderOptions::instant_ngp(base_ns), policy)?.render_frame(&model, &cam);
+    let asdr =
+        FrameEngine::new(RenderOptions::asdr_default(base_ns), policy)?.render_frame(&model, &cam);
 
     println!("\nquality (PSNR vs ground truth):");
     println!("  Instant-NGP : {:.2} dB", psnr(&ngp.image, &gt));

@@ -6,7 +6,7 @@
 //! cargo run --release --example scene_zoo [output_dir]
 //! ```
 
-use asdr::core::algo::{render, RenderOptions};
+use asdr::core::algo::{ExecPolicy, FrameEngine, RenderOptions};
 use asdr::math::metrics::psnr;
 use asdr::nerf::{fit, grid::GridConfig};
 use asdr::scenes::gt::render_ground_truth;
@@ -26,13 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "scene", "dataset", "occupancy", "NGP PSNR", "ASDR PSNR"
     );
 
+    // the zoo reuses two engines across every scene — the session pattern
+    let policy = ExecPolicy::TileStealing { tile_size: 16 };
+    let ngp_engine = FrameEngine::new(RenderOptions::instant_ngp(96), policy)?;
+    let asdr_engine = FrameEngine::new(RenderOptions::asdr_default(96), policy)?;
     for id in registry::all() {
         let scene = id.build();
         let cam = id.camera(96, 96);
         let gt = render_ground_truth(scene.as_ref(), &cam, 256);
         let model = fit::fit_ngp(scene.as_ref(), &GridConfig::small());
-        let ngp = render(&model, &cam, &RenderOptions::instant_ngp(96));
-        let asdr = render(&model, &cam, &RenderOptions::asdr_default(96));
+        let ngp = ngp_engine.render_frame(&model, &cam);
+        let asdr = asdr_engine.render_frame(&model, &cam);
 
         let name = id.name().to_lowercase();
         gt.write_ppm(dir.join(format!("{name}_gt.ppm")))?;

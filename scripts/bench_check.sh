@@ -36,10 +36,11 @@ extract() {
 
 extract "$baseline" > /tmp/bench_base.$$
 extract "$current" > /tmp/bench_cur.$$
-trap 'rm -f /tmp/bench_base.$$ /tmp/bench_cur.$$' EXIT
+trap 'rm -f /tmp/bench_base.$$ /tmp/bench_cur.$$ /tmp/bench_ratio.$$' EXIT
 
 fail=0
 missing=0
+: > /tmp/bench_ratio.$$
 while read -r name base_mean; do
     cur_mean=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_cur.$$)
     if [[ -z "$cur_mean" ]]; then
@@ -48,6 +49,7 @@ while read -r name base_mean; do
         continue
     fi
     ratio=$(awk -v c="$cur_mean" -v b="$base_mean" 'BEGIN { printf "%.3f", c / b }')
+    echo "$name $ratio" >> /tmp/bench_ratio.$$
     over=$(awk -v r="$ratio" -v t="$tolerance" 'BEGIN { print (r > t) ? 1 : 0 }')
     if [[ "$over" == "1" ]]; then
         echo "FAIL  $name: ${cur_mean}ns vs baseline ${base_mean}ns (${ratio}x > ${tolerance}x)"
@@ -62,13 +64,29 @@ for name in $new; do
     echo "NEW   $name: not in baseline (add it by refreshing scripts/bench-baseline.json)"
 done
 
+# Per-bench delta summary: mean drift plus the extremes, so a glance at the
+# last lines shows *where* the time went, not just pass/fail.
+summary=$(awk '
+    { ratio[$1] = $2; n += 1; sum += $2 }
+    END {
+        if (n == 0) { print "no benches compared"; exit }
+        worst = ""; best = ""
+        for (name in ratio) {
+            if (worst == "" || ratio[name] > ratio[worst]) worst = name
+            if (best == "" || ratio[name] < ratio[best]) best = name
+        }
+        printf "mean %+.1f%%, worst %+.1f%% (%s), best %+.1f%% (%s)",
+            (sum / n - 1) * 100, (ratio[worst] - 1) * 100, worst,
+            (ratio[best] - 1) * 100, best
+    }' /tmp/bench_ratio.$$)
+
 echo
 if [[ $fail -gt 0 ]]; then
-    echo "$fail benchmark(s) regressed past ${tolerance}x"
+    echo "$fail benchmark(s) regressed past ${tolerance}x — $summary"
     exit 1
 fi
 if [[ $missing -gt 0 && "${BENCH_ALLOW_MISSING:-0}" != "1" ]]; then
     echo "$missing baseline benchmark(s) missing from $current — run the full suite from a clean dump (or set BENCH_ALLOW_MISSING=1)"
     exit 1
 fi
-echo "all benchmarks within ${tolerance}x of baseline ($missing missing)"
+echo "all benchmarks within ${tolerance}x of baseline ($missing missing) — $summary"

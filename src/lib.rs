@@ -16,7 +16,7 @@
 //! quickstart and verification commands.
 //!
 //! ```
-//! use asdr::core::algo::{render, RenderOptions};
+//! use asdr::core::algo::{ExecPolicy, FrameEngine, RenderOptions};
 //! use asdr::nerf::{fit, grid::GridConfig};
 //! use asdr::scenes::registry;
 //!
@@ -24,7 +24,13 @@
 //! let scene = mic.build();
 //! let model = fit::fit_ngp(scene.as_ref(), &GridConfig::tiny());
 //! let cam = mic.camera(32, 32);
-//! let out = render(&model, &cam, &RenderOptions::asdr_default(48));
+//! // a session object: validated once, reused across frames and sequences
+//! let engine = FrameEngine::new(
+//!     RenderOptions::asdr_default(48),
+//!     ExecPolicy::TileStealing { tile_size: 8 },
+//! )
+//! .expect("valid options");
+//! let out = engine.render_frame(&model, &cam);
 //! assert!(out.stats.planned_points < out.stats.base_points);
 //! ```
 

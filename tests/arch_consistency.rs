@@ -1,7 +1,7 @@
 //! Architecture-simulator invariants across configurations and workloads.
 
 use asdr::cim::device::MemTech;
-use asdr::core::algo::{render, RenderOptions};
+use asdr::core::algo::{ExecPolicy, FrameEngine, RenderOptions, RenderOutput};
 use asdr::core::arch::addrgen::{HybridAddressGenerator, MappingMode};
 use asdr::core::arch::chip::{simulate_chip, ChipOptions};
 use asdr::nerf::fit::fit_ngp;
@@ -14,6 +14,14 @@ fn setup() -> (NgpModel, asdr::math::Camera) {
     let model = fit_ngp(lego.build().as_ref(), &GridConfig::tiny());
     let cam = lego.camera(32, 32);
     (model, cam)
+}
+
+/// Workloads feeding the simulator come from the session engine (the chip
+/// consumes [`RenderOutput`]s regardless of which policy produced them).
+fn render(model: &NgpModel, cam: &asdr::math::Camera, opts: &RenderOptions) -> RenderOutput {
+    FrameEngine::new(opts.clone(), ExecPolicy::TileStealing { tile_size: 16 })
+        .expect("valid options")
+        .render_frame(model, cam)
 }
 
 #[test]

@@ -4,12 +4,21 @@
 use asdr::baselines::gpu::{simulate_gpu, GpuSpec};
 use asdr::baselines::neurex::{simulate_neurex, NeurexVariant};
 use asdr::baselines::renerf::render_renerf;
-use asdr::core::algo::{render, RenderOptions};
+use asdr::core::algo::{ExecPolicy, FrameEngine, RenderOptions, RenderOutput};
 use asdr::core::arch::chip::{simulate_chip, ChipOptions};
 use asdr::math::metrics::psnr;
 use asdr::nerf::fit::fit_ngp;
 use asdr::nerf::grid::GridConfig;
+use asdr::nerf::NgpModel;
 use asdr::scenes::registry;
+
+/// Baseline comparisons consume engine-produced stats (every [`ExecPolicy`]
+/// yields identical counts; tile stealing exercises the new path).
+fn render(model: &NgpModel, cam: &asdr::math::Camera, opts: &RenderOptions) -> RenderOutput {
+    FrameEngine::new(opts.clone(), ExecPolicy::TileStealing { tile_size: 16 })
+        .expect("valid options")
+        .render_frame(model, cam)
+}
 
 #[test]
 fn platform_hierarchy_holds_on_multiple_scenes() {

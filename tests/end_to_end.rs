@@ -1,11 +1,25 @@
 //! End-to-end pipeline integration tests: scene → fit → render → quality.
 
-use asdr::core::algo::{render, render_reference, RenderOptions};
+use asdr::core::algo::{render_reference, ExecPolicy, FrameEngine, RenderOptions, RenderOutput};
 use asdr::math::metrics::{psnr, quality};
 use asdr::nerf::fit::fit_ngp;
 use asdr::nerf::grid::GridConfig;
+use asdr::nerf::model::RadianceModel;
 use asdr::scenes::gt::render_ground_truth;
 use asdr::scenes::registry::{self, OrbitCamera, SceneDef};
+
+/// Tier-1 frames go through the session engine under tile stealing so the
+/// work-stealing path is exercised end-to-end (the `render` shim keeps its
+/// own coverage in `asdr_core`).
+fn render<M: RadianceModel + Sync>(
+    model: &M,
+    cam: &asdr::math::Camera,
+    opts: &RenderOptions,
+) -> RenderOutput {
+    FrameEngine::new(opts.clone(), ExecPolicy::TileStealing { tile_size: 16 })
+        .expect("valid options")
+        .render_frame(model, cam)
+}
 
 #[test]
 fn fitted_model_reconstructs_every_paper_scene() {

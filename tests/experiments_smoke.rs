@@ -45,6 +45,11 @@ fn every_experiment_runs_at_tiny_scale() {
 
     let hw = hwconfig::run_hwconfig(&mut h, std::slice::from_ref(&mic), false);
     assert!(hw[0].reram_speedup > 1.0);
+
+    let seq = sequence::run_sequence(&mut h, &registry::handle("Pulse"), 3, 3);
+    assert_eq!(seq.frames, 3);
+    assert!(seq.probe_savings() > 0.5, "plan reuse saved too little probe work");
+    assert!(seq.min_psnr() > 20.0, "plan reuse diverged: {:?}", seq.psnr_vs_per_frame);
 }
 
 #[test]
