@@ -1,7 +1,7 @@
 # Local entry points, kept identical to .github/workflows/ci.yml and the
 # justfile (use whichever runner you have; the recipes are the same).
 
-.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke bench-check ci
+.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke bench-check serve-smoke ci
 
 # Tier-1 gate: what must stay green on every commit.
 verify:
@@ -36,6 +36,18 @@ bench-check:
 	rm -f target/bench-results.json
 	cargo bench -p asdr_bench
 	scripts/bench_check.sh
+
+# Replay the bundled tiny workload through the render service, cold then
+# warm against the same checkpoint store (what the nightly workflow runs).
+serve-smoke:
+	rm -rf target/serve-store
+	cargo run --release -p asdr_serve --bin asdr-serve -- \
+		--workload scripts/serve-workload-tiny.jsonl --scale tiny \
+		--store-dir target/serve-store --out target/serve-stats-cold.json
+	cargo run --release -p asdr_serve --bin asdr-serve -- \
+		--workload scripts/serve-workload-tiny.jsonl --scale tiny \
+		--store-dir target/serve-store --out target/serve-stats.json
+	grep '"fits": 0' target/serve-stats.json
 
 # Everything CI runs, in one shot.
 ci: fmt-check clippy verify test-crates check-extras

@@ -1,0 +1,65 @@
+//! Wall-clock benchmark of the serving layer: the store's warm lookup path
+//! and a warm mixed-scene burst through the full service (queue, scheduler,
+//! worker pool, plan reuse).
+//!
+//! Fits happen once in setup; the benches measure steady-state serving, the
+//! regime the store exists for.
+
+use asdr_bench::experiments::serve_exp::REQUESTS_PER_SCENE;
+use asdr_nerf::grid::GridConfig;
+use asdr_scenes::registry;
+use asdr_serve::{ModelStore, Priority, RenderProfile, RenderRequest, RenderService};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn warm_profile() -> RenderProfile {
+    RenderProfile { grid: GridConfig::tiny(), base_ns: 48, default_resolution: 24 }
+}
+
+fn bench_store_lookup(c: &mut Criterion) {
+    let store = ModelStore::builder().in_memory_only().build();
+    let scene = registry::handle("Mic");
+    let grid = GridConfig::tiny();
+    store.get_or_fit(&scene, &grid); // pay the fit in setup
+    let mut g = c.benchmark_group("serve_store");
+    g.bench_function("memory_hit", |b| b.iter(|| black_box(store.get_or_fit(&scene, &grid))));
+    g.finish();
+}
+
+fn bench_warm_burst(c: &mut Criterion) {
+    let profile = warm_profile();
+    let scenes = [registry::handle("Mic"), registry::handle("Lego")];
+    let store = Arc::new(ModelStore::builder().in_memory_only().build());
+    for s in &scenes {
+        store.get_or_fit(s, &profile.grid); // pay the fits in setup
+    }
+    let service = RenderService::builder(profile)
+        .store(store)
+        .queue_capacity(scenes.len() * REQUESTS_PER_SCENE * 4)
+        .build()
+        .expect("valid serve profile");
+    let mut g = c.benchmark_group("serve_burst_2scene_24x24");
+    g.sample_size(10);
+    g.bench_function("warm_6req", |b| {
+        b.iter(|| {
+            let tickets: Vec<_> = scenes
+                .iter()
+                .flat_map(|s| {
+                    [
+                        RenderRequest::frame(s.clone(), 24).with_priority(Priority::High),
+                        RenderRequest::sequence(s.clone(), 24, 2),
+                        RenderRequest::frame(s.clone(), 24).with_priority(Priority::Low),
+                    ]
+                })
+                .map(|r| service.submit(r).expect("queue sized for the burst"))
+                .collect();
+            for t in &tickets {
+                black_box(t.wait().expect("request completed"));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_store_lookup, bench_warm_burst);
+criterion_main!(benches);

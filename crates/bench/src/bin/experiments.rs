@@ -322,6 +322,15 @@ const EXPERIMENTS: &[Experiment] = &[
         },
     },
     Experiment {
+        id: "serve",
+        describe: "multi-tenant serving: throughput, latency, cache hit rate",
+        in_all: true,
+        scene_aware: true,
+        run: |h, sel| {
+            serve_exp::print_serve(&serve_exp::run_serve(h, &sel.subset(&["Mic", "Lego", "Pulse"])))
+        },
+    },
+    Experiment {
         id: "debug",
         describe: "raw per-stage cycle breakdown (simulator calibration)",
         in_all: false,

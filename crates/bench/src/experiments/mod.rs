@@ -10,6 +10,7 @@ pub mod performance;
 pub mod precision;
 pub mod quality;
 pub mod sequence;
+pub mod serve_exp;
 pub mod tables;
 pub mod tensorf_exp;
 pub mod visuals;

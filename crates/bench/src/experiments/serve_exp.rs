@@ -1,0 +1,187 @@
+//! The `serve` experiment: multi-tenant serving throughput over a shared
+//! model store (ROADMAP "production-scale system"; the SG2042/SG2044
+//! manycore characterizations in PAPERS.md make the same point — sustained
+//! throughput comes from scheduling concurrent requests over shared warm
+//! state, not from one fast frame).
+//!
+//! The workload is a mixed-scene burst replayed twice through one
+//! [`RenderService`]: per scene, a deadlined high-priority frame, a
+//! normal 3-frame orbit sequence, and a low-priority background frame. The
+//! first burst hits a cold store (every scene fits exactly once,
+//! single-flighted); the second hits the warm store. The report quantifies
+//! throughput, latency percentiles, cache hit rate, and the probe work the
+//! per-request plan reuse avoided.
+
+use crate::{print_header, print_row, Harness};
+use asdr_scenes::SceneHandle;
+use asdr_serve::{ModelStore, Priority, RenderProfile, RenderRequest, RenderService, ServeStats};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Requests submitted per scene per burst.
+pub const REQUESTS_PER_SCENE: usize = 3;
+/// Frames in the orbit-sequence request.
+const SEQUENCE_FRAMES: usize = 3;
+/// Deadline on the high-priority request (generous: the report counts
+/// misses, the tests do not gate on them).
+const HIGH_DEADLINE: Duration = Duration::from_secs(5);
+
+/// The measured serving report.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Scene names in the mix.
+    pub scenes: Vec<String>,
+    /// Latency of every cold-burst request, milliseconds.
+    pub cold_latencies_ms: Vec<f64>,
+    /// Latency of every warm-burst request, milliseconds.
+    pub warm_latencies_ms: Vec<f64>,
+    /// Final aggregate service statistics (both bursts).
+    pub stats: ServeStats,
+}
+
+impl ServeReport {
+    /// Requests completed across both bursts.
+    pub fn requests(&self) -> u64 {
+        self.stats.requests
+    }
+
+    /// Mean cold-burst latency over mean warm-burst latency.
+    pub fn warm_speedup(&self) -> f64 {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let warm = mean(&self.warm_latencies_ms);
+        if warm > 0.0 {
+            mean(&self.cold_latencies_ms) / warm
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The per-scene burst: one latency-critical frame, one coherent sequence,
+/// one background frame.
+fn burst(scenes: &[SceneHandle], resolution: u32) -> Vec<RenderRequest> {
+    scenes
+        .iter()
+        .flat_map(|s| {
+            [
+                RenderRequest::frame(s.clone(), resolution)
+                    .with_priority(Priority::High)
+                    .with_deadline(HIGH_DEADLINE),
+                RenderRequest::sequence(s.clone(), resolution, SEQUENCE_FRAMES),
+                RenderRequest::frame(s.clone(), resolution).with_priority(Priority::Low),
+            ]
+        })
+        .collect()
+}
+
+/// Replays the two-burst workload and gathers the report.
+///
+/// # Panics
+///
+/// Panics if `scenes` is empty.
+pub fn run_serve(h: &mut Harness, scenes: &[SceneHandle]) -> ServeReport {
+    assert!(!scenes.is_empty(), "serve experiment needs at least one scene");
+    let profile = RenderProfile {
+        grid: h.scale().grid(),
+        base_ns: h.scale().base_ns(),
+        default_resolution: h.scale().resolution(),
+    };
+    let resolution = profile.default_resolution;
+    // a fresh store so the reported fit count and hit rate describe this
+    // workload, not whatever the harness ran before
+    let store = Arc::new(ModelStore::builder().in_memory_only().build());
+    let service = RenderService::builder(profile)
+        .store(store)
+        .queue_capacity(scenes.len() * REQUESTS_PER_SCENE * 2)
+        .build()
+        .expect("valid serve profile");
+    let run_burst = |reqs: Vec<RenderRequest>| -> Vec<f64> {
+        let tickets: Vec<_> = reqs
+            .into_iter()
+            .map(|r| service.submit(r).expect("queue sized for the burst"))
+            .collect();
+        tickets
+            .iter()
+            .map(|t| t.wait().expect("render worker healthy").latency.as_secs_f64() * 1e3)
+            .collect()
+    };
+    let cold_latencies_ms = run_burst(burst(scenes, resolution));
+    let warm_latencies_ms = run_burst(burst(scenes, resolution));
+    let stats = service.shutdown();
+    ServeReport {
+        scenes: scenes.iter().map(|s| s.name().to_string()).collect(),
+        cold_latencies_ms,
+        warm_latencies_ms,
+        stats,
+    }
+}
+
+/// Prints the serving report.
+pub fn print_serve(r: &ServeReport) {
+    let s = &r.stats;
+    println!(
+        "\nServe: {} scenes ({}), 2 bursts x {} requests",
+        r.scenes.len(),
+        r.scenes.join(", "),
+        r.scenes.len() * REQUESTS_PER_SCENE,
+    );
+    print_header(&["Metric", "Value"]);
+    print_row(&["requests / frames".into(), format!("{} / {}", s.requests, s.frames)]);
+    print_row(&["throughput".into(), format!("{:.2} frames/s", s.throughput_fps)]);
+    print_row(&[
+        "latency p50 / p95".into(),
+        format!("{:.1} / {:.1} ms", s.p50_latency_ms, s.p95_latency_ms),
+    ]);
+    print_row(&["warm-burst speedup".into(), crate::fmt_x(r.warm_speedup())]);
+    print_row(&[
+        "store".into(),
+        format!(
+            "{} fits, hit rate {:.0}%, {} single-flight waits",
+            s.store.fits,
+            s.store.hit_rate() * 100.0,
+            s.store.single_flight_waits
+        ),
+    ]);
+    print_row(&[
+        "plan reuse".into(),
+        format!(
+            "{}/{} frames, ~{:.0} probe points avoided",
+            s.reused_frames, s.frames, s.probe_points_avoided_est
+        ),
+    ]);
+    if s.deadlined_requests > 0 {
+        print_row(&[
+            "deadlines".into(),
+            format!("{}/{} missed", s.deadline_misses, s.deadlined_requests),
+        ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use asdr_scenes::registry;
+
+    #[test]
+    fn mixed_burst_fits_each_scene_once_and_hits_warm() {
+        let mut h = Harness::new(Scale::Tiny);
+        let scenes = [registry::handle("Mic"), registry::handle("Pulse")];
+        let r = run_serve(&mut h, &scenes);
+        let expect_requests = (scenes.len() * REQUESTS_PER_SCENE * 2) as u64;
+        assert_eq!(r.requests(), expect_requests);
+        assert_eq!(r.stats.store.fits, scenes.len() as u64, "each scene fits exactly once");
+        // one store lookup per *batch* (batching amortizes them): with
+        // perfect batching, half the lookups are the cold-burst fits
+        assert!(
+            r.stats.store.hit_rate() >= 0.5,
+            "warm lookups must dominate or match fits: {:?}",
+            r.stats.store
+        );
+        assert_eq!(r.stats.frames, (scenes.len() * (1 + 3 + 1) * 2) as u64);
+        assert!(r.stats.reused_frames > 0, "sequence requests must reuse their plan");
+        assert!(r.stats.throughput_fps > 0.0);
+        assert!(r.stats.p95_latency_ms >= r.stats.p50_latency_ms);
+        print_serve(&r); // shape-check the printer too
+    }
+}

@@ -24,15 +24,15 @@ pub mod experiments;
 use asdr_core::algo::adaptive::AdaptiveConfig;
 use asdr_core::algo::{ExecPolicy, FrameEngine, RenderOptions, RenderOutput};
 use asdr_math::{Camera, Image};
-use asdr_nerf::fit::fit_ngp;
 use asdr_nerf::grid::GridConfig;
 use asdr_nerf::model::RadianceModel;
 use asdr_nerf::tensorf::{TensoRfConfig, TensoRfModel};
 use asdr_nerf::NgpModel;
 use asdr_scenes::gt::render_ground_truth;
 use asdr_scenes::SceneHandle;
+use asdr_serve::ModelStore;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Experiment scale: `Tiny` for tests/smoke runs, `Small` for the default
 /// evaluation (the published numbers in EXPERIMENTS.md), `Paper` for the
@@ -94,19 +94,33 @@ impl Scale {
     }
 }
 
-/// Caches fitted models and ground-truth renders across experiments within
-/// one process. Caches are keyed by registry scene name, so any registered
-/// scene — builtin or custom — flows through unchanged. Each entry also
-/// remembers the exact `SceneDef` it was computed from ([`SceneHandle`]
-/// equality is name-only), so a handle from an isolated registry that
-/// happens to reuse a name refits instead of aliasing the cached result.
+/// Caches fitted models and ground-truth renders across experiments.
+///
+/// NGP fits go through a process-wide [`ModelStore`] shared by every
+/// harness instance (single-flight, keyed by scene name + grid
+/// fingerprint), so the many harnesses a test binary creates fit each
+/// scene once per process — and, when `ASDR_STORE_DIR` is set, once per
+/// *store directory*: fits persist as checkpoints and later processes
+/// reload instead of refitting. TensoRF models and ground-truth renders
+/// stay in per-harness maps keyed by scene name; every entry remembers the
+/// exact `SceneDef` it was computed from ([`SceneHandle`] equality is
+/// name-only), so a handle from an isolated registry that happens to reuse
+/// a name refits instead of aliasing the cached result (the store applies
+/// the same rule internally).
 #[derive(Debug)]
 pub struct Harness {
     scale: Scale,
     exec_policy: ExecPolicy,
-    models: HashMap<&'static str, (SceneHandle, Arc<NgpModel>)>,
+    store: Arc<ModelStore>,
     tensorf_models: HashMap<&'static str, (SceneHandle, Arc<TensoRfModel>)>,
     gts: HashMap<&'static str, (SceneHandle, Image)>,
+}
+
+/// The process-wide fit store every [`Harness`] shares by default:
+/// in-memory always, checkpoint-backed when `ASDR_STORE_DIR` is set.
+pub fn global_store() -> Arc<ModelStore> {
+    static STORE: OnceLock<Arc<ModelStore>> = OnceLock::new();
+    STORE.get_or_init(|| Arc::new(ModelStore::builder().build())).clone()
 }
 
 /// Cache lookup honoring def identity: a same-name handle with a different
@@ -137,15 +151,21 @@ impl Harness {
         Harness::with_policy(scale, ExecPolicy::TileStealing { tile_size: Self::DEFAULT_TILE })
     }
 
-    /// Creates an empty harness with an explicit execution policy.
+    /// Creates an empty harness with an explicit execution policy, sharing
+    /// the process-wide fit store.
     pub fn with_policy(scale: Scale, exec_policy: ExecPolicy) -> Self {
-        Harness {
-            scale,
-            exec_policy,
-            models: HashMap::new(),
-            tensorf_models: HashMap::new(),
-            gts: HashMap::new(),
-        }
+        Harness::with_store(scale, exec_policy, global_store())
+    }
+
+    /// Creates a harness over an explicit model store (isolated tests,
+    /// services sharing their store with experiment code).
+    pub fn with_store(scale: Scale, exec_policy: ExecPolicy, store: Arc<ModelStore>) -> Self {
+        Harness { scale, exec_policy, store, tensorf_models: HashMap::new(), gts: HashMap::new() }
+    }
+
+    /// The fit store this harness resolves NGP models through.
+    pub fn store(&self) -> &Arc<ModelStore> {
+        &self.store
     }
 
     /// The harness scale.
@@ -185,10 +205,10 @@ impl Harness {
         scene.camera(r, r)
     }
 
-    /// The fitted NGP model for a scene (fitted once, cached).
+    /// The fitted NGP model for a scene — resolved through the store:
+    /// memory, then checkpoint (when persistence is on), then one fit.
     pub fn model(&mut self, scene: &SceneHandle) -> Arc<NgpModel> {
-        let scale = self.scale;
-        cached(&mut self.models, scene, || Arc::new(fit_ngp(scene.build().as_ref(), &scale.grid())))
+        self.store.get_or_fit(scene, &self.scale.grid())
     }
 
     /// The fitted TensoRF model for a scene (fitted once, cached).
@@ -257,7 +277,14 @@ mod tests {
 
     #[test]
     fn harness_cache_does_not_alias_same_name_different_def() {
-        let mut h = Harness::new(Scale::Tiny);
+        // an isolated store: publishing the impostor under "Mic" in the
+        // process-global store would race parallel tests fitting Mic
+        let isolated_store = Arc::new(ModelStore::builder().in_memory_only().build());
+        let mut h = Harness::with_store(
+            Scale::Tiny,
+            ExecPolicy::TileStealing { tile_size: Harness::DEFAULT_TILE },
+            isolated_store,
+        );
         let global_mic = registry::handle("Mic");
         let cached_global = h.model(&global_mic);
         assert!(Arc::ptr_eq(&cached_global, &h.model(&global_mic)), "same handle must hit");

@@ -1,0 +1,213 @@
+//! `asdr-serve` — replays a JSON-lines workload file through a
+//! [`RenderService`] and reports serving statistics.
+//!
+//! ```text
+//! asdr-serve --workload FILE [--scale tiny|small|paper] [--workers N]
+//!            [--store-dir DIR | --no-store] [--queue N]
+//!            [--out STATS.json] [--dump-images DIR]
+//! ```
+//!
+//! Entries are submitted at their `at_ms` arrival offsets (equal offsets
+//! form a burst); the process waits for every ticket, prints a per-request
+//! table plus the aggregate [`ServeStats`], and writes the stats as JSON to
+//! `--out` (the artifact the nightly workflow uploads). `--dump-images`
+//! writes every rendered frame as a PPM — two runs against the same
+//! `--store-dir` must produce byte-identical dumps (the store acceptance
+//! contract, pinned by `tests/serve_e2e.rs`).
+
+use asdr_serve::{parse_workload, ModelStore, RenderProfile, RenderService, ServeError};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    workload: PathBuf,
+    profile: RenderProfile,
+    workers: Option<usize>,
+    store_dir: Option<PathBuf>,
+    no_store: bool,
+    queue: usize,
+    out: Option<PathBuf>,
+    dump_images: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: asdr-serve --workload FILE [--scale tiny|small|paper] [--workers N]\n\
+         \u{20}                 [--store-dir DIR | --no-store] [--queue N]\n\
+         \u{20}                 [--out STATS.json] [--dump-images DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: PathBuf::new(),
+        profile: RenderProfile::tiny(),
+        workers: None,
+        store_dir: None,
+        no_store: false,
+        queue: 64,
+        out: None,
+        dump_images: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| die(&format!("{} needs a value", argv[*i - 1])))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--workload" => args.workload = PathBuf::from(value(&mut i)),
+            "--scale" => {
+                let name = value(&mut i);
+                args.profile = RenderProfile::parse(&name)
+                    .unwrap_or_else(|| die(&format!("unknown scale {name:?}")));
+            }
+            "--workers" => {
+                args.workers = Some(
+                    value(&mut i)
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--workers needs a positive number")),
+                );
+            }
+            "--store-dir" => args.store_dir = Some(PathBuf::from(value(&mut i))),
+            "--no-store" => args.no_store = true,
+            "--queue" => {
+                args.queue =
+                    value(&mut i).parse().unwrap_or_else(|_| die("--queue needs a number"));
+            }
+            "--out" => args.out = Some(PathBuf::from(value(&mut i))),
+            "--dump-images" => args.dump_images = Some(PathBuf::from(value(&mut i))),
+            "-h" | "--help" => usage(),
+            other => die(&format!("unknown argument {other:?} (see --help)")),
+        }
+        i += 1;
+    }
+    if args.workload.as_os_str().is_empty() {
+        usage();
+    }
+    if args.no_store && args.store_dir.is_some() {
+        die("--no-store and --store-dir are mutually exclusive");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let text = std::fs::read_to_string(&args.workload)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", args.workload.display())));
+    let entries =
+        parse_workload(&text).unwrap_or_else(|e| die(&format!("{}: {e}", args.workload.display())));
+    if entries.is_empty() {
+        die("workload file holds no requests");
+    }
+
+    let mut store = ModelStore::builder();
+    if let Some(dir) = &args.store_dir {
+        store = store.dir(dir);
+    } else if args.no_store {
+        store = store.in_memory_only();
+    }
+    let mut builder = RenderService::builder(args.profile.clone()).store(Arc::new(store.build()));
+    if let Some(n) = args.workers {
+        builder = builder.workers(n);
+    }
+    let service = builder.queue_capacity(args.queue).build().unwrap_or_else(|e| die(&e));
+    println!(
+        "# asdr-serve: {} requests, {} workers, store {}",
+        entries.len(),
+        service.workers(),
+        service.store().dir().map_or("in-memory".to_string(), |d| d.display().to_string()),
+    );
+
+    // replay at the recorded arrival offsets; a full queue blocks the
+    // replay clock rather than dropping work
+    let t0 = Instant::now();
+    let mut tickets = Vec::with_capacity(entries.len());
+    for (idx, entry) in entries.iter().enumerate() {
+        let req = entry.to_request(&args.profile).unwrap_or_else(|e| die(&e));
+        if let Some(wait) = Duration::from_millis(entry.at_ms).checked_sub(t0.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let ticket = loop {
+            match service.submit(req.clone()) {
+                Ok(t) => break t,
+                Err(ServeError::QueueFull { .. }) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => die(&format!("request {idx}: {e}")),
+            }
+        };
+        tickets.push((idx, entry.scene.clone(), ticket));
+    }
+
+    println!("| req | scene | frames | reused | queue ms | latency ms | deadline |");
+    println!("|---|---|---|---|---|---|---|");
+    for (idx, scene, ticket) in &tickets {
+        let r = ticket.wait().unwrap_or_else(|e| die(&format!("request {idx} ({scene}): {e}")));
+        println!(
+            "| {idx} | {scene} | {} | {} | {:.1} | {:.1} | {} |",
+            r.images.len(),
+            r.reused_frames,
+            r.queue_wait.as_secs_f64() * 1e3,
+            r.latency.as_secs_f64() * 1e3,
+            match r.deadline_met {
+                Some(true) => "met",
+                Some(false) => "MISSED",
+                None => "-",
+            },
+        );
+        if let Some(dir) = &args.dump_images {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+            for (f, image) in r.images.iter().enumerate() {
+                let path = dir.join(format!("req{idx:03}-f{f:02}.ppm"));
+                image
+                    .write_ppm(&path)
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+            }
+        }
+    }
+
+    let stats = service.shutdown();
+    println!(
+        "\n{} requests, {} frames ({} plan-reused, {:.0}% of frames)",
+        stats.requests,
+        stats.frames,
+        stats.reused_frames,
+        stats.reuse_fraction() * 100.0,
+    );
+    println!(
+        "latency p50 {:.1} ms / p95 {:.1} ms, mean queue wait {:.1} ms, throughput {:.2} fps",
+        stats.p50_latency_ms, stats.p95_latency_ms, stats.mean_queue_wait_ms, stats.throughput_fps,
+    );
+    println!(
+        "store: {} fits, {} memory hits, {} disk hits (hit rate {:.0}%), {} evictions, {} disk errors",
+        stats.store.fits,
+        stats.store.memory_hits,
+        stats.store.disk_hits,
+        stats.store.hit_rate() * 100.0,
+        stats.store.evictions,
+        stats.store.disk_errors,
+    );
+    if stats.deadlined_requests > 0 {
+        println!("deadlines: {}/{} missed", stats.deadline_misses, stats.deadlined_requests);
+    }
+    if let Some(out) = &args.out {
+        if let Some(parent) = out.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(out, stats.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+        println!("stats written to {}", out.display());
+    }
+}

@@ -1,0 +1,77 @@
+//! Fit/render profiles: the knobs a serving deployment fixes up front.
+//!
+//! A [`RenderProfile`] bundles the fit configuration (which keys the
+//! [`crate::store::ModelStore`]) with the rendering sample budget and the
+//! default frame resolution. The named constructors mirror the bench
+//! harness scales (`tiny`/`small`/`paper`) without depending on the bench
+//! crate — the service sits *below* the harness in the workspace DAG.
+
+use asdr_core::algo::adaptive::AdaptiveConfig;
+use asdr_core::algo::RenderOptions;
+use asdr_nerf::grid::GridConfig;
+
+/// Everything request execution derives from deployment configuration
+/// rather than from the request itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderProfile {
+    /// Fit configuration; part of the store key.
+    pub grid: GridConfig,
+    /// Full per-ray sample count (the paper's 192, scaled).
+    pub base_ns: usize,
+    /// Frame resolution used when a request does not specify one.
+    pub default_resolution: u32,
+}
+
+impl RenderProfile {
+    /// Test/smoke scale: 8-level grid, 48 samples, 48x48 frames.
+    pub fn tiny() -> Self {
+        RenderProfile { grid: GridConfig::tiny(), base_ns: 48, default_resolution: 48 }
+    }
+
+    /// Default evaluation scale: 16-level grid, 96 samples, 96x96 frames.
+    pub fn small() -> Self {
+        RenderProfile { grid: GridConfig::small(), base_ns: 96, default_resolution: 96 }
+    }
+
+    /// Paper scale: full-size grid, 192 samples, 192x192 frames.
+    pub fn paper() -> Self {
+        RenderProfile { grid: GridConfig::paper(), base_ns: 192, default_resolution: 192 }
+    }
+
+    /// Parses a profile name (`tiny` / `small` / `paper`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Self::tiny()),
+            "small" => Some(Self::small()),
+            "paper" => Some(Self::paper()),
+            _ => None,
+        }
+    }
+
+    /// The ASDR render options for a frame at `resolution`: adaptive
+    /// sampling with a resolution-scaled probe pitch plus group-2 color
+    /// decoupling (the same configuration the bench harness evaluates).
+    pub fn options_for(&self, resolution: u32) -> RenderOptions {
+        RenderOptions {
+            base_ns: self.base_ns,
+            adaptive: Some(AdaptiveConfig::for_resolution(self.base_ns, resolution)),
+            approx_group: 2,
+            early_termination: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_parse_and_validate() {
+        for name in ["tiny", "small", "paper", "TINY"] {
+            let p = RenderProfile::parse(name).expect(name);
+            p.grid.validate().unwrap();
+            p.options_for(p.default_resolution).validate().unwrap();
+        }
+        assert!(RenderProfile::parse("huge").is_none());
+    }
+}

@@ -1,0 +1,853 @@
+//! The multi-tenant render service: a bounded admission queue feeding a
+//! worker pool of reusable frame-engine sessions over a shared
+//! [`ModelStore`].
+//!
+//! Scheduling is **deadline-aware priority ordering**: the queue pops the
+//! highest [`Priority`] first, earliest absolute deadline within a
+//! priority, FIFO as the tie-break. When a worker claims a request it also
+//! drags along up to `batch_max - 1` queued requests for the **same scene
+//! and resolution** (per-scene batching), so the whole batch shares one
+//! model lookup and one [`FrameEngine`] session.
+//!
+//! Within a request, consecutive frames reuse the engine's [`SamplePlan`]
+//! via [`PlanPolicy::Reuse`]; plan state never crosses a request boundary,
+//! so **images are byte-identical regardless of worker count, batching, or
+//! arrival order** — the property the end-to-end tests pin down.
+//!
+//! [`SamplePlan`]: asdr_core::algo::SamplePlan
+
+use crate::config;
+use crate::profile::RenderProfile;
+use crate::store::{ModelStore, StoreStats};
+use asdr_core::algo::{ExecPolicy, FrameEngine, PlanPolicy, RenderStats, SequenceFrame};
+use asdr_math::Image;
+use asdr_nerf::NgpModel;
+use asdr_scenes::registry::OrbitCamera;
+use asdr_scenes::SceneHandle;
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Request urgency class. Higher runs first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work (pre-warming, speculative frames).
+    Low,
+    /// Interactive default.
+    Normal,
+    /// Latency-critical (the VR head pose of the paper's motivation).
+    High,
+}
+
+impl Priority {
+    /// Parses a case-insensitive priority name.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s.to_ascii_lowercase().as_str() {
+            "low" => Some(Priority::Low),
+            "normal" => Some(Priority::Normal),
+            "high" => Some(Priority::High),
+            _ => None,
+        }
+    }
+}
+
+/// One unit of client work: a scene, a viewpoint (or short sequence), and
+/// the scheduling metadata the queue orders by.
+#[derive(Debug, Clone)]
+pub struct RenderRequest {
+    /// The scene to render (already resolved against a registry).
+    pub scene: SceneHandle,
+    /// Viewpoint override; `None` uses the scene's standard orbit.
+    pub camera: Option<OrbitCamera>,
+    /// Square frame resolution in pixels.
+    pub resolution: u32,
+    /// Frames in this request (>= 1); frames beyond the first orbit the
+    /// camera by [`RenderRequest::azimuth_step_deg`] per frame.
+    pub frames: usize,
+    /// Per-frame azimuth advance for multi-frame requests, degrees.
+    pub azimuth_step_deg: f32,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Latency budget measured from submission; `None` = best effort.
+    pub deadline: Option<Duration>,
+}
+
+impl RenderRequest {
+    /// Default per-frame azimuth advance (matches the `sequence`
+    /// experiment's slow orbit).
+    pub const DEFAULT_AZIMUTH_STEP_DEG: f32 = 1.5;
+
+    /// A single-frame request at `resolution` with default scheduling.
+    pub fn frame(scene: SceneHandle, resolution: u32) -> Self {
+        RenderRequest {
+            scene,
+            camera: None,
+            resolution,
+            frames: 1,
+            azimuth_step_deg: Self::DEFAULT_AZIMUTH_STEP_DEG,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// An `n`-frame orbit sequence at `resolution`.
+    pub fn sequence(scene: SceneHandle, resolution: u32, n: usize) -> Self {
+        RenderRequest { frames: n, ..Self::frame(scene, resolution) }
+    }
+
+    /// Sets the scheduling class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the latency budget.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the viewpoint.
+    #[must_use]
+    pub fn with_camera(mut self, camera: OrbitCamera) -> Self {
+        self.camera = Some(camera);
+        self
+    }
+
+    /// The camera for frame `i` of this request.
+    fn camera_for_frame(&self, i: usize) -> asdr_math::Camera {
+        let mut orbit = self.camera.unwrap_or_else(|| self.scene.def().camera_orbit());
+        orbit.azimuth_deg += i as f32 * self.azimuth_step_deg;
+        orbit.camera(self.resolution, self.resolution)
+    }
+}
+
+/// Why a submission was refused, or a submitted request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue is at capacity; retry after completions drain.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The request failed validation (message names the constraint).
+    InvalidRequest(String),
+    /// The request's fit or render panicked (message carries the panic).
+    /// The open registry makes this reachable — a registered scene's
+    /// builder is arbitrary user code — so it fails the ticket, never the
+    /// service: the worker survives and keeps serving.
+    RenderFailed(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} pending)")
+            }
+            ServeError::ShuttingDown => f.write_str("service is shutting down"),
+            ServeError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
+            ServeError::RenderFailed(why) => write!(f, "render failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The completed output of one request.
+#[derive(Debug)]
+pub struct RenderResult {
+    /// Scene name.
+    pub scene: String,
+    /// The rendered frames, in order.
+    pub images: Vec<Image>,
+    /// Operation counts aggregated over the request's frames.
+    pub stats: RenderStats,
+    /// Frames that skipped Phase I by reusing the request's sample plan.
+    pub reused_frames: usize,
+    /// Time spent queued before a worker claimed the request.
+    pub queue_wait: Duration,
+    /// Submission-to-completion latency.
+    pub latency: Duration,
+    /// Whether the latency met the deadline (`None` = no deadline).
+    pub deadline_met: Option<bool>,
+    /// Global completion sequence number (0-based, service-wide) — the
+    /// observable execution order the scheduler tests assert on.
+    pub completed_seq: u64,
+}
+
+/// A handle to a submitted request's eventual [`RenderResult`].
+#[derive(Debug, Clone)]
+pub struct RenderTicket {
+    inner: Arc<TicketInner>,
+}
+
+#[derive(Debug)]
+struct TicketInner {
+    state: Mutex<Option<Result<Arc<RenderResult>, ServeError>>>,
+    cond: Condvar,
+}
+
+impl RenderTicket {
+    fn new() -> Self {
+        RenderTicket {
+            inner: Arc::new(TicketInner { state: Mutex::new(None), cond: Condvar::new() }),
+        }
+    }
+
+    /// Blocks until the request completes or fails.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::RenderFailed`] if the request's fit or render
+    /// panicked (the worker survives; only this ticket fails).
+    pub fn wait(&self) -> Result<Arc<RenderResult>, ServeError> {
+        let mut state = self.inner.state.lock().unwrap();
+        while state.is_none() {
+            state = self.inner.cond.wait(state).unwrap();
+        }
+        state.as_ref().expect("loop exits only when filled").clone()
+    }
+
+    /// The outcome, if the request has already completed or failed.
+    pub fn try_result(&self) -> Option<Result<Arc<RenderResult>, ServeError>> {
+        self.inner.state.lock().unwrap().clone()
+    }
+
+    fn fill(&self, result: Result<RenderResult, ServeError>) {
+        let mut state = self.inner.state.lock().unwrap();
+        *state = Some(result.map(Arc::new));
+        self.inner.cond.notify_all();
+    }
+}
+
+/// One queued admission.
+struct Queued {
+    req: RenderRequest,
+    ticket: RenderTicket,
+    submitted: Instant,
+    deadline_at: Option<Instant>,
+    seq: u64,
+}
+
+/// The scheduling key: highest priority first, then earliest deadline
+/// (deadline-less requests after any deadlined one), then FIFO.
+fn sched_key(q: &Queued) -> (Reverse<Priority>, bool, Option<Instant>, u64) {
+    (Reverse(q.req.priority), q.deadline_at.is_none(), q.deadline_at, q.seq)
+}
+
+struct QueueState {
+    queue: VecDeque<Queued>,
+    accepting: bool,
+    paused: bool,
+    next_seq: u64,
+}
+
+/// Pops the best-ranked request plus up to `batch_max - 1` same-scene,
+/// same-resolution riders (in submission order), or `None` when empty.
+fn pop_batch(q: &mut QueueState, batch_max: usize) -> Option<Vec<Queued>> {
+    let best = q.queue.iter().enumerate().min_by_key(|(_, e)| sched_key(e)).map(|(i, _)| i)?;
+    let head = q.queue.remove(best).expect("index from enumerate");
+    let mut batch = vec![head];
+    let mut i = 0;
+    while i < q.queue.len() && batch.len() < batch_max {
+        let rider = &q.queue[i];
+        if rider.req.scene.name() == batch[0].req.scene.name()
+            && rider.req.scene.shares_def(&batch[0].req.scene)
+            && rider.req.resolution == batch[0].req.resolution
+        {
+            batch.push(q.queue.remove(i).expect("index in bounds"));
+        } else {
+            i += 1;
+        }
+    }
+    Some(batch)
+}
+
+/// Most recent request latencies the percentile snapshot covers. Bounds
+/// the accumulator for service-lifetime operation: memory stays O(window)
+/// and a stats() poll sorts at most this many samples, however many
+/// requests the service has served.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Latency/throughput accumulators, folded under one lock.
+#[derive(Default)]
+struct StatsAccum {
+    /// Ring of the last [`LATENCY_WINDOW`] request latencies.
+    latencies_ms: Vec<f64>,
+    latency_next: usize,
+    queue_wait_sum_ms: f64,
+    requests: u64,
+    frames: u64,
+    reused_frames: u64,
+    deadlined_requests: u64,
+    deadline_misses: u64,
+    agg: RenderStats,
+    probe_points_avoided_est: f64,
+    first_submit: Option<Instant>,
+    last_done: Option<Instant>,
+}
+
+impl StatsAccum {
+    fn push_latency(&mut self, ms: f64) {
+        if self.latencies_ms.len() < LATENCY_WINDOW {
+            self.latencies_ms.push(ms);
+        } else {
+            self.latencies_ms[self.latency_next] = ms;
+        }
+        self.latency_next = (self.latency_next + 1) % LATENCY_WINDOW;
+    }
+}
+
+/// Aggregate service metrics; snapshot with [`RenderService::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests completed.
+    pub requests: u64,
+    /// Frames rendered.
+    pub frames: u64,
+    /// Frames that reused a sample plan instead of re-probing.
+    pub reused_frames: u64,
+    /// Requests that carried a deadline.
+    pub deadlined_requests: u64,
+    /// Deadlined requests that finished late.
+    pub deadline_misses: u64,
+    /// Median submission-to-completion latency, milliseconds (over the
+    /// most recent window of completions).
+    pub p50_latency_ms: f64,
+    /// 95th-percentile latency, milliseconds (same window).
+    pub p95_latency_ms: f64,
+    /// Mean time spent in the admission queue, milliseconds.
+    pub mean_queue_wait_ms: f64,
+    /// Frames per wall-clock second, first submission to last completion.
+    pub throughput_fps: f64,
+    /// Probe sample points actually executed.
+    pub probe_points: u64,
+    /// Probe points plan reuse avoided (estimated from each request's
+    /// probed-frame cost).
+    pub probe_points_avoided_est: f64,
+    /// Model-store activity (fits, hits, evictions).
+    pub store: StoreStats,
+}
+
+impl ServeStats {
+    /// Fraction of frames that skipped Phase I.
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        self.reused_frames as f64 / self.frames as f64
+    }
+
+    /// Serializes the snapshot as a JSON object (the `asdr-serve` artifact
+    /// format; hand-rolled like the criterion shim's dump — no serde in
+    /// this environment).
+    pub fn to_json(&self) -> String {
+        let s = &self.store;
+        format!(
+            concat!(
+                "{{\n",
+                "  \"requests\": {}, \"frames\": {}, \"reused_frames\": {},\n",
+                "  \"deadlined_requests\": {}, \"deadline_misses\": {},\n",
+                "  \"p50_latency_ms\": {:.3}, \"p95_latency_ms\": {:.3},",
+                " \"mean_queue_wait_ms\": {:.3},\n",
+                "  \"throughput_fps\": {:.3},\n",
+                "  \"probe_points\": {}, \"probe_points_avoided_est\": {:.0},\n",
+                "  \"store\": {{\"memory_hits\": {}, \"disk_hits\": {}, \"fits\": {},",
+                " \"evictions\": {}, \"disk_errors\": {}, \"single_flight_waits\": {},",
+                " \"resident\": {}}}\n",
+                "}}\n"
+            ),
+            self.requests,
+            self.frames,
+            self.reused_frames,
+            self.deadlined_requests,
+            self.deadline_misses,
+            self.p50_latency_ms,
+            self.p95_latency_ms,
+            self.mean_queue_wait_ms,
+            self.throughput_fps,
+            self.probe_points,
+            self.probe_points_avoided_est,
+            s.memory_hits,
+            s.disk_hits,
+            s.fits,
+            s.evictions,
+            s.disk_errors,
+            s.single_flight_waits,
+            s.resident,
+        )
+    }
+}
+
+/// Configures and builds a [`RenderService`].
+pub struct RenderServiceBuilder {
+    profile: RenderProfile,
+    workers: Option<usize>,
+    queue_capacity: usize,
+    store: Option<Arc<ModelStore>>,
+    exec_policy: ExecPolicy,
+    plan_refresh_every: usize,
+    batch_max: usize,
+    paused: bool,
+}
+
+impl RenderServiceBuilder {
+    /// Worker-pool size. Precedence: this setting > `ASDR_SERVE_WORKERS` >
+    /// detected parallelism. Zero means "unset" (fall through to env).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = (n > 0).then_some(n);
+        self
+    }
+
+    /// Admission-queue capacity (pending requests before
+    /// [`ServeError::QueueFull`]; clamped to >= 1).
+    #[must_use]
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Shares an existing model store (several services, one warm cache).
+    /// Default: a fresh store honoring `ASDR_STORE_DIR`.
+    #[must_use]
+    pub fn store(mut self, store: Arc<ModelStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Phase-II execution policy of the worker engines.
+    #[must_use]
+    pub fn exec_policy(mut self, policy: ExecPolicy) -> Self {
+        self.exec_policy = policy;
+        self
+    }
+
+    /// Probe refresh period for multi-frame requests (clamped to >= 1;
+    /// plan state never crosses a request boundary).
+    #[must_use]
+    pub fn plan_refresh_every(mut self, n: usize) -> Self {
+        self.plan_refresh_every = n.max(1);
+        self
+    }
+
+    /// Most requests one worker claims per batch (clamped to >= 1).
+    #[must_use]
+    pub fn batch_max(mut self, n: usize) -> Self {
+        self.batch_max = n.max(1);
+        self
+    }
+
+    /// Starts with the worker pool parked: submissions queue up but nothing
+    /// renders until [`RenderService::start`]. Used to stage bursts (and by
+    /// the scheduler tests to make ordering observable).
+    #[must_use]
+    pub fn paused(mut self) -> Self {
+        self.paused = true;
+        self
+    }
+
+    /// Builds the service and spawns its worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint if the profile's
+    /// render options or the execution policy fail validation.
+    pub fn build(self) -> Result<RenderService, String> {
+        self.profile.options_for(self.profile.default_resolution).validate()?;
+        self.exec_policy.validate()?;
+        let workers =
+            config::resolve(self.workers, config::env_serve_workers(), config::default_workers());
+        let store = self.store.unwrap_or_else(|| Arc::new(ModelStore::builder().build()));
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                accepting: true,
+                paused: self.paused,
+                next_seq: 0,
+            }),
+            cond: Condvar::new(),
+            store,
+            profile: self.profile,
+            exec_policy: self.exec_policy,
+            plan_refresh_every: self.plan_refresh_every,
+            batch_max: self.batch_max,
+            queue_capacity: self.queue_capacity,
+            stats: Mutex::new(StatsAccum::default()),
+            completed: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("asdr-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn render worker")
+            })
+            .collect();
+        Ok(RenderService { shared, workers: handles, worker_count: workers })
+    }
+}
+
+/// State shared between the service handle and its workers.
+struct Shared {
+    queue: Mutex<QueueState>,
+    cond: Condvar,
+    store: Arc<ModelStore>,
+    profile: RenderProfile,
+    exec_policy: ExecPolicy,
+    plan_refresh_every: usize,
+    batch_max: usize,
+    queue_capacity: usize,
+    stats: Mutex<StatsAccum>,
+    completed: AtomicU64,
+}
+
+/// The service handle. Dropping it drains the queue and joins the workers;
+/// [`RenderService::shutdown`] does the same and returns the final stats.
+pub struct RenderService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    worker_count: usize,
+}
+
+impl fmt::Debug for RenderService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RenderService")
+            .field("workers", &self.worker_count)
+            .field("queue_capacity", &self.shared.queue_capacity)
+            .field("profile", &self.shared.profile)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RenderService {
+    /// Starts a builder over a render profile.
+    pub fn builder(profile: RenderProfile) -> RenderServiceBuilder {
+        RenderServiceBuilder {
+            profile,
+            workers: None,
+            queue_capacity: 64,
+            store: None,
+            exec_policy: ExecPolicy::TileStealing { tile_size: 16 },
+            plan_refresh_every: 3,
+            batch_max: 4,
+            paused: false,
+        }
+    }
+
+    /// The shared model store.
+    pub fn store(&self) -> &Arc<ModelStore> {
+        &self.shared.store
+    }
+
+    /// The service's render profile.
+    pub fn profile(&self) -> &RenderProfile {
+        &self.shared.profile
+    }
+
+    /// Worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Admits a request, returning its ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] for malformed requests,
+    /// [`ServeError::QueueFull`] at capacity, [`ServeError::ShuttingDown`]
+    /// after shutdown began.
+    pub fn submit(&self, req: RenderRequest) -> Result<RenderTicket, ServeError> {
+        if req.frames == 0 {
+            return Err(ServeError::InvalidRequest("frames must be >= 1".into()));
+        }
+        if req.resolution == 0 {
+            return Err(ServeError::InvalidRequest("resolution must be >= 1".into()));
+        }
+        self.shared
+            .profile
+            .options_for(req.resolution)
+            .validate()
+            .map_err(ServeError::InvalidRequest)?;
+        let submitted = Instant::now();
+        // checked: a sentinel like Duration::MAX must not overflow (and
+        // certainly not panic inside the queue lock, poisoning the service);
+        // an unrepresentable deadline schedules as best-effort and always
+        // counts as met
+        let deadline_at = req.deadline.and_then(|d| submitted.checked_add(d));
+        let ticket = RenderTicket::new();
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if !q.accepting {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.queue.len() >= self.shared.queue_capacity {
+                return Err(ServeError::QueueFull { capacity: self.shared.queue_capacity });
+            }
+            let seq = q.next_seq;
+            q.next_seq += 1;
+            q.queue.push_back(Queued { req, ticket: ticket.clone(), submitted, deadline_at, seq });
+        }
+        let mut stats = self.shared.stats.lock().unwrap();
+        stats.first_submit.get_or_insert(submitted);
+        drop(stats);
+        self.shared.cond.notify_all();
+        Ok(ticket)
+    }
+
+    /// Unparks a paused worker pool (no-op when already running).
+    pub fn start(&self) {
+        self.shared.queue.lock().unwrap().paused = false;
+        self.shared.cond.notify_all();
+    }
+
+    /// A statistics snapshot (completed requests only).
+    pub fn stats(&self) -> ServeStats {
+        let acc = self.shared.stats.lock().unwrap();
+        let elapsed = match (acc.first_submit, acc.last_done) {
+            (Some(t0), Some(t1)) => (t1 - t0).as_secs_f64(),
+            _ => 0.0,
+        };
+        ServeStats {
+            requests: acc.requests,
+            frames: acc.frames,
+            reused_frames: acc.reused_frames,
+            deadlined_requests: acc.deadlined_requests,
+            deadline_misses: acc.deadline_misses,
+            p50_latency_ms: percentile(&acc.latencies_ms, 50.0),
+            p95_latency_ms: percentile(&acc.latencies_ms, 95.0),
+            mean_queue_wait_ms: if acc.requests > 0 {
+                acc.queue_wait_sum_ms / acc.requests as f64
+            } else {
+                0.0
+            },
+            throughput_fps: if elapsed > 0.0 { acc.frames as f64 / elapsed } else { 0.0 },
+            probe_points: acc.agg.probe_points,
+            probe_points_avoided_est: acc.probe_points_avoided_est,
+            store: self.shared.store.stats(),
+        }
+    }
+
+    /// Stops admissions, drains the queue, joins the workers, and returns
+    /// the final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.accepting = false;
+            // a paused pool must still drain what was admitted
+            q.paused = false;
+        }
+        self.shared.cond.notify_all();
+        for h in self.workers.drain(..) {
+            h.join().expect("render worker panicked");
+        }
+    }
+}
+
+impl Drop for RenderService {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+/// Worker thread: claim a batch, render it, repeat until shutdown drains
+/// the queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if !q.paused {
+                    if let Some(batch) = pop_batch(&mut q, shared.batch_max) {
+                        break Some(batch);
+                    }
+                    if !q.accepting {
+                        break None;
+                    }
+                }
+                q = shared.cond.wait(q).unwrap();
+            }
+        };
+        match batch {
+            Some(mut batch) => {
+                // a panicking fit or render (reachable: registered scene
+                // builders are arbitrary user code) fails the batch's
+                // tickets, never the worker — clients see RenderFailed
+                // instead of hanging on a ticket nobody will fill
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    render_batch(shared, &mut batch);
+                }));
+                if let Err(panic) = outcome {
+                    let why = ServeError::RenderFailed(panic_message(panic.as_ref()));
+                    for item in batch.drain(..) {
+                        item.ticket.fill(Err(why.clone()));
+                    }
+                }
+            }
+            None => return,
+        }
+    }
+}
+
+/// Best-effort panic payload extraction for [`ServeError::RenderFailed`].
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "worker panicked".to_string())
+}
+
+/// Renders one same-scene batch: one store lookup, one engine session,
+/// per-request plan reuse. Items are removed as they complete, so a panic
+/// mid-batch leaves exactly the unserved tickets behind for the caller to
+/// fail.
+fn render_batch(shared: &Shared, batch: &mut Vec<Queued>) {
+    let claimed_at = Instant::now();
+    let scene = batch[0].req.scene.clone();
+    let resolution = batch[0].req.resolution;
+    let model = shared.store.get_or_fit(&scene, &shared.profile.grid);
+    let engine = FrameEngine::new(shared.profile.options_for(resolution), shared.exec_policy)
+        .expect("options validated at submit");
+    while !batch.is_empty() {
+        let item = &batch[0];
+        let cams: Vec<_> = (0..item.req.frames).map(|i| item.req.camera_for_frame(i)).collect();
+        let frames: Vec<SequenceFrame<'_, NgpModel>> =
+            cams.iter().map(|c| SequenceFrame::new(&*model, c.clone())).collect();
+        // plan reuse stays within this request: every request re-probes its
+        // first frame, so output is independent of batching and scheduling
+        let out = engine
+            .render_sequence(
+                &frames,
+                &PlanPolicy::Reuse { refresh_every: shared.plan_refresh_every },
+            )
+            .expect("frames >= 1 validated at submit");
+        let done = Instant::now();
+        let latency = done - item.submitted;
+        let deadline_met = item.req.deadline.map(|d| latency <= d);
+        let reused = out.reused_frames();
+        let frame_count = out.frames.len();
+        let probed = frame_count - reused;
+        let aggregate = out.aggregate;
+        let result = RenderResult {
+            scene: scene.name().to_string(),
+            // `out` is owned and done with: move the frames, don't clone
+            // O(frames x pixels) on the serving hot path
+            images: out.frames.into_iter().map(|f| f.image).collect(),
+            stats: aggregate,
+            reused_frames: reused,
+            queue_wait: claimed_at - item.submitted,
+            latency,
+            deadline_met,
+            completed_seq: shared.completed.fetch_add(1, Ordering::Relaxed),
+        };
+        let mut acc = shared.stats.lock().unwrap();
+        acc.requests += 1;
+        acc.frames += frame_count as u64;
+        acc.reused_frames += reused as u64;
+        acc.push_latency(latency.as_secs_f64() * 1e3);
+        acc.queue_wait_sum_ms += result.queue_wait.as_secs_f64() * 1e3;
+        if let Some(met) = deadline_met {
+            acc.deadlined_requests += 1;
+            if !met {
+                acc.deadline_misses += 1;
+            }
+        }
+        acc.agg.accumulate(&aggregate);
+        if probed > 0 && reused > 0 {
+            acc.probe_points_avoided_est +=
+                aggregate.probe_points as f64 / probed as f64 * reused as f64;
+        }
+        acc.last_done = Some(acc.last_done.map_or(done, |t| t.max(done)));
+        drop(acc);
+        let item = batch.remove(0);
+        item.ticket.fill(Ok(result));
+    }
+}
+
+/// Nearest-rank percentile over an unsorted sample (0 when empty).
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::parse("HIGH"), Some(Priority::High));
+        assert_eq!(Priority::parse("nope"), None);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 5.0);
+        assert_eq!(percentile(&[], 95.0), 0.0);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let mut acc = StatsAccum::default();
+        for i in 0..(LATENCY_WINDOW + 100) {
+            acc.push_latency(i as f64);
+        }
+        assert_eq!(acc.latencies_ms.len(), LATENCY_WINDOW, "ring must not grow past the window");
+        // the oldest entries were overwritten by the newest
+        assert!(acc.latencies_ms.contains(&(LATENCY_WINDOW as f64 + 99.0)));
+        assert!(!acc.latencies_ms.contains(&0.0));
+    }
+
+    #[test]
+    fn stats_json_is_shape_stable() {
+        let stats = ServeStats {
+            requests: 2,
+            frames: 5,
+            reused_frames: 3,
+            deadlined_requests: 1,
+            deadline_misses: 0,
+            p50_latency_ms: 12.5,
+            p95_latency_ms: 40.0,
+            mean_queue_wait_ms: 1.25,
+            throughput_fps: 8.0,
+            probe_points: 1000,
+            probe_points_avoided_est: 3000.0,
+            store: StoreStats::default(),
+        };
+        let json = stats.to_json();
+        for key in
+            ["\"requests\"", "\"p95_latency_ms\"", "\"throughput_fps\"", "\"store\"", "\"fits\""]
+        {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!((stats.reuse_fraction() - 0.6).abs() < 1e-12);
+    }
+}

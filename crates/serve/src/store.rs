@@ -1,0 +1,520 @@
+//! The persistent, checkpoint-backed model store.
+//!
+//! A [`ModelStore`] caches fitted [`NgpModel`]s keyed by **scene name +
+//! fit-config fingerprint** behind two layers:
+//!
+//! * an **in-memory layer** of `Arc<NgpModel>` entries with LRU capacity
+//!   eviction — eviction only drops the map entry, outstanding `Arc`s held
+//!   by renders stay alive;
+//! * an optional **on-disk layer**: a directory of VERSION-2 checkpoints
+//!   ([`asdr_nerf::io`]), so fits survive across processes. A checkpoint is
+//!   only trusted if its embedded scene name and grid configuration match
+//!   the request; anything corrupt, truncated, or stale degrades to a refit,
+//!   never a panic.
+//!
+//! Concurrent requests for the same un-fitted key are **single-flighted**:
+//! exactly one caller fits (or loads) while the rest block on a condvar and
+//! receive the published `Arc`. An in-flight entry is never evicted and is
+//! unwound if the fitter panics, so waiters cannot deadlock.
+//!
+//! Keying by *name* means two registries could alias one name to different
+//! scene definitions; like the bench harness, the store compares
+//! [`SceneHandle::shares_def`] on every memory hit and refits on a
+//! mismatch instead of aliasing. Such alias refits stay memory-only —
+//! they neither read nor overwrite the named scene's checkpoint — because
+//! the disk layer cannot see definitions and must trust registry names to
+//! be stable across processes.
+
+use crate::config;
+use asdr_nerf::fit::fit_ngp;
+use asdr_nerf::grid::GridConfig;
+use asdr_nerf::io::{self, LoadError};
+use asdr_nerf::NgpModel;
+use asdr_scenes::SceneHandle;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Cache key: scene name plus the fit-configuration fingerprint, so one
+/// store can hold the same scene at several scales without collision.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// Registry scene name.
+    pub scene: String,
+    /// Fit-config fingerprint (see [`fingerprint`]).
+    pub fingerprint: String,
+}
+
+impl StoreKey {
+    /// Builds the key for a scene fitted under `grid`.
+    pub fn new(scene: &str, grid: &GridConfig) -> Self {
+        StoreKey { scene: scene.to_string(), fingerprint: fingerprint(grid) }
+    }
+}
+
+/// The fit-config fingerprint: every [`GridConfig`] field, so two configs
+/// fingerprint equal iff they fit identical models.
+pub fn fingerprint(grid: &GridConfig) -> String {
+    format!(
+        "ngp-L{}-R{}x{}-T{}-F{}",
+        grid.levels, grid.base_res, grid.max_res, grid.table_size, grid.feat_dim
+    )
+}
+
+/// One resident entry.
+#[derive(Debug)]
+struct Slot {
+    state: SlotState,
+    /// The exact def this entry was computed from (alias detection).
+    handle: SceneHandle,
+    /// LRU tick of the last hit or publish.
+    last_used: u64,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    /// A fitter is working; waiters block on the store condvar.
+    InFlight,
+    /// Published and servable.
+    Ready(Arc<NgpModel>),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: HashMap<StoreKey, Slot>,
+    tick: u64,
+}
+
+impl Inner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn ready_count(&self) -> usize {
+        self.slots.values().filter(|s| matches!(s.state, SlotState::Ready(_))).count()
+    }
+}
+
+/// Monotonic counters; snapshot with [`ModelStore::stats`].
+#[derive(Debug, Default)]
+struct Counters {
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    fits: AtomicU64,
+    evictions: AtomicU64,
+    disk_errors: AtomicU64,
+    single_flight_waits: AtomicU64,
+}
+
+/// A point-in-time snapshot of store activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups served from the in-memory layer.
+    pub memory_hits: u64,
+    /// Lookups served by loading a checkpoint from disk.
+    pub disk_hits: u64,
+    /// Lookups that ran a fresh fit (cold misses, alias refits, corrupt
+    /// checkpoints).
+    pub fits: u64,
+    /// Ready entries dropped by LRU capacity eviction.
+    pub evictions: u64,
+    /// Checkpoint files that failed to load or save (corruption, stale
+    /// metadata, I/O errors). Missing files are ordinary misses, not errors.
+    pub disk_errors: u64,
+    /// Callers that blocked on another caller's in-flight fit.
+    pub single_flight_waits: u64,
+    /// Ready entries currently resident in memory.
+    pub resident: usize,
+}
+
+impl StoreStats {
+    /// Total lookups (every lookup is exactly one hit, disk hit, or fit).
+    pub fn lookups(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.fits
+    }
+
+    /// Fraction of lookups served without a fresh fit.
+    pub fn hit_rate(&self) -> f64 {
+        let l = self.lookups();
+        if l == 0 {
+            return 0.0;
+        }
+        (self.memory_hits + self.disk_hits) as f64 / l as f64
+    }
+}
+
+/// Configures and builds a [`ModelStore`]. Settings resolve with the
+/// documented precedence: explicit builder setting > environment > default
+/// (see [`crate::config`]).
+#[derive(Debug)]
+pub struct ModelStoreBuilder {
+    capacity: usize,
+    dir: DirSetting,
+}
+
+#[derive(Debug)]
+enum DirSetting {
+    /// Unset: fall back to `ASDR_STORE_DIR`.
+    FromEnv,
+    /// Explicitly disabled: in-memory only, regardless of the environment.
+    Disabled,
+    /// Explicit checkpoint directory.
+    Path(PathBuf),
+}
+
+impl Default for ModelStoreBuilder {
+    fn default() -> Self {
+        ModelStoreBuilder { capacity: ModelStore::DEFAULT_CAPACITY, dir: DirSetting::FromEnv }
+    }
+}
+
+impl ModelStoreBuilder {
+    /// Maximum resident Ready entries before LRU eviction (clamped to >= 1;
+    /// in-flight fits never count against capacity).
+    #[must_use]
+    pub fn capacity(mut self, n: usize) -> Self {
+        self.capacity = n.max(1);
+        self
+    }
+
+    /// Persists checkpoints under `dir` (created on first write). Takes
+    /// precedence over `ASDR_STORE_DIR`.
+    #[must_use]
+    pub fn dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = DirSetting::Path(dir.into());
+        self
+    }
+
+    /// Forces in-memory-only operation even when `ASDR_STORE_DIR` is set.
+    #[must_use]
+    pub fn in_memory_only(mut self) -> Self {
+        self.dir = DirSetting::Disabled;
+        self
+    }
+
+    /// Builds the store.
+    pub fn build(self) -> ModelStore {
+        let dir = match self.dir {
+            DirSetting::Path(p) => Some(p),
+            DirSetting::Disabled => None,
+            DirSetting::FromEnv => {
+                config::resolve(None, config::env_store_dir().cloned().map(Some), None)
+            }
+        };
+        ModelStore {
+            inner: Mutex::new(Inner::default()),
+            cond: Condvar::new(),
+            capacity: self.capacity,
+            dir,
+            counters: Counters::default(),
+        }
+    }
+}
+
+/// The persistent, versioned, checkpoint-backed model cache (see the module
+/// docs for the full semantics).
+#[derive(Debug)]
+pub struct ModelStore {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    capacity: usize,
+    dir: Option<PathBuf>,
+    counters: Counters,
+}
+
+/// What [`ModelStore::claim`] decided for a lookup.
+enum Claim {
+    /// Served from memory.
+    Hit(Arc<NgpModel>),
+    /// This caller now owns the in-flight marker and must publish or unwind.
+    Fit {
+        /// The key held a same-name entry from a *different* def; skip the
+        /// disk layer (its checkpoint belongs to the other def).
+        alias: bool,
+    },
+}
+
+impl ModelStore {
+    /// Default in-memory capacity (entries).
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Starts a builder.
+    pub fn builder() -> ModelStoreBuilder {
+        ModelStoreBuilder::default()
+    }
+
+    /// The checkpoint directory, if persistence is active.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Maximum resident entries before LRU eviction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The fitted model for `scene` under `grid`: memory, then disk, then a
+    /// fresh [`fit_ngp`] — fitted at most once per key across all threads.
+    pub fn get_or_fit(&self, scene: &SceneHandle, grid: &GridConfig) -> Arc<NgpModel> {
+        self.get_or_fit_with(scene, grid, || fit_ngp(scene.build().as_ref(), grid))
+    }
+
+    /// Like [`ModelStore::get_or_fit`] with an injected fit function — the
+    /// seam the concurrency tests use to observe and stall fits.
+    pub fn get_or_fit_with(
+        &self,
+        scene: &SceneHandle,
+        grid: &GridConfig,
+        fit: impl FnOnce() -> NgpModel,
+    ) -> Arc<NgpModel> {
+        let key = StoreKey::new(scene.name(), grid);
+        match self.claim(&key, scene) {
+            Claim::Hit(m) => m,
+            Claim::Fit { alias } => {
+                // we own the in-flight marker; the guard unwinds it if the
+                // fit panics so waiters retry instead of deadlocking
+                let mut guard = InFlightGuard { store: self, key: &key, published: false };
+                let model = match (!alias).then(|| self.load_disk(&key, scene, grid)).flatten() {
+                    Some(m) => {
+                        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        m
+                    }
+                    None => {
+                        self.counters.fits.fetch_add(1, Ordering::Relaxed);
+                        let m = Arc::new(fit());
+                        // an alias refit must not touch disk either way: a
+                        // checkpoint it wrote would be served as the *real*
+                        // scene by later processes (the name is the key)
+                        if !alias {
+                            self.save_disk(&key, scene, &m);
+                        }
+                        m
+                    }
+                };
+                self.publish(&key, scene, model.clone());
+                guard.published = true;
+                model
+            }
+        }
+    }
+
+    /// A statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let resident = self.inner.lock().unwrap().ready_count();
+        StoreStats {
+            memory_hits: self.counters.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            fits: self.counters.fits.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            disk_errors: self.counters.disk_errors.load(Ordering::Relaxed),
+            single_flight_waits: self.counters.single_flight_waits.load(Ordering::Relaxed),
+            resident,
+        }
+    }
+
+    /// Whether a Ready entry for this key is resident in memory.
+    pub fn contains(&self, scene: &str, grid: &GridConfig) -> bool {
+        let key = StoreKey::new(scene, grid);
+        let inner = self.inner.lock().unwrap();
+        matches!(inner.slots.get(&key), Some(Slot { state: SlotState::Ready(_), .. }))
+    }
+
+    /// Resolves a lookup to a memory hit or an owned in-flight marker,
+    /// blocking while another caller fits the same key.
+    fn claim(&self, key: &StoreKey, scene: &SceneHandle) -> Claim {
+        let mut inner = self.inner.lock().unwrap();
+        let mut waited = false;
+        loop {
+            let tick = inner.touch();
+            enum Found {
+                Hit(Arc<NgpModel>),
+                InFlight,
+                Alias,
+                Missing,
+            }
+            let found = match inner.slots.get_mut(key) {
+                Some(slot) => match &slot.state {
+                    SlotState::Ready(m) if slot.handle.shares_def(scene) => {
+                        slot.last_used = tick;
+                        Found::Hit(m.clone())
+                    }
+                    SlotState::Ready(_) => Found::Alias,
+                    SlotState::InFlight => Found::InFlight,
+                },
+                None => Found::Missing,
+            };
+            match found {
+                Found::Hit(m) => {
+                    self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+                    return Claim::Hit(m);
+                }
+                Found::InFlight => {
+                    if !waited {
+                        self.counters.single_flight_waits.fetch_add(1, Ordering::Relaxed);
+                        waited = true;
+                    }
+                    inner = self.cond.wait(inner).unwrap();
+                }
+                alias @ (Found::Alias | Found::Missing) => {
+                    let alias = matches!(alias, Found::Alias);
+                    inner.slots.insert(
+                        key.clone(),
+                        Slot { state: SlotState::InFlight, handle: scene.clone(), last_used: tick },
+                    );
+                    return Claim::Fit { alias };
+                }
+            }
+        }
+    }
+
+    /// Publishes a fitted model, evicts past capacity, and wakes waiters.
+    fn publish(&self, key: &StoreKey, scene: &SceneHandle, model: Arc<NgpModel>) {
+        let mut inner = self.inner.lock().unwrap();
+        let tick = inner.touch();
+        inner.slots.insert(
+            key.clone(),
+            Slot { state: SlotState::Ready(model), handle: scene.clone(), last_used: tick },
+        );
+        // LRU eviction over Ready entries only — an in-flight fit must
+        // never be dropped out from under its waiters
+        while inner.ready_count() > self.capacity {
+            let lru = inner
+                .slots
+                .iter()
+                .filter(|(_, s)| matches!(s.state, SlotState::Ready(_)))
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("ready_count > capacity >= 1 implies a ready entry");
+            inner.slots.remove(&lru);
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// The checkpoint path for a key.
+    fn ckpt_path(&self, key: &StoreKey) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(ckpt_file_name(key)))
+    }
+
+    /// Tries the disk layer. Missing files are ordinary misses; corrupt,
+    /// truncated, or stale checkpoints count as [`StoreStats::disk_errors`]
+    /// and degrade to a refit.
+    fn load_disk(
+        &self,
+        key: &StoreKey,
+        scene: &SceneHandle,
+        grid: &GridConfig,
+    ) -> Option<Arc<NgpModel>> {
+        let path = self.ckpt_path(key)?;
+        match io::load_model_file(&path) {
+            Ok(ckpt) => {
+                // trust the file only if its embedded metadata matches the
+                // request: a renamed or re-scaled scene must refit
+                if ckpt.scene.as_deref() == Some(scene.name())
+                    && ckpt.model.encoder().config() == grid
+                {
+                    Some(Arc::new(ckpt.model))
+                } else {
+                    self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+            Err(LoadError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(_) => {
+                self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists a fit (best effort: serving never fails on a full disk).
+    ///
+    /// Written to a temp file and renamed into place, so a concurrent
+    /// process warming from the same directory can never read a torn
+    /// checkpoint — it sees either the complete file or none at all.
+    fn save_disk(&self, key: &StoreKey, scene: &SceneHandle, model: &NgpModel) {
+        let Some(path) = self.ckpt_path(key) else { return };
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            io::save_model_file(model, scene.name(), &tmp)?;
+            std::fs::rename(&tmp, &path)
+        };
+        if write().is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Unwinds an owned in-flight marker if the fit never published (panic in
+/// the fit function), so blocked waiters retry instead of hanging forever.
+struct InFlightGuard<'a> {
+    store: &'a ModelStore,
+    key: &'a StoreKey,
+    published: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        let mut inner = self.store.inner.lock().unwrap();
+        if let Some(slot) = inner.slots.get(self.key) {
+            if matches!(slot.state, SlotState::InFlight) {
+                inner.slots.remove(self.key);
+            }
+        }
+        drop(inner);
+        self.store.cond.notify_all();
+    }
+}
+
+/// Checkpoint file name: sanitized scene name + fingerprint. Name
+/// collisions after sanitization are resolved by the scene-name check at
+/// load time (the mismatching entry refits).
+fn ckpt_file_name(key: &StoreKey) -> String {
+    let safe: String = key
+        .scene
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .collect();
+    format!("{safe}-{}.ckpt", key.fingerprint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        assert_ne!(fingerprint(&GridConfig::tiny()), fingerprint(&GridConfig::small()));
+        assert_eq!(fingerprint(&GridConfig::tiny()), fingerprint(&GridConfig::tiny()));
+        let key_a = StoreKey::new("Mic", &GridConfig::tiny());
+        let key_b = StoreKey::new("Mic", &GridConfig::small());
+        assert_ne!(key_a, key_b, "same scene at two scales must not collide");
+    }
+
+    #[test]
+    fn ckpt_names_are_filesystem_safe() {
+        let key = StoreKey::new("weird scene/name:v2", &GridConfig::tiny());
+        let name = ckpt_file_name(&key);
+        assert!(!name.contains('/') && !name.contains(':') && !name.contains(' '), "{name}");
+        assert!(name.ends_with(".ckpt"));
+    }
+
+    #[test]
+    fn builder_clamps_capacity_and_honors_in_memory_only() {
+        let store = ModelStore::builder().capacity(0).in_memory_only().build();
+        assert_eq!(store.capacity(), 1);
+        assert_eq!(store.dir(), None);
+        let store = ModelStore::builder().dir("/tmp/asdr-store-test").build();
+        assert_eq!(store.dir(), Some(Path::new("/tmp/asdr-store-test")));
+    }
+}

@@ -1,0 +1,342 @@
+//! Workload files: one JSON object per line, one render request each.
+//!
+//! ```text
+//! # mixed 3-scene burst (lines starting with '#' and blank lines skipped)
+//! {"scene": "Mic",   "frames": 2, "priority": "high", "deadline_ms": 500}
+//! {"scene": "Lego",  "frames": 1, "at_ms": 10, "resolution": 48}
+//! {"scene": "Pulse", "frames": 3, "priority": "low"}
+//! ```
+//!
+//! Fields: `scene` (required registry name); `frames` (default 1);
+//! `resolution` (default: the profile's); `priority` (`low`/`normal`/
+//! `high`, default normal); `deadline_ms` (latency budget from submission);
+//! `at_ms` (arrival offset from replay start — bursts are written as equal
+//! offsets); `azimuth_step_deg` (orbit step for multi-frame requests).
+//!
+//! The environment has no registry access, hence no serde: the parser below
+//! covers exactly the flat string/number/bool objects this format needs,
+//! the same trade the in-tree `criterion` shim makes for its JSON dump.
+
+use crate::profile::RenderProfile;
+use crate::service::{Priority, RenderRequest};
+use asdr_scenes::registry;
+use std::collections::HashMap;
+
+/// One parsed workload line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEntry {
+    /// Registry scene name.
+    pub scene: String,
+    /// Frames in the request.
+    pub frames: usize,
+    /// Frame resolution override.
+    pub resolution: Option<u32>,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Latency budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Arrival offset from replay start, milliseconds.
+    pub at_ms: u64,
+    /// Orbit step override, degrees per frame.
+    pub azimuth_step_deg: Option<f32>,
+}
+
+impl WorkloadEntry {
+    /// Resolves the entry into a submit-ready request under `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the scene is not registered.
+    pub fn to_request(&self, profile: &RenderProfile) -> Result<RenderRequest, String> {
+        let scene = registry::get(&self.scene)
+            .ok_or_else(|| format!("unknown scene {:?} (see `experiments --list`)", self.scene))?;
+        let mut req = RenderRequest::sequence(
+            scene,
+            self.resolution.unwrap_or(profile.default_resolution),
+            self.frames,
+        )
+        .with_priority(self.priority);
+        if let Some(ms) = self.deadline_ms {
+            req = req.with_deadline(std::time::Duration::from_millis(ms));
+        }
+        if let Some(step) = self.azimuth_step_deg {
+            req.azimuth_step_deg = step;
+        }
+        Ok(req)
+    }
+}
+
+/// Parses a workload file: one JSON object per non-blank, non-`#` line.
+///
+/// # Errors
+///
+/// Returns `"line N: why"` for the first malformed line.
+pub fn parse_workload(text: &str) -> Result<Vec<WorkloadEntry>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_entry(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_entry(line: &str) -> Result<WorkloadEntry, String> {
+    let obj = parse_flat_object(line)?;
+    let known = |k: &str| obj.get(k).cloned();
+    let scene = match known("scene") {
+        Some(Json::Str(s)) if !s.is_empty() => s,
+        Some(_) => return Err("\"scene\" must be a non-empty string".into()),
+        None => return Err("missing required field \"scene\"".into()),
+    };
+    for key in obj.keys() {
+        if !matches!(
+            key.as_str(),
+            "scene"
+                | "frames"
+                | "resolution"
+                | "priority"
+                | "deadline_ms"
+                | "at_ms"
+                | "azimuth_step_deg"
+        ) {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+    let priority = match known("priority") {
+        Some(Json::Str(s)) => {
+            Priority::parse(&s).ok_or_else(|| format!("unknown priority {s:?}"))?
+        }
+        Some(_) => return Err("\"priority\" must be a string".into()),
+        None => Priority::Normal,
+    };
+    Ok(WorkloadEntry {
+        scene,
+        frames: get_num(&obj, "frames")?.map_or(1, |n| n as usize).max(1),
+        resolution: get_num(&obj, "resolution")?.map(|n| n as u32),
+        priority,
+        deadline_ms: get_num(&obj, "deadline_ms")?.map(|n| n as u64),
+        at_ms: get_num(&obj, "at_ms")?.map_or(0, |n| n as u64),
+        azimuth_step_deg: get_num(&obj, "azimuth_step_deg")?.map(|n| n as f32),
+    })
+}
+
+fn get_num(obj: &HashMap<String, Json>, key: &str) -> Result<Option<f64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Num(n)) if n.is_finite() && *n >= 0.0 => Ok(Some(*n)),
+        Some(_) => Err(format!("{key:?} must be a non-negative number")),
+    }
+}
+
+/// The value subset the workload format needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+/// Parses one flat JSON object (no nesting, no arrays).
+fn parse_flat_object(s: &str) -> Result<HashMap<String, Json>, String> {
+    let mut p = Parser { chars: s.char_indices().peekable(), src: s };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut obj = HashMap::new();
+    p.skip_ws();
+    if p.eat('}') {
+        p.expect_end()?;
+        return Ok(obj);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        if obj.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        p.skip_ws();
+        if p.eat(',') {
+            continue;
+        }
+        p.expect('}')?;
+        p.expect_end()?;
+        return Ok(obj);
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.chars.next_if(|(_, c)| c.is_ascii_whitespace()).is_some() {}
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        self.chars.next_if(|&(_, c)| c == want).is_some()
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected {want:?} at byte {i}, found {c:?}")),
+            None => Err(format!("expected {want:?}, found end of line")),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.next() {
+            None => Ok(()),
+            Some((i, c)) => Err(format!("trailing content at byte {i}: {c:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((i, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    other => {
+                        return Err(format!("unsupported escape at byte {i}: {other:?}"));
+                    }
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.chars.peek() {
+            Some((_, '"')) => Ok(Json::Str(self.string()?)),
+            Some((_, 't' | 'f' | 'n')) => self.keyword(),
+            Some(&(start, c)) if c == '-' || c.is_ascii_digit() => {
+                let mut end = start;
+                while let Some(&(i, c)) = self.chars.peek() {
+                    if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                        end = i + c.len_utf8();
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &self.src[start..end];
+                text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number {text:?}"))
+            }
+            Some(&(i, c)) => Err(format!("unexpected {c:?} at byte {i}")),
+            None => Err("expected a value, found end of line".into()),
+        }
+    }
+
+    fn keyword(&mut self) -> Result<Json, String> {
+        for (word, value) in
+            [("true", Json::Bool(true)), ("false", Json::Bool(false)), ("null", Json::Null)]
+        {
+            if self.src[self.pos()..].starts_with(word) {
+                for _ in 0..word.len() {
+                    self.chars.next();
+                }
+                return Ok(value);
+            }
+        }
+        Err(format!("unknown keyword at byte {}", self.pos()))
+    }
+
+    fn pos(&mut self) -> usize {
+        self.chars.peek().map_or(self.src.len(), |&(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_mixed_workload() {
+        let text = r#"
+            # comment, then a blank line
+
+            {"scene": "Mic", "frames": 2, "priority": "high", "deadline_ms": 500}
+            {"scene": "Lego", "at_ms": 10, "resolution": 48}
+            {"scene": "Pulse", "frames": 3, "priority": "low", "azimuth_step_deg": 0.5}
+        "#;
+        let entries = parse_workload(text).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].scene, "Mic");
+        assert_eq!(entries[0].frames, 2);
+        assert_eq!(entries[0].priority, Priority::High);
+        assert_eq!(entries[0].deadline_ms, Some(500));
+        assert_eq!(entries[1].at_ms, 10);
+        assert_eq!(entries[1].resolution, Some(48));
+        assert_eq!(entries[1].priority, Priority::Normal, "priority defaults to normal");
+        assert_eq!(entries[2].azimuth_step_deg, Some(0.5));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_workload("{\"scene\": \"Mic\"}\n{\"frames\": 1}").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("scene"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for (bad, why) in [
+            ("{\"scene\": \"Mic\",}", "dangling comma"),
+            ("{\"scene\": \"Mic\"} extra", "trailing content"),
+            ("{\"scene\": \"Mic\", \"scene\": \"Lego\"}", "duplicate key"),
+            ("{\"scene\": \"Mic\", \"frames\": -1}", "negative number"),
+            ("{\"scene\": \"Mic\", \"frames\": \"two\"}", "string where number expected"),
+            ("{\"scene\": 42}", "number where string expected"),
+            ("{\"scene\": \"Mic\", \"priority\": \"urgent\"}", "unknown priority"),
+            ("{\"scene\": \"Mic\", \"color\": true}", "unknown field"),
+            ("[\"scene\"]", "not an object"),
+            ("{\"scene\": \"Mic\"", "unterminated object"),
+        ] {
+            assert!(parse_workload(bad).is_err(), "should reject: {why}");
+        }
+        assert_eq!(parse_workload("{}\n").unwrap_err(), "line 1: missing required field \"scene\"");
+    }
+
+    #[test]
+    fn entry_resolves_against_the_registry() {
+        let profile = RenderProfile::tiny();
+        let entry = parse_workload(r#"{"scene": "Mic", "frames": 2, "deadline_ms": 100}"#)
+            .unwrap()
+            .remove(0);
+        let req = entry.to_request(&profile).unwrap();
+        assert_eq!(req.scene.name(), "Mic");
+        assert_eq!(req.frames, 2);
+        assert_eq!(req.resolution, profile.default_resolution);
+        assert_eq!(req.deadline, Some(std::time::Duration::from_millis(100)));
+        let missing =
+            parse_workload(r#"{"scene": "no-such-scene"}"#).unwrap().remove(0).to_request(&profile);
+        assert!(missing.is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let obj = parse_flat_object(r#"{"scene": "a\"b\\c\/d", "ok": true, "n": null}"#).unwrap();
+        assert_eq!(obj["scene"], Json::Str("a\"b\\c/d".into()));
+        assert_eq!(obj["ok"], Json::Bool(true));
+        assert_eq!(obj["n"], Json::Null);
+    }
+}

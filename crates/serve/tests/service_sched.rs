@@ -1,0 +1,241 @@
+//! Scheduler contracts: deadline-aware priority ordering, per-scene
+//! batching, bounded admission, and schedule-independent output.
+//!
+//! The services here run over stores pre-populated with cheap blank models
+//! (the scheduler does not care what the model predicts), a paused worker
+//! pool so whole bursts are staged before anything runs, and
+//! `completed_seq` on each result as the observable execution order.
+
+use asdr_scenes::registry;
+use asdr_serve::{ModelStore, Priority, RenderProfile, RenderRequest, RenderService, ServeError};
+use std::sync::Arc;
+use std::time::Duration;
+
+mod common;
+use common::{blank_model, test_grid};
+
+fn test_profile() -> RenderProfile {
+    RenderProfile { grid: test_grid(), base_ns: 16, default_resolution: 16 }
+}
+
+/// A store where every named scene is already resident, so no test pays
+/// for a real fit.
+fn warm_store(scenes: &[&str]) -> Arc<ModelStore> {
+    let store = ModelStore::builder().in_memory_only().build();
+    let grid = test_grid();
+    for name in scenes {
+        store.get_or_fit_with(&registry::handle(name), &grid, || blank_model(&grid, 0.0));
+    }
+    Arc::new(store)
+}
+
+#[test]
+fn queue_pops_priority_then_deadline_then_fifo() {
+    let service = RenderService::builder(test_profile())
+        .store(warm_store(&["Mic"]))
+        .workers(1)
+        .batch_max(1) // no riders: ordering only
+        .paused()
+        .build()
+        .unwrap();
+    let mic = registry::handle("Mic");
+    let low =
+        service.submit(RenderRequest::frame(mic.clone(), 16).with_priority(Priority::Low)).unwrap();
+    let late = service
+        .submit(RenderRequest::frame(mic.clone(), 16).with_deadline(Duration::from_secs(60)))
+        .unwrap();
+    let early = service
+        .submit(RenderRequest::frame(mic.clone(), 16).with_deadline(Duration::from_secs(1)))
+        .unwrap();
+    let plain = service.submit(RenderRequest::frame(mic.clone(), 16)).unwrap();
+    let high = service.submit(RenderRequest::frame(mic, 16).with_priority(Priority::High)).unwrap();
+    service.start();
+    service.shutdown();
+    assert_eq!(high.wait().unwrap().completed_seq, 0, "priority first");
+    assert_eq!(early.wait().unwrap().completed_seq, 1, "earliest deadline within a priority");
+    assert_eq!(late.wait().unwrap().completed_seq, 2, "deadlined before best-effort");
+    assert_eq!(plain.wait().unwrap().completed_seq, 3, "FIFO among equals");
+    assert_eq!(low.wait().unwrap().completed_seq, 4, "background last");
+}
+
+#[test]
+fn same_scene_requests_ride_the_batch() {
+    let service = RenderService::builder(test_profile())
+        .store(warm_store(&["Mic", "Lego"]))
+        .workers(1)
+        .batch_max(4)
+        .paused()
+        .build()
+        .unwrap();
+    let (mic, lego) = (registry::handle("Mic"), registry::handle("Lego"));
+    let a1 = service.submit(RenderRequest::frame(mic.clone(), 16)).unwrap();
+    let b1 = service.submit(RenderRequest::frame(lego, 16)).unwrap();
+    let a2 = service.submit(RenderRequest::frame(mic, 16)).unwrap();
+    service.start();
+    let stats = service.shutdown();
+    // a2 rides a1's batch (same scene + resolution), overtaking b1
+    assert_eq!(a1.wait().unwrap().completed_seq, 0);
+    assert_eq!(a2.wait().unwrap().completed_seq, 1, "same-scene rider overtakes the other scene");
+    assert_eq!(b1.wait().unwrap().completed_seq, 2);
+    assert_eq!(stats.requests, 3);
+    // the Mic batch shared one store lookup; Lego made its own
+    assert_eq!(stats.store.memory_hits, 2, "one lookup per batch, not per request");
+    assert_eq!(stats.store.fits, 2, "only the pre-warm fits");
+}
+
+#[test]
+fn admission_queue_is_bounded() {
+    let service = RenderService::builder(test_profile())
+        .store(warm_store(&["Mic"]))
+        .workers(1)
+        .queue_capacity(2)
+        .paused()
+        .build()
+        .unwrap();
+    let mic = registry::handle("Mic");
+    let _t1 = service.submit(RenderRequest::frame(mic.clone(), 16)).unwrap();
+    let _t2 = service.submit(RenderRequest::frame(mic.clone(), 16)).unwrap();
+    let err = service.submit(RenderRequest::frame(mic.clone(), 16)).unwrap_err();
+    assert_eq!(err, ServeError::QueueFull { capacity: 2 });
+    // draining the queue reopens admission
+    service.start();
+    let t3 = loop {
+        match service.submit(RenderRequest::frame(mic.clone(), 16)) {
+            Ok(t) => break t,
+            Err(ServeError::QueueFull { .. }) => std::thread::sleep(Duration::from_millis(2)),
+            Err(e) => panic!("unexpected {e}"),
+        }
+    };
+    t3.wait().unwrap();
+}
+
+#[test]
+fn invalid_requests_are_rejected_at_submit() {
+    let service = RenderService::builder(test_profile())
+        .store(warm_store(&["Mic"]))
+        .workers(1)
+        .build()
+        .unwrap();
+    let mic = registry::handle("Mic");
+    let mut zero_frames = RenderRequest::frame(mic.clone(), 16);
+    zero_frames.frames = 0;
+    assert!(matches!(service.submit(zero_frames), Err(ServeError::InvalidRequest(_))));
+    let zero_res = RenderRequest::frame(mic, 0);
+    assert!(matches!(service.submit(zero_res), Err(ServeError::InvalidRequest(_))));
+}
+
+#[test]
+fn multi_frame_requests_reuse_their_sample_plan() {
+    let service = RenderService::builder(test_profile())
+        .store(warm_store(&["Mic"]))
+        .workers(1)
+        .plan_refresh_every(4)
+        .build()
+        .unwrap();
+    let r = service
+        .submit(RenderRequest::sequence(registry::handle("Mic"), 16, 4))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(r.images.len(), 4);
+    assert_eq!(r.reused_frames, 3, "frames 1..3 reuse frame 0's plan");
+    let stats = service.shutdown();
+    assert_eq!(stats.frames, 4);
+    assert_eq!(stats.reused_frames, 3);
+    assert!(stats.probe_points_avoided_est > 0.0);
+    assert!((stats.reuse_fraction() - 0.75).abs() < 1e-12);
+}
+
+#[test]
+fn output_is_independent_of_workers_and_batching() {
+    // the determinism contract behind the cold/warm acceptance test: the
+    // same request renders byte-identically no matter how it is scheduled
+    let render = |workers: usize, batch_max: usize, shuffle: bool| {
+        let service = RenderService::builder(test_profile())
+            .store(warm_store(&["Mic", "Lego"]))
+            .workers(workers)
+            .batch_max(batch_max)
+            .paused()
+            .build()
+            .unwrap();
+        let mut reqs = vec![
+            RenderRequest::sequence(registry::handle("Mic"), 16, 2),
+            RenderRequest::frame(registry::handle("Lego"), 16).with_priority(Priority::High),
+            RenderRequest::frame(registry::handle("Mic"), 16),
+        ];
+        if shuffle {
+            reqs.reverse();
+        }
+        let mut tickets: Vec<_> = reqs.into_iter().map(|r| service.submit(r).unwrap()).collect();
+        if shuffle {
+            tickets.reverse(); // compare in canonical order
+        }
+        service.start();
+        let images: Vec<_> = tickets.iter().map(|t| t.wait().unwrap().images.clone()).collect();
+        service.shutdown();
+        images
+    };
+    let reference = render(1, 1, false);
+    assert_eq!(render(3, 4, false), reference, "worker count / batching changed pixels");
+    assert_eq!(render(2, 2, true), reference, "arrival order changed pixels");
+}
+
+#[test]
+fn a_panicking_scene_fails_its_ticket_not_the_service() {
+    // the registry is open, so a scene whose builder panics is reachable
+    // user code; it must surface as RenderFailed on that ticket while the
+    // worker survives and keeps serving other scenes
+    use asdr_scenes::registry::SceneDef;
+    if registry::get("sched-panics").is_none() {
+        registry::register(SceneDef::new("sched-panics", || panic!("builder exploded"))).unwrap();
+    }
+    let service = RenderService::builder(test_profile())
+        .store(warm_store(&["Mic"]))
+        .workers(1)
+        .build()
+        .unwrap();
+    let doomed =
+        service.submit(RenderRequest::frame(registry::handle("sched-panics"), 16)).unwrap();
+    match doomed.wait() {
+        Err(ServeError::RenderFailed(why)) => {
+            assert!(why.contains("builder exploded"), "panic payload survives: {why}")
+        }
+        other => panic!("expected RenderFailed, got {other:?}"),
+    }
+    // the same worker still serves healthy requests
+    let ok = service.submit(RenderRequest::frame(registry::handle("Mic"), 16)).unwrap();
+    assert!(ok.wait().is_ok(), "worker must survive a panicked batch");
+    let stats = service.shutdown();
+    assert_eq!(stats.requests, 1, "only the healthy request counts as completed");
+}
+
+#[test]
+fn deadline_misses_are_counted() {
+    let service = RenderService::builder(test_profile())
+        .store(warm_store(&["Mic"]))
+        .workers(1)
+        .build()
+        .unwrap();
+    let hopeless = service
+        .submit(
+            RenderRequest::frame(registry::handle("Mic"), 16)
+                .with_deadline(Duration::from_nanos(1)),
+        )
+        .unwrap();
+    assert_eq!(hopeless.wait().unwrap().deadline_met, Some(false));
+    let relaxed = service
+        .submit(
+            RenderRequest::frame(registry::handle("Mic"), 16)
+                .with_deadline(Duration::from_secs(120)),
+        )
+        .unwrap();
+    assert_eq!(relaxed.wait().unwrap().deadline_met, Some(true));
+    // a sentinel "no deadline, really" duration must not overflow the
+    // absolute-deadline computation (which would poison the queue lock)
+    let forever = service
+        .submit(RenderRequest::frame(registry::handle("Mic"), 16).with_deadline(Duration::MAX))
+        .unwrap();
+    assert_eq!(forever.wait().unwrap().deadline_met, Some(true));
+    let stats = service.shutdown();
+    assert_eq!((stats.deadlined_requests, stats.deadline_misses), (3, 1));
+}

@@ -9,6 +9,8 @@
 //! * [`nerf`] — Instant-NGP / TensoRF substrates,
 //! * [`cim`] — ReRAM/SRAM crossbar, systolic array, energy models,
 //! * [`core`] — the ASDR algorithms and chip simulator,
+//! * [`serve`] — the multi-tenant render service and checkpoint-backed
+//!   model store,
 //! * [`baselines`] — GPU roofline models, NeuRex, Re-NeRF.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour, `DESIGN.md` for
@@ -40,3 +42,4 @@ pub use asdr_core as core;
 pub use asdr_math as math;
 pub use asdr_nerf as nerf;
 pub use asdr_scenes as scenes;
+pub use asdr_serve as serve;
