@@ -1,7 +1,7 @@
 # Local entry points, kept identical to .github/workflows/ci.yml and the
 # justfile (use whichever runner you have; the recipes are the same).
 
-.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke bench-check serve-smoke ci
+.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke bench-check serve-smoke cluster-smoke ci
 
 # Tier-1 gate: what must stay green on every commit.
 verify:
@@ -48,6 +48,20 @@ serve-smoke:
 		--workload scripts/serve-workload-tiny.jsonl --scale tiny \
 		--store-dir target/serve-store --out target/serve-stats.json
 	grep '"fits": 0' target/serve-stats.json
+
+# Replay the bundled clustered workload over 2 shards sharing one store
+# dir, cold then warm, pinning zero duplicate fits (what the nightly
+# cluster-smoke job runs).
+cluster-smoke:
+	rm -rf target/cluster-store
+	cargo run --release -p asdr_cluster --bin asdr-cluster -- \
+		--workload scripts/cluster-workload-tiny.jsonl --scale tiny --shards 2 \
+		--store-dir target/cluster-store --out target/cluster-stats-cold.json
+	grep '"total_fits": 3' target/cluster-stats-cold.json
+	cargo run --release -p asdr_cluster --bin asdr-cluster -- \
+		--workload scripts/cluster-workload-tiny.jsonl --scale tiny --shards 2 \
+		--store-dir target/cluster-store --out target/cluster-stats.json
+	grep '"total_fits": 0' target/cluster-stats.json
 
 # Everything CI runs, in one shot.
 ci: fmt-check clippy verify test-crates check-extras

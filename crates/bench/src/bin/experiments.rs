@@ -331,6 +331,18 @@ const EXPERIMENTS: &[Experiment] = &[
         },
     },
     Experiment {
+        id: "cluster",
+        describe: "sharded serving: autoscaling vs fixed workers under deadlines",
+        in_all: true,
+        scene_aware: true,
+        run: |h, sel| {
+            cluster_exp::print_cluster(&cluster_exp::run_cluster(
+                h,
+                &sel.subset(&["Mic", "Lego", "Pulse"]),
+            ))
+        },
+    },
+    Experiment {
         id: "debug",
         describe: "raw per-stage cycle breakdown (simulator calibration)",
         in_all: false,

@@ -1,6 +1,7 @@
 //! One module per experiment family; see EXPERIMENTS.md for the index.
 
 pub mod ablation;
+pub mod cluster_exp;
 pub mod dse;
 pub mod gpu_sw;
 pub mod hwconfig;

@@ -1,0 +1,279 @@
+//! `asdr-cluster` — replays a JSON-lines workload file through a sharded
+//! [`ShardRouter`] cluster and reports cluster statistics.
+//!
+//! ```text
+//! asdr-cluster --workload FILE [--shards N] [--scale tiny|small|paper]
+//!              [--workers N | --autoscale MIN:MAX] [--budget-ms X]
+//!              [--store-dir DIR | --no-store] [--queue N]
+//!              [--out STATS.json] [--dump-images DIR]
+//! ```
+//!
+//! The workload format is `asdr-serve`'s (see `asdr_serve::workload`).
+//! Entries are submitted at their `at_ms` arrival offsets; an overloaded
+//! cluster blocks the replay clock rather than dropping work. The process
+//! waits for every ticket, prints a per-request table (including which
+//! shard served it), and writes the [`ClusterStats`] JSON to `--out` —
+//! the artifact the nightly `cluster-smoke` job uploads and greps for
+//! zero duplicate fits (`"total_fits"` equals the workload's distinct
+//! scene count cold, zero warm).
+
+use asdr_cluster::{AutoscalerConfig, ClusterError, ShardRouter};
+use asdr_serve::{parse_workload, RenderProfile};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Args {
+    workload: PathBuf,
+    profile: RenderProfile,
+    shards: usize,
+    workers: usize,
+    autoscale: Option<(usize, usize)>,
+    budget_ms: Option<f64>,
+    store_dir: Option<PathBuf>,
+    no_store: bool,
+    queue: usize,
+    out: Option<PathBuf>,
+    dump_images: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: asdr-cluster --workload FILE [--shards N] [--scale tiny|small|paper]\n\
+         \u{20}                   [--workers N | --autoscale MIN:MAX] [--budget-ms X]\n\
+         \u{20}                   [--store-dir DIR | --no-store] [--queue N]\n\
+         \u{20}                   [--out STATS.json] [--dump-images DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: PathBuf::new(),
+        profile: RenderProfile::tiny(),
+        shards: 2,
+        workers: 1,
+        autoscale: None,
+        budget_ms: None,
+        store_dir: None,
+        no_store: false,
+        queue: 64,
+        out: None,
+        dump_images: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| die(&format!("{} needs a value", argv[*i - 1])))
+    };
+    let positive = |flag: &str, s: String| -> usize {
+        s.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| die(&format!("{flag} needs a positive number")))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--workload" => args.workload = PathBuf::from(value(&mut i)),
+            "--scale" => {
+                let name = value(&mut i);
+                args.profile = RenderProfile::parse(&name)
+                    .unwrap_or_else(|| die(&format!("unknown scale {name:?}")));
+            }
+            "--shards" => args.shards = positive("--shards", value(&mut i)),
+            "--workers" => args.workers = positive("--workers", value(&mut i)),
+            "--autoscale" => {
+                let spec = value(&mut i);
+                let (min, max) = spec
+                    .split_once(':')
+                    .unwrap_or_else(|| die("--autoscale needs MIN:MAX (e.g. 1:4)"));
+                args.autoscale = Some((
+                    positive("--autoscale MIN", min.to_string()),
+                    positive("--autoscale MAX", max.to_string()),
+                ));
+            }
+            "--budget-ms" => {
+                args.budget_ms = Some(
+                    value(&mut i)
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|x| x.is_finite() && *x > 0.0)
+                        .unwrap_or_else(|| die("--budget-ms needs a positive number")),
+                );
+            }
+            "--store-dir" => args.store_dir = Some(PathBuf::from(value(&mut i))),
+            "--no-store" => args.no_store = true,
+            "--queue" => args.queue = positive("--queue", value(&mut i)),
+            "--out" => args.out = Some(PathBuf::from(value(&mut i))),
+            "--dump-images" => args.dump_images = Some(PathBuf::from(value(&mut i))),
+            "-h" | "--help" => usage(),
+            other => die(&format!("unknown argument {other:?} (see --help)")),
+        }
+        i += 1;
+    }
+    if args.workload.as_os_str().is_empty() {
+        usage();
+    }
+    if args.no_store && args.store_dir.is_some() {
+        die("--no-store and --store-dir are mutually exclusive");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let text = std::fs::read_to_string(&args.workload)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", args.workload.display())));
+    let entries =
+        parse_workload(&text).unwrap_or_else(|e| die(&format!("{}: {e}", args.workload.display())));
+    if entries.is_empty() {
+        die("workload file holds no requests");
+    }
+
+    let mut builder =
+        ShardRouter::builder(args.profile.clone()).shards(args.shards).queue_capacity(args.queue);
+    if let Some(dir) = &args.store_dir {
+        builder = builder.store_dir(dir);
+    } else if args.no_store {
+        builder = builder.in_memory_stores();
+    }
+    if let Some(ms) = args.budget_ms {
+        builder = builder.budget_ms(ms);
+    }
+    builder = match args.autoscale {
+        Some((min, max)) => builder.autoscale(AutoscalerConfig {
+            workers_min: min,
+            workers_max: max,
+            ..AutoscalerConfig::default()
+        }),
+        None => builder.workers(args.workers),
+    };
+    let cluster = builder.build().unwrap_or_else(|e| die(&e));
+    println!(
+        "# asdr-cluster: {} requests over {} shards ({}), store {}",
+        entries.len(),
+        cluster.shards(),
+        match args.autoscale {
+            Some((min, max)) => format!("autoscale {min}:{max} workers/shard"),
+            None => format!("{} workers/shard", args.workers),
+        },
+        args.store_dir.as_ref().map_or("in-memory".to_string(), |d| d.display().to_string()),
+    );
+
+    // replay at the recorded arrival offsets; an overloaded cluster blocks
+    // the replay clock rather than dropping work
+    let t0 = Instant::now();
+    let mut tickets = Vec::with_capacity(entries.len());
+    for (idx, entry) in entries.iter().enumerate() {
+        let req = entry.to_request(&args.profile).unwrap_or_else(|e| {
+            die(&format!("{} line {}: {e}", args.workload.display(), entry.line))
+        });
+        if let Some(wait) = Duration::from_millis(entry.at_ms).checked_sub(t0.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let ticket = loop {
+            match cluster.submit(req.clone()) {
+                Ok(t) => break t,
+                Err(ClusterError::Overloaded { .. }) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => die(&format!("request {idx}: {e}")),
+            }
+        };
+        tickets.push((idx, entry.scene.clone(), ticket));
+    }
+
+    println!("| req | scene | shard | frames | queue ms | latency ms | deadline |");
+    println!("|---|---|---|---|---|---|---|");
+    for (idx, scene, ticket) in &tickets {
+        let r = ticket.wait().unwrap_or_else(|e| die(&format!("request {idx} ({scene}): {e}")));
+        println!(
+            "| {idx} | {scene} | {} | {} | {:.1} | {:.1} | {} |",
+            ticket.shard(),
+            r.images.len(),
+            r.queue_wait.as_secs_f64() * 1e3,
+            r.latency.as_secs_f64() * 1e3,
+            match r.deadline_met {
+                Some(true) => "met",
+                Some(false) => "MISSED",
+                None => "-",
+            },
+        );
+        if let Some(dir) = &args.dump_images {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+            for (f, image) in r.images.iter().enumerate() {
+                let path = dir.join(format!("req{idx:03}-f{f:02}.ppm"));
+                image
+                    .write_ppm(&path)
+                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+            }
+        }
+    }
+
+    let stats = cluster.shutdown();
+    println!(
+        "\n{} requests, {} frames over {} shards ({} home, {} spilled, {} rejected)",
+        stats.requests(),
+        stats.frames(),
+        stats.shards.len(),
+        stats.routed_home,
+        stats.spilled,
+        stats.rejected,
+    );
+    for s in &stats.shards {
+        println!(
+            "shard {}: {} workers, {} req, {:.2} fps, p50 {:.1} ms / p95 {:.1} ms, {} fits, {} disk hits",
+            s.shard,
+            s.workers,
+            s.serve.requests,
+            s.serve.throughput_fps,
+            s.serve.p50_latency_ms,
+            s.serve.p95_latency_ms,
+            s.serve.store.fits,
+            s.serve.store.disk_hits,
+        );
+    }
+    println!(
+        "fits: {} total ({} lock waits, {} lock steals) — cost model {:.0}% mean abs error over {} observations",
+        stats.total_fits(),
+        stats.lock_waits(),
+        stats.lock_steals(),
+        stats.cost.mean_abs_pct_error * 100.0,
+        stats.cost.observations,
+    );
+    if stats.deadlined_requests() > 0 {
+        println!(
+            "deadlines: {}/{} missed ({:.0}%)",
+            stats.deadline_misses(),
+            stats.deadlined_requests(),
+            stats.miss_rate() * 100.0
+        );
+    }
+    if !stats.scale_events.is_empty() {
+        println!("scaling: {} events", stats.scale_events.len());
+        for e in &stats.scale_events {
+            println!(
+                "  t+{} ms shard {}: {} -> {} workers (window miss rate {:.0}%)",
+                e.at_ms,
+                e.shard,
+                e.from,
+                e.to,
+                e.miss_rate * 100.0
+            );
+        }
+    }
+    if let Some(out) = &args.out {
+        if let Some(parent) = out.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(out, stats.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+        println!("stats written to {}", out.display());
+    }
+}

@@ -1,0 +1,53 @@
+//! `asdr_cluster` — sharded multi-process serving over the PR-4
+//! [`RenderService`](asdr_serve::RenderService) (ROADMAP "serving
+//! scale-out": the step from one warm process to a fleet).
+//!
+//! One process, one scheduler, one worker pool is not "heavy traffic from
+//! millions of users". This crate adds the cluster layer:
+//!
+//! * [`router::ShardRouter`] — consistent-hashes requests by scene name
+//!   over N `RenderService` shards (64 virtual nodes each), with
+//!   spill-over to the least-loaded shard when the home shard is full.
+//!   Shards run separate [`ModelStore`](asdr_serve::ModelStore)s over one
+//!   checkpoint directory, so the store's cross-process lock-file
+//!   single-flight keeps fits deduplicated cluster-wide — and images stay
+//!   byte-identical to a single service.
+//! * [`cost::CostModel`] — learns per-(scene, resolution) render cost
+//!   online from completed request latencies (seeded from probe-point
+//!   counts) and replaces count-based admission with a predicted-cost
+//!   budget per shard; `ClusterStats` reports predicted-vs-actual error.
+//! * [`autoscale`] — a control loop that grows/shrinks each shard's
+//!   worker pool between configured bounds from its rolling
+//!   deadline-miss rate, with watermark-gap + cooldown hysteresis.
+//! * [`stats::ClusterStats`] — per-shard throughput and latency
+//!   percentiles, miss rate, scaling events, and fit-dedup counters, with
+//!   the JSON artifact the `asdr-cluster` binary emits.
+//!
+//! ```no_run
+//! use asdr_cluster::{AutoscalerConfig, ShardRouter};
+//! use asdr_scenes::registry;
+//! use asdr_serve::{RenderProfile, RenderRequest};
+//!
+//! let cluster = ShardRouter::builder(RenderProfile::tiny())
+//!     .shards(3)
+//!     .store_dir("/tmp/asdr-ckpts")
+//!     .autoscale(AutoscalerConfig::default())
+//!     .build()
+//!     .unwrap();
+//! let ticket = cluster.submit(RenderRequest::frame(registry::handle("Mic"), 48)).unwrap();
+//! let result = ticket.wait().expect("request completed");
+//! println!("shard {} rendered {} in {:?}", ticket.shard(), result.scene, result.latency);
+//! println!("{}", cluster.shutdown().to_json());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autoscale;
+pub mod cost;
+pub mod router;
+pub mod stats;
+
+pub use autoscale::{AutoscalerConfig, ScaleEvent, ShardController};
+pub use cost::{CostModel, CostStats};
+pub use router::{ClusterBuilder, ClusterError, ClusterTicket, HashRing, ShardRouter};
+pub use stats::{ClusterStats, ShardStats};

@@ -1,0 +1,724 @@
+//! The shard router: consistent hashing, cost-budget admission, spill-over,
+//! and the autoscaling control loop, over N [`RenderService`] shards.
+//!
+//! Requests are routed by **scene name** through a consistent-hash ring
+//! ([`HashRing`], 64 virtual nodes per shard), so one scene's traffic lands
+//! on one home shard — its fit stays resident in that shard's store and its
+//! requests batch onto shared engine sessions. Admission is by **predicted
+//! cost**, not request count: the home shard takes the request while its
+//! outstanding predicted milliseconds stay under the per-shard budget;
+//! otherwise the request spills to the least-loaded shard, and only when
+//! *every* shard is over budget does the cluster refuse
+//! ([`ClusterError::Overloaded`]).
+//!
+//! Shards deliberately get **separate [`ModelStore`]s over one checkpoint
+//! directory** — the same topology as N independent processes — so the
+//! store's cross-process lock-file single-flight is exercised even
+//! in-process, and a spilled request warms from the home shard's
+//! checkpoint instead of refitting. Because rendering is deterministic and
+//! plan reuse never crosses a request boundary, a request's frames are
+//! **byte-identical whichever shard serves it** — the property
+//! `tests/cluster_e2e.rs` pins against a single service.
+
+use crate::autoscale::{AutoscalerConfig, ScaleEvent, ShardController};
+use crate::cost::CostModel;
+use crate::stats::{ClusterStats, ShardStats};
+use asdr_serve::{
+    Completion, ModelStore, RenderProfile, RenderRequest, RenderResult, RenderService,
+    RenderTicket, ServeError,
+};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Virtual nodes per shard on the ring: enough that shard loads stay
+/// within a few tens of percent of even for realistic scene counts.
+pub const VNODES: usize = 64;
+
+/// The ring hash: FNV-1a 64-bit through a murmur-style finalizer. Stable
+/// across processes and releases (routing must not depend on `std`'s
+/// randomized hasher); the finalizer matters — raw FNV keeps
+/// common-prefix strings ("shard-…", scene names) in a narrow band of the
+/// ring, which empties whole shards.
+pub fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// A consistent-hash ring over shard ids (see the module docs).
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// (ring position, shard id), sorted by position.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// A ring over shards `0..shards` (at least 1).
+    pub fn new(shards: usize) -> Self {
+        Self::from_ids(0..shards.max(1))
+    }
+
+    /// A ring over an explicit shard-id set.
+    pub fn from_ids(ids: impl IntoIterator<Item = usize>) -> Self {
+        let mut points = Vec::new();
+        for id in ids {
+            for v in 0..VNODES {
+                points.push((ring_hash(format!("shard-{id}/vnode-{v}").as_bytes()), id));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// The home shard for a scene name: the first virtual node clockwise
+    /// from the name's ring position.
+    pub fn home(&self, scene: &str) -> usize {
+        let h = ring_hash(scene.as_bytes());
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        self.points[if i == self.points.len() { 0 } else { i }].1
+    }
+
+    /// The ring with one shard removed — only that shard's scenes remap
+    /// (the consistent-hashing property `router_props.rs` pins).
+    pub fn without(&self, shard: usize) -> HashRing {
+        HashRing { points: self.points.iter().copied().filter(|&(_, id)| id != shard).collect() }
+    }
+
+    /// Shard ids present on the ring.
+    pub fn len(&self) -> usize {
+        let mut ids: Vec<usize> = self.points.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Whether the ring holds no shards.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Why the cluster refused or failed a submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Every shard's outstanding predicted cost exceeds its budget; retry
+    /// after completions drain.
+    Overloaded {
+        /// Predicted cost of the refused request, milliseconds.
+        predicted_ms: f64,
+        /// The per-shard admission budget, milliseconds.
+        budget_ms: f64,
+    },
+    /// The chosen shard's service refused or failed the request.
+    Serve(ServeError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Overloaded { predicted_ms, budget_ms } => write!(
+                f,
+                "cluster overloaded: predicted {predicted_ms:.1} ms exceeds every shard's \
+                 {budget_ms:.0} ms budget"
+            ),
+            ClusterError::Serve(e) => write!(f, "shard error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A submitted request's handle: the shard that took it plus its ticket.
+#[derive(Debug, Clone)]
+pub struct ClusterTicket {
+    shard: usize,
+    predicted_ms: f64,
+    ticket: RenderTicket,
+}
+
+impl ClusterTicket {
+    /// The shard serving this request.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// What the cost model predicted at admission, milliseconds.
+    pub fn predicted_ms(&self) -> f64 {
+        self.predicted_ms
+    }
+
+    /// Blocks until the request completes or fails (see
+    /// [`RenderTicket::wait`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::RenderFailed`] if the request's fit or render
+    /// panicked.
+    pub fn wait(&self) -> Result<Arc<RenderResult>, ServeError> {
+        self.ticket.wait()
+    }
+
+    /// The outcome, if already decided.
+    pub fn try_result(&self) -> Option<Result<Arc<RenderResult>, ServeError>> {
+        self.ticket.try_result()
+    }
+}
+
+/// Predicted-cost bookkeeping for one shard's admitted-but-unfinished
+/// requests. Reservations are made at submit and released by the shard
+/// service's completion hook (successes *and* failures), keyed by
+/// (scene, resolution, frames) FIFO so concurrent identical requests
+/// release the prediction they reserved.
+#[derive(Debug, Default)]
+struct ShardLoad {
+    outstanding_ms: f64,
+    pending: HashMap<(String, u32, usize), VecDeque<f64>>,
+    spilled_in: u64,
+}
+
+impl ShardLoad {
+    fn reserve(&mut self, key: (String, u32, usize), predicted_ms: f64) {
+        self.outstanding_ms += predicted_ms;
+        self.pending.entry(key).or_default().push_back(predicted_ms);
+    }
+
+    fn release(&mut self, key: &(String, u32, usize)) {
+        if let Some(q) = self.pending.get_mut(key) {
+            if let Some(p) = q.pop_front() {
+                self.outstanding_ms = (self.outstanding_ms - p).max(0.0);
+            }
+            if q.is_empty() {
+                self.pending.remove(key);
+            }
+        }
+        if self.pending.is_empty() {
+            // snap float residue: an empty book must read exactly idle, or
+            // the autoscaler's busy signal (and the budget) never clears
+            self.outstanding_ms = 0.0;
+        }
+    }
+}
+
+/// One shard: a [`RenderService`] plus its admission bookkeeping.
+struct Shard {
+    service: RenderService,
+    load: Arc<Mutex<ShardLoad>>,
+}
+
+/// Where each shard's [`ModelStore`] persists checkpoints.
+#[derive(Debug, Clone)]
+enum StoreSetting {
+    /// Honor `ASDR_STORE_DIR` (the [`ModelStore`] default).
+    FromEnv,
+    /// In-memory stores only.
+    Disabled,
+    /// All shards share this checkpoint directory.
+    Path(PathBuf),
+}
+
+/// Configures and builds a [`ShardRouter`].
+pub struct ClusterBuilder {
+    profile: RenderProfile,
+    shards: usize,
+    workers: usize,
+    queue_capacity: usize,
+    budget_ms: f64,
+    store: StoreSetting,
+    lock_stale_after: Option<Duration>,
+    autoscale: Option<AutoscalerConfig>,
+    paused: bool,
+}
+
+impl ClusterBuilder {
+    /// Number of shards (clamped to >= 1).
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Fixed workers per shard (clamped to >= 1). With autoscaling on,
+    /// shards instead start at [`AutoscalerConfig::workers_min`].
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Per-shard admission-queue capacity (the count-based backstop behind
+    /// the cost budget; clamped to >= 1).
+    #[must_use]
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Per-shard predicted-cost admission budget, milliseconds. An idle
+    /// shard always admits one request regardless (a single request larger
+    /// than the budget must still be servable).
+    #[must_use]
+    pub fn budget_ms(mut self, ms: f64) -> Self {
+        self.budget_ms = if ms.is_finite() && ms > 0.0 { ms } else { f64::INFINITY };
+        self
+    }
+
+    /// All shards persist checkpoints under `dir` (each shard gets its own
+    /// [`ModelStore`] over it; the lock-file protocol deduplicates fits).
+    #[must_use]
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store = StoreSetting::Path(dir.into());
+        self
+    }
+
+    /// In-memory stores only, even when `ASDR_STORE_DIR` is set.
+    #[must_use]
+    pub fn in_memory_stores(mut self) -> Self {
+        self.store = StoreSetting::Disabled;
+        self
+    }
+
+    /// Overrides each store's stale-lock timeout (tests).
+    #[must_use]
+    pub fn lock_stale_after(mut self, age: Duration) -> Self {
+        self.lock_stale_after = Some(age);
+        self
+    }
+
+    /// Turns the autoscaling control loop on.
+    #[must_use]
+    pub fn autoscale(mut self, cfg: AutoscalerConfig) -> Self {
+        self.autoscale = Some(cfg);
+        self
+    }
+
+    /// Starts every shard's worker pool parked: submissions queue (and
+    /// reserve budget) but nothing renders until [`ShardRouter::start`].
+    /// Used to stage bursts and by the admission tests to make routing
+    /// decisions observable without racing completions.
+    #[must_use]
+    pub fn paused(mut self) -> Self {
+        self.paused = true;
+        self
+    }
+
+    /// Builds the cluster and spawns its shard pools (and, when
+    /// configured, the autoscaler control loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint if the profile or
+    /// the autoscaler configuration fails validation.
+    pub fn build(self) -> Result<ShardRouter, String> {
+        if let Some(cfg) = &self.autoscale {
+            cfg.validate()?;
+        }
+        let initial_workers = match &self.autoscale {
+            Some(cfg) => cfg.workers_min,
+            None => self.workers,
+        };
+        let cost = Arc::new(CostModel::new(&self.profile));
+        let mut shards = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            let load = Arc::new(Mutex::new(ShardLoad::default()));
+            let hook = {
+                let cost = cost.clone();
+                let load = load.clone();
+                Arc::new(move |c: &Completion<'_>| {
+                    if let Some(r) = c.result {
+                        let service_ms = r.latency.saturating_sub(r.queue_wait).as_secs_f64() * 1e3;
+                        cost.observe(c.scene, c.resolution, c.frames, service_ms);
+                    }
+                    // failures release their reservation too, or the budget
+                    // would leak shut
+                    load.lock().unwrap().release(&(c.scene.to_string(), c.resolution, c.frames));
+                })
+            };
+            let mut store = ModelStore::builder();
+            match &self.store {
+                StoreSetting::FromEnv => {}
+                StoreSetting::Disabled => store = store.in_memory_only(),
+                StoreSetting::Path(dir) => store = store.dir(dir),
+            }
+            if let Some(age) = self.lock_stale_after {
+                store = store.lock_stale_after(age);
+            }
+            let mut service = RenderService::builder(self.profile.clone())
+                .store(Arc::new(store.build()))
+                .workers(initial_workers)
+                .queue_capacity(self.queue_capacity)
+                .on_complete(hook);
+            if self.paused {
+                service = service.paused();
+            }
+            shards.push(Shard { service: service.build()?, load });
+        }
+        let shards = Arc::new(shards);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let started = Instant::now();
+        let scaler = self.autoscale.map(|cfg| {
+            let stop = Arc::new(StopSignal::default());
+            let thread = {
+                let (shards, events, stop) = (shards.clone(), events.clone(), stop.clone());
+                std::thread::Builder::new()
+                    .name("asdr-autoscaler".into())
+                    .spawn(move || scaler_loop(&shards, &cfg, &stop, &events, started))
+                    .expect("spawn autoscaler")
+            };
+            ScalerHandle { stop, thread: Some(thread) }
+        });
+        Ok(ShardRouter {
+            ring: HashRing::new(self.shards),
+            shards,
+            cost,
+            budget_ms: self.budget_ms,
+            routed_home: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            events,
+            scaler,
+        })
+    }
+}
+
+/// The autoscaler thread: sample every shard, difference the deadline
+/// counters, apply verdicts (see [`crate::autoscale`]).
+fn scaler_loop(
+    shards: &[Shard],
+    cfg: &AutoscalerConfig,
+    stop: &StopSignal,
+    events: &Mutex<Vec<ScaleEvent>>,
+    started: Instant,
+) {
+    let mut controllers: Vec<ShardController> =
+        shards.iter().map(|s| ShardController::new(s.service.workers())).collect();
+    while !stop.wait_interval(cfg.interval) {
+        for (i, shard) in shards.iter().enumerate() {
+            let stats = shard.service.stats();
+            // admitted-but-unfinished work (queued or rendering) makes an
+            // empty window "busy", not "idle" — see ShardController::tick
+            let busy =
+                shard.load.lock().unwrap().outstanding_ms > 0.0 || shard.service.queue_len() > 0;
+            if let Some(v) =
+                controllers[i].tick(cfg, stats.deadlined_requests, stats.deadline_misses, busy)
+            {
+                let from = shard.service.set_workers(v.target);
+                events.lock().unwrap().push(ScaleEvent {
+                    at_ms: started.elapsed().as_millis() as u64,
+                    shard: i,
+                    from,
+                    to: v.target,
+                    miss_rate: v.miss_rate,
+                });
+            }
+        }
+    }
+}
+
+/// Interruptible sleep for the control loop: shutdown must not wait out a
+/// full sampling interval (a 60 s interval would stall every drop by a
+/// minute).
+#[derive(Default)]
+struct StopSignal {
+    stopped: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl StopSignal {
+    /// Sleeps for `interval` or until stopped; returns whether stopped.
+    fn wait_interval(&self, interval: Duration) -> bool {
+        let deadline = Instant::now() + interval;
+        let mut stopped = self.stopped.lock().unwrap();
+        while !*stopped {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            stopped = self.cond.wait_timeout(stopped, left).unwrap().0;
+        }
+        true
+    }
+
+    fn stop(&self) {
+        *self.stopped.lock().unwrap() = true;
+        self.cond.notify_all();
+    }
+}
+
+struct ScalerHandle {
+    stop: Arc<StopSignal>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ScalerHandle {
+    fn stop(&mut self) {
+        self.stop.stop();
+        if let Some(t) = self.thread.take() {
+            t.join().expect("autoscaler panicked");
+        }
+    }
+}
+
+/// The cluster handle (see the module docs for routing and admission
+/// semantics). Dropping it drains every shard; [`ShardRouter::shutdown`]
+/// does the same and returns the final statistics.
+pub struct ShardRouter {
+    ring: HashRing,
+    shards: Arc<Vec<Shard>>,
+    cost: Arc<CostModel>,
+    budget_ms: f64,
+    routed_home: AtomicU64,
+    spilled: AtomicU64,
+    rejected: AtomicU64,
+    events: Arc<Mutex<Vec<ScaleEvent>>>,
+    scaler: Option<ScalerHandle>,
+}
+
+impl fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("shards", &self.shards.len())
+            .field("budget_ms", &self.budget_ms)
+            .field("autoscale", &self.scaler.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardRouter {
+    /// Starts a builder over a render profile.
+    pub fn builder(profile: RenderProfile) -> ClusterBuilder {
+        ClusterBuilder {
+            profile,
+            shards: 2,
+            workers: 1,
+            queue_capacity: 64,
+            budget_ms: f64::INFINITY,
+            store: StoreSetting::FromEnv,
+            lock_stale_after: None,
+            autoscale: None,
+            paused: false,
+        }
+    }
+
+    /// Unparks every shard's worker pool (no-op when already running).
+    pub fn start(&self) {
+        for shard in self.shards.iter() {
+            shard.service.start();
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing ring (for tooling and tests).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The shared cost model.
+    pub fn cost_model(&self) -> &Arc<CostModel> {
+        &self.cost
+    }
+
+    /// A shard's current worker target.
+    pub fn shard_workers(&self, shard: usize) -> usize {
+        self.shards[shard].service.workers()
+    }
+
+    /// Admits a request: home shard first, spill-over to the least-loaded
+    /// shard when the home is full or over its cost budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Overloaded`] when every shard is over budget (or
+    /// its queue backstop is full); [`ClusterError::Serve`] for
+    /// validation failures from the shard service.
+    pub fn submit(&self, req: RenderRequest) -> Result<ClusterTicket, ClusterError> {
+        let predicted_ms = self.cost.predict(req.scene.name(), req.resolution, req.frames);
+        let key = (req.scene.name().to_string(), req.resolution, req.frames);
+        let home = self.ring.home(req.scene.name());
+        // candidate order: home, then everyone else by outstanding cost.
+        // Snapshot the loads before sorting — completion hooks mutate them
+        // concurrently, and a comparator reading live state can violate
+        // the total-order contract (a sort panic in the submit hot path)
+        let mut others: Vec<(usize, f64)> = (0..self.shards.len())
+            .filter(|&i| i != home)
+            .map(|i| (i, self.shards[i].load.lock().unwrap().outstanding_ms))
+            .collect();
+        others.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let others = others.into_iter().map(|(i, _)| i);
+        for (rank, shard_idx) in std::iter::once(home).chain(others).enumerate() {
+            let shard = &self.shards[shard_idx];
+            {
+                let mut load = shard.load.lock().unwrap();
+                // an idle shard always admits; otherwise the predicted cost
+                // must fit the budget
+                if load.outstanding_ms > 0.0 && load.outstanding_ms + predicted_ms > self.budget_ms
+                {
+                    continue;
+                }
+                load.reserve(key.clone(), predicted_ms);
+            }
+            match shard.service.submit(req.clone()) {
+                Ok(ticket) => {
+                    if rank == 0 {
+                        self.routed_home.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.spilled.fetch_add(1, Ordering::Relaxed);
+                        shard.load.lock().unwrap().spilled_in += 1;
+                    }
+                    return Ok(ClusterTicket { shard: shard_idx, predicted_ms, ticket });
+                }
+                Err(ServeError::QueueFull { .. }) => {
+                    // the count backstop tripped: release and spill onward
+                    shard.load.lock().unwrap().release(&key);
+                }
+                Err(e) => {
+                    shard.load.lock().unwrap().release(&key);
+                    return Err(ClusterError::Serve(e));
+                }
+            }
+        }
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        Err(ClusterError::Overloaded { predicted_ms, budget_ms: self.budget_ms })
+    }
+
+    /// A statistics snapshot (completed requests only).
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let load = s.load.lock().unwrap();
+                    ShardStats {
+                        shard: i,
+                        workers: s.service.workers(),
+                        outstanding_ms: load.outstanding_ms,
+                        spilled_in: load.spilled_in,
+                        serve: s.service.stats(),
+                    }
+                })
+                .collect(),
+            routed_home: self.routed_home.load(Ordering::Relaxed),
+            spilled: self.spilled.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            scale_events: self.events.lock().unwrap().clone(),
+            cost: self.cost.stats(),
+        }
+    }
+
+    /// Stops the autoscaler, drains every shard, and returns the final
+    /// statistics.
+    pub fn shutdown(mut self) -> ClusterStats {
+        if let Some(scaler) = &mut self.scaler {
+            scaler.stop();
+        }
+        for shard in self.shards.iter() {
+            shard.service.drain();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for ShardRouter {
+    fn drop(&mut self) {
+        // the control loop must never outlive the shards it resizes
+        if let Some(scaler) = &mut self.scaler {
+            scaler.stop();
+        }
+        for shard in self.shards.iter() {
+            shard.service.drain();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_hash_is_stable_and_avalanches() {
+        assert_eq!(ring_hash(b"Mic"), ring_hash(b"Mic"));
+        assert_ne!(ring_hash(b"Mic"), ring_hash(b"Lego"));
+        // the finalizer must spread common-prefix strings across the whole
+        // u64 range (raw FNV fails this and empties shards)
+        let top_byte =
+            |s: &str| (ring_hash(s.as_bytes()) >> 56) as u8 >> 6 /* top 2 bits: 4 buckets */;
+        let mut buckets = [0usize; 4];
+        for i in 0..256 {
+            buckets[top_byte(&format!("scene-{i}")) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c > 16), "prefix clustering: {buckets:?}");
+    }
+
+    #[test]
+    fn ring_routes_every_name_to_a_live_shard() {
+        let ring = HashRing::new(3);
+        assert_eq!(ring.len(), 3);
+        for name in ["Mic", "Lego", "Pulse", "Chair", "Palace", "weird scene/name"] {
+            assert!(ring.home(name) < 3);
+            // deterministic
+            assert_eq!(ring.home(name), ring.home(name));
+        }
+    }
+
+    #[test]
+    fn ring_spreads_shards_reasonably() {
+        let ring = HashRing::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            counts[ring.home(&format!("scene-{i}"))] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(c > 100, "shard {shard} got {c}/1000 — ring badly unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_remaps_its_scenes() {
+        let ring = HashRing::new(3);
+        let reduced = ring.without(1);
+        assert_eq!(reduced.len(), 2);
+        for i in 0..500 {
+            let name = format!("scene-{i}");
+            let before = ring.home(&name);
+            let after = reduced.home(&name);
+            if before != 1 {
+                assert_eq!(before, after, "{name} moved although its shard survived");
+            } else {
+                assert_ne!(after, 1, "{name} must leave the removed shard");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_load_reserve_release_round_trips() {
+        let mut load = ShardLoad::default();
+        let key = ("Mic".to_string(), 48u32, 2usize);
+        load.reserve(key.clone(), 100.0);
+        load.reserve(key.clone(), 60.0); // prediction drifted between submits
+        assert_eq!(load.outstanding_ms, 160.0);
+        load.release(&key);
+        assert_eq!(load.outstanding_ms, 60.0, "FIFO: the first reservation releases first");
+        load.release(&key);
+        assert_eq!(load.outstanding_ms, 0.0);
+        // releasing an unknown key must not underflow
+        load.release(&("Lego".to_string(), 48, 1));
+        assert_eq!(load.outstanding_ms, 0.0);
+        assert!(load.pending.is_empty());
+    }
+}

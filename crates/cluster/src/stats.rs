@@ -1,0 +1,259 @@
+//! Cluster-wide statistics: per-shard serving snapshots, routing and
+//! admission counters, cost-model accuracy, and the scaling-event log —
+//! plus the hand-rolled JSON artifact the `asdr-cluster` binary writes
+//! (no serde in this environment, same trade as the criterion shim).
+
+use crate::autoscale::ScaleEvent;
+use crate::cost::CostStats;
+use asdr_serve::ServeStats;
+
+/// One shard's slice of the cluster snapshot.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index (the consistent-hash ring id).
+    pub shard: usize,
+    /// Current worker-pool target.
+    pub workers: usize,
+    /// Predicted cost of the shard's admitted-but-unfinished requests,
+    /// milliseconds (the quantity the admission budget bounds).
+    pub outstanding_ms: f64,
+    /// Requests this shard took as spill-over from a full home shard.
+    pub spilled_in: u64,
+    /// The shard service's own aggregate statistics.
+    pub serve: ServeStats,
+}
+
+/// A point-in-time snapshot of the whole cluster; serialize with
+/// [`ClusterStats::to_json`].
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Per-shard snapshots, indexed by ring id.
+    pub shards: Vec<ShardStats>,
+    /// Requests admitted to their consistent-hash home shard.
+    pub routed_home: u64,
+    /// Requests spilled to another shard (home full or over budget).
+    pub spilled: u64,
+    /// Requests refused outright (every shard over its cost budget).
+    pub rejected: u64,
+    /// Every autoscaler decision, in order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Cost-model accuracy (predicted vs. actual).
+    pub cost: CostStats,
+}
+
+impl ClusterStats {
+    /// Requests completed across all shards.
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.serve.requests).sum()
+    }
+
+    /// Frames rendered across all shards.
+    pub fn frames(&self) -> u64 {
+        self.shards.iter().map(|s| s.serve.frames).sum()
+    }
+
+    /// Fresh fits across all shards — equals the distinct (scene, grid)
+    /// count of the workload when cross-process/shard single-flight held
+    /// (zero duplicate fits, the quantity the cluster smoke pins).
+    pub fn total_fits(&self) -> u64 {
+        self.shards.iter().map(|s| s.serve.store.fits).sum()
+    }
+
+    /// Checkpoint loads across all shards.
+    pub fn total_disk_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.serve.store.disk_hits).sum()
+    }
+
+    /// Cold fits that waited on another process's (or shard's) lock file
+    /// instead of duplicating work.
+    pub fn lock_waits(&self) -> u64 {
+        self.shards.iter().map(|s| s.serve.store.lock_waits).sum()
+    }
+
+    /// Stale lock files broken.
+    pub fn lock_steals(&self) -> u64 {
+        self.shards.iter().map(|s| s.serve.store.lock_steals).sum()
+    }
+
+    /// Deadlined requests across all shards.
+    pub fn deadlined_requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.serve.deadlined_requests).sum()
+    }
+
+    /// Deadline misses across all shards.
+    pub fn deadline_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.serve.deadline_misses).sum()
+    }
+
+    /// Cluster-wide deadline-miss rate (0 when nothing carried a deadline).
+    pub fn miss_rate(&self) -> f64 {
+        let deadlined = self.deadlined_requests();
+        if deadlined == 0 {
+            return 0.0;
+        }
+        self.deadline_misses() as f64 / deadlined as f64
+    }
+
+    /// Serializes the snapshot as the `asdr-cluster` JSON artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"shards\": {},\n", self.shards.len()));
+        out.push_str(&format!(
+            "  \"requests\": {}, \"frames\": {},\n",
+            self.requests(),
+            self.frames()
+        ));
+        out.push_str(&format!(
+            "  \"deadlined_requests\": {}, \"deadline_misses\": {}, \"miss_rate\": {:.4},\n",
+            self.deadlined_requests(),
+            self.deadline_misses(),
+            self.miss_rate()
+        ));
+        out.push_str(&format!(
+            "  \"routed_home\": {}, \"spilled\": {}, \"rejected\": {},\n",
+            self.routed_home, self.spilled, self.rejected
+        ));
+        out.push_str(&format!(
+            "  \"total_fits\": {}, \"total_disk_hits\": {}, \"lock_waits\": {}, \"lock_steals\": {},\n",
+            self.total_fits(),
+            self.total_disk_hits(),
+            self.lock_waits(),
+            self.lock_steals()
+        ));
+        out.push_str(&format!(
+            concat!(
+                "  \"cost\": {{\"tracked_keys\": {}, \"observations\": {},",
+                " \"seeded_predictions\": {}, \"mean_abs_pct_error\": {:.4}}},\n"
+            ),
+            self.cost.tracked_keys,
+            self.cost.observations,
+            self.cost.seeded_predictions,
+            self.cost.mean_abs_pct_error
+        ));
+        out.push_str("  \"scale_events\": [");
+        for (i, e) in self.scale_events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"at_ms\": {}, \"shard\": {}, \"from\": {}, \"to\": {}, \"miss_rate\": {:.4}}}",
+                e.at_ms, e.shard, e.from, e.to, e.miss_rate
+            ));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"per_shard\": [\n");
+        for (i, s) in self.shards.iter().enumerate() {
+            let v = &s.serve;
+            out.push_str(&format!(
+                concat!(
+                    "    {{\"shard\": {}, \"workers\": {}, \"outstanding_ms\": {:.1},",
+                    " \"spilled_in\": {}, \"requests\": {}, \"frames\": {},",
+                    " \"throughput_fps\": {:.3}, \"p50_latency_ms\": {:.3},",
+                    " \"p95_latency_ms\": {:.3}, \"deadlined_requests\": {},",
+                    " \"deadline_misses\": {}, \"fits\": {}, \"disk_hits\": {},",
+                    " \"lock_waits\": {}}}{}\n"
+                ),
+                s.shard,
+                s.workers,
+                s.outstanding_ms,
+                s.spilled_in,
+                v.requests,
+                v.frames,
+                v.throughput_fps,
+                v.p50_latency_ms,
+                v.p95_latency_ms,
+                v.deadlined_requests,
+                v.deadline_misses,
+                v.store.fits,
+                v.store.disk_hits,
+                v.store.lock_waits,
+                if i + 1 < self.shards.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdr_serve::StoreStats;
+
+    fn serve_stats(requests: u64, deadlined: u64, misses: u64, fits: u64) -> ServeStats {
+        ServeStats {
+            requests,
+            frames: requests * 2,
+            reused_frames: requests,
+            deadlined_requests: deadlined,
+            deadline_misses: misses,
+            p50_latency_ms: 10.0,
+            p95_latency_ms: 25.0,
+            mean_queue_wait_ms: 2.0,
+            throughput_fps: 12.0,
+            probe_points: 100,
+            probe_points_avoided_est: 50.0,
+            store: StoreStats { fits, ..StoreStats::default() },
+        }
+    }
+
+    fn sample() -> ClusterStats {
+        ClusterStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    workers: 2,
+                    outstanding_ms: 12.5,
+                    spilled_in: 1,
+                    serve: serve_stats(4, 2, 1, 2),
+                },
+                ShardStats {
+                    shard: 1,
+                    workers: 1,
+                    outstanding_ms: 0.0,
+                    spilled_in: 0,
+                    serve: serve_stats(2, 2, 0, 1),
+                },
+            ],
+            routed_home: 5,
+            spilled: 1,
+            rejected: 0,
+            scale_events: vec![ScaleEvent { at_ms: 40, shard: 0, from: 1, to: 2, miss_rate: 0.5 }],
+            cost: CostStats {
+                tracked_keys: 2,
+                observations: 6,
+                seeded_predictions: 3,
+                mean_abs_pct_error: 0.25,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_over_shards() {
+        let s = sample();
+        assert_eq!(s.requests(), 6);
+        assert_eq!(s.frames(), 12);
+        assert_eq!(s.total_fits(), 3);
+        assert_eq!(s.deadlined_requests(), 4);
+        assert_eq!(s.deadline_misses(), 1);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_shape_stable() {
+        let json = sample().to_json();
+        for key in [
+            "\"shards\": 2",
+            "\"total_fits\": 3",
+            "\"miss_rate\": 0.2500",
+            "\"routed_home\": 5",
+            "\"scale_events\": [{\"at_ms\": 40",
+            "\"per_shard\": [",
+            "\"cost\": {\"tracked_keys\": 2",
+            "\"mean_abs_pct_error\": 0.2500",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Cluster scheduling contracts: cost-budget admission (home → spill →
+//! reject), reservation release on completion, and the autoscaling control
+//! loop growing under deadline misses and shrinking when traffic quiets.
+//!
+//! The shards here warm from a directory pre-populated with cheap blank
+//! models, so no test pays for a real fit; admission tests run against a
+//! **paused** cluster so routing decisions cannot race completions.
+
+use asdr_cluster::{AutoscalerConfig, ClusterError, ShardRouter};
+use asdr_math::{Aabb, Vec3};
+use asdr_nerf::embedding::EmbeddingSet;
+use asdr_nerf::grid::GridConfig;
+use asdr_nerf::mlp::{Activation, Dense, Mlp};
+use asdr_nerf::model::{COLOR_IN_DIM, DENSITY_OUT_DIM};
+use asdr_nerf::occupancy::OccupancyGrid;
+use asdr_nerf::{HashEncoder, NgpModel};
+use asdr_scenes::registry;
+use asdr_serve::{ModelStore, RenderProfile, RenderRequest};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn test_grid() -> GridConfig {
+    GridConfig { levels: 2, base_res: 4, max_res: 8, table_size: 1 << 8, feat_dim: 2 }
+}
+
+fn test_profile() -> RenderProfile {
+    RenderProfile { grid: test_grid(), base_ns: 16, default_resolution: 16 }
+}
+
+/// A cheap structurally-valid model (the scheduler does not care what the
+/// model predicts).
+fn blank_model(grid: &GridConfig) -> NgpModel {
+    let encoder = HashEncoder::new(grid.clone(), EmbeddingSet::new(grid));
+    let density =
+        Mlp::new(vec![Dense::zeros(grid.encoded_dim(), DENSITY_OUT_DIM, Activation::None)]);
+    let color = Mlp::new(vec![Dense::zeros(COLOR_IN_DIM, 3, Activation::None)]);
+    let bounds = Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
+    let occ = OccupancyGrid::from_cells(4, bounds, vec![true; 64]).expect("valid cells");
+    NgpModel::new(encoder, density, color, bounds, occ)
+}
+
+/// A checkpoint directory where every named scene is already fitted, so
+/// every shard warms from disk instead of fitting.
+fn warm_dir(name: &str, scenes: &[&str]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asdr_cluster_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ModelStore::builder().dir(&dir).build();
+    let grid = test_grid();
+    for scene in scenes {
+        store.get_or_fit_with(&registry::handle(scene), &grid, || blank_model(&grid));
+    }
+    dir
+}
+
+#[test]
+fn admission_goes_home_then_spills_then_rejects() {
+    let dir = warm_dir("admission", &["Mic"]);
+    let cluster = ShardRouter::builder(test_profile())
+        .shards(2)
+        .store_dir(&dir)
+        .budget_ms(100.0)
+        .paused()
+        .build()
+        .unwrap();
+    // teach the cost model that a Mic frame is enormous, so one request
+    // saturates a shard's budget deterministically
+    cluster.cost_model().observe("Mic", 16, 1, 60_000.0);
+    let mic = registry::handle("Mic");
+    let home = cluster.ring().home("Mic");
+
+    let first = cluster.submit(RenderRequest::frame(mic.clone(), 16)).unwrap();
+    assert_eq!(first.shard(), home, "an idle home shard takes its own scene");
+    assert!(first.predicted_ms() > 100.0, "admitted although over budget — idle shards must");
+
+    let second = cluster.submit(RenderRequest::frame(mic.clone(), 16)).unwrap();
+    assert_ne!(second.shard(), home, "a saturated home shard spills to the least-loaded");
+
+    let third = cluster.submit(RenderRequest::frame(mic.clone(), 16));
+    match third {
+        Err(ClusterError::Overloaded { predicted_ms, budget_ms }) => {
+            assert!(predicted_ms > budget_ms);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    let staged = cluster.stats();
+    assert_eq!((staged.routed_home, staged.spilled, staged.rejected), (1, 1, 1));
+    assert_eq!(staged.shards[home].outstanding_ms, 60_000.0);
+    assert_eq!(staged.shards[1 - home].spilled_in, 1);
+
+    cluster.start();
+    assert!(first.wait().is_ok());
+    assert!(second.wait().is_ok());
+    let stats = cluster.shutdown();
+    assert_eq!(stats.requests(), 2);
+    for s in &stats.shards {
+        assert_eq!(s.outstanding_ms, 0.0, "completions must release their reservations");
+    }
+    assert_eq!(stats.total_fits(), 0, "everything warmed from the shared checkpoint dir");
+    assert!(stats.cost.observations >= 3, "completions feed the cost model");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn autoscaler_grows_under_misses_and_shrinks_when_quiet() {
+    let dir = warm_dir("autoscale", &["Mic"]);
+    let cluster = ShardRouter::builder(test_profile())
+        .shards(1)
+        .store_dir(&dir)
+        .autoscale(AutoscalerConfig {
+            workers_min: 1,
+            workers_max: 3,
+            interval: Duration::from_millis(40),
+            cooldown_intervals: 1,
+            ..AutoscalerConfig::default()
+        })
+        .build()
+        .unwrap();
+    assert_eq!(cluster.shard_workers(0), 1, "autoscaled shards start at workers_min");
+
+    // hopeless deadlines: every request misses, the miss-rate window
+    // saturates, and the controller must grow the pool
+    let mic = registry::handle("Mic");
+    let tickets: Vec<_> = (0..8)
+        .map(|_| {
+            cluster
+                .submit(
+                    RenderRequest::frame(mic.clone(), 16).with_deadline(Duration::from_micros(1)),
+                )
+                .unwrap()
+        })
+        .collect();
+    for t in &tickets {
+        assert_eq!(t.wait().unwrap().deadline_met, Some(false));
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while cluster.shard_workers(0) < 2 {
+        assert!(Instant::now() < deadline, "autoscaler never grew: {:?}", cluster.stats());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // traffic stops: quiet windows must shrink the pool back to the floor
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while cluster.shard_workers(0) > 1 {
+        assert!(Instant::now() < deadline, "autoscaler never shrank: {:?}", cluster.stats());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let stats = cluster.shutdown();
+    let grew = stats.scale_events.iter().any(|e| e.to > e.from && e.miss_rate > 0.9);
+    let shrank = stats.scale_events.iter().any(|e| e.to < e.from && e.miss_rate == 0.0);
+    assert!(grew, "no grow event recorded: {:?}", stats.scale_events);
+    assert!(shrank, "no shrink event recorded: {:?}", stats.scale_events);
+    assert_eq!(stats.miss_rate(), 1.0, "every deadlined request missed by construction");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_requests_release_their_budget_reservation() {
+    use asdr_scenes::registry::SceneDef;
+    if registry::get("cluster-panics").is_none() {
+        registry::register(SceneDef::new("cluster-panics", || panic!("builder exploded"))).unwrap();
+    }
+    let cluster = ShardRouter::builder(test_profile())
+        .shards(2)
+        .in_memory_stores()
+        .budget_ms(50_000.0)
+        .build()
+        .unwrap();
+    let doomed =
+        cluster.submit(RenderRequest::frame(registry::handle("cluster-panics"), 16)).unwrap();
+    assert!(doomed.wait().is_err(), "the panicking fit fails the ticket");
+    // the reservation must not leak, or the shard's budget wedges shut
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = cluster.stats();
+        if stats.shards.iter().all(|s| s.outstanding_ms == 0.0) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "reservation leaked: {stats:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,62 @@
+//! Router properties: every scene name routes to exactly one live home
+//! shard, routing is deterministic, and removing a shard remaps **only**
+//! that shard's scenes — the consistent-hashing contract that lets a
+//! cluster lose or gain a shard without re-fitting the world.
+
+use asdr_cluster::HashRing;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Scene names with shared prefixes (the adversarial case for a weakly
+/// mixed ring hash).
+fn names() -> impl Strategy<Value = Vec<String>> {
+    vec((0u64..100_000).prop_map(|n| format!("scene-{n}")), 1..64)
+}
+
+proptest! {
+    #[test]
+    fn every_scene_has_exactly_one_live_home(shards in 1usize..8, names in names()) {
+        let ring = HashRing::new(shards);
+        prop_assert_eq!(ring.len(), shards);
+        for name in &names {
+            let home = ring.home(name);
+            prop_assert!(home < shards, "home {} out of range for {} shards", home, shards);
+            // deterministic: the same name lands on the same shard, always
+            prop_assert_eq!(ring.home(name), home);
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_remaps_only_its_scenes(
+        shards in 2usize..8,
+        removed_seed in 0usize..8,
+        names in names(),
+    ) {
+        let removed = removed_seed % shards;
+        let ring = HashRing::new(shards);
+        let reduced = ring.without(removed);
+        prop_assert_eq!(reduced.len(), shards - 1);
+        for name in &names {
+            let before = ring.home(name);
+            let after = reduced.home(name);
+            if before == removed {
+                // must leave the dead shard
+                prop_assert!(after != removed, "{}: still routed to the dead shard", name);
+            } else {
+                // must not move: its home shard survived
+                prop_assert!(after == before, "{}: remapped needlessly", name);
+            }
+        }
+    }
+
+    #[test]
+    fn rings_are_stable_across_instances(shards in 1usize..8, names in names()) {
+        // two independently built rings agree — routing must survive
+        // process restarts (no randomized hasher anywhere)
+        let a = HashRing::new(shards);
+        let b = HashRing::new(shards);
+        for name in &names {
+            prop_assert_eq!(a.home(name), b.home(name));
+        }
+    }
+}

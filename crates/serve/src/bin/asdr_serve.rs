@@ -134,7 +134,9 @@ fn main() {
     let t0 = Instant::now();
     let mut tickets = Vec::with_capacity(entries.len());
     for (idx, entry) in entries.iter().enumerate() {
-        let req = entry.to_request(&args.profile).unwrap_or_else(|e| die(&e));
+        let req = entry.to_request(&args.profile).unwrap_or_else(|e| {
+            die(&format!("{} line {}: {e}", args.workload.display(), entry.line))
+        });
         if let Some(wait) = Duration::from_millis(entry.at_ms).checked_sub(t0.elapsed()) {
             std::thread::sleep(wait);
         }

@@ -49,7 +49,8 @@ pub mod workload;
 
 pub use profile::RenderProfile;
 pub use service::{
-    Priority, RenderRequest, RenderResult, RenderService, RenderTicket, ServeError, ServeStats,
+    Completion, CompletionHook, Priority, RenderRequest, RenderResult, RenderService, RenderTicket,
+    ServeError, ServeStats,
 };
 pub use store::{ModelStore, StoreKey, StoreStats};
 pub use workload::{parse_workload, WorkloadEntry};

@@ -167,6 +167,8 @@ impl std::error::Error for ServeError {}
 pub struct RenderResult {
     /// Scene name.
     pub scene: String,
+    /// Square frame resolution the request rendered at.
+    pub resolution: u32,
     /// The rendered frames, in order.
     pub images: Vec<Image>,
     /// Operation counts aggregated over the request's frames.
@@ -183,6 +185,30 @@ pub struct RenderResult {
     /// observable execution order the scheduler tests assert on.
     pub completed_seq: u64,
 }
+
+/// What a completion hook observes: one finished (or failed) request.
+///
+/// The hook runs on the worker thread after the request's statistics are
+/// folded in and immediately before its ticket fills, so a cluster layer
+/// can release admission budget and feed its cost model without polling
+/// tickets. Hooks must be cheap and must not panic; a panic in a hook is
+/// caught and swallowed (tickets must always fill), so whatever
+/// bookkeeping the hook was doing is silently lost.
+#[derive(Debug)]
+pub struct Completion<'a> {
+    /// Scene name.
+    pub scene: &'a str,
+    /// Square frame resolution of the request.
+    pub resolution: u32,
+    /// Frames the request asked for.
+    pub frames: usize,
+    /// The result, or `None` when the request failed
+    /// ([`ServeError::RenderFailed`]).
+    pub result: Option<&'a RenderResult>,
+}
+
+/// Observes every request completion (see [`Completion`]).
+pub type CompletionHook = Arc<dyn Fn(&Completion<'_>) + Send + Sync>;
 
 /// A handle to a submitted request's eventual [`RenderResult`].
 #[derive(Debug, Clone)]
@@ -249,6 +275,13 @@ struct QueueState {
     accepting: bool,
     paused: bool,
     next_seq: u64,
+    /// Worker-pool size the pool is converging to ([`RenderService::set_workers`]).
+    target_workers: usize,
+    /// Workers currently alive; drifts toward `target_workers` (growth
+    /// spawns immediately, shrink retires workers as they come off a batch).
+    alive_workers: usize,
+    /// Thread-name counter (worker ids are never reused).
+    next_worker_id: usize,
 }
 
 /// Pops the best-ranked request plus up to `batch_max - 1` same-scene,
@@ -363,7 +396,7 @@ impl ServeStats {
                 "  \"probe_points\": {}, \"probe_points_avoided_est\": {:.0},\n",
                 "  \"store\": {{\"memory_hits\": {}, \"disk_hits\": {}, \"fits\": {},",
                 " \"evictions\": {}, \"disk_errors\": {}, \"single_flight_waits\": {},",
-                " \"resident\": {}}}\n",
+                " \"lock_waits\": {}, \"lock_steals\": {}, \"resident\": {}}}\n",
                 "}}\n"
             ),
             self.requests,
@@ -383,6 +416,8 @@ impl ServeStats {
             s.evictions,
             s.disk_errors,
             s.single_flight_waits,
+            s.lock_waits,
+            s.lock_steals,
             s.resident,
         )
     }
@@ -398,11 +433,14 @@ pub struct RenderServiceBuilder {
     plan_refresh_every: usize,
     batch_max: usize,
     paused: bool,
+    on_complete: Option<CompletionHook>,
 }
 
 impl RenderServiceBuilder {
-    /// Worker-pool size. Precedence: this setting > `ASDR_SERVE_WORKERS` >
-    /// detected parallelism. Zero means "unset" (fall through to env).
+    /// Initial worker-pool size (resizable later via
+    /// [`RenderService::set_workers`]). Precedence: this setting >
+    /// `ASDR_SERVE_WORKERS` > detected parallelism. Zero means "unset"
+    /// (fall through to env).
     #[must_use]
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = (n > 0).then_some(n);
@@ -456,6 +494,14 @@ impl RenderServiceBuilder {
         self
     }
 
+    /// Registers a hook observing every request completion (see
+    /// [`Completion`] for the contract). One hook per service.
+    #[must_use]
+    pub fn on_complete(mut self, hook: CompletionHook) -> Self {
+        self.on_complete = Some(hook);
+        self
+    }
+
     /// Builds the service and spawns its worker pool.
     ///
     /// # Errors
@@ -474,6 +520,9 @@ impl RenderServiceBuilder {
                 accepting: true,
                 paused: self.paused,
                 next_seq: 0,
+                target_workers: workers,
+                alive_workers: 0,
+                next_worker_id: 0,
             }),
             cond: Condvar::new(),
             store,
@@ -484,17 +533,32 @@ impl RenderServiceBuilder {
             queue_capacity: self.queue_capacity,
             stats: Mutex::new(StatsAccum::default()),
             completed: AtomicU64::new(0),
+            on_complete: self.on_complete,
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("asdr-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn render worker")
-            })
-            .collect();
-        Ok(RenderService { shared, workers: handles, worker_count: workers })
+        let mut handles = Vec::new();
+        spawn_workers(&shared, &mut handles, workers);
+        Ok(RenderService { shared, workers: Mutex::new(handles) })
+    }
+}
+
+/// Spawns `n` fresh workers, registering them alive before any can observe
+/// the pool state.
+fn spawn_workers(shared: &Arc<Shared>, handles: &mut Vec<JoinHandle<()>>, n: usize) {
+    let first_id = {
+        let mut q = shared.queue.lock().unwrap();
+        q.alive_workers += n;
+        let first = q.next_worker_id;
+        q.next_worker_id += n;
+        first
+    };
+    for id in first_id..first_id + n {
+        let shared = shared.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("asdr-serve-{id}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn render worker"),
+        );
     }
 }
 
@@ -510,20 +574,20 @@ struct Shared {
     queue_capacity: usize,
     stats: Mutex<StatsAccum>,
     completed: AtomicU64,
+    on_complete: Option<CompletionHook>,
 }
 
 /// The service handle. Dropping it drains the queue and joins the workers;
 /// [`RenderService::shutdown`] does the same and returns the final stats.
 pub struct RenderService {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
-    worker_count: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl fmt::Debug for RenderService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RenderService")
-            .field("workers", &self.worker_count)
+            .field("workers", &self.workers())
             .field("queue_capacity", &self.shared.queue_capacity)
             .field("profile", &self.shared.profile)
             .finish_non_exhaustive()
@@ -542,6 +606,7 @@ impl RenderService {
             plan_refresh_every: 3,
             batch_max: 4,
             paused: false,
+            on_complete: None,
         }
     }
 
@@ -555,9 +620,44 @@ impl RenderService {
         &self.shared.profile
     }
 
-    /// Worker-pool size.
+    /// Current worker-pool target size (the pool converges to this:
+    /// growth spawns immediately, shrink retires workers between batches).
     pub fn workers(&self) -> usize {
-        self.worker_count
+        self.shared.queue.lock().unwrap().target_workers
+    }
+
+    /// Resizes the worker pool (clamped to >= 1) and returns the previous
+    /// target. Growth spawns threads immediately; shrink lets excess
+    /// workers finish their current batch and retire. The autoscaling
+    /// control loop in `asdr_cluster` drives this against each shard's
+    /// rolling deadline-miss rate. No-op once shutdown has begun.
+    pub fn set_workers(&self, n: usize) -> usize {
+        let n = n.max(1);
+        let (prev, grow) = {
+            let mut q = self.shared.queue.lock().unwrap();
+            let prev = q.target_workers;
+            if !q.accepting {
+                return prev;
+            }
+            q.target_workers = n;
+            (prev, n.saturating_sub(q.alive_workers))
+        };
+        if grow > 0 {
+            spawn_workers(&self.shared, &mut self.workers.lock().unwrap(), grow);
+        }
+        // wake idle workers so a shrink retires them promptly
+        self.shared.cond.notify_all();
+        prev
+    }
+
+    /// Requests currently waiting in the admission queue.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.lock().unwrap().queue.len()
+    }
+
+    /// The admission-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue_capacity
     }
 
     /// Admits a request, returning its ticket.
@@ -640,12 +740,17 @@ impl RenderService {
 
     /// Stops admissions, drains the queue, joins the workers, and returns
     /// the final statistics.
-    pub fn shutdown(mut self) -> ServeStats {
-        self.stop();
+    pub fn shutdown(self) -> ServeStats {
+        self.drain();
         self.stats()
     }
 
-    fn stop(&mut self) {
+    /// Stops admissions, drains the queue, and joins the workers without
+    /// consuming the handle (idempotent). For services held behind a shared
+    /// `Arc` — the cluster's shards — where [`RenderService::shutdown`]
+    /// cannot take ownership; read the final [`RenderService::stats`]
+    /// afterwards.
+    pub fn drain(&self) {
         {
             let mut q = self.shared.queue.lock().unwrap();
             q.accepting = false;
@@ -653,32 +758,44 @@ impl RenderService {
             q.paused = false;
         }
         self.shared.cond.notify_all();
-        for h in self.workers.drain(..) {
-            h.join().expect("render worker panicked");
+        // loop: a concurrent set_workers may push a handle after the first
+        // sweep; the second sweep picks up any straggler
+        loop {
+            let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+            if handles.is_empty() {
+                return;
+            }
+            for h in handles {
+                h.join().expect("render worker panicked");
+            }
         }
     }
 }
 
 impl Drop for RenderService {
     fn drop(&mut self) {
-        if !self.workers.is_empty() {
-            self.stop();
-        }
+        self.drain();
     }
 }
 
 /// Worker thread: claim a batch, render it, repeat until shutdown drains
-/// the queue.
+/// the queue or a shrink retires this worker.
 fn worker_loop(shared: &Shared) {
     loop {
         let batch = {
             let mut q = shared.queue.lock().unwrap();
             loop {
+                if q.alive_workers > q.target_workers {
+                    // scaled down: retire between batches
+                    q.alive_workers -= 1;
+                    return;
+                }
                 if !q.paused {
                     if let Some(batch) = pop_batch(&mut q, shared.batch_max) {
                         break Some(batch);
                     }
                     if !q.accepting {
+                        q.alive_workers -= 1;
                         break None;
                     }
                 }
@@ -697,6 +814,19 @@ fn worker_loop(shared: &Shared) {
                 if let Err(panic) = outcome {
                     let why = ServeError::RenderFailed(panic_message(panic.as_ref()));
                     for item in batch.drain(..) {
+                        if let Some(hook) = &shared.on_complete {
+                            // budget released even for failed requests; a
+                            // hook panic here must not kill the worker
+                            let completion = Completion {
+                                scene: item.req.scene.name(),
+                                resolution: item.req.resolution,
+                                frames: item.req.frames,
+                                result: None,
+                            };
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                hook(&completion);
+                            }));
+                        }
                         item.ticket.fill(Err(why.clone()));
                     }
                 }
@@ -748,6 +878,7 @@ fn render_batch(shared: &Shared, batch: &mut Vec<Queued>) {
         let aggregate = out.aggregate;
         let result = RenderResult {
             scene: scene.name().to_string(),
+            resolution,
             // `out` is owned and done with: move the frames, don't clone
             // O(frames x pixels) on the serving hot path
             images: out.frames.into_iter().map(|f| f.image).collect(),
@@ -778,6 +909,18 @@ fn render_batch(shared: &Shared, batch: &mut Vec<Queued>) {
         acc.last_done = Some(acc.last_done.map_or(done, |t| t.max(done)));
         drop(acc);
         let item = batch.remove(0);
+        if let Some(hook) = &shared.on_complete {
+            // guarded: this item already left the batch, so a hook panic
+            // escaping here would drop its ticket unfilled and hang the
+            // waiter forever
+            let completion = Completion {
+                scene: &result.scene,
+                resolution,
+                frames: frame_count,
+                result: Some(&result),
+            };
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook(&completion)));
+        }
         item.ticket.fill(Ok(result));
     }
 }
@@ -843,9 +986,14 @@ mod tests {
             store: StoreStats::default(),
         };
         let json = stats.to_json();
-        for key in
-            ["\"requests\"", "\"p95_latency_ms\"", "\"throughput_fps\"", "\"store\"", "\"fits\""]
-        {
+        for key in [
+            "\"requests\"",
+            "\"p95_latency_ms\"",
+            "\"throughput_fps\"",
+            "\"store\"",
+            "\"fits\"",
+            "\"lock_waits\"",
+        ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!((stats.reuse_fraction() - 0.6).abs() < 1e-12);

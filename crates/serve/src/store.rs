@@ -17,6 +17,16 @@
 //! receive the published `Arc`. An in-flight entry is never evicted and is
 //! unwound if the fitter panics, so waiters cannot deadlock.
 //!
+//! When a checkpoint directory is configured, cold fits are also
+//! single-flighted **across processes** through an advisory lock file next
+//! to each checkpoint (`<ckpt>.lock`, created with `O_EXCL`): the winner
+//! re-checks the disk under the lock, fits, publishes the checkpoint, and
+//! unlocks; losers poll for the checkpoint to appear instead of running a
+//! duplicate fit. A lock left behind by a dead process goes stale after
+//! [`ModelStoreBuilder::lock_stale_after`] and is broken by the next
+//! waiter, which then refits — serving degrades to a duplicate fit, never
+//! a deadlock.
+//!
 //! Keying by *name* means two registries could alias one name to different
 //! scene definitions; like the bench harness, the store compares
 //! [`SceneHandle::shares_def`] on every memory hit and refits on a
@@ -32,9 +42,11 @@ use asdr_nerf::io::{self, LoadError};
 use asdr_nerf::NgpModel;
 use asdr_scenes::SceneHandle;
 use std::collections::HashMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Cache key: scene name plus the fit-configuration fingerprint, so one
 /// store can hold the same scene at several scales without collision.
@@ -106,6 +118,8 @@ struct Counters {
     evictions: AtomicU64,
     disk_errors: AtomicU64,
     single_flight_waits: AtomicU64,
+    lock_waits: AtomicU64,
+    lock_steals: AtomicU64,
 }
 
 /// A point-in-time snapshot of store activity.
@@ -125,6 +139,12 @@ pub struct StoreStats {
     pub disk_errors: u64,
     /// Callers that blocked on another caller's in-flight fit.
     pub single_flight_waits: u64,
+    /// Cold fits that waited on another **process's** lock file instead of
+    /// duplicating the fit (each either loaded the published checkpoint or,
+    /// if the lock went stale, refitted).
+    pub lock_waits: u64,
+    /// Stale lock files broken (the owning process died mid-fit).
+    pub lock_steals: u64,
     /// Ready entries currently resident in memory.
     pub resident: usize,
 }
@@ -152,6 +172,7 @@ impl StoreStats {
 pub struct ModelStoreBuilder {
     capacity: usize,
     dir: DirSetting,
+    lock_stale_after: Duration,
 }
 
 #[derive(Debug)]
@@ -166,7 +187,11 @@ enum DirSetting {
 
 impl Default for ModelStoreBuilder {
     fn default() -> Self {
-        ModelStoreBuilder { capacity: ModelStore::DEFAULT_CAPACITY, dir: DirSetting::FromEnv }
+        ModelStoreBuilder {
+            capacity: ModelStore::DEFAULT_CAPACITY,
+            dir: DirSetting::FromEnv,
+            lock_stale_after: ModelStore::DEFAULT_LOCK_STALE_AFTER,
+        }
     }
 }
 
@@ -194,6 +219,16 @@ impl ModelStoreBuilder {
         self
     }
 
+    /// Age past which another process's cold-fit lock file is presumed
+    /// abandoned (its owner died mid-fit) and broken by a waiter, which then
+    /// refits. Must exceed the longest expected fit, or two live processes
+    /// will duplicate work (clamped to >= 1 ms).
+    #[must_use]
+    pub fn lock_stale_after(mut self, age: Duration) -> Self {
+        self.lock_stale_after = age.max(Duration::from_millis(1));
+        self
+    }
+
     /// Builds the store.
     pub fn build(self) -> ModelStore {
         let dir = match self.dir {
@@ -208,6 +243,7 @@ impl ModelStoreBuilder {
             cond: Condvar::new(),
             capacity: self.capacity,
             dir,
+            lock_stale_after: self.lock_stale_after,
             counters: Counters::default(),
         }
     }
@@ -221,6 +257,7 @@ pub struct ModelStore {
     cond: Condvar,
     capacity: usize,
     dir: Option<PathBuf>,
+    lock_stale_after: Duration,
     counters: Counters,
 }
 
@@ -239,6 +276,14 @@ enum Claim {
 impl ModelStore {
     /// Default in-memory capacity (entries).
     pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Default [`ModelStoreBuilder::lock_stale_after`]: generous next to
+    /// any real fit, small next to a wedged deployment.
+    pub const DEFAULT_LOCK_STALE_AFTER: Duration = Duration::from_secs(120);
+
+    /// How often a waiter blocked on another process's lock re-checks the
+    /// disk for the published checkpoint.
+    const LOCK_POLL: Duration = Duration::from_millis(15);
 
     /// Starts a builder.
     pub fn builder() -> ModelStoreBuilder {
@@ -276,26 +321,101 @@ impl ModelStore {
                 // we own the in-flight marker; the guard unwinds it if the
                 // fit panics so waiters retry instead of deadlocking
                 let mut guard = InFlightGuard { store: self, key: &key, published: false };
-                let model = match (!alias).then(|| self.load_disk(&key, scene, grid)).flatten() {
-                    Some(m) => {
-                        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
-                        m
-                    }
-                    None => {
-                        self.counters.fits.fetch_add(1, Ordering::Relaxed);
-                        let m = Arc::new(fit());
-                        // an alias refit must not touch disk either way: a
-                        // checkpoint it wrote would be served as the *real*
-                        // scene by later processes (the name is the key)
-                        if !alias {
-                            self.save_disk(&key, scene, &m);
+                // an alias refit must not touch disk either way: a
+                // checkpoint it wrote would be served as the *real* scene by
+                // later processes (the name is the key)
+                let model = if !alias && self.dir.is_some() {
+                    match self.load_disk(&key, scene, grid, true) {
+                        Some(m) => {
+                            self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                            m
                         }
-                        m
+                        None => self.fit_under_lock(&key, scene, grid, fit),
                     }
+                } else {
+                    self.counters.fits.fetch_add(1, Ordering::Relaxed);
+                    Arc::new(fit())
                 };
                 self.publish(&key, scene, model.clone());
                 guard.published = true;
                 model
+            }
+        }
+    }
+
+    /// Runs a cold fit under the key's cross-process advisory lock file:
+    /// acquire (or wait out) `<ckpt>.lock`, re-check the disk, fit, publish
+    /// the checkpoint, unlock. A waiter that sees the checkpoint appear
+    /// loads it instead of fitting; a stale lock (owner died) is broken and
+    /// the waiter refits. Only called with a configured directory.
+    fn fit_under_lock(
+        &self,
+        key: &StoreKey,
+        scene: &SceneHandle,
+        grid: &GridConfig,
+        fit: impl FnOnce() -> NgpModel,
+    ) -> Arc<NgpModel> {
+        let lock = self
+            .ckpt_path(key)
+            .map(|p| p.with_extension("ckpt.lock"))
+            .expect("caller checked dir.is_some()");
+        let mut fit = Some(fit);
+        let mut counted_wait = false;
+        // local staleness clock: mtime can lie (clock skew across the
+        // machines sharing the directory puts it in the future, where
+        // elapsed() fails), so staleness also accrues from how long *we*
+        // have watched this lock without a checkpoint appearing — the
+        // degrade-to-refit guarantee must not depend on any remote clock
+        let mut watching_since = std::time::Instant::now();
+        loop {
+            match try_lock(&lock) {
+                TryLock::Acquired(_guard) => {
+                    // the race window: another process may have published
+                    // while we waited for (or raced to) the lock. Quiet
+                    // load: the pre-lock attempt already counted any
+                    // corruption, and a re-count per waiter poll would
+                    // inflate disk_errors without new information.
+                    if let Some(m) = self.load_disk(key, scene, grid, false) {
+                        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return m;
+                    }
+                    self.counters.fits.fetch_add(1, Ordering::Relaxed);
+                    let m = Arc::new(fit.take().expect("fit consumed at most once")());
+                    self.save_disk(key, scene, &m);
+                    return m; // _guard drop removes the lock file
+                }
+                TryLock::Busy { age } => {
+                    let stale = age.is_some_and(|a| a > self.lock_stale_after)
+                        || watching_since.elapsed() > self.lock_stale_after;
+                    if stale {
+                        // the owner is presumed dead mid-fit; break its lock
+                        // and contend for a fresh one (create_new keeps this
+                        // atomic). Restart the local clock: the next holder
+                        // deserves a full staleness window.
+                        let _ = std::fs::remove_file(&lock);
+                        self.counters.lock_steals.fetch_add(1, Ordering::Relaxed);
+                        watching_since = std::time::Instant::now();
+                        continue;
+                    }
+                    if !counted_wait {
+                        self.counters.lock_waits.fetch_add(1, Ordering::Relaxed);
+                        counted_wait = true;
+                    }
+                    std::thread::sleep(Self::LOCK_POLL);
+                    if let Some(m) = self.load_disk(key, scene, grid, false) {
+                        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return m;
+                    }
+                }
+                TryLock::Unavailable => {
+                    // the directory refuses lock files (read-only,
+                    // permissions): serve without cross-process dedup rather
+                    // than not at all
+                    self.counters.fits.fetch_add(1, Ordering::Relaxed);
+                    let m = Arc::new(fit.take().expect("fit consumed at most once")());
+                    self.save_disk(key, scene, &m);
+                    return m;
+                }
             }
         }
     }
@@ -310,6 +430,8 @@ impl ModelStore {
             evictions: self.counters.evictions.load(Ordering::Relaxed),
             disk_errors: self.counters.disk_errors.load(Ordering::Relaxed),
             single_flight_waits: self.counters.single_flight_waits.load(Ordering::Relaxed),
+            lock_waits: self.counters.lock_waits.load(Ordering::Relaxed),
+            lock_steals: self.counters.lock_steals.load(Ordering::Relaxed),
             resident,
         }
     }
@@ -400,15 +522,22 @@ impl ModelStore {
     }
 
     /// Tries the disk layer. Missing files are ordinary misses; corrupt,
-    /// truncated, or stale checkpoints count as [`StoreStats::disk_errors`]
-    /// and degrade to a refit.
+    /// truncated, or stale checkpoints degrade to a refit and (when
+    /// `count_errors`) count as [`StoreStats::disk_errors`] — the re-checks
+    /// inside the lock protocol pass `false` so one bad file counts once.
     fn load_disk(
         &self,
         key: &StoreKey,
         scene: &SceneHandle,
         grid: &GridConfig,
+        count_errors: bool,
     ) -> Option<Arc<NgpModel>> {
         let path = self.ckpt_path(key)?;
+        let error = |counters: &Counters| {
+            if count_errors {
+                counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        };
         match io::load_model_file(&path) {
             Ok(ckpt) => {
                 // trust the file only if its embedded metadata matches the
@@ -418,13 +547,13 @@ impl ModelStore {
                 {
                     Some(Arc::new(ckpt.model))
                 } else {
-                    self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+                    error(&self.counters);
                     None
                 }
             }
             Err(LoadError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
             Err(_) => {
-                self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+                error(&self.counters);
                 None
             }
         }
@@ -449,6 +578,55 @@ impl ModelStore {
             let _ = std::fs::remove_file(&tmp);
             self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
         }
+    }
+}
+
+/// One attempt to take a cross-process cold-fit lock.
+enum TryLock {
+    /// This process created the lock file; the guard removes it on drop
+    /// (including on a fit panic, so other processes are not stuck waiting
+    /// out the stale timeout).
+    Acquired(LockFile),
+    /// Another process holds the lock; `age` is the lock file's mtime age
+    /// (`None` when the file vanished between create and stat).
+    Busy { age: Option<Duration> },
+    /// The directory refuses lock files entirely (read-only, permissions).
+    Unavailable,
+}
+
+/// Atomically attempts to create `path` as this process's lock file.
+fn try_lock(path: &Path) -> TryLock {
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::OpenOptions::new().write(true).create_new(true).open(path) {
+        Ok(mut f) => {
+            // contents are diagnostic only; staleness runs on mtime
+            let _ = writeln!(f, "pid {}", std::process::id());
+            TryLock::Acquired(LockFile { path: path.to_path_buf() })
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+            let age = std::fs::metadata(path)
+                .ok()
+                .and_then(|m| m.modified().ok())
+                .and_then(|t| t.elapsed().ok());
+            TryLock::Busy { age }
+        }
+        Err(_) => TryLock::Unavailable,
+    }
+}
+
+/// An owned lock file, removed on drop. If another waiter already deemed
+/// this lock stale and stole it, the removal may take out the stealer's
+/// lock too — the next load-or-fit still converges, it just may duplicate
+/// one fit (the documented stale-timeout trade).
+struct LockFile {
+    path: PathBuf,
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
     }
 }
 

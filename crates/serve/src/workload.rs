@@ -39,6 +39,10 @@ pub struct WorkloadEntry {
     pub at_ms: u64,
     /// Orbit step override, degrees per frame.
     pub azimuth_step_deg: Option<f32>,
+    /// 1-based source line in the workload file, so resolution failures
+    /// (unknown scene at submit time) can name the offending line, not just
+    /// a request index.
+    pub line: usize,
 }
 
 impl WorkloadEntry {
@@ -78,12 +82,12 @@ pub fn parse_workload(text: &str) -> Result<Vec<WorkloadEntry>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        out.push(parse_entry(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+        out.push(parse_entry(line, i + 1).map_err(|e| format!("line {}: {e}", i + 1))?);
     }
     Ok(out)
 }
 
-fn parse_entry(line: &str) -> Result<WorkloadEntry, String> {
+fn parse_entry(line: &str, line_no: usize) -> Result<WorkloadEntry, String> {
     let obj = parse_flat_object(line)?;
     let known = |k: &str| obj.get(k).cloned();
     let scene = match known("scene") {
@@ -120,6 +124,7 @@ fn parse_entry(line: &str) -> Result<WorkloadEntry, String> {
         deadline_ms: get_num(&obj, "deadline_ms")?.map(|n| n as u64),
         at_ms: get_num(&obj, "at_ms")?.map_or(0, |n| n as u64),
         azimuth_step_deg: get_num(&obj, "azimuth_step_deg")?.map(|n| n as f32),
+        line: line_no,
     })
 }
 
@@ -281,6 +286,8 @@ mod tests {
         let entries = parse_workload(text).unwrap();
         assert_eq!(entries.len(), 3);
         assert_eq!(entries[0].scene, "Mic");
+        assert_eq!(entries[0].line, 4, "entries remember their source line");
+        assert_eq!(entries[2].line, 6);
         assert_eq!(entries[0].frames, 2);
         assert_eq!(entries[0].priority, Priority::High);
         assert_eq!(entries[0].deadline_ms, Some(500));

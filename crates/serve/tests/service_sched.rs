@@ -239,3 +239,78 @@ fn deadline_misses_are_counted() {
     let stats = service.shutdown();
     assert_eq!((stats.deadlined_requests, stats.deadline_misses), (3, 1));
 }
+
+#[test]
+fn worker_pool_resizes_while_serving() {
+    let service = RenderService::builder(test_profile())
+        .store(warm_store(&["Mic"]))
+        .workers(1)
+        .paused()
+        .build()
+        .unwrap();
+    assert_eq!(service.workers(), 1);
+    let mic = registry::handle("Mic");
+    let tickets: Vec<_> =
+        (0..6).map(|_| service.submit(RenderRequest::frame(mic.clone(), 16)).unwrap()).collect();
+    assert_eq!(service.queue_len(), 6);
+    // grow while paused: the new threads park with the rest
+    assert_eq!(service.set_workers(3), 1, "set_workers returns the previous target");
+    assert_eq!(service.workers(), 3);
+    service.start();
+    for t in &tickets {
+        t.wait().unwrap();
+    }
+    // shrink below the live pool: excess workers retire between batches and
+    // the survivors keep serving
+    assert_eq!(service.set_workers(1), 3);
+    assert_eq!(service.workers(), 1);
+    let after = service.submit(RenderRequest::frame(mic.clone(), 16)).unwrap();
+    assert!(after.wait().is_ok(), "a shrunk pool must still serve");
+    // zero clamps to one: a pool can never scale itself to a standstill
+    service.set_workers(0);
+    assert_eq!(service.workers(), 1);
+    let stats = service.shutdown();
+    assert_eq!(stats.requests, 7);
+}
+
+#[test]
+fn completion_hook_sees_successes_and_failures() {
+    use asdr_serve::Completion;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    if registry::get("hook-panics").is_none() {
+        use asdr_scenes::registry::SceneDef;
+        registry::register(SceneDef::new("hook-panics", || panic!("builder exploded"))).unwrap();
+    }
+    let done = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(Mutex::new(Vec::new()));
+    let hook = {
+        let (done, failed) = (done.clone(), failed.clone());
+        Arc::new(move |c: &Completion<'_>| match c.result {
+            Some(r) => {
+                assert_eq!(r.scene, c.scene);
+                assert_eq!(r.resolution, c.resolution, "result carries its resolution");
+                assert!(r.latency >= r.queue_wait, "hook sees a coherent latency split");
+                done.fetch_add(1, Ordering::SeqCst);
+            }
+            None => failed.lock().unwrap().push((c.scene.to_string(), c.frames)),
+        })
+    };
+    let service = RenderService::builder(test_profile())
+        .store(warm_store(&["Mic"]))
+        .workers(1)
+        .on_complete(hook)
+        .build()
+        .unwrap();
+    let ok = service.submit(RenderRequest::sequence(registry::handle("Mic"), 16, 2)).unwrap();
+    let doomed = service.submit(RenderRequest::frame(registry::handle("hook-panics"), 16)).unwrap();
+    assert!(ok.wait().is_ok());
+    assert!(doomed.wait().is_err());
+    service.shutdown();
+    assert_eq!(done.load(Ordering::SeqCst), 1, "one successful completion observed");
+    assert_eq!(
+        failed.lock().unwrap().as_slice(),
+        &[("hook-panics".to_string(), 1)],
+        "failures are observed too (budget release depends on it)"
+    );
+}

@@ -1,0 +1,93 @@
+//! Sharded serving demo: a 3-shard [`ShardRouter`] cluster with
+//! cost-based admission and the autoscaling control loop.
+//!
+//! ```text
+//! cargo run --release --example render_cluster
+//! ```
+//!
+//! Submits two waves of deadlined traffic across three scenes, shows
+//! which home shard the consistent-hash ring gave each scene, then prints
+//! the cluster statistics: per-shard throughput, the cost model's
+//! predicted-vs-actual error, and any scaling events the control loop
+//! recorded.
+
+use asdr::cluster::{AutoscalerConfig, ShardRouter};
+use asdr::scenes::registry;
+use asdr::serve::{RenderProfile, RenderRequest};
+use std::time::Duration;
+
+const RESOLUTION: u32 = 32;
+const SCENES: [&str; 3] = ["Mic", "Lego", "Pulse"];
+
+fn main() {
+    let cluster = ShardRouter::builder(RenderProfile::tiny())
+        .shards(3)
+        .in_memory_stores()
+        .autoscale(AutoscalerConfig {
+            workers_min: 1,
+            workers_max: 3,
+            interval: Duration::from_millis(100),
+            ..AutoscalerConfig::default()
+        })
+        .build()
+        .expect("valid cluster configuration");
+    for name in SCENES {
+        println!("{name:>6} -> home shard {}", cluster.ring().home(name));
+    }
+
+    for wave in 0..2 {
+        println!("\n== wave {wave} ==");
+        let tickets: Vec<_> = SCENES
+            .iter()
+            .flat_map(|name| {
+                let scene = registry::handle(name);
+                [
+                    RenderRequest::frame(scene.clone(), RESOLUTION)
+                        .with_deadline(Duration::from_secs(3)),
+                    RenderRequest::sequence(scene, RESOLUTION, 2),
+                ]
+            })
+            .map(|req| cluster.submit(req).expect("budget open"))
+            .collect();
+        for t in &tickets {
+            let r = t.wait().expect("request completed");
+            println!(
+                "shard {} {:>6}: {} frame(s) in {:>6.1} ms (predicted {:>6.1} ms){}",
+                t.shard(),
+                r.scene,
+                r.images.len(),
+                r.latency.as_secs_f64() * 1e3,
+                t.predicted_ms(),
+                match r.deadline_met {
+                    Some(false) => "  MISSED",
+                    _ => "",
+                },
+            );
+        }
+    }
+
+    let stats = cluster.shutdown();
+    println!(
+        "\n{} requests, {} frames, {} fits ({} home-routed, {} spilled)",
+        stats.requests(),
+        stats.frames(),
+        stats.total_fits(),
+        stats.routed_home,
+        stats.spilled,
+    );
+    println!(
+        "cost model: {:.0}% mean abs prediction error over {} observations",
+        stats.cost.mean_abs_pct_error * 100.0,
+        stats.cost.observations,
+    );
+    for e in &stats.scale_events {
+        println!(
+            "scale event t+{} ms: shard {} {} -> {} workers (miss rate {:.0}%)",
+            e.at_ms,
+            e.shard,
+            e.from,
+            e.to,
+            e.miss_rate * 100.0
+        );
+    }
+}

@@ -45,5 +45,15 @@ serve-smoke:
     cargo run --release -p asdr_serve --bin asdr-serve -- --workload scripts/serve-workload-tiny.jsonl --scale tiny --store-dir target/serve-store --out target/serve-stats.json
     grep '"fits": 0' target/serve-stats.json
 
+# Replay the bundled clustered workload over 2 shards sharing one store
+# dir, cold then warm, pinning zero duplicate fits (what the nightly
+# cluster-smoke job runs).
+cluster-smoke:
+    rm -rf target/cluster-store
+    cargo run --release -p asdr_cluster --bin asdr-cluster -- --workload scripts/cluster-workload-tiny.jsonl --scale tiny --shards 2 --store-dir target/cluster-store --out target/cluster-stats-cold.json
+    grep '"total_fits": 3' target/cluster-stats-cold.json
+    cargo run --release -p asdr_cluster --bin asdr-cluster -- --workload scripts/cluster-workload-tiny.jsonl --scale tiny --shards 2 --store-dir target/cluster-store --out target/cluster-stats.json
+    grep '"total_fits": 0' target/cluster-stats.json
+
 # Everything CI runs, in one shot.
 ci: fmt-check clippy verify test-crates check-extras

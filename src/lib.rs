@@ -11,6 +11,8 @@
 //! * [`core`] — the ASDR algorithms and chip simulator,
 //! * [`serve`] — the multi-tenant render service and checkpoint-backed
 //!   model store,
+//! * [`cluster`] — sharded serving: consistent-hash routing, cost-based
+//!   admission, autoscaling worker pools,
 //! * [`baselines`] — GPU roofline models, NeuRex, Re-NeRF.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour, `DESIGN.md` for
@@ -38,6 +40,7 @@
 
 pub use asdr_baselines as baselines;
 pub use asdr_cim as cim;
+pub use asdr_cluster as cluster;
 pub use asdr_core as core;
 pub use asdr_math as math;
 pub use asdr_nerf as nerf;

@@ -1,0 +1,76 @@
+//! Cluster acceptance: the same mixed workload through (a) one
+//! `RenderService` and (b) a 3-shard `ShardRouter` produces **byte-identical
+//! images** — sharding is a pure scale-out decision, never a quality one.
+//! The two runs share one checkpoint directory, so the test also pins the
+//! multi-store topology: the single service fits each scene once (cold),
+//! and every cluster shard warms from those checkpoints (zero fits).
+
+use asdr::cluster::ShardRouter;
+use asdr::math::Image;
+use asdr::scenes::registry;
+use asdr::serve::{ModelStore, Priority, RenderProfile, RenderRequest, RenderService};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SCENES: [&str; 3] = ["Mic", "Lego", "Pulse"];
+const RESOLUTION: u32 = 24;
+
+fn fresh_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asdr_cluster_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The canonical workload: per scene, a prioritized frame and a short
+/// orbit sequence (plan reuse inside a request must not depend on where
+/// the request lands).
+fn workload() -> Vec<RenderRequest> {
+    SCENES
+        .iter()
+        .flat_map(|name| {
+            let scene = registry::handle(name);
+            [
+                RenderRequest::frame(scene.clone(), RESOLUTION).with_priority(Priority::High),
+                RenderRequest::sequence(scene, RESOLUTION, 2),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn a_sharded_cluster_renders_byte_identical_to_one_service() {
+    let dir = fresh_dir();
+
+    // (a) the reference: one service, cold store
+    let service = RenderService::builder(RenderProfile::tiny())
+        .store(Arc::new(ModelStore::builder().dir(&dir).build()))
+        .workers(2)
+        .build()
+        .unwrap();
+    let tickets: Vec<_> = workload().into_iter().map(|r| service.submit(r).unwrap()).collect();
+    let reference: Vec<Vec<Image>> =
+        tickets.iter().map(|t| t.wait().expect("request completed").images.clone()).collect();
+    let single = service.shutdown();
+    assert_eq!(single.store.fits, 3, "the cold reference run fits each scene once");
+
+    // (b) the same workload over 3 shards sharing that checkpoint dir
+    let cluster =
+        ShardRouter::builder(RenderProfile::tiny()).shards(3).store_dir(&dir).build().unwrap();
+    let tickets: Vec<_> = workload().into_iter().map(|r| cluster.submit(r).unwrap()).collect();
+    let shards_used: Vec<usize> = tickets.iter().map(|t| t.shard()).collect();
+    let sharded: Vec<Vec<Image>> =
+        tickets.iter().map(|t| t.wait().expect("request completed").images.clone()).collect();
+    let stats = cluster.shutdown();
+
+    assert_eq!(sharded, reference, "sharding changed pixels (shards used: {shards_used:?})");
+    assert_eq!(stats.requests(), 6);
+    assert_eq!(stats.total_fits(), 0, "every shard warms from the reference run's checkpoints");
+    assert_eq!(stats.total_disk_hits(), 3, "one checkpoint load per scene cluster-wide");
+    assert_eq!(stats.rejected, 0);
+    // consistent hashing keeps each scene's requests on one home shard
+    for pair in shards_used.chunks(2) {
+        assert_eq!(pair[0], pair[1], "one scene, one home shard: {shards_used:?}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
