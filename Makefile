@@ -1,7 +1,7 @@
 # Local entry points, kept identical to .github/workflows/ci.yml and the
 # justfile (use whichever runner you have; the recipes are the same).
 
-.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke bench-check serve-smoke cluster-smoke ci
+.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke bench-check serve-smoke cluster-smoke trace-smoke ci
 
 # Tier-1 gate: what must stay green on every commit.
 verify:
@@ -62,6 +62,13 @@ cluster-smoke:
 		--workload scripts/cluster-workload-tiny.jsonl --scale tiny --shards 2 \
 		--store-dir target/cluster-store --out target/cluster-stats.json
 	grep '"total_fits": 0' target/cluster-stats.json
+
+# Generate, sample, and replay a 120s synthetic diurnal trace, asserting
+# the sampled replay runs in < 10% of the full wall-clock with the full
+# miss rate inside the estimate's error bar (what the nightly trace-smoke
+# job runs).
+trace-smoke:
+	scripts/trace_smoke.sh
 
 # Everything CI runs, in one shot.
 ci: fmt-check clippy verify test-crates check-extras

@@ -343,6 +343,15 @@ const EXPERIMENTS: &[Experiment] = &[
         },
     },
     Experiment {
+        id: "trace",
+        describe: "representative replay: full vs phase-sampled trace",
+        in_all: true,
+        scene_aware: true,
+        run: |h, sel| {
+            trace_exp::print_trace(&trace_exp::run_trace(h, &sel.subset(&["Mic", "Lego", "Pulse"])))
+        },
+    },
+    Experiment {
         id: "debug",
         describe: "raw per-stage cycle breakdown (simulator calibration)",
         in_all: false,

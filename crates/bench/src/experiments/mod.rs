@@ -14,4 +14,5 @@ pub mod sequence;
 pub mod serve_exp;
 pub mod tables;
 pub mod tensorf_exp;
+pub mod trace_exp;
 pub mod visuals;

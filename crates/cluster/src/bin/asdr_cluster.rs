@@ -1,29 +1,34 @@
-//! `asdr-cluster` — replays a JSON-lines workload file through a sharded
+//! `asdr-cluster` — replays a workload trace through a sharded
 //! [`ShardRouter`] cluster and reports cluster statistics.
 //!
 //! ```text
-//! asdr-cluster --workload FILE [--shards N] [--scale tiny|small|paper]
+//! asdr-cluster (--workload FILE | --trace FILE | --synthetic SPEC)
+//!              [--shards N] [--scale tiny|small|paper]
 //!              [--workers N | --autoscale MIN:MAX] [--budget-ms X]
 //!              [--store-dir DIR | --no-store] [--queue N]
+//!              [--speed X] [--record PATH]
 //!              [--out STATS.json] [--dump-images DIR]
 //! ```
 //!
-//! The workload format is `asdr-serve`'s (see `asdr_serve::workload`).
-//! Entries are submitted at their `at_ms` arrival offsets; an overloaded
-//! cluster blocks the replay clock rather than dropping work. The process
-//! waits for every ticket, prints a per-request table (including which
-//! shard served it), and writes the [`ClusterStats`] JSON to `--out` —
-//! the artifact the nightly `cluster-smoke` job uploads and greps for
-//! zero duplicate fits (`"total_fits"` equals the workload's distinct
-//! scene count cold, zero warm).
+//! The trace inputs are `asdr-serve`'s (see `asdr_serve::trace`); the
+//! submit loop is the same shared [`ReplayDriver`](asdr_serve::ReplayDriver)
+//! — an overloaded cluster blocks the replay clock rather than dropping
+//! work, `--speed` warps arrival offsets, and `--record` captures every
+//! admitted request as a binary trace. The process waits for every
+//! ticket, prints a per-request table (including which shard served it)
+//! plus a machine-readable `TRACE_RESULT` line, and writes the
+//! [`ClusterStats`] JSON to `--out` — the artifact the nightly
+//! `cluster-smoke` job uploads and greps for zero duplicate fits
+//! (`"total_fits"` equals the workload's distinct scene count cold, zero
+//! warm).
 
-use asdr_cluster::{AutoscalerConfig, ClusterError, ShardRouter};
-use asdr_serve::{parse_workload, RenderProfile};
+use asdr_cluster::{AutoscalerConfig, ShardRouter};
+use asdr_serve::flags::{self, die, positive_usize, value, ReplayFlags};
+use asdr_serve::RenderProfile;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
 
 struct Args {
-    workload: PathBuf,
+    replay: ReplayFlags,
     profile: RenderProfile,
     shards: usize,
     workers: usize,
@@ -38,22 +43,19 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: asdr-cluster --workload FILE [--shards N] [--scale tiny|small|paper]\n\
+        "usage: asdr-cluster (--workload FILE | --trace FILE | --synthetic SPEC)\n\
+         \u{20}                   [--shards N] [--scale tiny|small|paper]\n\
          \u{20}                   [--workers N | --autoscale MIN:MAX] [--budget-ms X]\n\
          \u{20}                   [--store-dir DIR | --no-store] [--queue N]\n\
+         \u{20}                   [--speed X] [--record PATH]\n\
          \u{20}                   [--out STATS.json] [--dump-images DIR]"
     );
     std::process::exit(2);
 }
 
-fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(2);
-}
-
 fn parse_args() -> Args {
     let mut args = Args {
-        workload: PathBuf::new(),
+        replay: ReplayFlags::default(),
         profile: RenderProfile::tiny(),
         shards: 2,
         workers: 1,
@@ -67,56 +69,42 @@ fn parse_args() -> Args {
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let value = |i: &mut usize| -> String {
-        *i += 1;
-        argv.get(*i).cloned().unwrap_or_else(|| die(&format!("{} needs a value", argv[*i - 1])))
-    };
-    let positive = |flag: &str, s: String| -> usize {
-        s.parse::<usize>()
-            .ok()
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| die(&format!("{flag} needs a positive number")))
-    };
     while i < argv.len() {
-        match argv[i].as_str() {
-            "--workload" => args.workload = PathBuf::from(value(&mut i)),
-            "--scale" => {
-                let name = value(&mut i);
-                args.profile = RenderProfile::parse(&name)
-                    .unwrap_or_else(|| die(&format!("unknown scale {name:?}")));
+        if !args.replay.accept(&argv, &mut i) {
+            match argv[i].as_str() {
+                "--scale" => {
+                    let name = value(&argv, &mut i);
+                    args.profile = RenderProfile::parse(&name)
+                        .unwrap_or_else(|| die(&format!("unknown scale {name:?}")));
+                }
+                "--shards" => args.shards = positive_usize("--shards", &value(&argv, &mut i)),
+                "--workers" => args.workers = positive_usize("--workers", &value(&argv, &mut i)),
+                "--autoscale" => {
+                    let spec = value(&argv, &mut i);
+                    let (min, max) = spec
+                        .split_once(':')
+                        .unwrap_or_else(|| die("--autoscale needs MIN:MAX (e.g. 1:4)"));
+                    args.autoscale = Some((
+                        positive_usize("--autoscale MIN", min),
+                        positive_usize("--autoscale MAX", max),
+                    ));
+                }
+                "--budget-ms" => {
+                    args.budget_ms =
+                        Some(flags::positive_f64("--budget-ms", &value(&argv, &mut i)));
+                }
+                "--store-dir" => args.store_dir = Some(PathBuf::from(value(&argv, &mut i))),
+                "--no-store" => args.no_store = true,
+                "--queue" => args.queue = positive_usize("--queue", &value(&argv, &mut i)),
+                "--out" => args.out = Some(PathBuf::from(value(&argv, &mut i))),
+                "--dump-images" => args.dump_images = Some(PathBuf::from(value(&argv, &mut i))),
+                "-h" | "--help" => usage(),
+                other => die(&format!("unknown argument {other:?} (see --help)")),
             }
-            "--shards" => args.shards = positive("--shards", value(&mut i)),
-            "--workers" => args.workers = positive("--workers", value(&mut i)),
-            "--autoscale" => {
-                let spec = value(&mut i);
-                let (min, max) = spec
-                    .split_once(':')
-                    .unwrap_or_else(|| die("--autoscale needs MIN:MAX (e.g. 1:4)"));
-                args.autoscale = Some((
-                    positive("--autoscale MIN", min.to_string()),
-                    positive("--autoscale MAX", max.to_string()),
-                ));
-            }
-            "--budget-ms" => {
-                args.budget_ms = Some(
-                    value(&mut i)
-                        .parse::<f64>()
-                        .ok()
-                        .filter(|x| x.is_finite() && *x > 0.0)
-                        .unwrap_or_else(|| die("--budget-ms needs a positive number")),
-                );
-            }
-            "--store-dir" => args.store_dir = Some(PathBuf::from(value(&mut i))),
-            "--no-store" => args.no_store = true,
-            "--queue" => args.queue = positive("--queue", value(&mut i)),
-            "--out" => args.out = Some(PathBuf::from(value(&mut i))),
-            "--dump-images" => args.dump_images = Some(PathBuf::from(value(&mut i))),
-            "-h" | "--help" => usage(),
-            other => die(&format!("unknown argument {other:?} (see --help)")),
         }
         i += 1;
     }
-    if args.workload.as_os_str().is_empty() {
+    if args.replay.input.is_none() {
         usage();
     }
     if args.no_store && args.store_dir.is_some() {
@@ -127,11 +115,9 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let text = std::fs::read_to_string(&args.workload)
-        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", args.workload.display())));
-    let entries =
-        parse_workload(&text).unwrap_or_else(|e| die(&format!("{}: {e}", args.workload.display())));
-    if entries.is_empty() {
+    let input = args.replay.input.clone().expect("checked in parse_args");
+    let mut source = input.open().unwrap_or_else(|e| die(&e));
+    if source.len_hint() == Some(0) {
         die("workload file holds no requests");
     }
 
@@ -156,7 +142,7 @@ fn main() {
     let cluster = builder.build().unwrap_or_else(|e| die(&e));
     println!(
         "# asdr-cluster: {} requests over {} shards ({}), store {}",
-        entries.len(),
+        source.len_hint().map_or_else(|| "streamed".to_string(), |n| n.to_string()),
         cluster.shards(),
         match args.autoscale {
             Some((min, max)) => format!("autoscale {min}:{max} workers/shard"),
@@ -165,36 +151,27 @@ fn main() {
         args.store_dir.as_ref().map_or("in-memory".to_string(), |d| d.display().to_string()),
     );
 
-    // replay at the recorded arrival offsets; an overloaded cluster blocks
-    // the replay clock rather than dropping work
-    let t0 = Instant::now();
-    let mut tickets = Vec::with_capacity(entries.len());
-    for (idx, entry) in entries.iter().enumerate() {
-        let req = entry.to_request(&args.profile).unwrap_or_else(|e| {
-            die(&format!("{} line {}: {e}", args.workload.display(), entry.line))
-        });
-        if let Some(wait) = Duration::from_millis(entry.at_ms).checked_sub(t0.elapsed()) {
-            std::thread::sleep(wait);
-        }
-        let ticket = loop {
-            match cluster.submit(req.clone()) {
-                Ok(t) => break t,
-                Err(ClusterError::Overloaded { .. }) => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => die(&format!("request {idx}: {e}")),
-            }
-        };
-        tickets.push((idx, entry.scene.clone(), ticket));
+    let driver = args.replay.driver(args.profile.clone());
+    let replay = driver
+        .run(source.as_mut(), &cluster)
+        .unwrap_or_else(|e| die(&format!("{}: {e}", input.describe())));
+    if replay.requests.is_empty() {
+        die("trace holds no requests");
     }
 
+    let mut measurements = flags::ReplayMeasurements::default();
     println!("| req | scene | shard | frames | queue ms | latency ms | deadline |");
     println!("|---|---|---|---|---|---|---|");
-    for (idx, scene, ticket) in &tickets {
-        let r = ticket.wait().unwrap_or_else(|e| die(&format!("request {idx} ({scene}): {e}")));
+    for req in &replay.requests {
+        let r = req
+            .ticket
+            .wait()
+            .unwrap_or_else(|e| die(&format!("request {} ({}): {e}", req.index, req.scene)));
         println!(
-            "| {idx} | {scene} | {} | {} | {:.1} | {:.1} | {} |",
-            ticket.shard(),
+            "| {} | {} | {} | {} | {:.1} | {:.1} | {} |",
+            req.index,
+            req.scene,
+            req.ticket.shard(),
             r.images.len(),
             r.queue_wait.as_secs_f64() * 1e3,
             r.latency.as_secs_f64() * 1e3,
@@ -204,17 +181,12 @@ fn main() {
                 None => "-",
             },
         );
+        measurements.push(req.window, req.deadlined, r.deadline_met == Some(false), r.images.len());
         if let Some(dir) = &args.dump_images {
-            std::fs::create_dir_all(dir)
-                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
-            for (f, image) in r.images.iter().enumerate() {
-                let path = dir.join(format!("req{idx:03}-f{f:02}.ppm"));
-                image
-                    .write_ppm(&path)
-                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
-            }
+            flags::dump_frames(dir, req.index, &r.images);
         }
     }
+    let wall = replay.started.elapsed();
 
     let stats = cluster.shutdown();
     println!(
@@ -268,6 +240,10 @@ fn main() {
             );
         }
     }
+    println!(
+        "{}",
+        measurements.trace_result_line(wall, replay.plan.as_ref()).unwrap_or_else(|e| die(&e))
+    );
     if let Some(out) = &args.out {
         if let Some(parent) = out.parent() {
             let _ = std::fs::create_dir_all(parent);

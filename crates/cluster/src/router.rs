@@ -646,6 +646,21 @@ impl Drop for ShardRouter {
     }
 }
 
+impl asdr_serve::ReplayTarget for ShardRouter {
+    type Ticket = ClusterTicket;
+
+    /// The cluster replays like a single service: an over-budget cluster
+    /// is momentarily busy (the driver blocks the replay clock), every
+    /// other error is fatal.
+    fn try_submit(&self, req: RenderRequest) -> asdr_serve::SubmitOutcome<ClusterTicket> {
+        match self.submit(req) {
+            Ok(t) => asdr_serve::SubmitOutcome::Admitted(t),
+            Err(ClusterError::Overloaded { .. }) => asdr_serve::SubmitOutcome::Busy,
+            Err(e) => asdr_serve::SubmitOutcome::Fatal(e.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,27 +1,36 @@
-//! `asdr-serve` — replays a JSON-lines workload file through a
-//! [`RenderService`] and reports serving statistics.
+//! `asdr-serve` — replays a workload trace through a [`RenderService`]
+//! and reports serving statistics.
 //!
 //! ```text
-//! asdr-serve --workload FILE [--scale tiny|small|paper] [--workers N]
+//! asdr-serve (--workload FILE | --trace FILE | --synthetic SPEC)
+//!            [--scale tiny|small|paper] [--workers N]
 //!            [--store-dir DIR | --no-store] [--queue N]
+//!            [--speed X] [--record PATH]
 //!            [--out STATS.json] [--dump-images DIR]
 //! ```
 //!
-//! Entries are submitted at their `at_ms` arrival offsets (equal offsets
-//! form a burst); the process waits for every ticket, prints a per-request
-//! table plus the aggregate [`ServeStats`], and writes the stats as JSON to
-//! `--out` (the artifact the nightly workflow uploads). `--dump-images`
-//! writes every rendered frame as a PPM — two runs against the same
+//! Any [`TraceSource`](asdr_serve::TraceSource) can feed the replay: a
+//! JSON-lines workload, a binary trace (full or sampled), or a seeded
+//! synthetic spec. Entries are submitted at their `at_ms` arrival offsets
+//! (optionally time-warped by `--speed`; equal offsets form a burst)
+//! through the shared [`ReplayDriver`](asdr_serve::ReplayDriver);
+//! `--record` captures every admitted request as a binary trace. The
+//! process waits for every ticket, prints a per-request table plus the
+//! aggregate [`ServeStats`](asdr_serve::ServeStats) and a machine-readable
+//! `TRACE_RESULT` line (with the weighted estimate and error bars when
+//! replaying a sampled trace), and writes the stats as JSON to `--out`
+//! (the artifact the nightly workflow uploads). `--dump-images` writes
+//! every rendered frame as a PPM — two runs against the same
 //! `--store-dir` must produce byte-identical dumps (the store acceptance
 //! contract, pinned by `tests/serve_e2e.rs`).
 
-use asdr_serve::{parse_workload, ModelStore, RenderProfile, RenderService, ServeError};
+use asdr_serve::flags::{self, die, value, ReplayFlags};
+use asdr_serve::{ModelStore, RenderProfile, RenderService};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 struct Args {
-    workload: PathBuf,
+    replay: ReplayFlags,
     profile: RenderProfile,
     workers: Option<usize>,
     store_dir: Option<PathBuf>,
@@ -33,21 +42,18 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: asdr-serve --workload FILE [--scale tiny|small|paper] [--workers N]\n\
+        "usage: asdr-serve (--workload FILE | --trace FILE | --synthetic SPEC)\n\
+         \u{20}                 [--scale tiny|small|paper] [--workers N]\n\
          \u{20}                 [--store-dir DIR | --no-store] [--queue N]\n\
+         \u{20}                 [--speed X] [--record PATH]\n\
          \u{20}                 [--out STATS.json] [--dump-images DIR]"
     );
     std::process::exit(2);
 }
 
-fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(2);
-}
-
 fn parse_args() -> Args {
     let mut args = Args {
-        workload: PathBuf::new(),
+        replay: ReplayFlags::default(),
         profile: RenderProfile::tiny(),
         workers: None,
         store_dir: None,
@@ -58,41 +64,33 @@ fn parse_args() -> Args {
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
-    let value = |i: &mut usize| -> String {
-        *i += 1;
-        argv.get(*i).cloned().unwrap_or_else(|| die(&format!("{} needs a value", argv[*i - 1])))
-    };
     while i < argv.len() {
-        match argv[i].as_str() {
-            "--workload" => args.workload = PathBuf::from(value(&mut i)),
-            "--scale" => {
-                let name = value(&mut i);
-                args.profile = RenderProfile::parse(&name)
-                    .unwrap_or_else(|| die(&format!("unknown scale {name:?}")));
+        if !args.replay.accept(&argv, &mut i) {
+            match argv[i].as_str() {
+                "--scale" => {
+                    let name = value(&argv, &mut i);
+                    args.profile = RenderProfile::parse(&name)
+                        .unwrap_or_else(|| die(&format!("unknown scale {name:?}")));
+                }
+                "--workers" => {
+                    args.workers = Some(flags::positive_usize("--workers", &value(&argv, &mut i)));
+                }
+                "--store-dir" => args.store_dir = Some(PathBuf::from(value(&argv, &mut i))),
+                "--no-store" => args.no_store = true,
+                "--queue" => {
+                    args.queue = value(&argv, &mut i)
+                        .parse()
+                        .unwrap_or_else(|_| die("--queue needs a number"));
+                }
+                "--out" => args.out = Some(PathBuf::from(value(&argv, &mut i))),
+                "--dump-images" => args.dump_images = Some(PathBuf::from(value(&argv, &mut i))),
+                "-h" | "--help" => usage(),
+                other => die(&format!("unknown argument {other:?} (see --help)")),
             }
-            "--workers" => {
-                args.workers = Some(
-                    value(&mut i)
-                        .parse::<usize>()
-                        .ok()
-                        .filter(|&n| n > 0)
-                        .unwrap_or_else(|| die("--workers needs a positive number")),
-                );
-            }
-            "--store-dir" => args.store_dir = Some(PathBuf::from(value(&mut i))),
-            "--no-store" => args.no_store = true,
-            "--queue" => {
-                args.queue =
-                    value(&mut i).parse().unwrap_or_else(|_| die("--queue needs a number"));
-            }
-            "--out" => args.out = Some(PathBuf::from(value(&mut i))),
-            "--dump-images" => args.dump_images = Some(PathBuf::from(value(&mut i))),
-            "-h" | "--help" => usage(),
-            other => die(&format!("unknown argument {other:?} (see --help)")),
         }
         i += 1;
     }
-    if args.workload.as_os_str().is_empty() {
+    if args.replay.input.is_none() {
         usage();
     }
     if args.no_store && args.store_dir.is_some() {
@@ -103,11 +101,9 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let text = std::fs::read_to_string(&args.workload)
-        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", args.workload.display())));
-    let entries =
-        parse_workload(&text).unwrap_or_else(|e| die(&format!("{}: {e}", args.workload.display())));
-    if entries.is_empty() {
+    let input = args.replay.input.clone().expect("checked in parse_args");
+    let mut source = input.open().unwrap_or_else(|e| die(&e));
+    if source.len_hint() == Some(0) {
         die("workload file holds no requests");
     }
 
@@ -124,40 +120,31 @@ fn main() {
     let service = builder.queue_capacity(args.queue).build().unwrap_or_else(|e| die(&e));
     println!(
         "# asdr-serve: {} requests, {} workers, store {}",
-        entries.len(),
+        source.len_hint().map_or_else(|| "streamed".to_string(), |n| n.to_string()),
         service.workers(),
         service.store().dir().map_or("in-memory".to_string(), |d| d.display().to_string()),
     );
 
-    // replay at the recorded arrival offsets; a full queue blocks the
-    // replay clock rather than dropping work
-    let t0 = Instant::now();
-    let mut tickets = Vec::with_capacity(entries.len());
-    for (idx, entry) in entries.iter().enumerate() {
-        let req = entry.to_request(&args.profile).unwrap_or_else(|e| {
-            die(&format!("{} line {}: {e}", args.workload.display(), entry.line))
-        });
-        if let Some(wait) = Duration::from_millis(entry.at_ms).checked_sub(t0.elapsed()) {
-            std::thread::sleep(wait);
-        }
-        let ticket = loop {
-            match service.submit(req.clone()) {
-                Ok(t) => break t,
-                Err(ServeError::QueueFull { .. }) => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => die(&format!("request {idx}: {e}")),
-            }
-        };
-        tickets.push((idx, entry.scene.clone(), ticket));
+    let driver = args.replay.driver(args.profile.clone());
+    let replay = driver
+        .run(source.as_mut(), &service)
+        .unwrap_or_else(|e| die(&format!("{}: {e}", input.describe())));
+    if replay.requests.is_empty() {
+        die("trace holds no requests");
     }
 
+    let mut measurements = flags::ReplayMeasurements::default();
     println!("| req | scene | frames | reused | queue ms | latency ms | deadline |");
     println!("|---|---|---|---|---|---|---|");
-    for (idx, scene, ticket) in &tickets {
-        let r = ticket.wait().unwrap_or_else(|e| die(&format!("request {idx} ({scene}): {e}")));
+    for req in &replay.requests {
+        let r = req
+            .ticket
+            .wait()
+            .unwrap_or_else(|e| die(&format!("request {} ({}): {e}", req.index, req.scene)));
         println!(
-            "| {idx} | {scene} | {} | {} | {:.1} | {:.1} | {} |",
+            "| {} | {} | {} | {} | {:.1} | {:.1} | {} |",
+            req.index,
+            req.scene,
             r.images.len(),
             r.reused_frames,
             r.queue_wait.as_secs_f64() * 1e3,
@@ -168,17 +155,12 @@ fn main() {
                 None => "-",
             },
         );
+        measurements.push(req.window, req.deadlined, r.deadline_met == Some(false), r.images.len());
         if let Some(dir) = &args.dump_images {
-            std::fs::create_dir_all(dir)
-                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
-            for (f, image) in r.images.iter().enumerate() {
-                let path = dir.join(format!("req{idx:03}-f{f:02}.ppm"));
-                image
-                    .write_ppm(&path)
-                    .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
-            }
+            flags::dump_frames(dir, req.index, &r.images);
         }
     }
+    let wall = replay.started.elapsed();
 
     let stats = service.shutdown();
     println!(
@@ -204,6 +186,10 @@ fn main() {
     if stats.deadlined_requests > 0 {
         println!("deadlines: {}/{} missed", stats.deadline_misses, stats.deadlined_requests);
     }
+    println!(
+        "{}",
+        measurements.trace_result_line(wall, replay.plan.as_ref()).unwrap_or_else(|e| die(&e))
+    );
     if let Some(out) = &args.out {
         if let Some(parent) = out.parent() {
             let _ = std::fs::create_dir_all(parent);

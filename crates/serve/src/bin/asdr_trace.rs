@@ -1,0 +1,206 @@
+//! `asdr-trace` — the trace toolbox: capture, generate, sample, report.
+//!
+//! ```text
+//! asdr-trace record  (--workload FILE | --trace FILE | --synthetic SPEC) --out OUT.trace
+//! asdr-trace gen     SPEC --out OUT.trace
+//! asdr-trace sample  --trace FILE --window-ms N --clusters K [--seed S] --out OUT.trace
+//! asdr-trace report  [--out FILE] [LABEL=]STATS.json ...
+//! ```
+//!
+//! `record` transcodes any trace input into the compact binary format
+//! without replaying it; `gen` materialises a synthetic spec (see
+//! `asdr_serve::trace::synth`); `sample` reduces a trace to weighted
+//! medoid windows SimPoint-style; `report` merges per-run stats JSON
+//! artifacts into one comparative markdown table.
+
+use asdr_serve::flags::{die, positive_usize, value, ReplayFlags};
+use asdr_serve::trace::{format, report, sample_trace, source};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: asdr-trace record  (--workload FILE | --trace FILE | --synthetic SPEC) --out OUT.trace\n\
+         \u{20}      asdr-trace gen     SPEC --out OUT.trace\n\
+         \u{20}      asdr-trace sample  --trace FILE --window-ms N --clusters K [--seed S] --out OUT.trace\n\
+         \u{20}      asdr-trace report  [--out FILE] [LABEL=]STATS.json ...\n\
+         \n\
+         SPEC examples:\n\
+         \u{20} poisson:rate=1.2,duration=120s,scenes=Mic+Lego+Pulse,zipf=1.1,seed=7\n\
+         \u{20} diurnal:base=0.5,peak=4,period=60s,duration=120s,deadline=400,resolution=32"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "record" => cmd_record(rest),
+        "gen" => cmd_gen(rest),
+        "sample" => cmd_sample(rest),
+        "report" => cmd_report(rest),
+        "-h" | "--help" => usage(),
+        other => die(&format!("unknown subcommand {other:?} (see --help)")),
+    }
+}
+
+/// Writes `entries` (and an optional plan) to `out`, announcing the size.
+fn write_trace(
+    out: &PathBuf,
+    entries: &[source::TimedRequest],
+    plan: Option<&format::PlanMeta>,
+    what: &str,
+) {
+    format::write_file(out, entries, plan).unwrap_or_else(|e| die(&e));
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!("{}: {} requests, {} bytes -> {}", what, entries.len(), bytes, out.display());
+}
+
+fn cmd_record(argv: &[String]) {
+    let mut flags = ReplayFlags::default();
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        if !flags.accept(argv, &mut i) {
+            match argv[i].as_str() {
+                "--out" => out = Some(PathBuf::from(value(argv, &mut i))),
+                "-h" | "--help" => usage(),
+                other => die(&format!("unknown argument {other:?} (see --help)")),
+            }
+        }
+        i += 1;
+    }
+    let input = flags.input_or_usage(|| {});
+    let out = out.unwrap_or_else(|| die("record needs --out OUT.trace"));
+    let mut src = input.open().unwrap_or_else(|e| die(&e));
+    let plan = src.plan().cloned();
+    let entries = source::drain(src.as_mut());
+    write_trace(&out, &entries, plan.as_ref(), "recorded");
+}
+
+fn cmd_gen(argv: &[String]) {
+    let mut spec: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => out = Some(PathBuf::from(value(argv, &mut i))),
+            "-h" | "--help" => usage(),
+            s if !s.starts_with('-') && spec.is_none() => spec = Some(s.to_string()),
+            other => die(&format!("unknown argument {other:?} (see --help)")),
+        }
+        i += 1;
+    }
+    let spec = spec.unwrap_or_else(|| die("gen needs a SPEC (e.g. poisson:rate=1,duration=60s)"));
+    let out = out.unwrap_or_else(|| die("gen needs --out OUT.trace"));
+    let mut src = asdr_serve::SyntheticSource::from_spec(&spec).unwrap_or_else(|e| die(&e));
+    let entries = source::drain(&mut src);
+    if entries.is_empty() {
+        die("spec generated no arrivals (rate or duration too small)");
+    }
+    write_trace(&out, &entries, None, "generated");
+}
+
+fn cmd_sample(argv: &[String]) {
+    let mut trace: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut window_ms: Option<u64> = None;
+    let mut clusters: Option<usize> = None;
+    let mut seed = 0u64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--trace" => trace = Some(PathBuf::from(value(argv, &mut i))),
+            "--out" => out = Some(PathBuf::from(value(argv, &mut i))),
+            "--window-ms" => {
+                window_ms = Some(positive_usize("--window-ms", &value(argv, &mut i)) as u64);
+            }
+            "--clusters" => clusters = Some(positive_usize("--clusters", &value(argv, &mut i))),
+            "--seed" => {
+                seed = value(argv, &mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an unsigned integer"));
+            }
+            "-h" | "--help" => usage(),
+            other => die(&format!("unknown argument {other:?} (see --help)")),
+        }
+        i += 1;
+    }
+    let trace = trace.unwrap_or_else(|| die("sample needs --trace FILE"));
+    let out = out.unwrap_or_else(|| die("sample needs --out OUT.trace"));
+    let window_ms = window_ms.unwrap_or_else(|| die("sample needs --window-ms N"));
+    let clusters = clusters.unwrap_or_else(|| die("sample needs --clusters K"));
+    let decoded = format::read_file(&trace).unwrap_or_else(|e| die(&e));
+    if decoded.plan.is_some() {
+        die(&format!("{} is already a sampled trace", trace.display()));
+    }
+    let sampled =
+        sample_trace(&decoded.entries, window_ms, clusters, seed).unwrap_or_else(|e| die(&e));
+    let plan = &sampled.plan;
+    println!(
+        "sampled {} windows of {} ms down to {} medoids ({} of {} requests, {:.1}x compression)",
+        plan.total_windows,
+        plan.window_ms,
+        plan.picks.len(),
+        sampled.entries.len(),
+        decoded.entries.len(),
+        plan.equivalent_ms() as f64 / plan.replayed_ms().max(1) as f64,
+    );
+    for (i, p) in plan.picks.iter().enumerate() {
+        println!(
+            "  window {i}: t+{} ms, weight {}/{}",
+            p.start_ms, p.cluster_size, plan.total_windows
+        );
+    }
+    write_trace(&out, &sampled.entries, Some(plan), "sampled");
+}
+
+fn cmd_report(argv: &[String]) {
+    let mut out: Option<PathBuf> = None;
+    let mut artifacts: Vec<(String, std::collections::BTreeMap<String, f64>)> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => out = Some(PathBuf::from(value(argv, &mut i))),
+            "-h" | "--help" => usage(),
+            arg if !arg.starts_with('-') => {
+                let (label, path) = match arg.split_once('=') {
+                    Some((l, p)) => (l.to_string(), PathBuf::from(p)),
+                    None => {
+                        let p = PathBuf::from(arg);
+                        let stem = p
+                            .file_stem()
+                            .map(|s| s.to_string_lossy().into_owned())
+                            .unwrap_or_else(|| arg.to_string());
+                        (stem, p)
+                    }
+                };
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+                let metrics = report::scan_metrics(&text);
+                if metrics.is_empty() {
+                    die(&format!("{}: no numeric metrics found", path.display()));
+                }
+                artifacts.push((label, metrics));
+            }
+            other => die(&format!("unknown argument {other:?} (see --help)")),
+        }
+        i += 1;
+    }
+    if artifacts.is_empty() {
+        die("report needs at least one [LABEL=]STATS.json");
+    }
+    let md = report::merge_report(&artifacts);
+    match out {
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            std::fs::write(&path, &md)
+                .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+            println!("report ({} runs) written to {}", artifacts.len(), path.display());
+        }
+        None => print!("{md}"),
+    }
+}

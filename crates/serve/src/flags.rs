@@ -1,0 +1,272 @@
+//! Small shared CLI helpers for the workspace binaries.
+//!
+//! `asdr-serve`, `asdr-cluster`, and `asdr-trace` parse argv by hand (no
+//! clap offline); this module keeps the shared pieces — fail-fast value
+//! parsing, the trace-input flag trio (`--workload` / `--trace` /
+//! `--synthetic`) with `--speed`/`--record`, and the PPM frame dumper —
+//! in one place so the binaries hold only their own flags.
+
+use crate::trace::{BinarySource, JsonlSource, ReplayDriver, SyntheticSource, TraceSource};
+use asdr_math::Image;
+use std::path::{Path, PathBuf};
+
+/// Prints `error: msg` and exits 2 — the binaries' failure contract.
+pub fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Consumes the value following `argv[*i]`, advancing `i`; dies when the
+/// flag is last.
+pub fn value(argv: &[String], i: &mut usize) -> String {
+    *i += 1;
+    argv.get(*i).cloned().unwrap_or_else(|| die(&format!("{} needs a value", argv[*i - 1])))
+}
+
+/// Parses a positive integer or dies naming the flag.
+pub fn positive_usize(flag: &str, s: &str) -> usize {
+    s.parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| die(&format!("{flag} needs a positive number")))
+}
+
+/// Parses a positive finite float or dies naming the flag.
+pub fn positive_f64(flag: &str, s: &str) -> f64 {
+    s.parse::<f64>()
+        .ok()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .unwrap_or_else(|| die(&format!("{flag} needs a positive number")))
+}
+
+/// Which of the three [`TraceSource`] forms a replay reads from.
+#[derive(Debug, Clone)]
+pub enum TraceInput {
+    /// `--workload FILE` — the JSON-lines workload format.
+    Workload(PathBuf),
+    /// `--trace FILE` — a binary trace (full or sampled).
+    Trace(PathBuf),
+    /// `--synthetic SPEC` — a seeded generator spec.
+    Synthetic(String),
+}
+
+impl TraceInput {
+    /// Opens the input as a boxed [`TraceSource`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's construction error (file, parse, or spec).
+    pub fn open(&self) -> Result<Box<dyn TraceSource>, String> {
+        Ok(match self {
+            TraceInput::Workload(path) => Box::new(JsonlSource::from_file(path)?),
+            TraceInput::Trace(path) => Box::new(BinarySource::from_file(path)?),
+            TraceInput::Synthetic(spec) => Box::new(SyntheticSource::from_spec(spec)?),
+        })
+    }
+
+    /// One-line description for the binaries' startup banner.
+    pub fn describe(&self) -> String {
+        match self {
+            TraceInput::Workload(p) => format!("workload {}", p.display()),
+            TraceInput::Trace(p) => format!("trace {}", p.display()),
+            TraceInput::Synthetic(s) => format!("synthetic {s:?}"),
+        }
+    }
+}
+
+/// The replay flag set shared by `asdr-serve` and `asdr-cluster`:
+/// one trace input plus `--speed` and `--record`.
+#[derive(Debug, Default)]
+pub struct ReplayFlags {
+    /// The selected input, once one of the trio has been seen.
+    pub input: Option<TraceInput>,
+    /// `--speed FACTOR` time-warp (`None` = real time).
+    pub speed: Option<f64>,
+    /// `--record PATH` capture of admitted requests.
+    pub record: Option<PathBuf>,
+}
+
+impl ReplayFlags {
+    /// Tries to consume `argv[*i]` (and its value) as a replay flag;
+    /// returns whether it did. Dies on a repeated or conflicting input.
+    pub fn accept(&mut self, argv: &[String], i: &mut usize) -> bool {
+        let set = |slot: &mut Option<TraceInput>, input: TraceInput| {
+            if slot.is_some() {
+                die("--workload, --trace, and --synthetic are mutually exclusive");
+            }
+            *slot = Some(input);
+        };
+        match argv[*i].as_str() {
+            "--workload" => {
+                set(&mut self.input, TraceInput::Workload(PathBuf::from(value(argv, i))));
+            }
+            "--trace" => set(&mut self.input, TraceInput::Trace(PathBuf::from(value(argv, i)))),
+            "--synthetic" => set(&mut self.input, TraceInput::Synthetic(value(argv, i))),
+            "--speed" => self.speed = Some(positive_f64("--speed", &value(argv, i))),
+            "--record" => self.record = Some(PathBuf::from(value(argv, i))),
+            _ => return false,
+        }
+        true
+    }
+
+    /// The input, or dies pointing at usage when none was given.
+    pub fn input_or_usage(&self, usage: impl FnOnce()) -> TraceInput {
+        self.input.clone().unwrap_or_else(|| {
+            usage();
+            die("one of --workload, --trace, or --synthetic is required");
+        })
+    }
+
+    /// Builds the shared [`ReplayDriver`] these flags describe.
+    pub fn driver(&self, profile: crate::profile::RenderProfile) -> ReplayDriver {
+        ReplayDriver::new(profile).speed(self.speed.unwrap_or(1.0)).record(self.record.clone())
+    }
+}
+
+/// Per-request observations collected while waiting on replayed tickets,
+/// and the machine-readable `TRACE_RESULT` summary both binaries print.
+#[derive(Debug, Default)]
+pub struct ReplayMeasurements {
+    items: Vec<(Option<usize>, bool, bool, usize)>,
+}
+
+impl ReplayMeasurements {
+    /// Records one completed request.
+    pub fn push(&mut self, window: Option<usize>, deadlined: bool, missed: bool, frames: usize) {
+        self.items.push((window, deadlined, missed, frames));
+    }
+
+    /// The one-line `TRACE_RESULT {json}` summary: wall clock, measured
+    /// miss rate, and — when the replay carried a sampled-trace plan —
+    /// the weighted full-trace estimate with its error bars. Smoke jobs
+    /// grep this line; `asdr-trace report` merges its JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`weighted_estimate`](crate::trace::sample::weighted_estimate) mismatches.
+    pub fn trace_result_line(
+        &self,
+        wall: std::time::Duration,
+        plan: Option<&crate::trace::PlanMeta>,
+    ) -> Result<String, String> {
+        let deadlined = self.items.iter().filter(|m| m.1).count();
+        let misses = self.items.iter().filter(|m| m.1 && m.2).count();
+        let frames: usize = self.items.iter().map(|m| m.3).sum();
+        let miss_rate = if deadlined > 0 { misses as f64 / deadlined as f64 } else { 0.0 };
+        let mut json = format!(
+            "{{\"wall_ms\": {}, \"requests\": {}, \"frames\": {}, \
+             \"deadlined_requests\": {deadlined}, \"deadline_misses\": {misses}, \
+             \"miss_rate\": {miss_rate:.6}",
+            wall.as_millis(),
+            self.items.len(),
+            frames,
+        );
+        if let Some(plan) = plan {
+            let obs = crate::trace::sample::collect_window_obs(plan, self.items.iter().copied());
+            let est = crate::trace::sample::weighted_estimate(plan, &obs)?;
+            json.push_str(&format!(
+                ", \"est_miss_rate\": {:.6}, \"miss_err\": {:.6}, \
+                 \"est_fps\": {:.4}, \"fps_err\": {:.4}, \
+                 \"equivalent_ms\": {}, \"replayed_ms\": {}",
+                est.est_miss_rate,
+                est.miss_err,
+                est.est_fps,
+                est.fps_err,
+                est.equivalent_ms,
+                est.replayed_ms,
+            ));
+        }
+        json.push('}');
+        Ok(format!("TRACE_RESULT {json}"))
+    }
+}
+
+/// Writes request `idx`'s frames as `reqNNN-fMM.ppm` under `dir`, dying
+/// on I/O errors — the `--dump-images` contract both binaries share.
+pub fn dump_frames(dir: &Path, idx: usize, images: &[Image]) {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+    for (f, image) in images.iter().enumerate() {
+        let path = dir.join(format!("req{idx:03}-f{f:02}.ppm"));
+        image
+            .write_ppm(&path)
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn replay_flags_consume_their_trio() {
+        let mut flags = ReplayFlags::default();
+        let args = argv(&["--speed", "4", "--trace", "t.trace", "--record", "out.trace", "--x"]);
+        let mut i = 0;
+        let mut taken = 0;
+        while i < args.len() {
+            if flags.accept(&args, &mut i) {
+                taken += 1;
+            }
+            i += 1;
+        }
+        assert_eq!(taken, 3, "--x is left for the caller");
+        assert_eq!(flags.speed, Some(4.0));
+        assert!(matches!(flags.input, Some(TraceInput::Trace(_))));
+        assert_eq!(flags.record.as_deref(), Some(Path::new("out.trace")));
+    }
+
+    #[test]
+    fn trace_result_line_scans_back_as_metrics() {
+        use crate::trace::{PlanMeta, PlanPick};
+        let mut m = ReplayMeasurements::default();
+        m.push(Some(0), true, false, 2);
+        m.push(Some(1), true, true, 2);
+        let wall = std::time::Duration::from_millis(120);
+        let line = m.trace_result_line(wall, None).unwrap();
+        assert!(line.starts_with("TRACE_RESULT {"), "{line}");
+        assert!(line.contains("\"miss_rate\": 0.5"), "{line}");
+        assert!(!line.contains("est_miss_rate"), "full runs carry no estimate: {line}");
+
+        let plan = PlanMeta {
+            window_ms: 1000,
+            total_windows: 4,
+            picks: vec![
+                PlanPick { start_ms: 0, cluster_size: 2 },
+                PlanPick { start_ms: 2000, cluster_size: 2 },
+            ],
+        };
+        let line = m.trace_result_line(wall, Some(&plan)).unwrap();
+        let metrics =
+            crate::trace::report::scan_metrics(line.strip_prefix("TRACE_RESULT ").unwrap());
+        assert_eq!(metrics.get("wall_ms"), Some(&120.0));
+        assert_eq!(metrics.get("est_miss_rate"), Some(&0.5));
+        assert_eq!(metrics.get("equivalent_ms"), Some(&4000.0));
+        assert_eq!(metrics.get("replayed_ms"), Some(&2000.0));
+        assert!(metrics.get("miss_err").unwrap() >= &0.05);
+    }
+
+    #[test]
+    fn trace_input_opens_all_three_forms() {
+        let dir = std::env::temp_dir().join(format!("asdr-flags-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wl = dir.join("w.jsonl");
+        std::fs::write(&wl, "{\"scene\": \"Mic\"}\n").unwrap();
+        let mut src = TraceInput::Workload(wl).open().unwrap();
+        assert_eq!(src.next().unwrap().scene, "Mic");
+
+        let tr = dir.join("t.trace");
+        let mut synth =
+            TraceInput::Synthetic("poisson:rate=5,duration=2s,seed=1".into()).open().unwrap();
+        crate::trace::format::write_file(&tr, &crate::trace::source::drain(synth.as_mut()), None)
+            .unwrap();
+        assert!(TraceInput::Trace(tr).open().unwrap().next().is_some());
+        assert!(TraceInput::Trace(dir.join("missing.trace")).open().is_err());
+        assert!(TraceInput::Synthetic("bogus:".into()).open().is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

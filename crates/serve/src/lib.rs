@@ -17,7 +17,12 @@
 //!   their sample plan via
 //!   [`PlanPolicy::Reuse`](asdr_core::algo::PlanPolicy);
 //! * [`workload`] — the JSON-lines workload format the `asdr-serve` binary
-//!   replays, with [`service::ServeStats`] as its JSON artifact.
+//!   replays, with [`service::ServeStats`] as its JSON artifact;
+//! * [`trace`] — trace capture, compression, and representative replay:
+//!   a compact binary trace format, seeded synthetic generators, and
+//!   SimPoint-style phase sampling, all consumed through the
+//!   [`TraceSource`] trait by the one shared [`ReplayDriver`] that both
+//!   `asdr-serve` and `asdr-cluster` submit through.
 //!
 //! ```no_run
 //! use asdr_serve::{ModelStore, Priority, RenderProfile, RenderRequest, RenderService};
@@ -42,9 +47,11 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod flags;
 pub mod profile;
 pub mod service;
 pub mod store;
+pub mod trace;
 pub mod workload;
 
 pub use profile::RenderProfile;
@@ -53,4 +60,8 @@ pub use service::{
     ServeError, ServeStats,
 };
 pub use store::{ModelStore, StoreKey, StoreStats};
+pub use trace::{
+    BinarySource, JsonlSource, ReplayDriver, ReplayTarget, SubmitOutcome, SyntheticSource,
+    TimedRequest, TraceSource,
+};
 pub use workload::{parse_workload, WorkloadEntry};

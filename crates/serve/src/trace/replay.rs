@@ -1,0 +1,310 @@
+//! The shared replay driver — one submit loop for every binary and every
+//! [`TraceSource`].
+//!
+//! `asdr-serve` and `asdr-cluster` used to carry near-identical
+//! parse/sleep/submit loops; both now feed a [`ReplayDriver`], which owns
+//! the open-loop clock (sleep until each request's arrival offset,
+//! optionally time-warped by `--speed`), the busy-retry policy (a full
+//! queue blocks the replay clock rather than dropping work), and `--record`
+//! capture of every admitted request into the binary trace format. The
+//! driver is generic over a [`ReplayTarget`], so a single-node
+//! [`RenderService`] and a sharded cluster router replay identically.
+
+use crate::profile::RenderProfile;
+use crate::service::{RenderRequest, RenderService, RenderTicket, ServeError};
+use crate::trace::format::{self, PlanMeta};
+use crate::trace::source::{TimedRequest, TraceSource};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One admission attempt's outcome, as the driver sees it.
+#[derive(Debug)]
+pub enum SubmitOutcome<T> {
+    /// The request was admitted; hold the ticket.
+    Admitted(T),
+    /// The target is momentarily full — retry after a poll interval.
+    Busy,
+    /// The request can never be admitted; abort the replay.
+    Fatal(String),
+}
+
+/// Anything a trace can be replayed into.
+///
+/// Implementations map their own retryable-overload error to
+/// [`SubmitOutcome::Busy`]; everything else is fatal.
+pub trait ReplayTarget {
+    /// The per-request completion handle.
+    type Ticket;
+
+    /// Attempts to admit one request.
+    fn try_submit(&self, req: RenderRequest) -> SubmitOutcome<Self::Ticket>;
+}
+
+impl ReplayTarget for RenderService {
+    type Ticket = RenderTicket;
+
+    fn try_submit(&self, req: RenderRequest) -> SubmitOutcome<RenderTicket> {
+        match self.submit(req) {
+            Ok(t) => SubmitOutcome::Admitted(t),
+            Err(ServeError::QueueFull { .. }) => SubmitOutcome::Busy,
+            Err(e) => SubmitOutcome::Fatal(e.to_string()),
+        }
+    }
+}
+
+/// One admitted request, paired with where it came from.
+#[derive(Debug)]
+pub struct ReplayedRequest<T> {
+    /// 0-based submission index.
+    pub index: usize,
+    /// 1-based line/record in the source (for error context).
+    pub origin: usize,
+    /// Scene name, kept for the per-request table.
+    pub scene: String,
+    /// Sampled-window index, when replaying a sampled trace.
+    pub window: Option<usize>,
+    /// Whether the request carried a deadline.
+    pub deadlined: bool,
+    /// The target's completion handle.
+    pub ticket: T,
+}
+
+/// A finished submission pass: every ticket, in arrival order.
+#[derive(Debug)]
+pub struct Replay<T> {
+    /// Admitted requests with their tickets; callers wait on these.
+    pub requests: Vec<ReplayedRequest<T>>,
+    /// The sampled-trace plan, when the source carried one.
+    pub plan: Option<PlanMeta>,
+    /// When the replay clock started (wall-clock measurements anchor here).
+    pub started: Instant,
+    /// Wall time spent submitting (excludes waiting on tickets).
+    pub submit_wall: Duration,
+}
+
+/// The shared open-loop replay driver (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ReplayDriver {
+    profile: RenderProfile,
+    speed: f64,
+    record: Option<PathBuf>,
+    poll: Duration,
+}
+
+impl ReplayDriver {
+    /// A driver replaying in real time under `profile`, recording nothing.
+    pub fn new(profile: RenderProfile) -> Self {
+        ReplayDriver { profile, speed: 1.0, record: None, poll: Duration::from_millis(5) }
+    }
+
+    /// Time-warps the replay clock: arrival offsets are divided by
+    /// `speed`, so `2.0` replays twice as fast. Validated in [`run`](Self::run).
+    pub fn speed(mut self, speed: f64) -> Self {
+        self.speed = speed;
+        self
+    }
+
+    /// Captures every admitted request (at its warped arrival offset)
+    /// into a binary trace at `path` when the replay finishes.
+    pub fn record(mut self, path: Option<PathBuf>) -> Self {
+        self.record = path;
+        self
+    }
+
+    /// How long to sleep when the target reports [`SubmitOutcome::Busy`].
+    pub fn poll(mut self, poll: Duration) -> Self {
+        self.poll = poll;
+        self
+    }
+
+    /// Drains `source` into `target`: sleeps until each entry's (warped)
+    /// arrival offset, resolves it against the profile, and submits,
+    /// retrying while the target is busy.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"entry N: why"` when a request cannot be resolved,
+    /// `"request N: why"` on a fatal submit error, a speed-validation
+    /// message, or a record-file write error. Any already-issued tickets
+    /// are dropped (their requests still complete in the target).
+    pub fn run<S: TraceSource + ?Sized, T: ReplayTarget>(
+        &self,
+        source: &mut S,
+        target: &T,
+    ) -> Result<Replay<T::Ticket>, String> {
+        if !self.speed.is_finite() || self.speed <= 0.0 {
+            return Err(format!("--speed must be a positive number, got {}", self.speed));
+        }
+        let plan = source.plan().cloned();
+        let started = Instant::now();
+        let mut requests = Vec::with_capacity(source.len_hint().unwrap_or(0));
+        let mut recorded: Vec<TimedRequest> = Vec::new();
+        while let Some(entry) = source.next() {
+            let index = requests.len();
+            let req = entry
+                .to_request(&self.profile)
+                .map_err(|e| format!("entry {}: {e}", entry.origin))?;
+            let warped_ms = (entry.at_ms as f64 / self.speed).round() as u64;
+            if let Some(wait) = Duration::from_millis(warped_ms).checked_sub(started.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            let ticket = loop {
+                match target.try_submit(req.clone()) {
+                    SubmitOutcome::Admitted(t) => break t,
+                    SubmitOutcome::Busy => std::thread::sleep(self.poll),
+                    SubmitOutcome::Fatal(e) => return Err(format!("request {index}: {e}")),
+                }
+            };
+            if self.record.is_some() {
+                // The capture is the *warped* schedule with window tags
+                // stripped — replaying it reproduces this run verbatim.
+                recorded.push(TimedRequest {
+                    at_ms: warped_ms,
+                    origin: index + 1,
+                    window: None,
+                    ..entry.clone()
+                });
+            }
+            requests.push(ReplayedRequest {
+                index,
+                origin: entry.origin,
+                scene: entry.scene,
+                window: entry.window,
+                deadlined: entry.deadline_ms.is_some(),
+                ticket,
+            });
+        }
+        if let Some(path) = &self.record {
+            format::write_file(path, &recorded, None)?;
+        }
+        Ok(Replay { requests, plan, started, submit_wall: started.elapsed() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Priority;
+    use crate::trace::source::BinarySource;
+    use std::sync::Mutex;
+
+    /// A target that stays busy for the first `busy` submissions of each
+    /// request index, then admits, echoing the request back as a ticket.
+    struct MockTarget {
+        busy: usize,
+        attempts: Mutex<usize>,
+        admitted: Mutex<Vec<String>>,
+    }
+
+    impl MockTarget {
+        fn new(busy: usize) -> Self {
+            MockTarget { busy, attempts: Mutex::new(0), admitted: Mutex::new(Vec::new()) }
+        }
+    }
+
+    impl ReplayTarget for MockTarget {
+        type Ticket = RenderRequest;
+
+        fn try_submit(&self, req: RenderRequest) -> SubmitOutcome<RenderRequest> {
+            let mut attempts = self.attempts.lock().unwrap();
+            *attempts += 1;
+            if *attempts <= self.busy {
+                return SubmitOutcome::Busy;
+            }
+            self.admitted.lock().unwrap().push(req.scene.name().to_string());
+            SubmitOutcome::Admitted(req)
+        }
+    }
+
+    fn entry(at_ms: u64, scene: &str, origin: usize) -> TimedRequest {
+        TimedRequest {
+            at_ms,
+            scene: scene.to_string(),
+            frames: 1,
+            resolution: Some(16),
+            priority: Priority::Normal,
+            deadline_ms: Some(250),
+            azimuth_step_deg: None,
+            origin,
+            window: None,
+        }
+    }
+
+    fn driver() -> ReplayDriver {
+        ReplayDriver::new(RenderProfile::tiny())
+    }
+
+    #[test]
+    fn replays_through_busy_targets_in_order() {
+        let target = MockTarget::new(2);
+        let mut source =
+            vec![entry(0, "Mic", 1), entry(1, "Lego", 2), entry(2, "Mic", 3)].into_iter();
+        let replay = driver().poll(Duration::from_millis(1)).run(&mut source, &target).unwrap();
+        assert_eq!(replay.requests.len(), 3);
+        assert_eq!(*target.admitted.lock().unwrap(), ["Mic", "Lego", "Mic"]);
+        assert_eq!(replay.requests[1].scene, "Lego");
+        assert_eq!(replay.requests[1].origin, 2);
+        assert!(replay.requests[0].deadlined);
+        assert!(replay.plan.is_none());
+    }
+
+    #[test]
+    fn speed_warps_the_clock_and_the_recording() {
+        let dir = std::env::temp_dir().join(format!("asdr-replay-{}", std::process::id()));
+        let path = dir.join("warped.trace");
+        let target = MockTarget::new(0);
+        let mut source = vec![entry(0, "Mic", 1), entry(400, "Lego", 2)].into_iter();
+        let t0 = Instant::now();
+        let replay =
+            driver().speed(100.0).record(Some(path.clone())).run(&mut source, &target).unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(300), "400ms warped 100x replays fast");
+        assert_eq!(replay.requests.len(), 2);
+        let decoded = format::read_file(&path).unwrap();
+        assert_eq!(decoded.entries.len(), 2);
+        assert_eq!(decoded.entries[1].at_ms, 4, "400ms / 100x");
+        assert_eq!(decoded.entries[1].scene, "Lego");
+        assert_eq!(decoded.entries[1].deadline_ms, Some(250));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorded_traces_replay_identically() {
+        let dir = std::env::temp_dir().join(format!("asdr-replay2-{}", std::process::id()));
+        let path = dir.join("capture.trace");
+        let entries = vec![entry(0, "Mic", 1), entry(2, "Lego", 2)];
+        let target = MockTarget::new(0);
+        driver().record(Some(path.clone())).run(&mut entries.clone().into_iter(), &target).unwrap();
+        let mut recorded = BinarySource::from_file(&path).unwrap();
+        let target2 = MockTarget::new(0);
+        let replay = driver().run(&mut recorded, &target2).unwrap();
+        assert_eq!(*target2.admitted.lock().unwrap(), *target.admitted.lock().unwrap());
+        assert_eq!(replay.requests.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_entries_and_bad_speeds_are_named() {
+        let target = MockTarget::new(0);
+        let e =
+            driver().run(&mut vec![entry(0, "no-such-scene", 7)].into_iter(), &target).unwrap_err();
+        assert!(e.starts_with("entry 7: "), "{e}");
+        let e = driver().speed(0.0).run(&mut Vec::new().into_iter(), &target).unwrap_err();
+        assert!(e.contains("--speed"), "{e}");
+    }
+
+    #[test]
+    fn render_service_is_a_replay_target() {
+        let service = RenderService::builder(RenderProfile::tiny())
+            .store(std::sync::Arc::new(
+                crate::store::ModelStore::builder().in_memory_only().build(),
+            ))
+            .workers(1)
+            .build()
+            .unwrap();
+        let mut source = vec![entry(0, "Mic", 1)].into_iter();
+        let replay = driver().run(&mut source, &service).unwrap();
+        let result = replay.requests.into_iter().next().unwrap().ticket.wait().unwrap();
+        assert_eq!(result.images.len(), 1);
+        service.shutdown();
+    }
+}

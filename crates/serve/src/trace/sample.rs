@@ -1,0 +1,405 @@
+//! SimPoint-style phase sampling: replay a few *representative* windows
+//! of a long trace instead of all of it, and report an estimate with
+//! error bars.
+//!
+//! The pipeline mirrors SimPoint's program-phase analysis, transposed to
+//! serving traffic: split the trace into fixed windows, fingerprint each
+//! window by its (scene-mix, arrival-rate, resolution-mix) vector,
+//! cluster the fingerprints with k-medoids (PAM), and keep only the
+//! medoid window of each cluster, weighted by its cluster's size. A
+//! replay of the sampled trace measures each kept window and
+//! [`weighted_estimate`] extrapolates miss rate and throughput back to
+//! the full trace, with a 95% error bar.
+
+use crate::trace::format::{PlanMeta, PlanPick};
+use crate::trace::source::TimedRequest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A trace reduced to its weighted medoid windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledTrace {
+    /// Entries of the retained windows, original timestamps kept;
+    /// [`BinarySource`](crate::trace::source::BinarySource) re-bases them
+    /// at replay time using `plan`.
+    pub entries: Vec<TimedRequest>,
+    /// Which windows were kept and what each one stands for.
+    pub plan: PlanMeta,
+}
+
+/// Per-window fingerprint: scene-mix fractions, normalised arrival rate,
+/// and resolution-mix fractions, concatenated into one vector.
+fn fingerprints(entries: &[TimedRequest], window_ms: u64, total_windows: usize) -> Vec<Vec<f64>> {
+    let mut scene_names: Vec<&str> = entries.iter().map(|e| e.scene.as_str()).collect();
+    scene_names.sort_unstable();
+    scene_names.dedup();
+    let mut resolutions: Vec<Option<u32>> = entries.iter().map(|e| e.resolution).collect();
+    resolutions.sort_unstable();
+    resolutions.dedup();
+
+    let mut counts = vec![0usize; total_windows];
+    let dim = scene_names.len() + 1 + resolutions.len();
+    let mut fps = vec![vec![0.0f64; dim]; total_windows];
+    for e in entries {
+        let w = (e.at_ms / window_ms) as usize;
+        counts[w] += 1;
+        let s = scene_names.binary_search(&e.scene.as_str()).expect("scene indexed above");
+        fps[w][s] += 1.0;
+        let r = resolutions.iter().position(|&x| x == e.resolution).expect("resolution indexed");
+        fps[w][scene_names.len() + 1 + r] += 1.0;
+    }
+    let max_count = counts.iter().copied().max().unwrap_or(0).max(1) as f64;
+    for (w, fp) in fps.iter_mut().enumerate() {
+        let n = counts[w] as f64;
+        if counts[w] > 0 {
+            for v in fp.iter_mut() {
+                *v /= n;
+            }
+        }
+        fp[scene_names.len()] = counts[w] as f64 / max_count;
+    }
+    fps
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Total cost of an assignment: each point's distance to its nearest
+/// medoid.
+fn cost(fps: &[Vec<f64>], medoids: &[usize]) -> f64 {
+    fps.iter()
+        .map(|fp| medoids.iter().map(|&m| dist(fp, &fps[m])).fold(f64::INFINITY, f64::min))
+        .sum()
+}
+
+/// Deterministic k-medoids (greedy BUILD + PAM swaps). `seed` only breaks
+/// the initial-medoid tie; the swap phase is exhaustive, so results are
+/// stable for a given trace.
+fn k_medoids(fps: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
+    let n = fps.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut medoids = vec![rng.gen_range(0..n)];
+    // BUILD: greedily add the point that lowers total cost the most.
+    while medoids.len() < k {
+        let best = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .min_by(|&a, &b| {
+                let ca = cost(fps, &[medoids.clone(), vec![a]].concat());
+                let cb = cost(fps, &[medoids.clone(), vec![b]].concat());
+                ca.partial_cmp(&cb).expect("finite costs")
+            })
+            .expect("k <= n");
+        medoids.push(best);
+    }
+    // PAM: swap any (medoid, non-medoid) pair while it improves the cost.
+    let mut best_cost = cost(fps, &medoids);
+    loop {
+        let mut improved = false;
+        for mi in 0..medoids.len() {
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                let old = medoids[mi];
+                medoids[mi] = cand;
+                let c = cost(fps, &medoids);
+                if c + 1e-12 < best_cost {
+                    best_cost = c;
+                    improved = true;
+                } else {
+                    medoids[mi] = old;
+                }
+            }
+        }
+        if !improved {
+            return medoids;
+        }
+    }
+}
+
+/// Reduces `entries` to `k` weighted medoid windows of `window_ms` each.
+///
+/// # Errors
+///
+/// Returns a message if the trace is empty or the parameters are zero.
+pub fn sample_trace(
+    entries: &[TimedRequest],
+    window_ms: u64,
+    k: usize,
+    seed: u64,
+) -> Result<SampledTrace, String> {
+    if entries.is_empty() {
+        return Err("sample: trace is empty".into());
+    }
+    if window_ms == 0 {
+        return Err("sample: window-ms must be positive".into());
+    }
+    if k == 0 {
+        return Err("sample: clusters must be positive".into());
+    }
+    let span = entries.iter().map(|e| e.at_ms).max().expect("non-empty") + 1;
+    let total_windows = span.div_ceil(window_ms) as usize;
+    let k = k.min(total_windows);
+    let fps = fingerprints(entries, window_ms, total_windows);
+    let medoids = k_medoids(&fps, k, seed);
+
+    // Assign every window to its nearest medoid; ties go to the earlier
+    // medoid so weights are deterministic.
+    let mut sizes = vec![0u64; medoids.len()];
+    for fp in &fps {
+        let nearest = medoids
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                dist(fp, &fps[a]).partial_cmp(&dist(fp, &fps[b])).expect("finite")
+            })
+            .map(|(i, _)| i)
+            .expect("k >= 1");
+        sizes[nearest] += 1;
+    }
+    let mut picks: Vec<PlanPick> = medoids
+        .iter()
+        .zip(&sizes)
+        .map(|(&m, &sz)| PlanPick { start_ms: m as u64 * window_ms, cluster_size: sz })
+        .collect();
+    picks.sort_by_key(|p| p.start_ms);
+    let plan = PlanMeta { window_ms, total_windows: total_windows as u64, picks };
+
+    let kept: Vec<TimedRequest> = entries
+        .iter()
+        .filter(|e| {
+            plan.picks.iter().any(|p| e.at_ms >= p.start_ms && e.at_ms < p.start_ms + window_ms)
+        })
+        .cloned()
+        .collect();
+    Ok(SampledTrace { entries: kept, plan })
+}
+
+/// Measurements from replaying one retained window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowObs {
+    /// Requests in the window that carried a deadline.
+    pub deadlined: usize,
+    /// Of those, how many missed it.
+    pub misses: usize,
+    /// Frames rendered for the window's requests.
+    pub frames: usize,
+}
+
+/// A full-trace estimate extrapolated from sampled windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Weighted deadline-miss-rate estimate for the full trace.
+    pub est_miss_rate: f64,
+    /// 95% half-width on `est_miss_rate` (never below the 0.05 floor).
+    pub miss_err: f64,
+    /// Weighted frames-per-second estimate.
+    pub est_fps: f64,
+    /// Weighted standard deviation of per-window fps.
+    pub fps_err: f64,
+    /// Simulated milliseconds the full trace covers.
+    pub equivalent_ms: u64,
+    /// Simulated milliseconds actually replayed.
+    pub replayed_ms: u64,
+}
+
+/// Absolute floor on the miss-rate error bar: with a handful of sampled
+/// windows the binomial term alone understates window-selection error.
+pub const MISS_ERR_FLOOR: f64 = 0.05;
+
+/// Extrapolates window measurements to a full-trace [`Estimate`].
+///
+/// `obs[i]` must be the measurement of `plan.picks[i]`'s window. The
+/// miss-rate bar is `1.96 * sqrt(Σ wᵢ² pᵢ(1-pᵢ)/nᵢ)` (a weighted binomial
+/// 95% interval) plus the [`MISS_ERR_FLOOR`].
+///
+/// # Errors
+///
+/// Returns a message when `obs` and the plan disagree in length.
+pub fn weighted_estimate(plan: &PlanMeta, obs: &[WindowObs]) -> Result<Estimate, String> {
+    if obs.len() != plan.picks.len() {
+        return Err(format!(
+            "estimate: {} window observations for {} picks",
+            obs.len(),
+            plan.picks.len()
+        ));
+    }
+    let total = plan.total_windows.max(1) as f64;
+    let window_s = plan.window_ms as f64 / 1e3;
+    let mut est_miss = 0.0;
+    let mut miss_var = 0.0;
+    let mut est_fps = 0.0;
+    for (pick, o) in plan.picks.iter().zip(obs) {
+        let w = pick.cluster_size as f64 / total;
+        let n = o.deadlined.max(1) as f64;
+        let p = o.misses as f64 / n;
+        est_miss += w * p;
+        miss_var += w * w * p * (1.0 - p) / n;
+        est_fps += w * o.frames as f64 / window_s;
+    }
+    let mut fps_var = 0.0;
+    for (pick, o) in plan.picks.iter().zip(obs) {
+        let w = pick.cluster_size as f64 / total;
+        let fps = o.frames as f64 / window_s;
+        fps_var += w * (fps - est_fps) * (fps - est_fps);
+    }
+    Ok(Estimate {
+        est_miss_rate: est_miss,
+        miss_err: 1.96 * miss_var.sqrt() + MISS_ERR_FLOOR,
+        est_fps,
+        fps_err: fps_var.sqrt(),
+        equivalent_ms: plan.equivalent_ms(),
+        replayed_ms: plan.replayed_ms(),
+    })
+}
+
+/// Groups replay measurements by window index into per-pick [`WindowObs`].
+///
+/// Each item is `(window, carried_deadline, missed, frames)`; requests
+/// with `window == None` are ignored (full-trace replays have no plan).
+pub fn collect_window_obs(
+    plan: &PlanMeta,
+    measurements: impl IntoIterator<Item = (Option<usize>, bool, bool, usize)>,
+) -> Vec<WindowObs> {
+    let mut obs = vec![WindowObs::default(); plan.picks.len()];
+    for (window, deadlined, missed, frames) in measurements {
+        let Some(w) = window else { continue };
+        if w >= obs.len() {
+            continue;
+        }
+        obs[w].frames += frames;
+        if deadlined {
+            obs[w].deadlined += 1;
+            if missed {
+                obs[w].misses += 1;
+            }
+        }
+    }
+    obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Priority;
+    use crate::trace::source::{drain, BinarySource, TraceSource};
+    use crate::trace::synth::SyntheticSource;
+
+    fn entry(at_ms: u64, scene: &str) -> TimedRequest {
+        TimedRequest {
+            at_ms,
+            scene: scene.to_string(),
+            frames: 1,
+            resolution: None,
+            priority: Priority::Normal,
+            deadline_ms: Some(100),
+            azimuth_step_deg: None,
+            origin: 0,
+            window: None,
+        }
+    }
+
+    #[test]
+    fn sampling_validates_inputs() {
+        assert!(sample_trace(&[], 1000, 2, 0).unwrap_err().contains("empty"));
+        let e = [entry(0, "Mic")];
+        assert!(sample_trace(&e, 0, 2, 0).unwrap_err().contains("window-ms"));
+        assert!(sample_trace(&e, 1000, 0, 0).unwrap_err().contains("clusters"));
+    }
+
+    #[test]
+    fn two_phase_trace_keeps_one_window_per_phase() {
+        // Phase A: Mic every 100ms for 4s. Phase B: Lego every 25ms for 4s.
+        let mut entries = Vec::new();
+        for t in (0..4000).step_by(100) {
+            entries.push(entry(t, "Mic"));
+        }
+        for t in (4000..8000).step_by(25) {
+            entries.push(entry(t, "Lego"));
+        }
+        let sampled = sample_trace(&entries, 1000, 2, 42).unwrap();
+        assert_eq!(sampled.plan.total_windows, 8);
+        assert_eq!(sampled.plan.picks.len(), 2);
+        let phase_of = |p: &PlanPick| if p.start_ms < 4000 { "A" } else { "B" };
+        let phases: Vec<&str> = sampled.plan.picks.iter().map(phase_of).collect();
+        assert!(phases.contains(&"A") && phases.contains(&"B"), "picks: {:?}", sampled.plan.picks);
+        for p in &sampled.plan.picks {
+            assert_eq!(p.cluster_size, 4, "two clean phases of four windows each");
+        }
+        assert_eq!(sampled.plan.equivalent_ms(), 8000);
+        assert_eq!(sampled.plan.replayed_ms(), 2000);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_k_is_capped() {
+        let entries: Vec<_> = (0..10).map(|i| entry(i * 500, "Mic")).collect();
+        let a = sample_trace(&entries, 1000, 3, 7).unwrap();
+        let b = sample_trace(&entries, 1000, 3, 7).unwrap();
+        assert_eq!(a, b);
+        let capped = sample_trace(&entries, 1000, 99, 7).unwrap();
+        assert_eq!(capped.plan.picks.len(), 5, "k capped at window count");
+    }
+
+    #[test]
+    fn sampled_trace_survives_the_binary_format() {
+        let mut synth =
+            SyntheticSource::from_spec("poisson:rate=4,duration=30s,seed=2,deadline=200").unwrap();
+        let entries = drain(&mut synth);
+        let sampled = sample_trace(&entries, 2000, 3, 0).unwrap();
+        let bytes = crate::trace::format::encode(&sampled.entries, Some(&sampled.plan));
+        let mut src = BinarySource::from_bytes(&bytes).unwrap();
+        assert_eq!(src.plan(), Some(&sampled.plan));
+        let replayed = drain(&mut src);
+        assert_eq!(replayed.len(), sampled.entries.len());
+        let max_at = replayed.iter().map(|e| e.at_ms).max().unwrap();
+        assert!(max_at < sampled.plan.replayed_ms(), "re-based onto the compressed clock");
+        assert!(replayed.iter().all(|e| e.window.is_some()));
+    }
+
+    #[test]
+    fn weighted_estimate_weights_by_cluster_size() {
+        let plan = PlanMeta {
+            window_ms: 1000,
+            total_windows: 10,
+            picks: vec![
+                PlanPick { start_ms: 0, cluster_size: 9 },
+                PlanPick { start_ms: 5000, cluster_size: 1 },
+            ],
+        };
+        let obs = [
+            WindowObs { deadlined: 10, misses: 0, frames: 20 },
+            WindowObs { deadlined: 10, misses: 10, frames: 100 },
+        ];
+        let est = weighted_estimate(&plan, &obs).unwrap();
+        assert!((est.est_miss_rate - 0.1).abs() < 1e-9);
+        assert!(est.miss_err >= MISS_ERR_FLOOR);
+        assert!((est.est_fps - (0.9 * 20.0 + 0.1 * 100.0)).abs() < 1e-9);
+        assert!(est.fps_err > 0.0);
+        assert_eq!((est.equivalent_ms, est.replayed_ms), (10_000, 2000));
+        assert!(weighted_estimate(&plan, &obs[..1]).unwrap_err().contains("1 window"));
+    }
+
+    #[test]
+    fn collect_window_obs_groups_by_window() {
+        let plan = PlanMeta {
+            window_ms: 1000,
+            total_windows: 4,
+            picks: vec![
+                PlanPick { start_ms: 0, cluster_size: 2 },
+                PlanPick { start_ms: 2000, cluster_size: 2 },
+            ],
+        };
+        let obs = collect_window_obs(
+            &plan,
+            [
+                (Some(0), true, false, 3),
+                (Some(0), true, true, 3),
+                (Some(1), false, false, 5),
+                (None, true, true, 7),
+            ],
+        );
+        assert_eq!(obs[0], WindowObs { deadlined: 2, misses: 1, frames: 6 });
+        assert_eq!(obs[1], WindowObs { deadlined: 0, misses: 0, frames: 5 });
+    }
+}

@@ -1,0 +1,420 @@
+//! Synthetic workload generation — open-loop arrival processes with a
+//! Zipf-skewed scene mix, all drawn from one seeded [`StdRng`] so the same
+//! spec string always produces the same trace.
+//!
+//! Two arrival processes cover the serving stories in the ROADMAP:
+//! `poisson` (memoryless load at a fixed rate) and `diurnal` (a day/night
+//! sinusoid between a base and a peak rate, sampled by thinning). Scenes
+//! are picked from a ranked list with probability `∝ 1/(rank+1)^s` — the
+//! classic hot-scene skew; `s = 0` is uniform.
+
+use crate::service::Priority;
+use crate::trace::format::{MAX_AT_MS, MAX_DEADLINE_MS, MAX_FRAMES, MAX_RESOLUTION};
+use crate::trace::source::{TimedRequest, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The arrival process of a [`SynthSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arrivals {
+    /// Memoryless arrivals at a fixed rate (requests per second).
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_hz: f64,
+    },
+    /// Sinusoidal day/night load: the instantaneous rate swings between
+    /// `base_hz` and `peak_hz` over one `period_s`-second cycle, starting
+    /// at the trough.
+    Diurnal {
+        /// Trough arrival rate, requests per second.
+        base_hz: f64,
+        /// Peak arrival rate, requests per second.
+        peak_hz: f64,
+        /// Full cycle length, seconds.
+        period_s: f64,
+    },
+}
+
+impl Arrivals {
+    /// Instantaneous rate (requests per second) at time `t_s`.
+    fn rate_at(&self, t_s: f64) -> f64 {
+        match *self {
+            Arrivals::Poisson { rate_hz } => rate_hz,
+            Arrivals::Diurnal { base_hz, peak_hz, period_s } => {
+                let phase = (t_s / period_s) * std::f64::consts::TAU;
+                base_hz + (peak_hz - base_hz) * 0.5 * (1.0 - phase.cos())
+            }
+        }
+    }
+
+    /// Upper bound on [`rate_at`](Self::rate_at), the thinning envelope.
+    fn peak(&self) -> f64 {
+        match *self {
+            Arrivals::Poisson { rate_hz } => rate_hz,
+            Arrivals::Diurnal { peak_hz, .. } => peak_hz,
+        }
+    }
+}
+
+/// A parsed synthetic-workload spec — everything [`SyntheticSource`]
+/// needs, down to the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthSpec {
+    /// Arrival process.
+    pub arrivals: Arrivals,
+    /// Ranked scene list; earlier names are hotter under `zipf_s > 0`.
+    pub scenes: Vec<String>,
+    /// Zipf skew exponent for the scene mix (0 = uniform).
+    pub zipf_s: f64,
+    /// Trace length, milliseconds of simulated arrivals.
+    pub duration_ms: u64,
+    /// RNG seed; same spec + seed → identical trace.
+    pub seed: u64,
+    /// Resolution stamped on every request (`None`: profile default).
+    pub resolution: Option<u32>,
+    /// Frames per request.
+    pub frames: usize,
+    /// Deadline stamped on every request, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Scene list used when a spec names none — the three zoo scenes every
+/// workload fixture in this repo exercises.
+pub const DEFAULT_SCENES: [&str; 3] = ["Mic", "Lego", "Pulse"];
+
+impl SynthSpec {
+    /// Parses a spec string of the form
+    /// `poisson:rate=1.2,duration=120s,scenes=Mic+Lego+Pulse,zipf=1.1,seed=7`
+    /// or `diurnal:base=0.5,peak=4,period=60s,duration=120s,...`.
+    ///
+    /// Durations accept `s`/`ms` suffixes (bare numbers are seconds).
+    /// Optional keys: `zipf` (default 1.0), `seed` (default 0), `frames`
+    /// (default 1), `resolution`, `deadline` (ms, default none).
+    ///
+    /// # Errors
+    ///
+    /// Returns `"synthetic spec: why"` naming the offending key.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let err = |why: String| format!("synthetic spec: {why}");
+        let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+        let mut kv = std::collections::BTreeMap::new();
+        for part in rest.split(',').filter(|p| !p.trim().is_empty()) {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected key=value, got {:?}", part.trim())))?;
+            if kv.insert(k.trim().to_string(), v.trim().to_string()).is_some() {
+                return Err(err(format!("duplicate key {:?}", k.trim())));
+            }
+        }
+        let mut take = |k: &str| kv.remove(k);
+        let rate = |k: &str, v: String| -> Result<f64, String> {
+            let x: f64 = v.parse().map_err(|_| err(format!("{k} must be a number, got {v:?}")))?;
+            if !x.is_finite() || x <= 0.0 {
+                return Err(err(format!("{k} must be positive, got {v}")));
+            }
+            Ok(x)
+        };
+        let arrivals = match kind {
+            "poisson" => {
+                let v = take("rate").ok_or_else(|| err("poisson needs rate=<hz>".into()))?;
+                Arrivals::Poisson { rate_hz: rate("rate", v)? }
+            }
+            "diurnal" => {
+                let base = take("base").ok_or_else(|| err("diurnal needs base=<hz>".into()))?;
+                let peak = take("peak").ok_or_else(|| err("diurnal needs peak=<hz>".into()))?;
+                let period =
+                    take("period").ok_or_else(|| err("diurnal needs period=<seconds>".into()))?;
+                let (base_hz, peak_hz) = (rate("base", base)?, rate("peak", peak)?);
+                if peak_hz < base_hz {
+                    return Err(err(format!("peak ({peak_hz}) must be >= base ({base_hz})")));
+                }
+                let period_ms = parse_duration_ms("period", &period).map_err(err)?;
+                Arrivals::Diurnal { base_hz, peak_hz, period_s: period_ms as f64 / 1e3 }
+            }
+            other => {
+                return Err(err(format!("unknown generator {other:?} (poisson or diurnal)")));
+            }
+        };
+        let duration = take("duration").ok_or_else(|| err("needs duration=<seconds>".into()))?;
+        let duration_ms = parse_duration_ms("duration", &duration).map_err(&err)?;
+        if duration_ms > MAX_AT_MS {
+            return Err(err(format!("duration {duration_ms}ms exceeds {MAX_AT_MS}ms")));
+        }
+        let scenes: Vec<String> = match take("scenes") {
+            Some(list) => list.split('+').map(|s| s.trim().to_string()).collect(),
+            None => DEFAULT_SCENES.iter().map(|s| s.to_string()).collect(),
+        };
+        if scenes.iter().any(String::is_empty) {
+            return Err(err("scenes has an empty name (use scenes=Mic+Lego)".into()));
+        }
+        let zipf_s = match take("zipf") {
+            Some(v) => {
+                let x: f64 =
+                    v.parse().map_err(|_| err(format!("zipf must be a number, got {v:?}")))?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err(err(format!("zipf must be >= 0, got {v}")));
+                }
+                x
+            }
+            None => 1.0,
+        };
+        let seed = match take("seed") {
+            Some(v) => v.parse().map_err(|_| err(format!("seed must be a u64, got {v:?}")))?,
+            None => 0,
+        };
+        let frames = match take("frames") {
+            Some(v) => {
+                let n: u64 =
+                    v.parse().map_err(|_| err(format!("frames must be an integer, got {v:?}")))?;
+                if n == 0 || n > MAX_FRAMES {
+                    return Err(err(format!("frames must be 1..={MAX_FRAMES}, got {v}")));
+                }
+                n as usize
+            }
+            None => 1,
+        };
+        let resolution = match take("resolution") {
+            Some(v) => {
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| err(format!("resolution must be an integer, got {v:?}")))?;
+                if n == 0 || n > MAX_RESOLUTION {
+                    return Err(err(format!("resolution must be 1..={MAX_RESOLUTION}, got {v}")));
+                }
+                Some(n as u32)
+            }
+            None => None,
+        };
+        let deadline_ms = match take("deadline") {
+            Some(v) => {
+                let ms = parse_duration_ms("deadline", &v).map_err(&err)?;
+                if ms == 0 || ms > MAX_DEADLINE_MS {
+                    return Err(err(format!("deadline must be 1..={MAX_DEADLINE_MS}ms, got {v}")));
+                }
+                Some(ms)
+            }
+            None => None,
+        };
+        if let Some(k) = kv.keys().next() {
+            return Err(err(format!("unknown key {k:?}")));
+        }
+        Ok(SynthSpec {
+            arrivals,
+            scenes,
+            zipf_s,
+            duration_ms,
+            seed,
+            resolution,
+            frames,
+            deadline_ms,
+        })
+    }
+}
+
+/// Parses `120`, `120s`, or `1500ms` into milliseconds. A bare number is
+/// seconds, except for `deadline`, where the field is conventionally
+/// milliseconds (`deadline_ms` in the JSONL format).
+fn parse_duration_ms(key: &str, v: &str) -> Result<u64, String> {
+    let bare_scale = if key == "deadline" { 1.0 } else { 1e3 };
+    let (num, scale) = if let Some(ms) = v.strip_suffix("ms") {
+        (ms, 1.0)
+    } else if let Some(s) = v.strip_suffix('s') {
+        (s, 1e3)
+    } else {
+        (v, bare_scale)
+    };
+    let x: f64 = num.trim().parse().map_err(|_| format!("{key} must be a duration, got {v:?}"))?;
+    if !x.is_finite() || x <= 0.0 {
+        return Err(format!("{key} must be positive, got {v:?}"));
+    }
+    Ok((x * scale).round() as u64)
+}
+
+/// A lazily generated synthetic trace (see [`SynthSpec::parse`] for the
+/// spec language). Arrivals stream one at a time; nothing is buffered.
+#[derive(Debug)]
+pub struct SyntheticSource {
+    spec: SynthSpec,
+    rng: StdRng,
+    /// Continuous arrival clock, milliseconds.
+    clock_ms: f64,
+    /// Cumulative Zipf distribution over `spec.scenes`.
+    scene_cdf: Vec<f64>,
+    emitted: usize,
+}
+
+impl SyntheticSource {
+    /// Builds a source from an already parsed spec.
+    pub fn new(spec: SynthSpec) -> Self {
+        let mut weights: Vec<f64> = (0..spec.scenes.len())
+            .map(|rank| 1.0 / ((rank + 1) as f64).powf(spec.zipf_s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        let rng = StdRng::seed_from_u64(spec.seed);
+        SyntheticSource { spec, rng, clock_ms: 0.0, scene_cdf: weights, emitted: 0 }
+    }
+
+    /// Parses `spec` and builds the source.
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthSpec::parse`].
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        Ok(Self::new(SynthSpec::parse(spec)?))
+    }
+
+    /// The spec this source generates from.
+    pub fn spec(&self) -> &SynthSpec {
+        &self.spec
+    }
+
+    /// Advances the clock to the next accepted arrival (thinning against
+    /// the peak rate), or past the end of the trace.
+    fn next_arrival_ms(&mut self) -> f64 {
+        let peak = self.spec.arrivals.peak();
+        loop {
+            let u: f64 = self.rng.gen();
+            // Exponential inter-arrival under the envelope rate; clamp u
+            // away from 1 so ln() stays finite.
+            let dt_s = -(1.0 - u.min(1.0 - 1e-12)).ln() / peak;
+            self.clock_ms += dt_s * 1e3;
+            if self.clock_ms >= self.spec.duration_ms as f64 {
+                return self.clock_ms;
+            }
+            let accept = self.spec.arrivals.rate_at(self.clock_ms / 1e3) / peak;
+            if self.rng.gen_bool(accept.clamp(0.0, 1.0)) {
+                return self.clock_ms;
+            }
+        }
+    }
+
+    /// Draws a scene from the Zipf CDF.
+    fn pick_scene(&mut self) -> String {
+        let u: f64 = self.rng.gen();
+        let idx = self.scene_cdf.iter().position(|&c| u < c).unwrap_or(self.spec.scenes.len() - 1);
+        self.spec.scenes[idx].clone()
+    }
+}
+
+impl TraceSource for SyntheticSource {
+    fn next(&mut self) -> Option<TimedRequest> {
+        let at = self.next_arrival_ms();
+        if at >= self.spec.duration_ms as f64 {
+            return None;
+        }
+        self.emitted += 1;
+        let scene = self.pick_scene();
+        Some(TimedRequest {
+            at_ms: at as u64,
+            scene,
+            frames: self.spec.frames,
+            resolution: self.spec.resolution,
+            priority: Priority::Normal,
+            deadline_ms: self.spec.deadline_ms,
+            azimuth_step_deg: None,
+            origin: self.emitted,
+            window: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::source::drain;
+
+    #[test]
+    fn spec_parse_covers_both_generators() {
+        let p =
+            SynthSpec::parse("poisson:rate=2,duration=30s,scenes=Mic+Lego,zipf=0,seed=9").unwrap();
+        assert_eq!(p.arrivals, Arrivals::Poisson { rate_hz: 2.0 });
+        assert_eq!(p.duration_ms, 30_000);
+        assert_eq!(p.scenes, ["Mic", "Lego"]);
+        assert_eq!(p.seed, 9);
+        let d = SynthSpec::parse("diurnal:base=0.5,peak=4,period=60s,duration=2500ms").unwrap();
+        assert_eq!(d.arrivals, Arrivals::Diurnal { base_hz: 0.5, peak_hz: 4.0, period_s: 60.0 });
+        assert_eq!(d.duration_ms, 2500);
+        assert_eq!(d.scenes, DEFAULT_SCENES);
+    }
+
+    #[test]
+    fn spec_parse_rejects_nonsense_with_named_keys() {
+        for (spec, needle) in [
+            ("uniform:duration=10s", "unknown generator"),
+            ("poisson:duration=10s", "needs rate"),
+            ("poisson:rate=0,duration=10s", "rate must be positive"),
+            ("poisson:rate=1", "needs duration"),
+            ("poisson:rate=1,duration=10s,bogus=3", "unknown key \"bogus\""),
+            ("poisson:rate=1,duration=10s,seed=1,seed=2", "duplicate key"),
+            ("diurnal:base=4,peak=1,period=60,duration=10s", "must be >= base"),
+            ("poisson:rate=1,duration=10s,frames=0", "frames must be"),
+        ] {
+            let e = SynthSpec::parse(spec).unwrap_err();
+            assert!(e.contains(needle), "{spec}: {e}");
+            assert!(e.starts_with("synthetic spec: "), "{e}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace_different_seed_different() {
+        let spec = "poisson:rate=5,duration=20s,seed=7,resolution=32,deadline=400";
+        let a = drain(&mut SyntheticSource::from_spec(spec).unwrap());
+        let b = drain(&mut SyntheticSource::from_spec(spec).unwrap());
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        let c = drain(
+            &mut SyntheticSource::from_spec(
+                "poisson:rate=5,duration=20s,seed=8,resolution=32,deadline=400",
+            )
+            .unwrap(),
+        );
+        assert_ne!(a, c);
+        assert!(a.iter().all(|e| e.at_ms < 20_000));
+        assert!(a.windows(2).all(|w| w[0].at_ms <= w[1].at_ms), "arrivals non-decreasing");
+        assert_eq!(a[0].resolution, Some(32));
+        assert_eq!(a[0].deadline_ms, Some(400));
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_respected() {
+        let n =
+            drain(&mut SyntheticSource::from_spec("poisson:rate=10,duration=100s,seed=3").unwrap())
+                .len() as f64;
+        // 1000 expected arrivals; 5 sigma ≈ 158.
+        assert!((n - 1000.0).abs() < 200.0, "got {n} arrivals, expected ~1000");
+    }
+
+    #[test]
+    fn zipf_skews_toward_the_first_scene() {
+        let entries = drain(
+            &mut SyntheticSource::from_spec(
+                "poisson:rate=20,duration=60s,scenes=Mic+Lego+Pulse,zipf=1.5,seed=5",
+            )
+            .unwrap(),
+        );
+        let count = |name: &str| entries.iter().filter(|e| e.scene == name).count();
+        assert!(count("Mic") > count("Lego"), "hot scene dominates");
+        assert!(count("Lego") > count("Pulse") / 2, "tail still sampled");
+    }
+
+    #[test]
+    fn diurnal_puts_more_load_at_the_peak() {
+        // period 60s, trough at t=0/60, peak at t=30: compare first vs
+        // middle third of one cycle.
+        let entries = drain(
+            &mut SyntheticSource::from_spec(
+                "diurnal:base=0.5,peak=8,period=60s,duration=60s,seed=11",
+            )
+            .unwrap(),
+        );
+        let third = |lo: u64, hi: u64| {
+            entries.iter().filter(|e| e.at_ms >= lo && e.at_ms < hi).count() as f64
+        };
+        assert!(third(20_000, 40_000) > 2.0 * third(0, 20_000), "peak third >> trough third");
+    }
+}

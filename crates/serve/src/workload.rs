@@ -13,13 +13,20 @@
 //! `at_ms` (arrival offset from replay start — bursts are written as equal
 //! offsets); `azimuth_step_deg` (orbit step for multi-frame requests).
 //!
+//! Integer fields are strictly validated — duplicates, fractional values,
+//! and out-of-range numbers are line-numbered errors, with the ranges
+//! shared with the binary trace codec
+//! ([`trace::format`](crate::trace::format)): `frames` 1..=4096,
+//! `resolution` 1..=8192, `deadline_ms` up to ~28 hours, `at_ms` up to
+//! ~115 days.
+//!
 //! The environment has no registry access, hence no serde: the parser below
 //! covers exactly the flat string/number/bool objects this format needs,
 //! the same trade the in-tree `criterion` shim makes for its JSON dump.
 
 use crate::profile::RenderProfile;
 use crate::service::{Priority, RenderRequest};
-use asdr_scenes::registry;
+use crate::trace::format::{MAX_AT_MS, MAX_DEADLINE_MS, MAX_FRAMES, MAX_RESOLUTION};
 use std::collections::HashMap;
 
 /// One parsed workload line.
@@ -52,21 +59,7 @@ impl WorkloadEntry {
     ///
     /// Returns a message if the scene is not registered.
     pub fn to_request(&self, profile: &RenderProfile) -> Result<RenderRequest, String> {
-        let scene = registry::get(&self.scene)
-            .ok_or_else(|| format!("unknown scene {:?} (see `experiments --list`)", self.scene))?;
-        let mut req = RenderRequest::sequence(
-            scene,
-            self.resolution.unwrap_or(profile.default_resolution),
-            self.frames,
-        )
-        .with_priority(self.priority);
-        if let Some(ms) = self.deadline_ms {
-            req = req.with_deadline(std::time::Duration::from_millis(ms));
-        }
-        if let Some(step) = self.azimuth_step_deg {
-            req.azimuth_step_deg = step;
-        }
-        Ok(req)
+        crate::trace::TimedRequest::from(self.clone()).to_request(profile)
     }
 }
 
@@ -116,13 +109,25 @@ fn parse_entry(line: &str, line_no: usize) -> Result<WorkloadEntry, String> {
         Some(_) => return Err("\"priority\" must be a string".into()),
         None => Priority::Normal,
     };
+    // Integer fields share the binary trace format's bounds, so anything
+    // a workload file accepts is guaranteed to encode and replay.
+    let int_field = |key: &str, min: u64, max: u64| -> Result<Option<u64>, String> {
+        match get_num(&obj, key)? {
+            None => Ok(None),
+            Some(n) if n.fract() != 0.0 => Err(format!("{key:?} must be an integer, got {n}")),
+            Some(n) if (n as u64) < min || (n as u64) > max => {
+                Err(format!("{key:?} must be in {min}..={max}, got {n}"))
+            }
+            Some(n) => Ok(Some(n as u64)),
+        }
+    };
     Ok(WorkloadEntry {
         scene,
-        frames: get_num(&obj, "frames")?.map_or(1, |n| n as usize).max(1),
-        resolution: get_num(&obj, "resolution")?.map(|n| n as u32),
+        frames: int_field("frames", 1, MAX_FRAMES)?.map_or(1, |n| n as usize),
+        resolution: int_field("resolution", 1, MAX_RESOLUTION)?.map(|n| n as u32),
         priority,
-        deadline_ms: get_num(&obj, "deadline_ms")?.map(|n| n as u64),
-        at_ms: get_num(&obj, "at_ms")?.map_or(0, |n| n as u64),
+        deadline_ms: int_field("deadline_ms", 1, MAX_DEADLINE_MS)?,
+        at_ms: int_field("at_ms", 0, MAX_AT_MS)?.unwrap_or(0),
         azimuth_step_deg: get_num(&obj, "azimuth_step_deg")?.map(|n| n as f32),
         line: line_no,
     })
@@ -321,6 +326,32 @@ mod tests {
             assert!(parse_workload(bad).is_err(), "should reject: {why}");
         }
         assert_eq!(parse_workload("{}\n").unwrap_err(), "line 1: missing required field \"scene\"");
+    }
+
+    #[test]
+    fn out_of_range_fields_are_rejected_with_line_numbers() {
+        for (bad, needle) in [
+            ("{\"scene\": \"Mic\", \"frames\": 0}", "\"frames\" must be in 1..=4096"),
+            ("{\"scene\": \"Mic\", \"frames\": 1.5}", "\"frames\" must be an integer"),
+            ("{\"scene\": \"Mic\", \"frames\": 5000}", "\"frames\" must be in 1..=4096"),
+            ("{\"scene\": \"Mic\", \"resolution\": 0}", "\"resolution\" must be in 1..=8192"),
+            ("{\"scene\": \"Mic\", \"resolution\": 9000}", "\"resolution\" must be in 1..=8192"),
+            ("{\"scene\": \"Mic\", \"deadline_ms\": 0}", "\"deadline_ms\" must be in"),
+            ("{\"scene\": \"Mic\", \"deadline_ms\": 2e8}", "\"deadline_ms\" must be in"),
+            ("{\"scene\": \"Mic\", \"at_ms\": 1e11}", "\"at_ms\" must be in"),
+            ("{\"scene\": \"Mic\", \"at_ms\": 10.25}", "\"at_ms\" must be an integer"),
+        ] {
+            let err = parse_workload(&format!("\n{bad}")).unwrap_err();
+            assert!(err.starts_with("line 2: "), "{bad}: {err}");
+            assert!(err.contains(needle), "{bad}: {err}");
+        }
+        // the extremes themselves are accepted
+        let ok = parse_workload(
+            "{\"scene\": \"Mic\", \"frames\": 4096, \"at_ms\": 10000000000, \"deadline_ms\": 1}",
+        )
+        .unwrap();
+        assert_eq!(ok[0].frames, 4096);
+        assert_eq!(ok[0].at_ms, 10_000_000_000);
     }
 
     #[test]

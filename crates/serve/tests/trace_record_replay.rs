@@ -1,0 +1,119 @@
+//! The record→replay contract, end to end through the real binaries: a
+//! JSONL run with `--record` captures a binary trace whose replay renders
+//! **byte-identical** frames and performs the same number of fits as the
+//! JSONL run itself.
+//!
+//! Three processes against one shared store directory: a cold JSONL run
+//! that records, then a warm JSONL run and a warm recorded-trace run,
+//! whose image dumps and store counters must agree exactly.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workload_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scripts/serve-workload-tiny.jsonl")
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asdr_trace_rr_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn json_u64(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = json.find(&needle).unwrap_or_else(|| panic!("no {key:?} in {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("unparsable {key:?} in {json}"))
+}
+
+/// Runs `asdr-serve` with the given input selector, returning the stats
+/// artifact text.
+fn run(
+    input: [&std::ffi::OsStr; 2],
+    store: &Path,
+    images: &Path,
+    out: &Path,
+    record: Option<&Path>,
+) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_asdr-serve"));
+    cmd.args(input)
+        .args(["--scale", "tiny", "--workers", "2"])
+        .args(["--store-dir".as_ref(), store.as_os_str()])
+        .args(["--dump-images".as_ref(), images.as_os_str()])
+        .args(["--out".as_ref(), out.as_os_str()]);
+    if let Some(r) = record {
+        cmd.args(["--record".as_ref(), r.as_os_str()]);
+    }
+    let status = cmd.status().expect("spawn asdr-serve");
+    assert!(status.success(), "asdr-serve exited with {status}");
+    std::fs::read_to_string(out).expect("stats artifact written")
+}
+
+fn dumped_frames(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .expect("image dump directory")
+        .map(|e| {
+            let e = e.unwrap();
+            (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn recorded_trace_replays_byte_identical_frames_and_equal_fits() {
+    let store = fresh_dir("store");
+    let cold_images = fresh_dir("cold");
+    let jsonl_images = fresh_dir("jsonl");
+    let trace_images = fresh_dir("trace");
+    let scratch = fresh_dir("scratch");
+    let trace_path = scratch.join("captured.trace");
+    let workload = workload_path();
+
+    let workload_arg: [&std::ffi::OsStr; 2] = ["--workload".as_ref(), workload.as_os_str()];
+    let cold =
+        run(workload_arg, &store, &cold_images, &scratch.join("cold.json"), Some(&trace_path));
+    assert_eq!(json_u64(&cold, "fits"), 3, "cold run fits each scene once: {cold}");
+    assert!(trace_path.is_file(), "--record wrote a binary trace");
+
+    let warm_jsonl =
+        run(workload_arg, &store, &jsonl_images, &scratch.join("warm_jsonl.json"), None);
+    let trace_arg: [&std::ffi::OsStr; 2] = ["--trace".as_ref(), trace_path.as_os_str()];
+    let warm_trace = run(trace_arg, &store, &trace_images, &scratch.join("warm_trace.json"), None);
+
+    // equal fit counts: both warm runs hit the store for everything
+    for (label, stats) in [("jsonl", &warm_jsonl), ("trace", &warm_trace)] {
+        assert_eq!(json_u64(stats, "fits"), 0, "warm {label} run must fit nothing: {stats}");
+        assert_eq!(json_u64(stats, "disk_errors"), 0, "{label}: {stats}");
+    }
+    assert_eq!(
+        json_u64(&warm_jsonl, "requests"),
+        json_u64(&warm_trace, "requests"),
+        "the recorded trace holds every request"
+    );
+    assert_eq!(json_u64(&warm_jsonl, "frames"), json_u64(&warm_trace, "frames"));
+
+    // byte-identical frames: JSONL replay, recorded-trace replay, and the
+    // recording (cold) run all dump exactly the same images
+    let jsonl_frames = dumped_frames(&jsonl_images);
+    let trace_frames = dumped_frames(&trace_images);
+    let cold_frames = dumped_frames(&cold_images);
+    assert_eq!(
+        jsonl_frames.keys().collect::<Vec<_>>(),
+        trace_frames.keys().collect::<Vec<_>>(),
+        "same request indices, same frame set"
+    );
+    for (name, bytes) in &jsonl_frames {
+        assert_eq!(bytes, &trace_frames[name], "{name}: trace frame diverged from JSONL frame");
+        assert_eq!(bytes, &cold_frames[name], "{name}: warm frame diverged from recording run");
+    }
+
+    for dir in [store, cold_images, jsonl_images, trace_images, scratch] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

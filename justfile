@@ -55,5 +55,12 @@ cluster-smoke:
     cargo run --release -p asdr_cluster --bin asdr-cluster -- --workload scripts/cluster-workload-tiny.jsonl --scale tiny --shards 2 --store-dir target/cluster-store --out target/cluster-stats.json
     grep '"total_fits": 0' target/cluster-stats.json
 
+# Generate, sample, and replay a 120s synthetic diurnal trace, asserting
+# the sampled replay runs in < 10% of the full wall-clock with the full
+# miss rate inside the estimate's error bar (what the nightly trace-smoke
+# job runs).
+trace-smoke:
+    scripts/trace_smoke.sh
+
 # Everything CI runs, in one shot.
 ci: fmt-check clippy verify test-crates check-extras

@@ -9,8 +9,9 @@
 //! * [`nerf`] — Instant-NGP / TensoRF substrates,
 //! * [`cim`] — ReRAM/SRAM crossbar, systolic array, energy models,
 //! * [`core`] — the ASDR algorithms and chip simulator,
-//! * [`serve`] — the multi-tenant render service and checkpoint-backed
-//!   model store,
+//! * [`serve`] — the multi-tenant render service, checkpoint-backed
+//!   model store, and the trace subsystem (binary capture, synthetic
+//!   generators, representative replay),
 //! * [`cluster`] — sharded serving: consistent-hash routing, cost-based
 //!   admission, autoscaling worker pools,
 //! * [`baselines`] — GPU roofline models, NeuRex, Re-NeRF.
