@@ -1,7 +1,7 @@
 # Local entry points, kept identical to .github/workflows/ci.yml and the
 # justfile (use whichever runner you have; the recipes are the same).
 
-.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke bench-check serve-smoke cluster-smoke trace-smoke ci
+.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke bench-check serve-smoke cluster-smoke trace-smoke fleet-smoke ci
 
 # Tier-1 gate: what must stay green on every commit.
 verify:
@@ -69,6 +69,12 @@ cluster-smoke:
 # job runs).
 trace-smoke:
 	scripts/trace_smoke.sh
+
+# Replay a synthetic trace against three asdr-shardd processes, kill -9
+# one mid-run, and assert completion with byte-identical frames and the
+# eviction visible in stats (what the nightly fleet-smoke job runs).
+fleet-smoke:
+	scripts/fleet_smoke.sh
 
 # Everything CI runs, in one shot.
 ci: fmt-check clippy verify test-crates check-extras

@@ -1,12 +1,15 @@
 //! Wall-clock benchmarks of the cluster layer: routing-decision cost
 //! (the pure overhead the router adds to every submit), cost-model
-//! bookkeeping, and a warm mixed-scene burst through a 2-shard cluster
+//! bookkeeping, the wire codec (the per-message tax every remote hop
+//! pays), and a warm mixed-scene burst through a 2-shard cluster
 //! (queue + router + budget admission + worker pools) to set against the
 //! single-service `serve_burst` number.
 //!
 //! Fits happen once in setup; the benches measure steady-state serving.
 
+use asdr_cluster::wire::{Message, WireRequest, WireResult};
 use asdr_cluster::{CostModel, HashRing, ShardRouter};
+use asdr_math::image::Image;
 use asdr_nerf::grid::GridConfig;
 use asdr_scenes::registry;
 use asdr_serve::{ModelStore, Priority, RenderProfile, RenderRequest};
@@ -38,6 +41,53 @@ fn bench_routing(c: &mut Criterion) {
             black_box(cost.predict("Mic", 24, 2));
             cost.observe("Mic", 24, 1, 55.0);
         })
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let submit = Message::Submit {
+        id: 7,
+        req: WireRequest {
+            scene: "Mic".into(),
+            resolution: 64,
+            frames: 2,
+            azimuth_step_deg: 1.5,
+            priority: Priority::High,
+            deadline_us: Some(250_000),
+            camera: None,
+        },
+    };
+    let mut img = Image::new(32, 32);
+    for (i, px) in img.pixels_mut().iter_mut().enumerate() {
+        px.r = i as f32 * 0.25;
+        px.g = i as f32 * 0.5;
+        px.b = i as f32;
+    }
+    let result = Message::Result {
+        id: 7,
+        result: WireResult {
+            scene: "Mic".into(),
+            resolution: 32,
+            reused_frames: 1,
+            queue_wait_us: 1_200,
+            latency_us: 48_000,
+            deadline_met: Some(true),
+            completed_seq: 9,
+            images: vec![img; 2],
+        },
+    };
+    let result_bytes = result.encode();
+
+    let mut g = c.benchmark_group("cluster_wire");
+    g.bench_function("submit_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = black_box(&submit).encode();
+            black_box(Message::decode(&bytes).expect("own encoding decodes"));
+        })
+    });
+    g.bench_function("result_32x32x2_decode", |b| {
+        b.iter(|| black_box(Message::decode(black_box(&result_bytes)).expect("frames decode")))
     });
     g.finish();
 }
@@ -84,5 +134,5 @@ fn bench_warm_burst(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_routing, bench_warm_burst);
+criterion_group!(benches, bench_routing, bench_wire, bench_warm_burst);
 criterion_main!(benches);

@@ -4,6 +4,11 @@
 //! interval with the shard's *cumulative* deadline counters; the
 //! controller differences them into a per-window miss rate and decides:
 //!
+//! * predicted backlog above [`AutoscalerConfig::forecast_grow_ms`] per
+//!   worker → one more worker **before** any deadline is missed (the
+//!   predictive path: the cost model's outstanding-predicted-ms is a
+//!   forecast of the queue the reactive path would only see as misses one
+//!   or two windows later);
 //! * rate above [`AutoscalerConfig::grow_above`] → one more worker (up to
 //!   `workers_max`);
 //! * rate below [`AutoscalerConfig::shrink_below`] with deadlined traffic
@@ -41,6 +46,10 @@ pub struct AutoscalerConfig {
     pub shrink_below: f64,
     /// Ticks to hold after any scale step (hysteresis).
     pub cooldown_intervals: u32,
+    /// Grow when the predicted outstanding work **per worker** exceeds
+    /// this many milliseconds, even with zero misses so far (the
+    /// predictive path). `f64::INFINITY` disables forecast growth.
+    pub forecast_grow_ms: f64,
 }
 
 impl Default for AutoscalerConfig {
@@ -52,6 +61,7 @@ impl Default for AutoscalerConfig {
             grow_above: 0.10,
             shrink_below: 0.02,
             cooldown_intervals: 2,
+            forecast_grow_ms: 250.0,
         }
     }
 }
@@ -81,7 +91,33 @@ impl AutoscalerConfig {
         if self.interval.is_zero() {
             return Err("interval must be non-zero".into());
         }
+        if self.forecast_grow_ms <= 0.0 || self.forecast_grow_ms.is_nan() {
+            return Err("forecast_grow_ms must be positive (INFINITY disables forecasting)".into());
+        }
         Ok(())
+    }
+}
+
+/// Which signal drove a scaling step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleReason {
+    /// Reactive: the window's deadline-miss rate crossed `grow_above`.
+    Miss,
+    /// Predictive: forecast backlog per worker crossed `forecast_grow_ms`
+    /// before any miss materialized.
+    Forecast,
+    /// Quiet or idle traffic drifted the pool back down.
+    Shrink,
+}
+
+impl ScaleReason {
+    /// The stable lowercase spelling used in the JSON artifact.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScaleReason::Miss => "miss",
+            ScaleReason::Forecast => "forecast",
+            ScaleReason::Shrink => "shrink",
+        }
     }
 }
 
@@ -98,6 +134,8 @@ pub struct ScaleEvent {
     pub to: usize,
     /// The window miss rate that triggered the step.
     pub miss_rate: f64,
+    /// Which signal drove the step.
+    pub reason: ScaleReason,
 }
 
 /// What one tick decided.
@@ -107,6 +145,8 @@ pub struct Verdict {
     pub target: usize,
     /// The window miss rate behind the decision.
     pub miss_rate: f64,
+    /// Which signal drove the decision.
+    pub reason: ScaleReason,
 }
 
 /// Per-shard controller state between ticks (see the module docs).
@@ -130,17 +170,22 @@ impl ShardController {
     }
 
     /// Feeds one sampling tick with the shard's **cumulative** deadline
-    /// counters plus whether the shard still has admitted work in flight;
+    /// counters, whether the shard still has admitted work in flight, and
+    /// the cost model's predicted outstanding work (`forecast_ms`);
     /// returns a verdict when the controller scales. An empty window on a
     /// busy shard (renders running, nothing completed yet) carries no
     /// information and holds — without that, every long render would read
-    /// as "idle" and flap the pool mid-burst.
+    /// as "idle" and flap the pool mid-burst. The forecast bypasses that
+    /// hold: a deep predicted backlog *is* information, and acting on it
+    /// grows the pool before the first deadline miss instead of one
+    /// window after.
     pub fn tick(
         &mut self,
         cfg: &AutoscalerConfig,
         deadlined: u64,
         misses: u64,
         busy: bool,
+        forecast_ms: f64,
     ) -> Option<Verdict> {
         let window_deadlined = deadlined.saturating_sub(self.seen_deadlined);
         let window_misses = misses.saturating_sub(self.seen_misses);
@@ -150,26 +195,39 @@ impl ShardController {
             self.cooldown -= 1;
             return None;
         }
-        if window_deadlined == 0 && busy {
-            return None;
-        }
-        // a genuinely idle window reads as rate 0: quiet shards drift back
-        // to min
         let rate = if window_deadlined == 0 {
             0.0
         } else {
             window_misses as f64 / window_deadlined as f64
         };
-        let target = if rate > cfg.grow_above && self.workers < cfg.workers_max {
-            self.workers + 1
+        // predictive path first: backlog per worker over the threshold
+        // grows even in a window with zero completions and zero misses
+        if forecast_ms > cfg.forecast_grow_ms * self.workers as f64
+            && self.workers < cfg.workers_max
+        {
+            self.workers += 1;
+            self.cooldown = cfg.cooldown_intervals;
+            return Some(Verdict {
+                target: self.workers,
+                miss_rate: rate,
+                reason: ScaleReason::Forecast,
+            });
+        }
+        if window_deadlined == 0 && busy {
+            return None;
+        }
+        // a genuinely idle window reads as rate 0: quiet shards drift back
+        // to min
+        let (target, reason) = if rate > cfg.grow_above && self.workers < cfg.workers_max {
+            (self.workers + 1, ScaleReason::Miss)
         } else if rate < cfg.shrink_below && self.workers > cfg.workers_min {
-            self.workers - 1
+            (self.workers - 1, ScaleReason::Shrink)
         } else {
             return None;
         };
         self.workers = target;
         self.cooldown = cfg.cooldown_intervals;
-        Some(Verdict { target, miss_rate: rate })
+        Some(Verdict { target, miss_rate: rate, reason })
     }
 }
 
@@ -190,6 +248,9 @@ mod tests {
             .validate()
             .is_err());
         assert!(AutoscalerConfig { interval: Duration::ZERO, ..cfg() }.validate().is_err());
+        assert!(AutoscalerConfig { forecast_grow_ms: 0.0, ..cfg() }.validate().is_err());
+        assert!(AutoscalerConfig { forecast_grow_ms: -1.0, ..cfg() }.validate().is_err());
+        assert!(AutoscalerConfig { forecast_grow_ms: f64::INFINITY, ..cfg() }.validate().is_ok());
     }
 
     #[test]
@@ -197,13 +258,14 @@ mod tests {
         let cfg = AutoscalerConfig { cooldown_intervals: 0, ..cfg() };
         let mut c = ShardController::new(1);
         // 50% window miss rate, fed as cumulative counters
-        let v = c.tick(&cfg, 10, 5, true).expect("must grow");
+        let v = c.tick(&cfg, 10, 5, true, 0.0).expect("must grow");
         assert_eq!((v.target, c.workers()), (2, 2));
         assert!((v.miss_rate - 0.5).abs() < 1e-12);
-        c.tick(&cfg, 20, 10, true).expect("grows again");
-        c.tick(&cfg, 30, 15, true).expect("grows to the bound");
+        assert_eq!(v.reason, ScaleReason::Miss);
+        c.tick(&cfg, 20, 10, true, 0.0).expect("grows again");
+        c.tick(&cfg, 30, 15, true, 0.0).expect("grows to the bound");
         assert_eq!(c.workers(), 4);
-        assert!(c.tick(&cfg, 40, 20, true).is_none(), "never exceeds workers_max");
+        assert!(c.tick(&cfg, 40, 20, true, 0.0).is_none(), "never exceeds workers_max");
     }
 
     #[test]
@@ -211,10 +273,11 @@ mod tests {
         let cfg = AutoscalerConfig { cooldown_intervals: 0, ..cfg() };
         let mut c = ShardController::new(3);
         // deadlined traffic, zero misses
-        assert_eq!(c.tick(&cfg, 10, 0, true).expect("shrink").target, 2);
+        let v = c.tick(&cfg, 10, 0, true, 0.0).expect("shrink");
+        assert_eq!((v.target, v.reason), (2, ScaleReason::Shrink));
         // a genuinely idle window shrinks too
-        assert_eq!(c.tick(&cfg, 10, 0, false).expect("shrink").target, 1);
-        assert!(c.tick(&cfg, 10, 0, false).is_none(), "never goes below workers_min");
+        assert_eq!(c.tick(&cfg, 10, 0, false, 0.0).expect("shrink").target, 1);
+        assert!(c.tick(&cfg, 10, 0, false, 0.0).is_none(), "never goes below workers_min");
     }
 
     #[test]
@@ -223,45 +286,83 @@ mod tests {
         // the pool must hold — otherwise every long render shrinks it
         let cfg = AutoscalerConfig { cooldown_intervals: 0, ..cfg() };
         let mut c = ShardController::new(2);
-        c.tick(&cfg, 10, 5, true).expect("the overloaded window grows");
+        c.tick(&cfg, 10, 5, true, 0.0).expect("the overloaded window grows");
         assert_eq!(c.workers(), 3);
         // same cumulative counters, still busy: empty windows, hold
         for _ in 0..10 {
-            assert!(c.tick(&cfg, 10, 5, true).is_none(), "busy empty window must hold");
+            assert!(c.tick(&cfg, 10, 5, true, 0.0).is_none(), "busy empty window must hold");
         }
         assert_eq!(c.workers(), 3);
         // the moment the shard is genuinely idle, it shrinks
-        assert_eq!(c.tick(&cfg, 10, 5, false).expect("idle shrinks").target, 2);
+        assert_eq!(c.tick(&cfg, 10, 5, false, 0.0).expect("idle shrinks").target, 2);
     }
 
     #[test]
     fn cooldown_and_watermark_gap_stop_flapping() {
         let cfg = AutoscalerConfig { cooldown_intervals: 2, ..cfg() };
         let mut c = ShardController::new(1);
-        assert!(c.tick(&cfg, 4, 4, true).is_some(), "first overload grows");
+        assert!(c.tick(&cfg, 4, 4, true, 0.0).is_some(), "first overload grows");
         // two cooldown ticks ignore even a 100% miss window
-        assert!(c.tick(&cfg, 8, 8, true).is_none());
-        assert!(c.tick(&cfg, 12, 12, true).is_none());
-        assert!(c.tick(&cfg, 16, 16, true).is_some(), "cooldown over, grows again");
+        assert!(c.tick(&cfg, 8, 8, true, 0.0).is_none());
+        assert!(c.tick(&cfg, 12, 12, true, 0.0).is_none());
+        assert!(c.tick(&cfg, 16, 16, true, 0.0).is_some(), "cooldown over, grows again");
         assert_eq!(c.workers(), 3);
         // a rate inside the watermark gap holds forever (no oscillation)
         let mut c = ShardController::new(2);
         let cfg = AutoscalerConfig { cooldown_intervals: 0, ..cfg };
         for i in 1..=10u64 {
             // 5% misses: above shrink_below (2%), below grow_above (10%)
-            assert!(c.tick(&cfg, 100 * i, 5 * i, true).is_none(), "gap must hold");
+            assert!(c.tick(&cfg, 100 * i, 5 * i, true, 0.0).is_none(), "gap must hold");
         }
         assert_eq!(c.workers(), 2);
+    }
+
+    #[test]
+    fn forecast_grows_before_the_first_miss() {
+        // the predictive path: a deep predicted backlog grows the pool in
+        // a window with zero deadlined requests and zero misses — the
+        // reactive path (same counters, no forecast) would hold
+        let cfg = AutoscalerConfig { cooldown_intervals: 0, forecast_grow_ms: 250.0, ..cfg() };
+        let mut reactive = ShardController::new(1);
+        assert!(
+            reactive.tick(&cfg, 0, 0, true, 0.0).is_none(),
+            "no misses and no forecast: the reactive path holds"
+        );
+        let mut predictive = ShardController::new(1);
+        let v = predictive.tick(&cfg, 0, 0, true, 600.0).expect("forecast must grow");
+        assert_eq!((v.target, v.reason, v.miss_rate), (2, ScaleReason::Forecast, 0.0));
+        // the threshold is per worker: 2 workers now absorb that backlog
+        assert!(predictive.tick(&cfg, 0, 0, true, 480.0).is_none(), "480 <= 250*2 holds");
+        let v = predictive.tick(&cfg, 0, 0, true, 900.0).expect("900 > 250*2 grows");
+        assert_eq!(v.target, 3);
+    }
+
+    #[test]
+    fn forecast_growth_respects_cooldown_bound_and_disable() {
+        let base = AutoscalerConfig { cooldown_intervals: 1, forecast_grow_ms: 100.0, ..cfg() };
+        let mut c = ShardController::new(1);
+        assert!(c.tick(&base, 0, 0, true, 1e6).is_some(), "first forecast grows");
+        assert!(c.tick(&base, 0, 0, true, 1e6).is_none(), "cooldown holds the next tick");
+        assert!(c.tick(&base, 0, 0, true, 1e6).is_some(), "then grows again");
+        assert!(c.tick(&base, 0, 0, true, 1e6).is_none(), "cooldown");
+        assert!(c.tick(&base, 0, 0, true, 1e6).is_some(), "grows to workers_max");
+        assert_eq!(c.workers(), base.workers_max);
+        assert!(c.tick(&base, 0, 0, true, 1e6).is_none(), "cooldown");
+        assert!(c.tick(&base, 0, 0, true, 1e6).is_none(), "never exceeds workers_max");
+        // INFINITY disables the predictive path outright
+        let off = AutoscalerConfig { forecast_grow_ms: f64::INFINITY, ..base };
+        let mut c = ShardController::new(1);
+        assert!(c.tick(&off, 0, 0, true, 1e12).is_none(), "disabled forecast never grows");
     }
 
     #[test]
     fn counters_are_differenced_not_accumulated() {
         let cfg = AutoscalerConfig { cooldown_intervals: 0, ..cfg() };
         let mut c = ShardController::new(1);
-        assert_eq!(c.tick(&cfg, 100, 100, true).expect("overload grows").target, 2);
+        assert_eq!(c.tick(&cfg, 100, 100, true, 0.0).expect("overload grows").target, 2);
         // the same cumulative counters again on an idle shard: the old
         // misses must not leak in — a clean window reads rate 0 and shrinks
-        let v = c.tick(&cfg, 100, 100, false).expect("clean window shrinks");
+        let v = c.tick(&cfg, 100, 100, false, 0.0).expect("clean window shrinks");
         assert_eq!(v.target, 1);
         assert_eq!(v.miss_rate, 0.0);
     }

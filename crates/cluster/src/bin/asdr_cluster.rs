@@ -22,14 +22,17 @@
 //! (`"total_fits"` equals the workload's distinct scene count cold, zero
 //! warm).
 
-use asdr_cluster::{AutoscalerConfig, ShardRouter};
+use asdr_cluster::remote::{FleetConfig, RemoteFleet};
+use asdr_cluster::{AutoscalerConfig, ShardAddr, ShardRouter};
 use asdr_serve::flags::{self, die, positive_usize, value, ReplayFlags};
 use asdr_serve::RenderProfile;
 use std::path::PathBuf;
+use std::time::Duration;
 
 struct Args {
     replay: ReplayFlags,
     profile: RenderProfile,
+    scale: String,
     shards: usize,
     workers: usize,
     autoscale: Option<(usize, usize)>,
@@ -37,6 +40,8 @@ struct Args {
     store_dir: Option<PathBuf>,
     no_store: bool,
     queue: usize,
+    remote: Option<String>,
+    hedge_ms: Option<f64>,
     out: Option<PathBuf>,
     dump_images: Option<PathBuf>,
 }
@@ -47,8 +52,14 @@ fn usage() -> ! {
          \u{20}                   [--shards N] [--scale tiny|small|paper]\n\
          \u{20}                   [--workers N | --autoscale MIN:MAX] [--budget-ms X]\n\
          \u{20}                   [--store-dir DIR | --no-store] [--queue N]\n\
+         \u{20}                   [--remote (spawn:N | ADDR[,ADDR...])] [--hedge-ms X]\n\
          \u{20}                   [--speed X] [--record PATH]\n\
-         \u{20}                   [--out STATS.json] [--dump-images DIR]"
+         \u{20}                   [--out STATS.json] [--dump-images DIR]\n\
+         \n\
+         --remote runs the workload against asdr-shardd processes instead of\n\
+         in-process shards: spawn:N launches N local daemons on Unix sockets;\n\
+         a comma-separated list attaches to already-running shards\n\
+         (unix:PATH or tcp:HOST:PORT)."
     );
     std::process::exit(2);
 }
@@ -57,6 +68,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         replay: ReplayFlags::default(),
         profile: RenderProfile::tiny(),
+        scale: "tiny".to_string(),
         shards: 2,
         workers: 1,
         autoscale: None,
@@ -64,6 +76,8 @@ fn parse_args() -> Args {
         store_dir: None,
         no_store: false,
         queue: 64,
+        remote: None,
+        hedge_ms: None,
         out: None,
         dump_images: None,
     };
@@ -76,6 +90,7 @@ fn parse_args() -> Args {
                     let name = value(&argv, &mut i);
                     args.profile = RenderProfile::parse(&name)
                         .unwrap_or_else(|| die(&format!("unknown scale {name:?}")));
+                    args.scale = name.to_ascii_lowercase();
                 }
                 "--shards" => args.shards = positive_usize("--shards", &value(&argv, &mut i)),
                 "--workers" => args.workers = positive_usize("--workers", &value(&argv, &mut i)),
@@ -96,6 +111,10 @@ fn parse_args() -> Args {
                 "--store-dir" => args.store_dir = Some(PathBuf::from(value(&argv, &mut i))),
                 "--no-store" => args.no_store = true,
                 "--queue" => args.queue = positive_usize("--queue", &value(&argv, &mut i)),
+                "--remote" => args.remote = Some(value(&argv, &mut i)),
+                "--hedge-ms" => {
+                    args.hedge_ms = Some(flags::positive_f64("--hedge-ms", &value(&argv, &mut i)));
+                }
                 "--out" => args.out = Some(PathBuf::from(value(&argv, &mut i))),
                 "--dump-images" => args.dump_images = Some(PathBuf::from(value(&argv, &mut i))),
                 "-h" | "--help" => usage(),
@@ -110,7 +129,193 @@ fn parse_args() -> Args {
     if args.no_store && args.store_dir.is_some() {
         die("--no-store and --store-dir are mutually exclusive");
     }
+    if args.remote.is_none() && args.hedge_ms.is_some() {
+        die("--hedge-ms only applies to --remote fleets");
+    }
+    if args.remote.is_some() && (args.autoscale.is_some() || args.budget_ms.is_some()) {
+        die("--autoscale/--budget-ms apply to in-process shards, not --remote fleets");
+    }
     args
+}
+
+/// Launches `n` local `asdr-shardd` processes (the binary next to this
+/// one) on Unix sockets in a fresh temp dir, waiting for each to accept.
+fn spawn_shardds(n: usize, args: &Args) -> (Vec<std::process::Child>, Vec<ShardAddr>) {
+    let exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("asdr-shardd")))
+        .unwrap_or_else(|| die("cannot locate asdr-shardd next to asdr-cluster"));
+    let dir = std::env::temp_dir().join(format!("asdr-fleet-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+    let mut children = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for i in 0..n {
+        let sock = dir.join(format!("shard{i}.sock"));
+        let addr = ShardAddr::Unix(sock.clone());
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--listen")
+            .arg(format!("unix:{}", sock.display()))
+            .arg("--scale")
+            .arg(&args.scale)
+            .arg("--workers")
+            .arg(args.workers.to_string())
+            .arg("--queue")
+            .arg(args.queue.to_string())
+            .arg("--shard-id")
+            .arg(i.to_string())
+            .stdout(std::process::Stdio::null());
+        if let Some(store) = &args.store_dir {
+            cmd.arg("--store-dir").arg(store);
+        } else if args.no_store {
+            cmd.arg("--no-store");
+        }
+        let child =
+            cmd.spawn().unwrap_or_else(|e| die(&format!("cannot spawn {}: {e}", exe.display())));
+        children.push(child);
+        addrs.push(addr);
+    }
+    // readiness: a successful connect means the daemon is accepting
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    for addr in &addrs {
+        loop {
+            match addr.connect() {
+                Ok(_) => break,
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => {
+                    // never leave half a fleet running behind a failed start
+                    for child in &mut children {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                    die(&format!("shard at {addr} never came up: {e}"));
+                }
+            }
+        }
+    }
+    (children, addrs)
+}
+
+/// Replays the workload against a remote shardd fleet.
+fn run_remote(args: &Args, spec: &str, source: &mut dyn asdr_serve::TraceSource, input_name: &str) {
+    let (mut children, addrs) = match spec.strip_prefix("spawn:") {
+        Some(n) => spawn_shardds(positive_usize("--remote spawn", n), args),
+        None => {
+            let addrs: Vec<ShardAddr> = spec
+                .split(',')
+                .map(|s| ShardAddr::parse(s.trim()).unwrap_or_else(|e| die(&e)))
+                .collect();
+            (Vec::new(), addrs)
+        }
+    };
+    let mut cfg = FleetConfig::default();
+    if let Some(ms) = args.hedge_ms {
+        cfg.hedge_after = Some(Duration::from_secs_f64(ms / 1e3));
+    }
+    let fleet =
+        RemoteFleet::connect(addrs.clone(), args.profile.clone(), cfg).unwrap_or_else(|e| die(&e));
+    println!(
+        "# asdr-cluster: {} requests over {} remote shards ({}), store {}",
+        source.len_hint().map_or_else(|| "streamed".to_string(), |n| n.to_string()),
+        fleet.shards(),
+        addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", "),
+        args.store_dir.as_ref().map_or("in-memory".to_string(), |d| d.display().to_string()),
+    );
+
+    let driver = args.replay.driver(args.profile.clone());
+    let replay = driver.run(source, &fleet).unwrap_or_else(|e| die(&format!("{input_name}: {e}")));
+    if replay.requests.is_empty() {
+        die("trace holds no requests");
+    }
+
+    let mut measurements = flags::ReplayMeasurements::default();
+    println!("| req | scene | shard | frames | queue ms | latency ms | deadline |");
+    println!("|---|---|---|---|---|---|---|");
+    for req in &replay.requests {
+        let r = req
+            .ticket
+            .wait()
+            .unwrap_or_else(|e| die(&format!("request {} ({}): {e}", req.index, req.scene)));
+        println!(
+            "| {} | {} | {} | {} | {:.1} | {:.1} | {} |",
+            req.index,
+            req.scene,
+            req.ticket.shard(),
+            r.images.len(),
+            r.queue_wait_us as f64 / 1e3,
+            r.latency_us as f64 / 1e3,
+            match r.deadline_met {
+                Some(true) => "met",
+                Some(false) => "MISSED",
+                None => "-",
+            },
+        );
+        measurements.push(req.window, req.deadlined, r.deadline_met == Some(false), r.images.len());
+        if let Some(dir) = &args.dump_images {
+            flags::dump_frames(dir, req.index, &r.images);
+        }
+    }
+    let wall = replay.started.elapsed();
+
+    let stats = fleet.shutdown();
+    println!(
+        "\n{} requests, {} frames over {} remote shards ({} home, {} spilled)",
+        stats.requests(),
+        stats.frames(),
+        stats.shards.len(),
+        stats.routed_home,
+        stats.spilled,
+    );
+    let fl = &stats.fleet;
+    println!(
+        "fleet: {} evictions, {} rejoins, {} hedges ({} won, {} cancelled), {} failovers, {} re-warms",
+        fl.evictions, fl.rejoins, fl.hedges, fl.hedge_wins, fl.hedge_cancels, fl.failovers, fl.rewarms,
+    );
+    for s in &stats.shards {
+        println!(
+            "shard {}: {} workers, {} req, {:.2} fps, p50 {:.1} ms / p95 {:.1} ms, {} fits, {} disk hits",
+            s.shard,
+            s.workers,
+            s.serve.requests,
+            s.serve.throughput_fps,
+            s.serve.p50_latency_ms,
+            s.serve.p95_latency_ms,
+            s.serve.store.fits,
+            s.serve.store.disk_hits,
+        );
+    }
+    println!(
+        "{}",
+        measurements.trace_result_line(wall, replay.plan.as_ref()).unwrap_or_else(|e| die(&e))
+    );
+    if let Some(out) = &args.out {
+        if let Some(parent) = out.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(out, stats.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
+        println!("stats written to {}", out.display());
+    }
+    // spawned daemons were asked to drain by fleet.shutdown(); give each a
+    // moment to exit on its own before forcing the issue
+    for child in &mut children {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+            }
+        }
+    }
 }
 
 fn main() {
@@ -119,6 +324,10 @@ fn main() {
     let mut source = input.open().unwrap_or_else(|e| die(&e));
     if source.len_hint() == Some(0) {
         die("workload file holds no requests");
+    }
+    if let Some(spec) = args.remote.clone() {
+        run_remote(&args, &spec, source.as_mut(), &input.describe());
+        return;
     }
 
     let mut builder =
@@ -231,11 +440,12 @@ fn main() {
         println!("scaling: {} events", stats.scale_events.len());
         for e in &stats.scale_events {
             println!(
-                "  t+{} ms shard {}: {} -> {} workers (window miss rate {:.0}%)",
+                "  t+{} ms shard {}: {} -> {} workers ({}, window miss rate {:.0}%)",
                 e.at_ms,
                 e.shard,
                 e.from,
                 e.to,
+                e.reason.as_str(),
                 e.miss_rate * 100.0
             );
         }

@@ -44,10 +44,15 @@
 
 pub mod autoscale;
 pub mod cost;
+pub mod net;
+pub mod remote;
 pub mod router;
 pub mod stats;
+pub mod wire;
 
-pub use autoscale::{AutoscalerConfig, ScaleEvent, ShardController};
+pub use autoscale::{AutoscalerConfig, ScaleEvent, ScaleReason, ShardController};
 pub use cost::{CostModel, CostStats};
+pub use net::{Listener, ShardAddr, Stream};
+pub use remote::{FleetConfig, FleetError, FleetTicket, RemoteFleet, RemoteShard, RemoteTicket};
 pub use router::{ClusterBuilder, ClusterError, ClusterTicket, HashRing, ShardRouter};
-pub use stats::{ClusterStats, ShardStats};
+pub use stats::{ClusterStats, FleetStats, ShardStats};

@@ -329,12 +329,14 @@ impl ClusterBuilder {
             None => self.workers,
         };
         let cost = Arc::new(CostModel::new(&self.profile));
+        let pulse = Arc::new(CompletionPulse::default());
         let mut shards = Vec::with_capacity(self.shards);
         for _ in 0..self.shards {
             let load = Arc::new(Mutex::new(ShardLoad::default()));
             let hook = {
                 let cost = cost.clone();
                 let load = load.clone();
+                let pulse = pulse.clone();
                 Arc::new(move |c: &Completion<'_>| {
                     if let Some(r) = c.result {
                         let service_ms = r.latency.saturating_sub(r.queue_wait).as_secs_f64() * 1e3;
@@ -343,6 +345,7 @@ impl ClusterBuilder {
                     // failures release their reservation too, or the budget
                     // would leak shut
                     load.lock().unwrap().release(&(c.scene.to_string(), c.resolution, c.frames));
+                    pulse.bump();
                 })
             };
             let mut store = ModelStore::builder();
@@ -388,6 +391,7 @@ impl ClusterBuilder {
             rejected: AtomicU64::new(0),
             events,
             scaler,
+            pulse,
         })
     }
 }
@@ -407,12 +411,17 @@ fn scaler_loop(
         for (i, shard) in shards.iter().enumerate() {
             let stats = shard.service.stats();
             // admitted-but-unfinished work (queued or rendering) makes an
-            // empty window "busy", not "idle" — see ShardController::tick
-            let busy =
-                shard.load.lock().unwrap().outstanding_ms > 0.0 || shard.service.queue_len() > 0;
-            if let Some(v) =
-                controllers[i].tick(cfg, stats.deadlined_requests, stats.deadline_misses, busy)
-            {
+            // empty window "busy", not "idle" — see ShardController::tick;
+            // the same predicted-ms doubles as the controller's forecast
+            let outstanding_ms = shard.load.lock().unwrap().outstanding_ms;
+            let busy = outstanding_ms > 0.0 || shard.service.queue_len() > 0;
+            if let Some(v) = controllers[i].tick(
+                cfg,
+                stats.deadlined_requests,
+                stats.deadline_misses,
+                busy,
+                outstanding_ms,
+            ) {
                 let from = shard.service.set_workers(v.target);
                 events.lock().unwrap().push(ScaleEvent {
                     at_ms: started.elapsed().as_millis() as u64,
@@ -420,6 +429,7 @@ fn scaler_loop(
                     from,
                     to: v.target,
                     miss_rate: v.miss_rate,
+                    reason: v.reason,
                 });
             }
         }
@@ -482,6 +492,38 @@ pub struct ShardRouter {
     rejected: AtomicU64,
     events: Arc<Mutex<Vec<ScaleEvent>>>,
     scaler: Option<ScalerHandle>,
+    pulse: Arc<CompletionPulse>,
+}
+
+/// A cluster-wide completion signal: every shard's completion hook bumps
+/// the counter, and [`ShardRouter::wait_capacity`] parks on it — an
+/// over-budget replay wakes the moment *any* shard finishes work instead
+/// of sleeping out a poll interval (completions are the only events that
+/// free queue slots or admission budget).
+#[derive(Debug, Default)]
+struct CompletionPulse {
+    count: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl CompletionPulse {
+    fn bump(&self) {
+        *self.count.lock().unwrap() += 1;
+        self.cond.notify_all();
+    }
+
+    /// Waits until the counter moves past `seen` or `timeout` passes.
+    fn wait_change(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut count = self.count.lock().unwrap();
+        let seen = *count;
+        while *count == seen {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return;
+            };
+            count = self.cond.wait_timeout(count, left).unwrap().0;
+        }
+    }
 }
 
 impl fmt::Debug for ShardRouter {
@@ -618,6 +660,7 @@ impl ShardRouter {
             rejected: self.rejected.load(Ordering::Relaxed),
             scale_events: self.events.lock().unwrap().clone(),
             cost: self.cost.stats(),
+            fleet: crate::stats::FleetStats::default(),
         }
     }
 
@@ -658,6 +701,10 @@ impl asdr_serve::ReplayTarget for ShardRouter {
             Err(ClusterError::Overloaded { .. }) => asdr_serve::SubmitOutcome::Busy,
             Err(e) => asdr_serve::SubmitOutcome::Fatal(e.to_string()),
         }
+    }
+
+    fn wait_capacity(&self, timeout: Duration) {
+        self.pulse.wait_change(timeout);
     }
 }
 

@@ -23,6 +23,29 @@ pub struct ShardStats {
     pub serve: ServeStats,
 }
 
+/// Remote-fleet failure-handling counters (all zero for the in-process
+/// [`ShardRouter`](crate::ShardRouter), which cannot lose a shard).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Shards currently off the ring (evicted and not yet rejoined).
+    pub shards_lost: u64,
+    /// Shards removed from the ring after consecutive health misses or a
+    /// connection failure.
+    pub evictions: u64,
+    /// Evicted shards returned to the ring by a later successful probe.
+    pub rejoins: u64,
+    /// Requests duplicated to a replica after the hedge watermark.
+    pub hedges: u64,
+    /// Hedge races the replica won.
+    pub hedge_wins: u64,
+    /// Hedge races resolved by cancelling the loser.
+    pub hedge_cancels: u64,
+    /// In-flight requests resubmitted after their shard died.
+    pub failovers: u64,
+    /// Scene models pre-fetched on a new home after a ring change.
+    pub rewarms: u64,
+}
+
 /// A point-in-time snapshot of the whole cluster; serialize with
 /// [`ClusterStats::to_json`].
 #[derive(Debug, Clone)]
@@ -39,6 +62,8 @@ pub struct ClusterStats {
     pub scale_events: Vec<ScaleEvent>,
     /// Cost-model accuracy (predicted vs. actual).
     pub cost: CostStats,
+    /// Remote-fleet failure-handling counters.
+    pub fleet: FleetStats,
 }
 
 impl ClusterStats {
@@ -131,14 +156,38 @@ impl ClusterStats {
             self.cost.seeded_predictions,
             self.cost.mean_abs_pct_error
         ));
+        let fl = &self.fleet;
+        out.push_str(&format!(
+            concat!(
+                "  \"fleet\": {{\"shards_lost\": {}, \"evictions\": {}, \"rejoins\": {},",
+                " \"hedges\": {}, \"hedge_wins\": {}, \"hedge_cancels\": {},",
+                " \"failovers\": {}, \"rewarms\": {}}},\n"
+            ),
+            fl.shards_lost,
+            fl.evictions,
+            fl.rejoins,
+            fl.hedges,
+            fl.hedge_wins,
+            fl.hedge_cancels,
+            fl.failovers,
+            fl.rewarms
+        ));
         out.push_str("  \"scale_events\": [");
         for (i, e) in self.scale_events.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
             out.push_str(&format!(
-                "{{\"at_ms\": {}, \"shard\": {}, \"from\": {}, \"to\": {}, \"miss_rate\": {:.4}}}",
-                e.at_ms, e.shard, e.from, e.to, e.miss_rate
+                concat!(
+                    "{{\"at_ms\": {}, \"shard\": {}, \"from\": {}, \"to\": {},",
+                    " \"miss_rate\": {:.4}, \"reason\": \"{}\"}}"
+                ),
+                e.at_ms,
+                e.shard,
+                e.from,
+                e.to,
+                e.miss_rate,
+                e.reason.as_str()
             ));
         }
         out.push_str("],\n");
@@ -219,13 +268,21 @@ mod tests {
             routed_home: 5,
             spilled: 1,
             rejected: 0,
-            scale_events: vec![ScaleEvent { at_ms: 40, shard: 0, from: 1, to: 2, miss_rate: 0.5 }],
+            scale_events: vec![ScaleEvent {
+                at_ms: 40,
+                shard: 0,
+                from: 1,
+                to: 2,
+                miss_rate: 0.5,
+                reason: crate::autoscale::ScaleReason::Miss,
+            }],
             cost: CostStats {
                 tracked_keys: 2,
                 observations: 6,
                 seeded_predictions: 3,
                 mean_abs_pct_error: 0.25,
             },
+            fleet: FleetStats { evictions: 1, hedges: 2, hedge_wins: 1, ..FleetStats::default() },
         }
     }
 
@@ -252,6 +309,9 @@ mod tests {
             "\"per_shard\": [",
             "\"cost\": {\"tracked_keys\": 2",
             "\"mean_abs_pct_error\": 0.2500",
+            "\"fleet\": {\"shards_lost\": 0, \"evictions\": 1",
+            "\"hedge_wins\": 1",
+            "\"reason\": \"miss\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

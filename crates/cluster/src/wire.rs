@@ -1,0 +1,1015 @@
+//! The fleet wire protocol — a hand-rolled length-prefixed binary codec
+//! carrying render requests, tickets, stats polls, and health probes
+//! between the router front-end and `asdr-shardd` daemons.
+//!
+//! Framing is a varint byte length followed by that many payload bytes;
+//! the payload is a one-byte message tag plus tag-specific fields in the
+//! style of the trace VERSION-1 codec (LEB128 varints, interned flag
+//! bits, little-endian float bits — no serde in this environment). Every
+//! request-shaped message carries a client-assigned correlation `id` and
+//! every response echoes it, so one connection multiplexes any number of
+//! in-flight operations and a reader thread can demultiplex replies by id
+//! alone.
+//!
+//! Image payloads in [`Message::Result`] serialize each pixel channel as
+//! its **exact** `f32` bit pattern, so a frame rendered on a shard is
+//! byte-identical after the round trip — the property the kill-−9
+//! acceptance test pins down.
+//!
+//! Decoding is total: any byte string either decodes or returns a named
+//! error (`"wire frame: why"` / `"wire message: why"`); it never panics
+//! and never allocates more than the input length, whatever the bytes.
+
+use asdr_math::{Image, Vec3};
+use asdr_scenes::registry::OrbitCamera;
+use asdr_serve::service::{Priority, RenderRequest, RenderResult};
+use asdr_serve::trace::format::{MAX_DEADLINE_MS, MAX_FRAMES, MAX_RESOLUTION};
+use asdr_serve::{ServeStats, StoreStats};
+use std::io::{Read, Write};
+
+/// Wire protocol version, exchanged in [`Message::Hello`].
+pub const VERSION: u8 = 1;
+
+/// Largest frame payload a peer will read (a 4096-frame result of
+/// 8192² f32 pixels doesn't fit anyway — this bounds a hostile length
+/// prefix, not a legitimate message).
+pub const MAX_FRAME_BYTES: u64 = 1 << 28;
+
+/// Longest scene name / error string on the wire.
+const MAX_STRING: u64 = 4096;
+
+/// Deadline bound, microseconds (the trace codec's millisecond bound).
+const MAX_DEADLINE_US: u64 = MAX_DEADLINE_MS * 1000;
+
+/// Appends `v` LEB128-encoded (7 bits per byte, high bit = continue).
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn push_string(out: &mut Vec<u8>, s: &str) {
+    push_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err("unexpected end of message".into());
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 63 && byte > 1 {
+                return Err("varint overflows u64".into());
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn bounded(&mut self, what: &str, max: u64) -> Result<u64, String> {
+        let v = self.varint()?;
+        if v > max {
+            return Err(format!("{what} {v} out of range (max {max})"));
+        }
+        Ok(v)
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn finite_f32(&mut self, what: &str) -> Result<f32, String> {
+        let v = self.f32()?;
+        if !v.is_finite() {
+            return Err(format!("{what} is not finite"));
+        }
+        Ok(v)
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, String> {
+        let len = self.bounded(what, MAX_STRING)? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what} is not UTF-8"))
+    }
+
+    fn boolean(&mut self, what: &str) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("{what} flag {b} is not 0/1")),
+        }
+    }
+}
+
+fn priority_code(p: Priority) -> u8 {
+    match p {
+        Priority::Low => 0,
+        Priority::Normal => 1,
+        Priority::High => 2,
+    }
+}
+
+fn priority_from(code: u8) -> Result<Priority, String> {
+    match code {
+        0 => Ok(Priority::Low),
+        1 => Ok(Priority::Normal),
+        2 => Ok(Priority::High),
+        c => Err(format!("unknown priority code {c}")),
+    }
+}
+
+/// A render request as it travels to a shard: the scene by registry name,
+/// scheduling metadata by value. Resolved back into a [`RenderRequest`]
+/// on the shard with [`WireRequest::to_request`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Registry scene name.
+    pub scene: String,
+    /// Square frame resolution.
+    pub resolution: u32,
+    /// Frames in the request (>= 1).
+    pub frames: u64,
+    /// Per-frame azimuth advance, degrees.
+    pub azimuth_step_deg: f32,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Latency budget, microseconds from shard-side admission.
+    pub deadline_us: Option<u64>,
+    /// Viewpoint override (`None`: the scene's standard orbit).
+    pub camera: Option<OrbitCamera>,
+}
+
+impl WireRequest {
+    /// Captures a resolved request for the wire.
+    pub fn from_request(req: &RenderRequest) -> WireRequest {
+        WireRequest {
+            scene: req.scene.name().to_string(),
+            resolution: req.resolution,
+            frames: req.frames as u64,
+            azimuth_step_deg: req.azimuth_step_deg,
+            priority: req.priority,
+            deadline_us: req.deadline.map(|d| (d.as_micros() as u64).min(MAX_DEADLINE_US)),
+            camera: req.camera,
+        }
+    }
+
+    /// Resolves the wire form against the shard's scene registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the scene is not registered there.
+    pub fn to_request(&self) -> Result<RenderRequest, String> {
+        let scene = asdr_scenes::registry::get(&self.scene)
+            .ok_or_else(|| format!("unknown scene {:?} on this shard", self.scene))?;
+        let mut req = RenderRequest::sequence(scene, self.resolution, self.frames as usize);
+        req.azimuth_step_deg = self.azimuth_step_deg;
+        req.priority = self.priority;
+        req.deadline = self.deadline_us.map(std::time::Duration::from_micros);
+        req.camera = self.camera;
+        Ok(req)
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        push_string(out, &self.scene);
+        push_varint(out, u64::from(self.resolution));
+        push_varint(out, self.frames);
+        push_f32(out, self.azimuth_step_deg);
+        let mut flags = priority_code(self.priority) << 2;
+        flags |= u8::from(self.deadline_us.is_some());
+        flags |= u8::from(self.camera.is_some()) << 1;
+        out.push(flags);
+        if let Some(us) = self.deadline_us {
+            push_varint(out, us);
+        }
+        if let Some(cam) = &self.camera {
+            for v in [
+                cam.azimuth_deg,
+                cam.elevation_deg,
+                cam.radius,
+                cam.fov_deg,
+                cam.center.x,
+                cam.center.y,
+                cam.center.z,
+            ] {
+                push_f32(out, v);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<WireRequest, String> {
+        let scene = r.string("scene name")?;
+        if scene.is_empty() {
+            return Err("scene name is empty".into());
+        }
+        let resolution = r.bounded("resolution", MAX_RESOLUTION)? as u32;
+        if resolution == 0 {
+            return Err("resolution 0 out of range (min 1)".into());
+        }
+        let frames = r.bounded("frames", MAX_FRAMES)?;
+        if frames == 0 {
+            return Err("frames 0 out of range (min 1)".into());
+        }
+        let azimuth_step_deg = r.finite_f32("azimuth step")?;
+        let flags = r.u8()?;
+        if flags & !0b1111 != 0 {
+            return Err(format!("unknown request flag bits {flags:#x}"));
+        }
+        let priority = priority_from(flags >> 2)?;
+        let deadline_us =
+            if flags & 1 != 0 { Some(r.bounded("deadline_us", MAX_DEADLINE_US)?) } else { None };
+        let camera = if flags & 2 != 0 {
+            let mut v = [0f32; 7];
+            for (i, slot) in v.iter_mut().enumerate() {
+                *slot = r.finite_f32(&format!("camera field {i}"))?;
+            }
+            Some(OrbitCamera {
+                azimuth_deg: v[0],
+                elevation_deg: v[1],
+                radius: v[2],
+                fov_deg: v[3],
+                center: Vec3::new(v[4], v[5], v[6]),
+            })
+        } else {
+            None
+        };
+        Ok(WireRequest {
+            scene,
+            resolution,
+            frames,
+            azimuth_step_deg,
+            priority,
+            deadline_us,
+            camera,
+        })
+    }
+}
+
+/// A completed request as it travels back: measurements plus the rendered
+/// frames with exact pixel bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResult {
+    /// Scene name.
+    pub scene: String,
+    /// Resolution rendered at.
+    pub resolution: u32,
+    /// Frames that reused the request's sample plan.
+    pub reused_frames: u64,
+    /// Shard-side queue wait, microseconds.
+    pub queue_wait_us: u64,
+    /// Shard-side admission-to-completion latency, microseconds.
+    pub latency_us: u64,
+    /// Whether the shard-side latency met the deadline (`None`: none set).
+    pub deadline_met: Option<bool>,
+    /// Shard-local completion sequence number.
+    pub completed_seq: u64,
+    /// The rendered frames, in order, bit-exact.
+    pub images: Vec<Image>,
+}
+
+impl WireResult {
+    /// Captures a shard-side result for the wire.
+    pub fn from_result(r: &RenderResult) -> WireResult {
+        WireResult {
+            scene: r.scene.clone(),
+            resolution: r.resolution,
+            reused_frames: r.reused_frames as u64,
+            queue_wait_us: r.queue_wait.as_micros() as u64,
+            latency_us: r.latency.as_micros() as u64,
+            deadline_met: r.deadline_met,
+            completed_seq: r.completed_seq,
+            images: r.images.clone(),
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        push_string(out, &self.scene);
+        push_varint(out, u64::from(self.resolution));
+        push_varint(out, self.reused_frames);
+        push_varint(out, self.queue_wait_us);
+        push_varint(out, self.latency_us);
+        out.push(match self.deadline_met {
+            None => 0,
+            Some(true) => 1,
+            Some(false) => 2,
+        });
+        push_varint(out, self.completed_seq);
+        push_varint(out, self.images.len() as u64);
+        for img in &self.images {
+            push_varint(out, u64::from(img.width()));
+            push_varint(out, u64::from(img.height()));
+            for px in img.pixels() {
+                push_f32(out, px.r);
+                push_f32(out, px.g);
+                push_f32(out, px.b);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<WireResult, String> {
+        let scene = r.string("scene name")?;
+        let resolution = r.bounded("resolution", MAX_RESOLUTION)? as u32;
+        let reused_frames = r.bounded("reused frames", MAX_FRAMES)?;
+        let queue_wait_us = r.varint()?;
+        let latency_us = r.varint()?;
+        let deadline_met = match r.u8()? {
+            0 => None,
+            1 => Some(true),
+            2 => Some(false),
+            c => return Err(format!("unknown deadline code {c}")),
+        };
+        let completed_seq = r.varint()?;
+        let count = r.bounded("image count", MAX_FRAMES)? as usize;
+        let mut images = Vec::with_capacity(count.min(64));
+        for i in 0..count {
+            let w = r.bounded("image width", MAX_RESOLUTION)? as u32;
+            let h = r.bounded("image height", MAX_RESOLUTION)? as u32;
+            if w == 0 || h == 0 {
+                return Err(format!("image {i} has a zero dimension"));
+            }
+            // bounds-check before allocating pixel storage: the byte count
+            // must actually be present in the payload
+            let bytes = r.take(w as usize * h as usize * 12)?;
+            let mut img = Image::new(w, h);
+            for (px, chunk) in img.pixels_mut().iter_mut().zip(bytes.chunks_exact(12)) {
+                px.r = f32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes"));
+                px.g = f32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+                px.b = f32::from_le_bytes(chunk[8..12].try_into().expect("4 bytes"));
+            }
+            images.push(img);
+        }
+        Ok(WireResult {
+            scene,
+            resolution,
+            reused_frames,
+            queue_wait_us,
+            latency_us,
+            deadline_met,
+            completed_seq,
+            images,
+        })
+    }
+}
+
+/// A shard's statistics snapshot on the wire: the full [`ServeStats`]
+/// plus the live pool/queue state a router needs for placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStats {
+    /// Worker-pool target size.
+    pub workers: u64,
+    /// Requests waiting in the admission queue right now.
+    pub queue_len: u64,
+    /// The service snapshot.
+    pub serve: ServeStats,
+}
+
+impl WireStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let s = &self.serve;
+        for v in [
+            self.workers,
+            self.queue_len,
+            s.requests,
+            s.frames,
+            s.reused_frames,
+            s.deadlined_requests,
+            s.deadline_misses,
+            s.probe_points,
+        ] {
+            push_varint(out, v);
+        }
+        for v in [
+            s.p50_latency_ms,
+            s.p95_latency_ms,
+            s.mean_queue_wait_ms,
+            s.throughput_fps,
+            s.probe_points_avoided_est,
+        ] {
+            push_f64(out, v);
+        }
+        let st = &s.store;
+        for v in [
+            st.memory_hits,
+            st.disk_hits,
+            st.fits,
+            st.evictions,
+            st.disk_errors,
+            st.single_flight_waits,
+            st.lock_waits,
+            st.lock_steals,
+            st.resident as u64,
+        ] {
+            push_varint(out, v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<WireStats, String> {
+        let mut ints = [0u64; 8];
+        for v in &mut ints {
+            *v = r.varint()?;
+        }
+        let mut floats = [0f64; 5];
+        for v in &mut floats {
+            *v = r.f64()?;
+        }
+        let mut store_ints = [0u64; 9];
+        for v in &mut store_ints {
+            *v = r.varint()?;
+        }
+        Ok(WireStats {
+            workers: ints[0],
+            queue_len: ints[1],
+            serve: ServeStats {
+                requests: ints[2],
+                frames: ints[3],
+                reused_frames: ints[4],
+                deadlined_requests: ints[5],
+                deadline_misses: ints[6],
+                probe_points: ints[7],
+                p50_latency_ms: floats[0],
+                p95_latency_ms: floats[1],
+                mean_queue_wait_ms: floats[2],
+                throughput_fps: floats[3],
+                probe_points_avoided_est: floats[4],
+                store: StoreStats {
+                    memory_hits: store_ints[0],
+                    disk_hits: store_ints[1],
+                    fits: store_ints[2],
+                    evictions: store_ints[3],
+                    disk_errors: store_ints[4],
+                    single_flight_waits: store_ints[5],
+                    lock_waits: store_ints[6],
+                    lock_steals: store_ints[7],
+                    resident: store_ints[8] as usize,
+                },
+            },
+        })
+    }
+}
+
+/// Every message the fleet protocol speaks. Requests carry a
+/// client-assigned correlation `id`; responses echo it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// First frame on every connection, client → shard.
+    Hello {
+        /// The client's protocol version; the shard refuses a mismatch.
+        version: u8,
+    },
+    /// The shard's handshake acknowledgement.
+    HelloOk {
+        /// The shard's self-reported id (for logs; the ring keys on the
+        /// router's own numbering).
+        shard: u64,
+    },
+    /// Admit one render request.
+    Submit {
+        /// Correlation id.
+        id: u64,
+        /// The request.
+        req: WireRequest,
+    },
+    /// The request was admitted; a [`Message::Result`] (or
+    /// [`Message::Failed`]) with the same id follows eventually.
+    Submitted {
+        /// Correlation id.
+        id: u64,
+    },
+    /// The request was not admitted.
+    Refused {
+        /// Correlation id.
+        id: u64,
+        /// `true` for momentary overload (queue full — retry after a
+        /// poll), `false` for never-admissible requests.
+        retryable: bool,
+        /// The shard-side error message.
+        why: String,
+    },
+    /// A completed request's result.
+    Result {
+        /// Correlation id of the originating submit.
+        id: u64,
+        /// The measurements and bit-exact frames.
+        result: WireResult,
+    },
+    /// A submitted request failed shard-side (render panic).
+    Failed {
+        /// Correlation id of the originating submit.
+        id: u64,
+        /// The shard-side error message.
+        why: String,
+    },
+    /// Stop shipping the response for `id` (a hedge lost the race). The
+    /// render may still complete shard-side; only the reply is dropped.
+    Cancel {
+        /// Correlation id of the submit to cancel.
+        id: u64,
+    },
+    /// Request a statistics snapshot.
+    StatsPoll {
+        /// Correlation id.
+        id: u64,
+    },
+    /// The statistics snapshot.
+    Stats {
+        /// Correlation id.
+        id: u64,
+        /// The snapshot.
+        stats: WireStats,
+    },
+    /// Liveness probe.
+    Health {
+        /// Correlation id (doubles as the probe nonce).
+        id: u64,
+    },
+    /// Liveness acknowledgement.
+    HealthOk {
+        /// Correlation id of the probe.
+        id: u64,
+        /// Queue depth at probe time.
+        queue_len: u64,
+        /// Whether the shard is draining (stops admitting soon).
+        draining: bool,
+    },
+    /// Pre-fetch a scene's model from the checkpoint directory (ring
+    /// re-warm before remapped traffic lands).
+    Prewarm {
+        /// Correlation id.
+        id: u64,
+        /// Registry scene name.
+        scene: String,
+    },
+    /// The pre-fetch finished.
+    Warmed {
+        /// Correlation id of the prewarm.
+        id: u64,
+        /// Whether the model was loaded/fit (`false`: unknown scene).
+        ok: bool,
+    },
+    /// Ask the shard to drain: finish in-flight work, then exit.
+    Drain {
+        /// Correlation id.
+        id: u64,
+    },
+    /// The shard acknowledged the drain and stops accepting connections.
+    Draining {
+        /// Correlation id of the drain request.
+        id: u64,
+    },
+}
+
+impl Message {
+    /// The correlation id, for reply demultiplexing (`None` for the
+    /// handshake pair).
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Message::Hello { .. } | Message::HelloOk { .. } => None,
+            Message::Submit { id, .. }
+            | Message::Submitted { id }
+            | Message::Refused { id, .. }
+            | Message::Result { id, .. }
+            | Message::Failed { id, .. }
+            | Message::Cancel { id }
+            | Message::StatsPoll { id }
+            | Message::Stats { id, .. }
+            | Message::Health { id }
+            | Message::HealthOk { id, .. }
+            | Message::Prewarm { id, .. }
+            | Message::Warmed { id, .. }
+            | Message::Drain { id }
+            | Message::Draining { id } => Some(*id),
+        }
+    }
+
+    /// Serializes the message payload (tag + fields, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello { version } => {
+                out.push(0);
+                out.push(*version);
+            }
+            Message::HelloOk { shard } => {
+                out.push(1);
+                push_varint(&mut out, *shard);
+            }
+            Message::Submit { id, req } => {
+                out.push(2);
+                push_varint(&mut out, *id);
+                req.encode(&mut out);
+            }
+            Message::Submitted { id } => {
+                out.push(3);
+                push_varint(&mut out, *id);
+            }
+            Message::Refused { id, retryable, why } => {
+                out.push(4);
+                push_varint(&mut out, *id);
+                out.push(u8::from(*retryable));
+                push_string(&mut out, why);
+            }
+            Message::Result { id, result } => {
+                out.push(5);
+                push_varint(&mut out, *id);
+                result.encode(&mut out);
+            }
+            Message::Failed { id, why } => {
+                out.push(6);
+                push_varint(&mut out, *id);
+                push_string(&mut out, why);
+            }
+            Message::Cancel { id } => {
+                out.push(7);
+                push_varint(&mut out, *id);
+            }
+            Message::StatsPoll { id } => {
+                out.push(8);
+                push_varint(&mut out, *id);
+            }
+            Message::Stats { id, stats } => {
+                out.push(9);
+                push_varint(&mut out, *id);
+                stats.encode(&mut out);
+            }
+            Message::Health { id } => {
+                out.push(10);
+                push_varint(&mut out, *id);
+            }
+            Message::HealthOk { id, queue_len, draining } => {
+                out.push(11);
+                push_varint(&mut out, *id);
+                push_varint(&mut out, *queue_len);
+                out.push(u8::from(*draining));
+            }
+            Message::Prewarm { id, scene } => {
+                out.push(12);
+                push_varint(&mut out, *id);
+                push_string(&mut out, scene);
+            }
+            Message::Warmed { id, ok } => {
+                out.push(13);
+                push_varint(&mut out, *id);
+                out.push(u8::from(*ok));
+            }
+            Message::Drain { id } => {
+                out.push(14);
+                push_varint(&mut out, *id);
+            }
+            Message::Draining { id } => {
+                out.push(15);
+                push_varint(&mut out, *id);
+            }
+        }
+        out
+    }
+
+    /// Decodes one message payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"wire message: why"` for truncated, corrupt, or
+    /// trailing-byte payloads — decoding never panics, whatever the bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Message, String> {
+        let ctx = |e: String| format!("wire message: {e}");
+        let mut r = Reader { bytes, pos: 0 };
+        let tag = r.u8().map_err(ctx)?;
+        let msg = (|| -> Result<Message, String> {
+            Ok(match tag {
+                0 => Message::Hello { version: r.u8()? },
+                1 => Message::HelloOk { shard: r.varint()? },
+                2 => {
+                    let id = r.varint()?;
+                    Message::Submit { id, req: WireRequest::decode(&mut r)? }
+                }
+                3 => Message::Submitted { id: r.varint()? },
+                4 => {
+                    let id = r.varint()?;
+                    let retryable = r.boolean("retryable")?;
+                    Message::Refused { id, retryable, why: r.string("refusal message")? }
+                }
+                5 => {
+                    let id = r.varint()?;
+                    Message::Result { id, result: WireResult::decode(&mut r)? }
+                }
+                6 => {
+                    let id = r.varint()?;
+                    Message::Failed { id, why: r.string("failure message")? }
+                }
+                7 => Message::Cancel { id: r.varint()? },
+                8 => Message::StatsPoll { id: r.varint()? },
+                9 => {
+                    let id = r.varint()?;
+                    Message::Stats { id, stats: WireStats::decode(&mut r)? }
+                }
+                10 => Message::Health { id: r.varint()? },
+                11 => {
+                    let id = r.varint()?;
+                    let queue_len = r.varint()?;
+                    Message::HealthOk { id, queue_len, draining: r.boolean("draining")? }
+                }
+                12 => {
+                    let id = r.varint()?;
+                    Message::Prewarm { id, scene: r.string("scene name")? }
+                }
+                13 => {
+                    let id = r.varint()?;
+                    Message::Warmed { id, ok: r.boolean("warmed")? }
+                }
+                14 => Message::Drain { id: r.varint()? },
+                15 => Message::Draining { id: r.varint()? },
+                t => return Err(format!("unknown message tag {t}")),
+            })
+        })()
+        .map_err(ctx)?;
+        if r.pos != bytes.len() {
+            return Err(ctx(format!("{} trailing bytes after message", bytes.len() - r.pos)));
+        }
+        Ok(msg)
+    }
+}
+
+/// Writes one framed message (varint length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> std::io::Result<()> {
+    let payload = msg.encode();
+    let mut head = Vec::with_capacity(10);
+    push_varint(&mut head, payload.len() as u64);
+    w.write_all(&head)?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Reads one framed message. `Ok(None)` is a clean end-of-stream (EOF
+/// exactly at a frame boundary); EOF mid-frame is an error.
+///
+/// # Errors
+///
+/// Returns `"wire frame: why"` for I/O errors, truncation, an oversized
+/// length prefix, or an undecodable payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Message>, String> {
+    let ctx = |e: String| format!("wire frame: {e}");
+    // the length prefix is read byte-by-byte so a clean EOF before any
+    // byte means "peer closed", not "corrupt frame"
+    let mut len = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) if shift == 0 => return Ok(None),
+            Ok(0) => return Err(ctx("unexpected end of stream in length prefix".into())),
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ctx(e.to_string())),
+        }
+        if shift >= 63 && byte[0] > 1 {
+            return Err(ctx("length prefix overflows u64".into()));
+        }
+        len |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(ctx(format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES} limit")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| ctx(e.to_string()))?;
+    Message::decode(&payload).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdr_math::Rgb;
+
+    fn sample_image(w: u32, h: u32) -> Image {
+        let mut img = Image::new(w, h);
+        for (i, px) in img.pixels_mut().iter_mut().enumerate() {
+            *px = Rgb { r: i as f32 * 0.25, g: -1.5, b: f32::MIN_POSITIVE };
+        }
+        img
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Hello { version: VERSION },
+            Message::HelloOk { shard: 2 },
+            Message::Submit {
+                id: 7,
+                req: WireRequest {
+                    scene: "Mic".into(),
+                    resolution: 32,
+                    frames: 3,
+                    azimuth_step_deg: 1.5,
+                    priority: Priority::High,
+                    deadline_us: Some(250_000),
+                    camera: Some(OrbitCamera::default()),
+                },
+            },
+            Message::Submitted { id: 7 },
+            Message::Refused { id: 8, retryable: true, why: "admission queue full".into() },
+            Message::Result {
+                id: 7,
+                result: WireResult {
+                    scene: "Mic".into(),
+                    resolution: 2,
+                    reused_frames: 2,
+                    queue_wait_us: 120,
+                    latency_us: 4800,
+                    deadline_met: Some(true),
+                    completed_seq: 41,
+                    images: vec![sample_image(2, 2), sample_image(2, 2)],
+                },
+            },
+            Message::Failed { id: 9, why: "render failed: boom".into() },
+            Message::Cancel { id: 7 },
+            Message::StatsPoll { id: 10 },
+            Message::Stats {
+                id: 10,
+                stats: WireStats {
+                    workers: 2,
+                    queue_len: 1,
+                    serve: ServeStats {
+                        requests: 5,
+                        frames: 9,
+                        reused_frames: 4,
+                        deadlined_requests: 3,
+                        deadline_misses: 1,
+                        p50_latency_ms: 10.5,
+                        p95_latency_ms: 31.25,
+                        mean_queue_wait_ms: 0.5,
+                        throughput_fps: 12.0,
+                        probe_points: 1000,
+                        probe_points_avoided_est: 400.0,
+                        store: StoreStats { fits: 2, disk_hits: 1, ..StoreStats::default() },
+                    },
+                },
+            },
+            Message::Health { id: 11 },
+            Message::HealthOk { id: 11, queue_len: 0, draining: false },
+            Message::Prewarm { id: 12, scene: "Lego".into() },
+            Message::Warmed { id: 12, ok: true },
+            Message::Drain { id: 13 },
+            Message::Draining { id: 13 },
+        ]
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        for msg in sample_messages() {
+            let back = Message::decode(&msg.encode()).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn result_pixels_keep_exact_bits() {
+        let msg = Message::Result {
+            id: 1,
+            result: WireResult {
+                scene: "Mic".into(),
+                resolution: 1,
+                reused_frames: 0,
+                queue_wait_us: 0,
+                latency_us: 1,
+                deadline_met: None,
+                completed_seq: 0,
+                images: vec![sample_image(1, 1)],
+            },
+        };
+        let Message::Result { result, .. } = Message::decode(&msg.encode()).unwrap() else {
+            panic!("decoded to a different kind");
+        };
+        let px = result.images[0].pixels()[0];
+        assert_eq!(px.r.to_bits(), 0.0f32.to_bits());
+        assert_eq!(px.g.to_bits(), (-1.5f32).to_bits());
+        assert_eq!(px.b.to_bits(), f32::MIN_POSITIVE.to_bits());
+    }
+
+    #[test]
+    fn framing_round_trips_a_stream_and_ends_cleanly() {
+        let mut buf = Vec::new();
+        for msg in sample_messages() {
+            write_frame(&mut buf, &msg).unwrap();
+        }
+        let mut cursor = &buf[..];
+        let mut back = Vec::new();
+        while let Some(msg) = read_frame(&mut cursor).unwrap() {
+            back.push(msg);
+        }
+        assert_eq!(back, sample_messages());
+    }
+
+    #[test]
+    fn truncated_frames_and_payloads_are_named_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample_messages()[2]).unwrap();
+        for cut in 1..buf.len() {
+            let e = read_frame(&mut &buf[..cut]).map(|m| format!("{m:?}")).unwrap_err();
+            assert!(
+                e.starts_with("wire frame: ") || e.starts_with("wire message: "),
+                "cut {cut}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        push_varint(&mut buf, MAX_FRAME_BYTES + 1);
+        let e = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(e.contains("exceeds"), "{e}");
+        let overflow = [0xffu8; 10];
+        let e = read_frame(&mut &overflow[..]).unwrap_err();
+        assert!(e.contains("overflows"), "{e}");
+    }
+
+    #[test]
+    fn bad_payload_fields_are_named_errors() {
+        // unknown tag
+        assert!(Message::decode(&[200]).unwrap_err().contains("unknown message tag"));
+        // trailing bytes
+        let mut bytes = Message::Cancel { id: 1 }.encode();
+        bytes.push(0);
+        assert!(Message::decode(&bytes).unwrap_err().contains("trailing"));
+        // zero frames
+        let mut out = vec![2u8];
+        push_varint(&mut out, 1);
+        push_string(&mut out, "Mic");
+        push_varint(&mut out, 32); // resolution
+        push_varint(&mut out, 0); // frames
+        push_f32(&mut out, 0.0);
+        out.push(0);
+        assert!(Message::decode(&out).unwrap_err().contains("frames 0"));
+        // bad priority code
+        let mut out = vec![2u8];
+        push_varint(&mut out, 1);
+        push_string(&mut out, "Mic");
+        push_varint(&mut out, 32);
+        push_varint(&mut out, 1);
+        push_f32(&mut out, 0.0);
+        out.push(0b1100); // priority code 3
+        assert!(Message::decode(&out).unwrap_err().contains("priority"));
+    }
+
+    #[test]
+    fn requests_survive_the_wire_and_resolve_against_the_registry() {
+        let req = RenderRequest::sequence(asdr_scenes::registry::handle("Mic"), 24, 2)
+            .with_priority(Priority::Low)
+            .with_deadline(std::time::Duration::from_millis(40))
+            .with_camera(OrbitCamera { azimuth_deg: 99.0, ..OrbitCamera::default() });
+        let wire = WireRequest::from_request(&req);
+        let back = wire.to_request().unwrap();
+        assert_eq!(back.scene.name(), "Mic");
+        assert_eq!(back.resolution, 24);
+        assert_eq!(back.frames, 2);
+        assert_eq!(back.priority, Priority::Low);
+        assert_eq!(back.deadline, Some(std::time::Duration::from_millis(40)));
+        assert_eq!(back.camera.unwrap().azimuth_deg, 99.0);
+        let missing = WireRequest { scene: "no-such-scene".into(), ..wire };
+        assert!(missing.to_request().is_err());
+    }
+}

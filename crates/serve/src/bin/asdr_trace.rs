@@ -3,7 +3,7 @@
 //! ```text
 //! asdr-trace record  (--workload FILE | --trace FILE | --synthetic SPEC) --out OUT.trace
 //! asdr-trace gen     SPEC --out OUT.trace
-//! asdr-trace sample  --trace FILE --window-ms N --clusters K [--seed S] --out OUT.trace
+//! asdr-trace sample  --trace FILE --window-ms N --clusters K [--seed S] [--closed-loop] --out OUT.trace
 //! asdr-trace report  [--out FILE] [LABEL=]STATS.json ...
 //! ```
 //!
@@ -14,14 +14,14 @@
 //! artifacts into one comparative markdown table.
 
 use asdr_serve::flags::{die, positive_usize, value, ReplayFlags};
-use asdr_serve::trace::{format, report, sample_trace, source};
+use asdr_serve::trace::{format, report, sample_trace_with, source};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
         "usage: asdr-trace record  (--workload FILE | --trace FILE | --synthetic SPEC) --out OUT.trace\n\
          \u{20}      asdr-trace gen     SPEC --out OUT.trace\n\
-         \u{20}      asdr-trace sample  --trace FILE --window-ms N --clusters K [--seed S] --out OUT.trace\n\
+         \u{20}      asdr-trace sample  --trace FILE --window-ms N --clusters K [--seed S] [--closed-loop] --out OUT.trace\n\
          \u{20}      asdr-trace report  [--out FILE] [LABEL=]STATS.json ...\n\
          \n\
          SPEC examples:\n\
@@ -108,6 +108,7 @@ fn cmd_sample(argv: &[String]) {
     let mut window_ms: Option<u64> = None;
     let mut clusters: Option<usize> = None;
     let mut seed = 0u64;
+    let mut closed_loop = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -122,6 +123,7 @@ fn cmd_sample(argv: &[String]) {
                     .parse()
                     .unwrap_or_else(|_| die("--seed needs an unsigned integer"));
             }
+            "--closed-loop" => closed_loop = true,
             "-h" | "--help" => usage(),
             other => die(&format!("unknown argument {other:?} (see --help)")),
         }
@@ -135,11 +137,12 @@ fn cmd_sample(argv: &[String]) {
     if decoded.plan.is_some() {
         die(&format!("{} is already a sampled trace", trace.display()));
     }
-    let sampled =
-        sample_trace(&decoded.entries, window_ms, clusters, seed).unwrap_or_else(|e| die(&e));
+    let sampled = sample_trace_with(&decoded.entries, window_ms, clusters, seed, closed_loop)
+        .unwrap_or_else(|e| die(&e));
     let plan = &sampled.plan;
     println!(
-        "sampled {} windows of {} ms down to {} medoids ({} of {} requests, {:.1}x compression)",
+        "sampled ({}) {} windows of {} ms down to {} medoids ({} of {} requests, {:.1}x compression)",
+        if closed_loop { "closed-loop" } else { "open-loop" },
         plan.total_windows,
         plan.window_ms,
         plan.picks.len(),

@@ -650,6 +650,23 @@ impl RenderService {
         prev
     }
 
+    /// Blocks until the admission queue has a free slot, the service stops
+    /// accepting, or `timeout` passes — the condvar the replay driver
+    /// parks on instead of spinning while the queue is full. Capacity
+    /// observed here is advisory: a racing submitter may take the slot, in
+    /// which case the next submit returns `QueueFull` and the caller waits
+    /// again.
+    pub fn wait_capacity(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.queue.lock().unwrap();
+        while q.accepting && q.queue.len() >= self.shared.queue_capacity {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return;
+            };
+            q = self.shared.cond.wait_timeout(q, left).unwrap().0;
+        }
+    }
+
     /// Requests currently waiting in the admission queue.
     pub fn queue_len(&self) -> usize {
         self.shared.queue.lock().unwrap().queue.len()
@@ -792,6 +809,9 @@ fn worker_loop(shared: &Shared) {
                 }
                 if !q.paused {
                     if let Some(batch) = pop_batch(&mut q, shared.batch_max) {
+                        // the claim just freed queue slots: wake anyone
+                        // blocked in wait_capacity before going to render
+                        shared.cond.notify_all();
                         break Some(batch);
                     }
                     if !q.accepting {

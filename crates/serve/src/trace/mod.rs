@@ -32,6 +32,8 @@ pub mod synth;
 
 pub use format::{DecodedTrace, PlanMeta, PlanPick};
 pub use replay::{Replay, ReplayDriver, ReplayTarget, ReplayedRequest, SubmitOutcome};
-pub use sample::{sample_trace, weighted_estimate, Estimate, SampledTrace, WindowObs};
+pub use sample::{
+    sample_trace, sample_trace_with, weighted_estimate, Estimate, SampledTrace, WindowObs,
+};
 pub use source::{BinarySource, JsonlSource, TimedRequest, TraceSource};
 pub use synth::{Arrivals, SynthSpec, SyntheticSource};

@@ -38,6 +38,16 @@ pub trait ReplayTarget {
 
     /// Attempts to admit one request.
     fn try_submit(&self, req: RenderRequest) -> SubmitOutcome<Self::Ticket>;
+
+    /// Parks until admission capacity *may* be available or `timeout`
+    /// passes; called by the driver after [`SubmitOutcome::Busy`]. The
+    /// default is a plain sleep (identical behavior to the old poll
+    /// loop); targets with a completion signal override it so an idle
+    /// replay wakes the moment a slot frees instead of spinning the poll
+    /// interval out.
+    fn wait_capacity(&self, timeout: Duration) {
+        std::thread::sleep(timeout);
+    }
 }
 
 impl ReplayTarget for RenderService {
@@ -49,6 +59,10 @@ impl ReplayTarget for RenderService {
             Err(ServeError::QueueFull { .. }) => SubmitOutcome::Busy,
             Err(e) => SubmitOutcome::Fatal(e.to_string()),
         }
+    }
+
+    fn wait_capacity(&self, timeout: Duration) {
+        RenderService::wait_capacity(self, timeout);
     }
 }
 
@@ -151,7 +165,7 @@ impl ReplayDriver {
             let ticket = loop {
                 match target.try_submit(req.clone()) {
                     SubmitOutcome::Admitted(t) => break t,
-                    SubmitOutcome::Busy => std::thread::sleep(self.poll),
+                    SubmitOutcome::Busy => target.wait_capacity(self.poll),
                     SubmitOutcome::Fatal(e) => return Err(format!("request {index}: {e}")),
                 }
             };
@@ -194,11 +208,17 @@ mod tests {
         busy: usize,
         attempts: Mutex<usize>,
         admitted: Mutex<Vec<String>>,
+        waits: Mutex<usize>,
     }
 
     impl MockTarget {
         fn new(busy: usize) -> Self {
-            MockTarget { busy, attempts: Mutex::new(0), admitted: Mutex::new(Vec::new()) }
+            MockTarget {
+                busy,
+                attempts: Mutex::new(0),
+                admitted: Mutex::new(Vec::new()),
+                waits: Mutex::new(0),
+            }
         }
     }
 
@@ -213,6 +233,12 @@ mod tests {
             }
             self.admitted.lock().unwrap().push(req.scene.name().to_string());
             SubmitOutcome::Admitted(req)
+        }
+
+        // wake instantly: the driver's retry policy must not depend on the
+        // wait actually sleeping, only on being called between attempts
+        fn wait_capacity(&self, _timeout: Duration) {
+            *self.waits.lock().unwrap() += 1;
         }
     }
 
@@ -246,6 +272,39 @@ mod tests {
         assert_eq!(replay.requests[1].origin, 2);
         assert!(replay.requests[0].deadlined);
         assert!(replay.plan.is_none());
+        // every Busy outcome parked in wait_capacity exactly once — the
+        // condvar hook replaced the driver's old unconditional sleep
+        assert_eq!(*target.waits.lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn full_service_queues_wake_on_freed_slots() {
+        // capacity 1, workers parked: the queue fills with one request,
+        // wait_capacity must block while full and wake once a worker
+        // claims the queued batch
+        let service = RenderService::builder(RenderProfile::tiny())
+            .store(std::sync::Arc::new(
+                crate::store::ModelStore::builder().in_memory_only().build(),
+            ))
+            .workers(1)
+            .queue_capacity(1)
+            .paused()
+            .build()
+            .unwrap();
+        let req = || entry(0, "Mic", 1).to_request(&RenderProfile::tiny()).unwrap();
+        let t0 = service.submit(req()).unwrap();
+        assert!(matches!(service.submit(req()), Err(ServeError::QueueFull { .. })));
+        // full queue: the bounded wait times out without a notify
+        let start = Instant::now();
+        ReplayTarget::wait_capacity(&service, Duration::from_millis(30));
+        assert!(start.elapsed() >= Duration::from_millis(25), "full queue must park");
+        // unpark: the worker claims the batch, freeing the slot and
+        // notifying the waiter well before the generous timeout
+        service.start();
+        ReplayTarget::wait_capacity(&service, Duration::from_secs(30));
+        t0.wait().unwrap();
+        service.submit(req()).unwrap().wait().unwrap();
+        service.shutdown();
     }
 
     #[test]

@@ -28,8 +28,15 @@ pub struct SampledTrace {
 }
 
 /// Per-window fingerprint: scene-mix fractions, normalised arrival rate,
-/// and resolution-mix fractions, concatenated into one vector.
-fn fingerprints(entries: &[TimedRequest], window_ms: u64, total_windows: usize) -> Vec<Vec<f64>> {
+/// and resolution-mix fractions, concatenated into one vector. With
+/// `closed_loop` an extra backlog dimension is appended (see
+/// [`backlog_profile`]).
+fn fingerprints(
+    entries: &[TimedRequest],
+    window_ms: u64,
+    total_windows: usize,
+    closed_loop: bool,
+) -> Vec<Vec<f64>> {
     let mut scene_names: Vec<&str> = entries.iter().map(|e| e.scene.as_str()).collect();
     scene_names.sort_unstable();
     scene_names.dedup();
@@ -58,7 +65,41 @@ fn fingerprints(entries: &[TimedRequest], window_ms: u64, total_windows: usize) 
         }
         fp[scene_names.len()] = counts[w] as f64 / max_count;
     }
+    if closed_loop {
+        for (fp, b) in fps.iter_mut().zip(backlog_profile(entries, window_ms, total_windows)) {
+            fp.push(b);
+        }
+    }
     fps
+}
+
+/// Normalised queue-backlog profile of the trace under a fixed-capacity
+/// server: per-window offered work is the frame count, capacity is the
+/// trace-wide mean work per window, and backlog carries over as
+/// `b[w] = max(0, b[w-1] + work[w] - capacity)`.
+///
+/// Open-loop fingerprints treat each window in isolation, so a burst
+/// window looks the same whether it lands on an idle server or on top of
+/// an hour of accumulated queue. The backlog dimension separates those
+/// two regimes, which is what a closed-loop (queue-aware) replay
+/// actually experiences.
+fn backlog_profile(entries: &[TimedRequest], window_ms: u64, total_windows: usize) -> Vec<f64> {
+    let mut work = vec![0.0f64; total_windows];
+    for e in entries {
+        work[(e.at_ms / window_ms) as usize] += e.frames.max(1) as f64;
+    }
+    let capacity = work.iter().sum::<f64>() / total_windows.max(1) as f64;
+    let mut backlog = vec![0.0f64; total_windows];
+    let mut b = 0.0f64;
+    for (w, &wk) in work.iter().enumerate() {
+        b = (b + wk - capacity).max(0.0);
+        backlog[w] = b;
+    }
+    let max = backlog.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+    for v in &mut backlog {
+        *v /= max;
+    }
+    backlog
 }
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {
@@ -118,7 +159,8 @@ fn k_medoids(fps: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
     }
 }
 
-/// Reduces `entries` to `k` weighted medoid windows of `window_ms` each.
+/// Reduces `entries` to `k` weighted medoid windows of `window_ms` each,
+/// fingerprinting windows open-loop (each window in isolation).
 ///
 /// # Errors
 ///
@@ -128,6 +170,24 @@ pub fn sample_trace(
     window_ms: u64,
     k: usize,
     seed: u64,
+) -> Result<SampledTrace, String> {
+    sample_trace_with(entries, window_ms, k, seed, false)
+}
+
+/// Like [`sample_trace`], but `closed_loop` adds a carried-backlog
+/// dimension to every window fingerprint, so windows that arrive on a
+/// congested server cluster apart from identical traffic arriving on an
+/// idle one.
+///
+/// # Errors
+///
+/// Returns a message if the trace is empty or the parameters are zero.
+pub fn sample_trace_with(
+    entries: &[TimedRequest],
+    window_ms: u64,
+    k: usize,
+    seed: u64,
+    closed_loop: bool,
 ) -> Result<SampledTrace, String> {
     if entries.is_empty() {
         return Err("sample: trace is empty".into());
@@ -141,7 +201,7 @@ pub fn sample_trace(
     let span = entries.iter().map(|e| e.at_ms).max().expect("non-empty") + 1;
     let total_windows = span.div_ceil(window_ms) as usize;
     let k = k.min(total_windows);
-    let fps = fingerprints(entries, window_ms, total_windows);
+    let fps = fingerprints(entries, window_ms, total_windows, closed_loop);
     let medoids = k_medoids(&fps, k, seed);
 
     // Assign every window to its nearest medoid; ties go to the earlier
@@ -329,6 +389,37 @@ mod tests {
         }
         assert_eq!(sampled.plan.equivalent_ms(), 8000);
         assert_eq!(sampled.plan.replayed_ms(), 2000);
+    }
+
+    #[test]
+    fn closed_loop_sampling_separates_backlog_regimes() {
+        // One request per 1s window; the first four carry 100 frames each,
+        // the last four carry 1. Open-loop fingerprints (scene mix,
+        // arrival count, resolution mix) are identical for all eight
+        // windows, so one cluster swallows everything. The backlog
+        // dimension ramps up over the heavy phase and drains over the
+        // light one, so closed-loop sampling tells the regimes apart.
+        let mut entries = Vec::new();
+        for w in 0..8u64 {
+            let mut e = entry(w * 1000, "Mic");
+            e.frames = if w < 4 { 100 } else { 1 };
+            entries.push(e);
+        }
+        let open = sample_trace_with(&entries, 1000, 2, 3, false).unwrap();
+        let closed = sample_trace_with(&entries, 1000, 2, 3, true).unwrap();
+        assert_eq!(sample_trace(&entries, 1000, 2, 3).unwrap(), open, "default is open-loop");
+
+        let open_sizes: Vec<u64> = open.plan.picks.iter().map(|p| p.cluster_size).collect();
+        assert!(open_sizes.contains(&8), "open-loop sees 8 identical windows: {open_sizes:?}");
+        for p in &closed.plan.picks {
+            assert!(
+                p.cluster_size >= 2 && p.cluster_size <= 6,
+                "closed-loop splits the backlog regimes, picks: {:?}",
+                closed.plan.picks
+            );
+        }
+        assert_ne!(open.plan.picks, closed.plan.picks);
+        assert_eq!(closed, sample_trace_with(&entries, 1000, 2, 3, true).unwrap(), "determinism");
     }
 
     #[test]

@@ -62,5 +62,11 @@ cluster-smoke:
 trace-smoke:
     scripts/trace_smoke.sh
 
+# Replay a synthetic trace against three asdr-shardd processes, kill -9
+# one mid-run, and assert completion with byte-identical frames and the
+# eviction visible in stats (what the nightly fleet-smoke job runs).
+fleet-smoke:
+    scripts/fleet_smoke.sh
+
 # Everything CI runs, in one shot.
 ci: fmt-check clippy verify test-crates check-extras

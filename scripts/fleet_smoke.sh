@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Fleet smoke: the multi-process survival contract, end to end through
+# the real binaries.
+#
+#   gen       — a seeded poisson trace over three scenes
+#   reference — replay it through one in-process shard, dumping frames
+#   fleet     — replay it again with --remote spawn:3 (three asdr-shardd
+#               daemons on Unix sockets), kill -9 one daemon mid-run
+#   asserts   — the fleet run completes, every dumped frame is
+#               byte-identical to the reference, and the stats artifact
+#               records the failure (>= 1 eviction)
+#
+# usage: scripts/fleet_smoke.sh
+#
+# Environment:
+#   FLEET_SMOKE_SPEC    generator spec (default: 12s poisson over the
+#                       three zoo scenes at 16px)
+#   FLEET_SMOKE_SPEED   replay time warp (default 2)
+#   FLEET_SMOKE_SCALE   render scale (default tiny)
+set -euo pipefail
+
+spec="${FLEET_SMOKE_SPEC:-poisson:rate=2,duration=12s,scenes=Mic+Lego+Pulse,seed=7,resolution=16,deadline=2000}"
+speed="${FLEET_SMOKE_SPEED:-2}"
+scale="${FLEET_SMOKE_SCALE:-tiny}"
+out=target/fleet-smoke
+store=target/fleet-store
+
+cluster() { cargo run --release -q -p asdr_cluster --bin asdr-cluster -- "$@"; }
+trace() { cargo run --release -q -p asdr_serve --bin asdr-trace -- "$@"; }
+
+rm -rf "$out" "$store"
+mkdir -p "$out"
+
+echo "== build (spawn:N locates asdr-shardd next to asdr-cluster)"
+cargo build --release -q -p asdr_cluster --bin asdr-cluster --bin asdr-shardd
+
+echo "== gen"
+trace gen "$spec" --out "$out/workload.trace"
+
+echo "== reference replay (one in-process shard; fits warm the store)"
+cluster --trace "$out/workload.trace" --scale "$scale" --speed "$speed" \
+    --shards 1 --store-dir "$store" --dump-images "$out/ref" \
+    --out "$out/ref-stats.json" > "$out/ref.log"
+sed -n 's/^TRACE_RESULT //p' "$out/ref.log" > "$out/ref.json"
+
+echo "== fleet replay (spawn:3, killing one daemon mid-run)"
+stale=$(pgrep -f 'asdr-[s]hardd' || true)
+cluster --trace "$out/workload.trace" --scale "$scale" --speed "$speed" \
+    --remote spawn:3 --store-dir "$store" --dump-images "$out/fleet" \
+    --out "$out/fleet-stats.json" > "$out/fleet.log" 2> "$out/fleet.err" &
+replay_pid=$!
+
+# wait for all three fresh daemons (ignoring any stale ones from earlier
+# runs), then SIGKILL one — no drain, no goodbye
+fresh=""
+for _ in $(seq 1 600); do
+    fresh=$(pgrep -f 'asdr-[s]hardd' | grep -Fxv "$stale" || true)
+    [[ $(echo "$fresh" | grep -c .) -ge 3 ]] && break
+    kill -0 "$replay_pid" 2> /dev/null || { echo "FAIL: replay died before spawning shards"; exit 1; }
+    sleep 0.1
+done
+[[ $(echo "$fresh" | grep -c .) -ge 3 ]] || { echo "FAIL: three asdr-shardd daemons never appeared"; exit 1; }
+sleep 1.5
+victim=$(echo "$fresh" | tail -1)
+if kill -9 "$victim" 2> /dev/null; then
+    echo "killed shardd pid $victim"
+else
+    echo "FAIL: shardd $victim exited before the kill — nothing was tested"
+    exit 1
+fi
+
+wait "$replay_pid" || { echo "FAIL: fleet replay did not survive the kill"; cat "$out/fleet.err"; exit 1; }
+sed -n 's/^TRACE_RESULT //p' "$out/fleet.log" > "$out/fleet.json"
+
+# a SIGKILLed daemon cannot say goodbye: exactly the two survivors drain
+exits=$(grep -c SHARDD_EXIT "$out/fleet.err" || true)
+[[ "$exits" -eq 2 ]] || { echo "FAIL: expected 2 survivor drains, saw $exits"; exit 1; }
+
+echo "== asserts"
+diff -r "$out/ref" "$out/fleet" \
+    || { echo "FAIL: fleet frames differ from the single-process reference"; exit 1; }
+echo "frames byte-identical: $(ls "$out/ref" | wc -l) files"
+
+evictions=$(sed -n 's/.*"fleet": {"shards_lost": [0-9]*, "evictions": \([0-9]*\).*/\1/p' \
+    "$out/fleet-stats.json")
+[[ -n "$evictions" && "$evictions" -ge 1 ]] \
+    || { echo "FAIL: stats artifact shows no eviction (got '${evictions:-none}')"; exit 1; }
+echo "failure visible in stats: $evictions eviction(s)"
+
+echo "== report"
+trace report "ref=$out/ref.json" "fleet=$out/fleet.json" --out target/fleet-report.md
+cat target/fleet-report.md
+echo "fleet smoke OK"

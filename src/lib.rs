@@ -13,7 +13,8 @@
 //!   model store, and the trace subsystem (binary capture, synthetic
 //!   generators, representative replay),
 //! * [`cluster`] — sharded serving: consistent-hash routing, cost-based
-//!   admission, autoscaling worker pools,
+//!   admission, autoscaling worker pools, and the remote fleet (wire
+//!   protocol, `asdr-shardd` daemons, health-checked hedged clients),
 //! * [`baselines`] — GPU roofline models, NeuRex, Re-NeRF.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour, `DESIGN.md` for

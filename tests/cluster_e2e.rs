@@ -71,6 +71,14 @@ fn a_sharded_cluster_renders_byte_identical_to_one_service() {
     for pair in shards_used.chunks(2) {
         assert_eq!(pair[0], pair[1], "one scene, one home shard: {shards_used:?}");
     }
+    // an in-process cluster never loses shards, but the fleet counters must
+    // still appear (zeroed) in the JSON artifact — scripts/fleet_smoke.sh
+    // extracts evictions from exactly this shape
+    assert_eq!(stats.fleet, asdr::cluster::FleetStats::default());
+    assert!(
+        stats.to_json().contains("\"fleet\": {\"shards_lost\": 0, \"evictions\": 0"),
+        "local cluster stats must carry the zeroed fleet block"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
