@@ -1,7 +1,7 @@
 # Local entry points, kept identical to .github/workflows/ci.yml and the
 # justfile (use whichever runner you have; the recipes are the same).
 
-.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke bench-check serve-smoke cluster-smoke trace-smoke fleet-smoke ci
+.PHONY: verify test-crates fmt fmt-check clippy check-extras bench-smoke bench-check serve-smoke cluster-smoke trace-smoke fleet-smoke obs-smoke obs-overhead ci
 
 # Tier-1 gate: what must stay green on every commit.
 verify:
@@ -75,6 +75,17 @@ trace-smoke:
 # eviction visible in stats (what the nightly fleet-smoke job runs).
 fleet-smoke:
 	scripts/fleet_smoke.sh
+
+# Replay a deadline-missing burst with a run bundle on and assert the
+# bundle artifact set plus the merged `asdr-trace report --bundles`
+# attribution (what the nightly obs-smoke job runs).
+obs-smoke:
+	scripts/obs_smoke.sh
+
+# Gate the observability layer's disabled cost: the warm serve benches
+# must stay within 1% (min_ns) of the committed baseline entries.
+obs-overhead:
+	scripts/obs_overhead_check.sh
 
 # Everything CI runs, in one shot.
 ci: fmt-check clippy verify test-crates check-extras

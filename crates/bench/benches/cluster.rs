@@ -49,6 +49,9 @@ fn bench_wire(c: &mut Criterion) {
     let submit = Message::Submit {
         id: 7,
         req: WireRequest {
+            // unset keeps the encoded bytes identical to the pre-trace
+            // protocol, so the baseline entry stays comparable
+            trace: asdr_obs::TraceId::UNSET,
             scene: "Mic".into(),
             resolution: 64,
             frames: 2,
@@ -67,6 +70,7 @@ fn bench_wire(c: &mut Criterion) {
     let result = Message::Result {
         id: 7,
         result: WireResult {
+            trace: asdr_obs::TraceId::UNSET,
             scene: "Mic".into(),
             resolution: 32,
             reused_frames: 1,

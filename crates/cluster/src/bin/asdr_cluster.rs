@@ -7,8 +7,14 @@
 //!              [--workers N | --autoscale MIN:MAX] [--budget-ms X]
 //!              [--store-dir DIR | --no-store] [--queue N]
 //!              [--speed X] [--record PATH]
-//!              [--out STATS.json] [--dump-images DIR]
+//!              [--out STATS.json] [--dump-images DIR] [--bundle DIR]
 //! ```
+//!
+//! With `--bundle DIR` the process writes its own diagnostic run bundle
+//! to `DIR/cluster` (config snapshot, span capture, periodic stats
+//! samples, final stats) and — under `--remote spawn:N` — hands each
+//! spawned daemon `DIR/shard<i>` for its bundle, so one flag yields the
+//! whole fleet's bundle tree for `asdr-trace report --bundles DIR`.
 //!
 //! The trace inputs are `asdr-serve`'s (see `asdr_serve::trace`); the
 //! submit loop is the same shared [`ReplayDriver`](asdr_serve::ReplayDriver)
@@ -44,6 +50,7 @@ struct Args {
     hedge_ms: Option<f64>,
     out: Option<PathBuf>,
     dump_images: Option<PathBuf>,
+    bundle: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -54,7 +61,7 @@ fn usage() -> ! {
          \u{20}                   [--store-dir DIR | --no-store] [--queue N]\n\
          \u{20}                   [--remote (spawn:N | ADDR[,ADDR...])] [--hedge-ms X]\n\
          \u{20}                   [--speed X] [--record PATH]\n\
-         \u{20}                   [--out STATS.json] [--dump-images DIR]\n\
+         \u{20}                   [--out STATS.json] [--dump-images DIR] [--bundle DIR]\n\
          \n\
          --remote runs the workload against asdr-shardd processes instead of\n\
          in-process shards: spawn:N launches N local daemons on Unix sockets;\n\
@@ -80,6 +87,7 @@ fn parse_args() -> Args {
         hedge_ms: None,
         out: None,
         dump_images: None,
+        bundle: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -117,6 +125,7 @@ fn parse_args() -> Args {
                 }
                 "--out" => args.out = Some(PathBuf::from(value(&argv, &mut i))),
                 "--dump-images" => args.dump_images = Some(PathBuf::from(value(&argv, &mut i))),
+                "--bundle" => args.bundle = Some(PathBuf::from(value(&argv, &mut i))),
                 "-h" | "--help" => usage(),
                 other => die(&format!("unknown argument {other:?} (see --help)")),
             }
@@ -165,6 +174,11 @@ fn spawn_shardds(n: usize, args: &Args) -> (Vec<std::process::Child>, Vec<ShardA
             .arg("--shard-id")
             .arg(i.to_string())
             .stdout(std::process::Stdio::null());
+        if let Some(bundle_root) = &args.bundle {
+            // each daemon gets its own bundle dir under the shared root,
+            // which is what the merged report walks
+            cmd.arg("--bundle").arg(bundle_root.join(format!("shard{i}")));
+        }
         if let Some(store) = &args.store_dir {
             cmd.arg("--store-dir").arg(store);
         } else if args.no_store {
@@ -199,7 +213,13 @@ fn spawn_shardds(n: usize, args: &Args) -> (Vec<std::process::Child>, Vec<ShardA
 }
 
 /// Replays the workload against a remote shardd fleet.
-fn run_remote(args: &Args, spec: &str, source: &mut dyn asdr_serve::TraceSource, input_name: &str) {
+fn run_remote(
+    args: &Args,
+    bundle: Option<&std::sync::Arc<asdr_obs::Bundle>>,
+    spec: &str,
+    source: &mut dyn asdr_serve::TraceSource,
+    input_name: &str,
+) {
     let (mut children, addrs) = match spec.strip_prefix("spawn:") {
         Some(n) => spawn_shardds(positive_usize("--remote spawn", n), args),
         None => {
@@ -225,12 +245,16 @@ fn run_remote(args: &Args, spec: &str, source: &mut dyn asdr_serve::TraceSource,
     );
 
     let driver = args.replay.driver(args.profile.clone());
+    if let Some(b) = bundle {
+        b.stage("replaying");
+    }
     let replay = driver.run(source, &fleet).unwrap_or_else(|e| die(&format!("{input_name}: {e}")));
     if replay.requests.is_empty() {
         die("trace holds no requests");
     }
 
     let mut measurements = flags::ReplayMeasurements::default();
+    let mut last_sample = std::time::Instant::now();
     println!("| req | scene | shard | frames | queue ms | latency ms | deadline |");
     println!("|---|---|---|---|---|---|---|");
     for req in &replay.requests {
@@ -256,9 +280,18 @@ fn run_remote(args: &Args, spec: &str, source: &mut dyn asdr_serve::TraceSource,
         if let Some(dir) = &args.dump_images {
             flags::dump_frames(dir, req.index, &r.images);
         }
+        if let Some(b) = bundle {
+            if last_sample.elapsed() >= Duration::from_secs(1) {
+                last_sample = std::time::Instant::now();
+                b.stats_sample("replay", &fleet.stats().to_json());
+            }
+        }
     }
     let wall = replay.started.elapsed();
 
+    if let Some(b) = bundle {
+        b.stage("shutdown");
+    }
     let stats = fleet.shutdown();
     println!(
         "\n{} requests, {} frames over {} remote shards ({} home, {} spilled)",
@@ -298,6 +331,9 @@ fn run_remote(args: &Args, spec: &str, source: &mut dyn asdr_serve::TraceSource,
             .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
         println!("stats written to {}", out.display());
     }
+    if let Some(b) = bundle {
+        b.finish(Some(&stats.to_json()));
+    }
     // spawned daemons were asked to drain by fleet.shutdown(); give each a
     // moment to exit on its own before forcing the issue
     for child in &mut children {
@@ -320,13 +356,25 @@ fn run_remote(args: &Args, spec: &str, source: &mut dyn asdr_serve::TraceSource,
 
 fn main() {
     let args = parse_args();
+    let bundle = args.bundle.as_ref().map(|root| {
+        let config = [
+            ("scale", args.scale.clone()),
+            ("shards", args.shards.to_string()),
+            ("workers", args.workers.to_string()),
+            ("remote", args.remote.clone().unwrap_or_else(|| "in-process".to_string())),
+        ];
+        let b = asdr_obs::Bundle::create(&root.join("cluster"), "cluster", &config)
+            .unwrap_or_else(|e| die(&format!("cannot create bundle {}: {e}", root.display())));
+        b.activate();
+        b
+    });
     let input = args.replay.input.clone().expect("checked in parse_args");
     let mut source = input.open().unwrap_or_else(|e| die(&e));
     if source.len_hint() == Some(0) {
         die("workload file holds no requests");
     }
     if let Some(spec) = args.remote.clone() {
-        run_remote(&args, &spec, source.as_mut(), &input.describe());
+        run_remote(&args, bundle.as_ref(), &spec, source.as_mut(), &input.describe());
         return;
     }
 
@@ -361,6 +409,9 @@ fn main() {
     );
 
     let driver = args.replay.driver(args.profile.clone());
+    if let Some(b) = &bundle {
+        b.stage("replaying");
+    }
     let replay = driver
         .run(source.as_mut(), &cluster)
         .unwrap_or_else(|e| die(&format!("{}: {e}", input.describe())));
@@ -369,6 +420,7 @@ fn main() {
     }
 
     let mut measurements = flags::ReplayMeasurements::default();
+    let mut last_sample = std::time::Instant::now();
     println!("| req | scene | shard | frames | queue ms | latency ms | deadline |");
     println!("|---|---|---|---|---|---|---|");
     for req in &replay.requests {
@@ -394,9 +446,18 @@ fn main() {
         if let Some(dir) = &args.dump_images {
             flags::dump_frames(dir, req.index, &r.images);
         }
+        if let Some(b) = &bundle {
+            if last_sample.elapsed() >= Duration::from_secs(1) {
+                last_sample = std::time::Instant::now();
+                b.stats_sample("replay", &cluster.stats().to_json());
+            }
+        }
     }
     let wall = replay.started.elapsed();
 
+    if let Some(b) = &bundle {
+        b.stage("shutdown");
+    }
     let stats = cluster.shutdown();
     println!(
         "\n{} requests, {} frames over {} shards ({} home, {} spilled, {} rejected)",
@@ -461,5 +522,8 @@ fn main() {
         std::fs::write(out, stats.to_json())
             .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
         println!("stats written to {}", out.display());
+    }
+    if let Some(b) = &bundle {
+        b.finish(Some(&stats.to_json()));
     }
 }

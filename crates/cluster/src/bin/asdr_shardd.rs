@@ -7,7 +7,15 @@
 //! asdr-shardd --listen (unix:PATH | tcp:HOST:PORT)
 //!             [--scale tiny|small|paper] [--workers N] [--queue N]
 //!             [--store-dir DIR | --no-store] [--shard-id N]
+//!             [--bundle DIR]
 //! ```
+//!
+//! With `--bundle DIR` the daemon writes a diagnostic run bundle
+//! (`asdr_obs::Bundle`): span capture is enabled and every request span
+//! streams write-through into `DIR/spans.jsonl` — surviving even a
+//! kill −9 — periodic stats samples land in `DIR/stats-timeline.jsonl`,
+//! and the final `SHARDD_EXIT` snapshot is sealed into `DIR/stats.json`
+//! (scripts read that file, not stderr).
 //!
 //! The daemon prints `SHARDD_READY <addr>` once it accepts connections
 //! (with the assigned port for `tcp:HOST:0`), then serves until SIGTERM,
@@ -56,18 +64,21 @@ fn install_signal_handlers() {
 struct Args {
     listen: ShardAddr,
     profile: RenderProfile,
+    scale_name: String,
     workers: usize,
     queue: usize,
     store_dir: Option<PathBuf>,
     no_store: bool,
     shard_id: u64,
+    bundle: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: asdr-shardd --listen (unix:PATH | tcp:HOST:PORT)\n\
          \u{20}                  [--scale tiny|small|paper] [--workers N] [--queue N]\n\
-         \u{20}                  [--store-dir DIR | --no-store] [--shard-id N]"
+         \u{20}                  [--store-dir DIR | --no-store] [--shard-id N]\n\
+         \u{20}                  [--bundle DIR]"
     );
     std::process::exit(2);
 }
@@ -77,11 +88,13 @@ fn parse_args() -> Args {
     let mut args = Args {
         listen: ShardAddr::Tcp(String::new()),
         profile: RenderProfile::tiny(),
+        scale_name: "tiny".to_string(),
         workers: 1,
         queue: 64,
         store_dir: None,
         no_store: false,
         shard_id: 0,
+        bundle: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -94,11 +107,13 @@ fn parse_args() -> Args {
                 let name = value(&argv, &mut i);
                 args.profile = RenderProfile::parse(&name)
                     .unwrap_or_else(|| die(&format!("unknown scale {name:?}")));
+                args.scale_name = name;
             }
             "--workers" => args.workers = positive_usize("--workers", &value(&argv, &mut i)),
             "--queue" => args.queue = positive_usize("--queue", &value(&argv, &mut i)),
             "--store-dir" => args.store_dir = Some(PathBuf::from(value(&argv, &mut i))),
             "--no-store" => args.no_store = true,
+            "--bundle" => args.bundle = Some(PathBuf::from(value(&argv, &mut i))),
             "--shard-id" => {
                 let v = value(&argv, &mut i);
                 args.shard_id = v
@@ -301,6 +316,27 @@ fn main() {
     let args = parse_args();
     install_signal_handlers();
 
+    let bundle = args.bundle.as_ref().map(|dir| {
+        let kind = format!("shardd-{}", args.shard_id);
+        let store_setting = match (&args.store_dir, args.no_store) {
+            (Some(d), _) => d.display().to_string(),
+            (None, true) => "in-memory".to_string(),
+            (None, false) => "env".to_string(),
+        };
+        let config = [
+            ("listen", args.listen.to_string()),
+            ("scale", args.scale_name.clone()),
+            ("workers", args.workers.to_string()),
+            ("queue", args.queue.to_string()),
+            ("store", store_setting),
+            ("shard_id", args.shard_id.to_string()),
+        ];
+        let b = asdr_obs::Bundle::create(dir, &kind, &config)
+            .unwrap_or_else(|e| die(&format!("cannot create bundle {}: {e}", dir.display())));
+        b.activate();
+        b
+    });
+
     let mut store = ModelStore::builder();
     if let Some(dir) = &args.store_dir {
         store = store.dir(dir);
@@ -321,9 +357,13 @@ fn main() {
     listener.set_nonblocking(true).unwrap_or_else(|e| die(&format!("cannot poll {}: {e}", actual)));
     println!("SHARDD_READY {actual}");
     let _ = std::io::stdout().flush();
+    if let Some(b) = &bundle {
+        b.stage("listening");
+    }
 
     let responders = WaitGroup::new();
     let mut connections = Vec::new();
+    let mut last_sample = std::time::Instant::now();
     while !DRAIN.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok(stream) => {
@@ -339,14 +379,29 @@ fn main() {
             }
             Err(e) => die(&format!("accept on {actual}: {e}")),
         }
+        if let Some(b) = &bundle {
+            if last_sample.elapsed() >= Duration::from_secs(1) {
+                last_sample = std::time::Instant::now();
+                b.stats_sample("periodic", &service.stats().to_json());
+            }
+        }
     }
 
     // graceful drain: stop admitting, render out the queue, ship every
     // pending Result frame, then exit
+    if let Some(b) = &bundle {
+        b.stage("draining");
+    }
     service.drain();
     responders.wait_idle(Duration::from_secs(30));
     if let ShardAddr::Unix(path) = &actual {
         let _ = std::fs::remove_file(path);
     }
-    eprintln!("SHARDD_EXIT {}", service.stats().to_json());
+    let exit_stats = service.stats().to_json();
+    // the same snapshot lands in the bundle's stats.json (the scripts'
+    // source of truth) and on stderr (human logs)
+    if let Some(b) = &bundle {
+        b.finish(Some(&exit_stats));
+    }
+    eprintln!("SHARDD_EXIT {exit_stats}");
 }

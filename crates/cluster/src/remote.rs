@@ -39,6 +39,7 @@ use crate::router::HashRing;
 use crate::stats::{ClusterStats, FleetStats, ShardStats};
 use crate::wire::{self, Message, WireRequest, WireResult, WireStats};
 use crate::CostModel;
+use asdr_obs::{Counter, Scope, TraceId};
 use asdr_serve::trace::replay::{ReplayTarget, SubmitOutcome};
 use asdr_serve::{RenderProfile, RenderRequest};
 use std::collections::{HashMap, VecDeque};
@@ -492,18 +493,36 @@ struct FleetShard {
     last_stats: Mutex<Option<WireStats>>,
 }
 
-#[derive(Default)]
+/// Routing and failure counters, registry-backed under a unique
+/// `fleet.N.` scope so two fleets in one process (tests) never share.
 struct FleetCounters {
-    routed_home: AtomicU64,
-    spilled: AtomicU64,
-    rejected: AtomicU64,
-    evictions: AtomicU64,
-    rejoins: AtomicU64,
-    hedges: AtomicU64,
-    hedge_wins: AtomicU64,
-    hedge_cancels: AtomicU64,
-    failovers: AtomicU64,
-    rewarms: AtomicU64,
+    routed_home: Arc<Counter>,
+    spilled: Arc<Counter>,
+    rejected: Arc<Counter>,
+    evictions: Arc<Counter>,
+    rejoins: Arc<Counter>,
+    hedges: Arc<Counter>,
+    hedge_wins: Arc<Counter>,
+    hedge_cancels: Arc<Counter>,
+    failovers: Arc<Counter>,
+    rewarms: Arc<Counter>,
+}
+
+impl FleetCounters {
+    fn new(scope: &Scope) -> FleetCounters {
+        FleetCounters {
+            routed_home: scope.counter("routed_home"),
+            spilled: scope.counter("spilled"),
+            rejected: scope.counter("rejected"),
+            evictions: scope.counter("evictions"),
+            rejoins: scope.counter("rejoins"),
+            hedges: scope.counter("hedges"),
+            hedge_wins: scope.counter("hedge_wins"),
+            hedge_cancels: scope.counter("hedge_cancels"),
+            failovers: scope.counter("failovers"),
+            rewarms: scope.counter("rewarms"),
+        }
+    }
 }
 
 struct FleetInner {
@@ -527,7 +546,7 @@ impl FleetInner {
         if !self.shards[id].live.swap(false, Ordering::SeqCst) {
             return;
         }
-        self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        self.counters.evictions.inc();
         eprintln!("fleet: evicting shard {id} ({}): {why}", self.shards[id].shard.addr());
         {
             let mut ring = self.ring.lock().unwrap();
@@ -542,7 +561,7 @@ impl FleetInner {
             return;
         }
         self.shards[id].misses.store(0, Ordering::SeqCst);
-        self.counters.rejoins.fetch_add(1, Ordering::Relaxed);
+        self.counters.rejoins.inc();
         eprintln!("fleet: shard {id} rejoined ({})", self.shards[id].shard.addr());
         {
             let mut ring = self.ring.lock().unwrap();
@@ -565,7 +584,7 @@ impl FleetInner {
             let now = ring.home(scene);
             if now != *home {
                 *home = now;
-                self.counters.rewarms.fetch_add(1, Ordering::Relaxed);
+                self.counters.rewarms.inc();
                 let inner = self.clone();
                 let scene = scene.clone();
                 std::thread::spawn(move || {
@@ -597,9 +616,9 @@ impl FleetInner {
             match self.shards[id].shard.submit(req, self.cfg.admit_timeout) {
                 Ok(ticket) => {
                     if id == home {
-                        self.counters.routed_home.fetch_add(1, Ordering::Relaxed);
+                        self.counters.routed_home.inc();
                     } else {
-                        self.counters.spilled.fetch_add(1, Ordering::Relaxed);
+                        self.counters.spilled.inc();
                     }
                     return Ok((id, ticket));
                 }
@@ -612,7 +631,7 @@ impl FleetInner {
             }
         }
         if busy {
-            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            self.counters.rejected.inc();
             return Err(FleetError::Busy);
         }
         Err(FleetError::Fatal(last_final.unwrap_or_else(|| "no live shards".into())))
@@ -659,7 +678,7 @@ impl RemoteFleet {
             ring: Mutex::new(ring),
             scene_homes: Mutex::new(HashMap::new()),
             cost: CostModel::new(&profile),
-            counters: FleetCounters::default(),
+            counters: FleetCounters::new(&Scope::instance("fleet")),
             cfg,
             stop: Stop { stopped: Mutex::new(false), cond: Condvar::new() },
         });
@@ -688,8 +707,14 @@ impl RemoteFleet {
     ///
     /// [`FleetError::Busy`] when every live shard is momentarily full;
     /// [`FleetError::Fatal`] when the request can never be admitted.
-    pub fn submit(&self, req: RenderRequest) -> Result<FleetTicket, FleetError> {
+    pub fn submit(&self, mut req: RenderRequest) -> Result<FleetTicket, FleetError> {
+        // the client is the trace root: the id travels in the Submit frame
+        // and joins this process's spans with the serving daemon's
+        if asdr_obs::enabled() && !req.trace.is_set() {
+            req.trace = TraceId::fresh();
+        }
         let (shard, ticket) = self.inner.route(&req)?;
+        asdr_obs::event!(req.trace, "remote-submit", format!("shard={shard}"));
         let scene = req.scene.name().to_string();
         let predicted_ms = self.inner.cost.predict(&scene, req.resolution, req.frames);
         Ok(FleetTicket {
@@ -731,20 +756,20 @@ impl RemoteFleet {
         let c = &inner.counters;
         ClusterStats {
             shards,
-            routed_home: c.routed_home.load(Ordering::Relaxed),
-            spilled: c.spilled.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
+            routed_home: c.routed_home.get(),
+            spilled: c.spilled.get(),
+            rejected: c.rejected.get(),
             scale_events: Vec::new(),
             cost: inner.cost.stats(),
             fleet: FleetStats {
                 shards_lost: (inner.shards.len() - inner.live_ids().len()) as u64,
-                evictions: c.evictions.load(Ordering::Relaxed),
-                rejoins: c.rejoins.load(Ordering::Relaxed),
-                hedges: c.hedges.load(Ordering::Relaxed),
-                hedge_wins: c.hedge_wins.load(Ordering::Relaxed),
-                hedge_cancels: c.hedge_cancels.load(Ordering::Relaxed),
-                failovers: c.failovers.load(Ordering::Relaxed),
-                rewarms: c.rewarms.load(Ordering::Relaxed),
+                evictions: c.evictions.get(),
+                rejoins: c.rejoins.get(),
+                hedges: c.hedges.get(),
+                hedge_wins: c.hedge_wins.get(),
+                hedge_cancels: c.hedge_cancels.get(),
+                failovers: c.failovers.get(),
+                rewarms: c.rewarms.get(),
             },
         }
     }
@@ -862,6 +887,7 @@ impl FleetTicket {
     /// Returns a message when the request failed shard-side (render
     /// panic) or no live shard remains to serve it.
     pub fn wait(&self) -> Result<WireResult, String> {
+        let wait_t0 = Instant::now();
         loop {
             let (p_shard, p_ticket, hedge) = {
                 let st = self.state.lock().unwrap();
@@ -871,8 +897,8 @@ impl FleetTicket {
                 match p_ticket.wait_result(HEDGE_POLL) {
                     Ok(result) => {
                         h_ticket.cancel();
-                        self.inner.counters.hedge_cancels.fetch_add(1, Ordering::Relaxed);
-                        return Ok(self.win(p_shard, result));
+                        self.inner.counters.hedge_cancels.inc();
+                        return Ok(self.win(p_shard, result, wait_t0));
                     }
                     Err(RemoteError::Timeout) => {}
                     Err(RemoteError::Render(why)) => {
@@ -883,7 +909,12 @@ impl FleetTicket {
                         // primary died mid-request: the hedge is already the
                         // replacement — promote it
                         self.inner.evict(p_shard, &e.to_string());
-                        self.inner.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.inner.counters.failovers.inc();
+                        asdr_obs::event!(
+                            self.req.trace,
+                            "failover",
+                            format!("from={p_shard} to={h_shard} promoted_hedge=true")
+                        );
                         let mut st = self.state.lock().unwrap();
                         st.primary = (h_shard, h_ticket.clone());
                         st.hedge = None;
@@ -893,9 +924,9 @@ impl FleetTicket {
                 match h_ticket.wait_result(HEDGE_POLL) {
                     Ok(result) => {
                         p_ticket.cancel();
-                        self.inner.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
-                        self.inner.counters.hedge_cancels.fetch_add(1, Ordering::Relaxed);
-                        return Ok(self.win(h_shard, result));
+                        self.inner.counters.hedge_wins.inc();
+                        self.inner.counters.hedge_cancels.inc();
+                        return Ok(self.win(h_shard, result, wait_t0));
                     }
                     Err(RemoteError::Timeout) => {}
                     Err(RemoteError::Render(_)) | Err(RemoteError::Protocol(_)) => {
@@ -915,7 +946,7 @@ impl FleetTicket {
                 _ => Duration::from_millis(500),
             };
             match p_ticket.wait_result(watermark) {
-                Ok(result) => return Ok(self.win(p_shard, result)),
+                Ok(result) => return Ok(self.win(p_shard, result, wait_t0)),
                 Err(RemoteError::Render(why)) => return Err(why),
                 Err(RemoteError::Timeout) => {
                     if self.inner.cfg.hedge_after.is_some()
@@ -941,7 +972,10 @@ impl FleetTicket {
             if let Ok(ticket) =
                 self.inner.shards[id].shard.submit(&self.req, self.inner.cfg.admit_timeout)
             {
-                self.inner.counters.hedges.fetch_add(1, Ordering::Relaxed);
+                self.inner.counters.hedges.inc();
+                // the duplicate carries the same trace id, so the merged
+                // report sees both shards' server-side spans for this request
+                asdr_obs::event!(self.req.trace, "hedge", format!("shard={id}"));
                 self.state.lock().unwrap().hedge = Some((id, ticket));
                 return;
             }
@@ -956,7 +990,8 @@ impl FleetTicket {
         loop {
             match self.inner.route(&self.req) {
                 Ok((shard, ticket)) => {
-                    self.inner.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    self.inner.counters.failovers.inc();
+                    asdr_obs::event!(self.req.trace, "failover", format!("to={shard}"));
                     self.served_by.store(shard, Ordering::SeqCst);
                     let mut st = self.state.lock().unwrap();
                     st.primary = (shard, ticket);
@@ -971,8 +1006,15 @@ impl FleetTicket {
         }
     }
 
-    fn win(&self, shard: usize, result: WireResult) -> WireResult {
+    fn win(&self, shard: usize, result: WireResult, wait_t0: Instant) -> WireResult {
         self.served_by.store(shard, Ordering::SeqCst);
+        asdr_obs::span!(
+            self.req.trace,
+            "remote-wait",
+            wait_t0,
+            Instant::now(),
+            format!("shard={shard}")
+        );
         let service_ms = (result.latency_us.saturating_sub(result.queue_wait_us)) as f64 / 1e3;
         self.inner.cost.observe(
             &self.scene,

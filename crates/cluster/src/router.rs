@@ -30,7 +30,6 @@ use asdr_serve::{
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -381,14 +380,17 @@ impl ClusterBuilder {
             };
             ScalerHandle { stop, thread: Some(thread) }
         });
+        // routing counters live in the process-global registry under a
+        // unique `cluster.N.` scope (one per router instance)
+        let scope = asdr_obs::Scope::instance("cluster");
         Ok(ShardRouter {
             ring: HashRing::new(self.shards),
             shards,
             cost,
             budget_ms: self.budget_ms,
-            routed_home: AtomicU64::new(0),
-            spilled: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
+            routed_home: scope.counter("routed_home"),
+            spilled: scope.counter("spilled"),
+            rejected: scope.counter("rejected"),
             events,
             scaler,
             pulse,
@@ -487,9 +489,9 @@ pub struct ShardRouter {
     shards: Arc<Vec<Shard>>,
     cost: Arc<CostModel>,
     budget_ms: f64,
-    routed_home: AtomicU64,
-    spilled: AtomicU64,
-    rejected: AtomicU64,
+    routed_home: Arc<asdr_obs::Counter>,
+    spilled: Arc<asdr_obs::Counter>,
+    rejected: Arc<asdr_obs::Counter>,
     events: Arc<Mutex<Vec<ScaleEvent>>>,
     scaler: Option<ScalerHandle>,
     pulse: Arc<CompletionPulse>,
@@ -616,9 +618,9 @@ impl ShardRouter {
             match shard.service.submit(req.clone()) {
                 Ok(ticket) => {
                     if rank == 0 {
-                        self.routed_home.fetch_add(1, Ordering::Relaxed);
+                        self.routed_home.inc();
                     } else {
-                        self.spilled.fetch_add(1, Ordering::Relaxed);
+                        self.spilled.inc();
                         shard.load.lock().unwrap().spilled_in += 1;
                     }
                     return Ok(ClusterTicket { shard: shard_idx, predicted_ms, ticket });
@@ -633,7 +635,7 @@ impl ShardRouter {
                 }
             }
         }
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
         Err(ClusterError::Overloaded { predicted_ms, budget_ms: self.budget_ms })
     }
 
@@ -655,9 +657,9 @@ impl ShardRouter {
                     }
                 })
                 .collect(),
-            routed_home: self.routed_home.load(Ordering::Relaxed),
-            spilled: self.spilled.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            routed_home: self.routed_home.get(),
+            spilled: self.spilled.get(),
+            rejected: self.rejected.get(),
             scale_events: self.events.lock().unwrap().clone(),
             cost: self.cost.stats(),
             fleet: crate::stats::FleetStats::default(),

@@ -5,6 +5,7 @@
 
 use crate::autoscale::ScaleEvent;
 use crate::cost::CostStats;
+use asdr_obs::JsonWriter;
 use asdr_serve::ServeStats;
 
 /// One shard's slice of the cluster snapshot.
@@ -119,109 +120,79 @@ impl ClusterStats {
         self.deadline_misses() as f64 / deadlined as f64
     }
 
-    /// Serializes the snapshot as the `asdr-cluster` JSON artifact.
+    /// Serializes the snapshot as the `asdr-cluster` JSON artifact,
+    /// through the shared [`JsonWriter`] — the layout (and the float
+    /// precisions) is pinned by `json_is_shape_stable` because
+    /// `scripts/fleet_smoke.sh` greps these exact substrings.
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        out.push_str(&format!("  \"shards\": {},\n", self.shards.len()));
-        out.push_str(&format!(
-            "  \"requests\": {}, \"frames\": {},\n",
-            self.requests(),
-            self.frames()
-        ));
-        out.push_str(&format!(
-            "  \"deadlined_requests\": {}, \"deadline_misses\": {}, \"miss_rate\": {:.4},\n",
-            self.deadlined_requests(),
-            self.deadline_misses(),
-            self.miss_rate()
-        ));
-        out.push_str(&format!(
-            "  \"routed_home\": {}, \"spilled\": {}, \"rejected\": {},\n",
-            self.routed_home, self.spilled, self.rejected
-        ));
-        out.push_str(&format!(
-            "  \"total_fits\": {}, \"total_disk_hits\": {}, \"lock_waits\": {}, \"lock_steals\": {},\n",
-            self.total_fits(),
-            self.total_disk_hits(),
-            self.lock_waits(),
-            self.lock_steals()
-        ));
-        out.push_str(&format!(
-            concat!(
-                "  \"cost\": {{\"tracked_keys\": {}, \"observations\": {},",
-                " \"seeded_predictions\": {}, \"mean_abs_pct_error\": {:.4}}},\n"
-            ),
-            self.cost.tracked_keys,
-            self.cost.observations,
-            self.cost.seeded_predictions,
-            self.cost.mean_abs_pct_error
-        ));
+        let mut w = JsonWriter::new();
+        w.obj();
+        w.gap("\n  ").key("shards").usize(self.shards.len());
+        w.gap("\n  ").key("requests").u64(self.requests());
+        w.key("frames").u64(self.frames());
+        w.gap("\n  ").key("deadlined_requests").u64(self.deadlined_requests());
+        w.key("deadline_misses").u64(self.deadline_misses());
+        w.key("miss_rate").f64(self.miss_rate(), 4);
+        w.gap("\n  ").key("routed_home").u64(self.routed_home);
+        w.key("spilled").u64(self.spilled);
+        w.key("rejected").u64(self.rejected);
+        w.gap("\n  ").key("total_fits").u64(self.total_fits());
+        w.key("total_disk_hits").u64(self.total_disk_hits());
+        w.key("lock_waits").u64(self.lock_waits());
+        w.key("lock_steals").u64(self.lock_steals());
+        w.gap("\n  ").key("cost").obj();
+        w.key("tracked_keys").usize(self.cost.tracked_keys);
+        w.key("observations").u64(self.cost.observations);
+        w.key("seeded_predictions").u64(self.cost.seeded_predictions);
+        w.key("mean_abs_pct_error").f64(self.cost.mean_abs_pct_error, 4);
+        w.close_obj();
         let fl = &self.fleet;
-        out.push_str(&format!(
-            concat!(
-                "  \"fleet\": {{\"shards_lost\": {}, \"evictions\": {}, \"rejoins\": {},",
-                " \"hedges\": {}, \"hedge_wins\": {}, \"hedge_cancels\": {},",
-                " \"failovers\": {}, \"rewarms\": {}}},\n"
-            ),
-            fl.shards_lost,
-            fl.evictions,
-            fl.rejoins,
-            fl.hedges,
-            fl.hedge_wins,
-            fl.hedge_cancels,
-            fl.failovers,
-            fl.rewarms
-        ));
-        out.push_str("  \"scale_events\": [");
-        for (i, e) in self.scale_events.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!(
-                concat!(
-                    "{{\"at_ms\": {}, \"shard\": {}, \"from\": {}, \"to\": {},",
-                    " \"miss_rate\": {:.4}, \"reason\": \"{}\"}}"
-                ),
-                e.at_ms,
-                e.shard,
-                e.from,
-                e.to,
-                e.miss_rate,
-                e.reason.as_str()
-            ));
+        w.gap("\n  ").key("fleet").obj();
+        w.key("shards_lost").u64(fl.shards_lost);
+        w.key("evictions").u64(fl.evictions);
+        w.key("rejoins").u64(fl.rejoins);
+        w.key("hedges").u64(fl.hedges);
+        w.key("hedge_wins").u64(fl.hedge_wins);
+        w.key("hedge_cancels").u64(fl.hedge_cancels);
+        w.key("failovers").u64(fl.failovers);
+        w.key("rewarms").u64(fl.rewarms);
+        w.close_obj();
+        w.gap("\n  ").key("scale_events").arr();
+        for e in &self.scale_events {
+            w.obj();
+            w.key("at_ms").u64(e.at_ms);
+            w.key("shard").usize(e.shard);
+            w.key("from").usize(e.from);
+            w.key("to").usize(e.to);
+            w.key("miss_rate").f64(e.miss_rate, 4);
+            w.key("reason").str_val(e.reason.as_str());
+            w.close_obj();
         }
-        out.push_str("],\n");
-        out.push_str("  \"per_shard\": [\n");
-        for (i, s) in self.shards.iter().enumerate() {
+        w.close_arr();
+        w.gap("\n  ").key("per_shard").arr();
+        for s in &self.shards {
             let v = &s.serve;
-            out.push_str(&format!(
-                concat!(
-                    "    {{\"shard\": {}, \"workers\": {}, \"outstanding_ms\": {:.1},",
-                    " \"spilled_in\": {}, \"requests\": {}, \"frames\": {},",
-                    " \"throughput_fps\": {:.3}, \"p50_latency_ms\": {:.3},",
-                    " \"p95_latency_ms\": {:.3}, \"deadlined_requests\": {},",
-                    " \"deadline_misses\": {}, \"fits\": {}, \"disk_hits\": {},",
-                    " \"lock_waits\": {}}}{}\n"
-                ),
-                s.shard,
-                s.workers,
-                s.outstanding_ms,
-                s.spilled_in,
-                v.requests,
-                v.frames,
-                v.throughput_fps,
-                v.p50_latency_ms,
-                v.p95_latency_ms,
-                v.deadlined_requests,
-                v.deadline_misses,
-                v.store.fits,
-                v.store.disk_hits,
-                v.store.lock_waits,
-                if i + 1 < self.shards.len() { "," } else { "" }
-            ));
+            w.gap("\n    ").obj();
+            w.key("shard").usize(s.shard);
+            w.key("workers").usize(s.workers);
+            w.key("outstanding_ms").f64(s.outstanding_ms, 1);
+            w.key("spilled_in").u64(s.spilled_in);
+            w.key("requests").u64(v.requests);
+            w.key("frames").u64(v.frames);
+            w.key("throughput_fps").f64(v.throughput_fps, 3);
+            w.key("p50_latency_ms").f64(v.p50_latency_ms, 3);
+            w.key("p95_latency_ms").f64(v.p95_latency_ms, 3);
+            w.key("deadlined_requests").u64(v.deadlined_requests);
+            w.key("deadline_misses").u64(v.deadline_misses);
+            w.key("fits").u64(v.store.fits);
+            w.key("disk_hits").u64(v.store.disk_hits);
+            w.key("lock_waits").u64(v.store.lock_waits);
+            w.close_obj();
         }
-        out.push_str("  ]\n}\n");
-        out
+        w.raw("\n  ").close_arr();
+        w.raw("\n").close_obj();
+        w.raw("\n");
+        w.finish()
     }
 }
 

@@ -21,6 +21,7 @@
 //! and never allocates more than the input length, whatever the bytes.
 
 use asdr_math::{Image, Vec3};
+use asdr_obs::TraceId;
 use asdr_scenes::registry::OrbitCamera;
 use asdr_serve::service::{Priority, RenderRequest, RenderResult};
 use asdr_serve::trace::format::{MAX_DEADLINE_MS, MAX_FRAMES, MAX_RESOLUTION};
@@ -177,6 +178,10 @@ pub struct WireRequest {
     pub deadline_us: Option<u64>,
     /// Viewpoint override (`None`: the scene's standard orbit).
     pub camera: Option<OrbitCamera>,
+    /// Distributed trace id, joining client-side and shard-side spans
+    /// ([`TraceId::UNSET`]: tracing off — encodes exactly as the
+    /// pre-trace protocol did, so old and new peers interoperate).
+    pub trace: TraceId,
 }
 
 impl WireRequest {
@@ -190,6 +195,7 @@ impl WireRequest {
             priority: req.priority,
             deadline_us: req.deadline.map(|d| (d.as_micros() as u64).min(MAX_DEADLINE_US)),
             camera: req.camera,
+            trace: req.trace,
         }
     }
 
@@ -206,6 +212,7 @@ impl WireRequest {
         req.priority = self.priority;
         req.deadline = self.deadline_us.map(std::time::Duration::from_micros);
         req.camera = self.camera;
+        req.trace = self.trace;
         Ok(req)
     }
 
@@ -217,6 +224,7 @@ impl WireRequest {
         let mut flags = priority_code(self.priority) << 2;
         flags |= u8::from(self.deadline_us.is_some());
         flags |= u8::from(self.camera.is_some()) << 1;
+        flags |= u8::from(self.trace.is_set()) << 4;
         out.push(flags);
         if let Some(us) = self.deadline_us {
             push_varint(out, us);
@@ -233,6 +241,9 @@ impl WireRequest {
             ] {
                 push_f32(out, v);
             }
+        }
+        if self.trace.is_set() {
+            push_varint(out, self.trace.as_u64());
         }
     }
 
@@ -251,10 +262,10 @@ impl WireRequest {
         }
         let azimuth_step_deg = r.finite_f32("azimuth step")?;
         let flags = r.u8()?;
-        if flags & !0b1111 != 0 {
+        if flags & !0b11111 != 0 {
             return Err(format!("unknown request flag bits {flags:#x}"));
         }
-        let priority = priority_from(flags >> 2)?;
+        let priority = priority_from((flags >> 2) & 0b11)?;
         let deadline_us =
             if flags & 1 != 0 { Some(r.bounded("deadline_us", MAX_DEADLINE_US)?) } else { None };
         let camera = if flags & 2 != 0 {
@@ -272,6 +283,8 @@ impl WireRequest {
         } else {
             None
         };
+        let trace =
+            if flags & 0b10000 != 0 { TraceId::from_u64(r.varint()?) } else { TraceId::UNSET };
         Ok(WireRequest {
             scene,
             resolution,
@@ -280,6 +293,7 @@ impl WireRequest {
             priority,
             deadline_us,
             camera,
+            trace,
         })
     }
 }
@@ -304,6 +318,11 @@ pub struct WireResult {
     pub completed_seq: u64,
     /// The rendered frames, in order, bit-exact.
     pub images: Vec<Image>,
+    /// The trace id echoed from the originating submit
+    /// ([`TraceId::UNSET`]: the request carried none). Encoded by folding
+    /// a trace-follows marker into the deadline byte (codes 3–5), so a
+    /// trace-free result is byte-identical to the pre-trace protocol.
+    pub trace: TraceId,
 }
 
 impl WireResult {
@@ -318,6 +337,7 @@ impl WireResult {
             deadline_met: r.deadline_met,
             completed_seq: r.completed_seq,
             images: r.images.clone(),
+            trace: r.trace,
         }
     }
 
@@ -327,11 +347,15 @@ impl WireResult {
         push_varint(out, self.reused_frames);
         push_varint(out, self.queue_wait_us);
         push_varint(out, self.latency_us);
-        out.push(match self.deadline_met {
+        let met_code = match self.deadline_met {
             None => 0,
             Some(true) => 1,
             Some(false) => 2,
-        });
+        };
+        // codes 3-5 mean "met code minus 3, and a trace id varint follows
+        // after the images" — decoders predating traces reject them by
+        // name instead of misreading the payload
+        out.push(if self.trace.is_set() { met_code + 3 } else { met_code });
         push_varint(out, self.completed_seq);
         push_varint(out, self.images.len() as u64);
         for img in &self.images {
@@ -343,6 +367,9 @@ impl WireResult {
                 push_f32(out, px.b);
             }
         }
+        if self.trace.is_set() {
+            push_varint(out, self.trace.as_u64());
+        }
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<WireResult, String> {
@@ -351,10 +378,14 @@ impl WireResult {
         let reused_frames = r.bounded("reused frames", MAX_FRAMES)?;
         let queue_wait_us = r.varint()?;
         let latency_us = r.varint()?;
-        let deadline_met = match r.u8()? {
-            0 => None,
-            1 => Some(true),
-            2 => Some(false),
+        let code = r.u8()?;
+        let (deadline_met, has_trace) = match code {
+            0 => (None, false),
+            1 => (Some(true), false),
+            2 => (Some(false), false),
+            3 => (None, true),
+            4 => (Some(true), true),
+            5 => (Some(false), true),
             c => return Err(format!("unknown deadline code {c}")),
         };
         let completed_seq = r.varint()?;
@@ -377,6 +408,7 @@ impl WireResult {
             }
             images.push(img);
         }
+        let trace = if has_trace { TraceId::from_u64(r.varint()?) } else { TraceId::UNSET };
         Ok(WireResult {
             scene,
             resolution,
@@ -386,6 +418,7 @@ impl WireResult {
             deadline_met,
             completed_seq,
             images,
+            trace,
         })
     }
 }
@@ -847,6 +880,7 @@ mod tests {
                     priority: Priority::High,
                     deadline_us: Some(250_000),
                     camera: Some(OrbitCamera::default()),
+                    trace: TraceId::from_u64(0xdead_beef_cafe_f00d),
                 },
             },
             Message::Submitted { id: 7 },
@@ -862,6 +896,7 @@ mod tests {
                     deadline_met: Some(true),
                     completed_seq: 41,
                     images: vec![sample_image(2, 2), sample_image(2, 2)],
+                    trace: TraceId::from_u64(0xdead_beef_cafe_f00d),
                 },
             },
             Message::Failed { id: 9, why: "render failed: boom".into() },
@@ -918,6 +953,7 @@ mod tests {
                 deadline_met: None,
                 completed_seq: 0,
                 images: vec![sample_image(1, 1)],
+                trace: TraceId::UNSET,
             },
         };
         let Message::Result { result, .. } = Message::decode(&msg.encode()).unwrap() else {
@@ -993,6 +1029,86 @@ mod tests {
         push_f32(&mut out, 0.0);
         out.push(0b1100); // priority code 3
         assert!(Message::decode(&out).unwrap_err().contains("priority"));
+    }
+
+    #[test]
+    fn trace_free_messages_match_the_pre_trace_encoding() {
+        // a request/result with no trace must encode byte-identically to
+        // the protocol before trace ids existed: flag bit 4 clear,
+        // deadline codes 0-2, no trailing varint — so old peers decode it
+        let req = WireRequest {
+            scene: "Mic".into(),
+            resolution: 8,
+            frames: 1,
+            azimuth_step_deg: 0.0,
+            priority: Priority::Normal,
+            deadline_us: None,
+            camera: None,
+            trace: TraceId::UNSET,
+        };
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes);
+        // scene(1+3) + resolution(1) + frames(1) + azimuth(4) + flags(1)
+        assert_eq!(bytes.len(), 11);
+        assert_eq!(bytes[10] & 0b10000, 0, "trace flag set on a trace-free request");
+        let back = WireRequest::decode(&mut Reader { bytes: &bytes, pos: 0 }).unwrap();
+        assert_eq!(back, req);
+
+        let res = WireResult {
+            scene: "Mic".into(),
+            resolution: 1,
+            reused_frames: 0,
+            queue_wait_us: 0,
+            latency_us: 1,
+            deadline_met: Some(false),
+            completed_seq: 0,
+            images: Vec::new(),
+            trace: TraceId::UNSET,
+        };
+        let mut bytes = Vec::new();
+        res.encode(&mut bytes);
+        assert_eq!(*bytes.last().unwrap(), 0, "expected empty image count last");
+        assert_eq!(bytes[bytes.len() - 3], 2, "deadline byte should stay a bare code 2");
+        let back = WireResult::decode(&mut Reader { bytes: &bytes, pos: 0 }).unwrap();
+        assert_eq!(back, res);
+    }
+
+    #[test]
+    fn trace_ids_survive_both_wire_directions() {
+        let trace = TraceId::from_u64(0x0123_4567_89ab_cdef);
+        let req = WireRequest {
+            scene: "Mic".into(),
+            resolution: 8,
+            frames: 1,
+            azimuth_step_deg: 0.0,
+            priority: Priority::Normal,
+            deadline_us: None,
+            camera: None,
+            trace,
+        };
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes);
+        let back = WireRequest::decode(&mut Reader { bytes: &bytes, pos: 0 }).unwrap();
+        assert_eq!(back.trace, trace);
+        // and through request resolution on the shard side
+        assert_eq!(back.to_request().unwrap().trace, trace);
+
+        let res = WireResult {
+            scene: "Mic".into(),
+            resolution: 1,
+            reused_frames: 0,
+            queue_wait_us: 0,
+            latency_us: 1,
+            deadline_met: None,
+            completed_seq: 0,
+            images: vec![sample_image(1, 1)],
+            trace,
+        };
+        let mut bytes = Vec::new();
+        res.encode(&mut bytes);
+        let back = WireResult::decode(&mut Reader { bytes: &bytes, pos: 0 }).unwrap();
+        assert_eq!(back.trace, trace);
+        assert_eq!(back.deadline_met, None);
     }
 
     #[test]

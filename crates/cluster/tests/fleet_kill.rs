@@ -4,6 +4,13 @@
 //! the failure must be visible in `ClusterStats` (an eviction, and a
 //! failover for every request the dead shard was holding).
 //!
+//! The run is also the observability contract's proving ground: every
+//! process writes an [`asdr_obs`] run bundle, and the merged report must
+//! join at least one completed request's spans across two shardd
+//! processes (the failover made visible by wire trace-id propagation —
+//! the victim's write-through `spans.jsonl` survives the SIGKILL) and
+//! attribute every deadline miss to a dominant phase.
+//!
 //! The shards warm from a directory pre-populated with cheap blank models
 //! (the `cluster_sched.rs` idiom), so no process pays for a real fit —
 //! the test exercises the fleet machinery, not the renderer.
@@ -52,7 +59,17 @@ fn warm_dir() -> PathBuf {
 
 fn requests() -> Vec<RenderRequest> {
     (0..REQUESTS)
-        .map(|i| RenderRequest::frame(registry::handle(SCENES[i % SCENES.len()]), RESOLUTION))
+        .map(|i| {
+            let req = RenderRequest::frame(registry::handle(SCENES[i % SCENES.len()]), RESOLUTION);
+            if i % 3 == 0 {
+                // an unmeetable deadline: the render still completes (and
+                // must stay byte-identical), but the miss has to show up
+                // attributed in the merged bundle report
+                req.with_deadline(Duration::from_micros(1))
+            } else {
+                req
+            }
+        })
         .collect()
 }
 
@@ -67,7 +84,7 @@ fn image_bits(images: &[Image]) -> Vec<u32> {
 // The test waits on every child: the victim right after the kill, the
 // survivors after their drain.
 #[allow(clippy::zombie_processes)]
-fn spawn_shardd(id: usize, sock: &Path, store: &Path) -> (Child, ShardAddr) {
+fn spawn_shardd(id: usize, sock: &Path, store: &Path, bundles: &Path) -> (Child, ShardAddr) {
     let child = Command::new(env!("CARGO_BIN_EXE_asdr-shardd"))
         .args([
             "--listen",
@@ -82,6 +99,8 @@ fn spawn_shardd(id: usize, sock: &Path, store: &Path) -> (Child, ShardAddr) {
             &id.to_string(),
             "--store-dir",
             &store.display().to_string(),
+            "--bundle",
+            &bundles.join(format!("shard{id}")).display().to_string(),
         ])
         .stdout(Stdio::null())
         .spawn()
@@ -117,11 +136,17 @@ fn killing_a_shard_mid_workload_loses_no_requests_and_no_bytes() {
     };
 
     // The fleet: three shardd processes on unix sockets over the same
-    // warm checkpoint directory.
+    // warm checkpoint directory, every process writing a run bundle. The
+    // client bundle is created after the reference run so the reference
+    // stays un-instrumented.
+    let bundles = dir.join("bundles");
+    let client_bundle = asdr_obs::Bundle::create(&bundles.join("client"), "client", &[])
+        .expect("create client bundle");
+    client_bundle.activate();
     let mut children = Vec::new();
     let mut addrs = Vec::new();
     for id in 0..3 {
-        let (child, addr) = spawn_shardd(id, &dir.join(format!("shard{id}.sock")), &dir);
+        let (child, addr) = spawn_shardd(id, &dir.join(format!("shard{id}.sock")), &dir, &bundles);
         children.push(child);
         addrs.push(addr);
     }
@@ -147,6 +172,10 @@ fn killing_a_shard_mid_workload_loses_no_requests_and_no_bytes() {
     }
     let victim = (0..3).max_by_key(|&s| per_shard[s]).unwrap();
     assert!(per_shard[victim] >= 2, "ticket spread {per_shard:?} leaves nothing to fail over");
+    // Let the victim admit (and so record spans for) its queued requests
+    // before dying — a single worker holds them for hundreds of ms, so
+    // this still kills mid-workload.
+    std::thread::sleep(Duration::from_millis(100));
     children[victim].kill().expect("SIGKILL the victim shard");
     children[victim].wait().expect("reap the victim");
 
@@ -195,6 +224,32 @@ fn killing_a_shard_mid_workload_loses_no_requests_and_no_bytes() {
                 None => std::thread::sleep(Duration::from_millis(50)),
             }
         }
+    }
+
+    // The merged bundle report: the failover must be visible as a
+    // completed request whose spans joined across two shardd processes,
+    // and every deadline miss must carry a dominant-phase attribution.
+    client_bundle.finish(None);
+    let (spans, skipped) = asdr_obs::report::load_bundles(&bundles).expect("load bundles");
+    let report = asdr_obs::report::analyze(&spans, skipped);
+    assert!(
+        report.processes.iter().filter(|p| p.starts_with("shardd-")).count() >= 2,
+        "spans from fewer than two shardd processes: {:?}",
+        report.processes
+    );
+    let cross_shard = report.joins.iter().any(|j| {
+        j.completed && j.processes.iter().filter(|p| p.starts_with("shardd-")).count() >= 2
+    });
+    assert!(
+        cross_shard,
+        "no completed request joined spans across two shardd processes: {:?}",
+        report.joins
+    );
+    assert!(!report.misses.is_empty(), "the unmeetable deadlines produced no recorded misses");
+    for m in &report.misses {
+        assert_ne!(m.dominant_phase, "unattributed", "miss {:016x} has no dominant phase", m.trace);
+        assert!(m.total_us > 0, "miss {:016x} measured no phase time", m.trace);
+        assert!(m.share() > 0.0, "miss {:016x} has a zero dominant share", m.trace);
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -7,22 +7,32 @@
 
 use asdr_cluster::wire::{self, Message, WireRequest, WireResult, WireStats};
 use asdr_math::Image;
+use asdr_obs::TraceId;
 use asdr_scenes::registry::OrbitCamera;
 use asdr_serve::{Priority, ServeStats, StoreStats};
 use proptest::{array, collection, prelude::*};
 
 const SCENES: [&str; 4] = ["Mic", "Lego", "Pulse", "Palace"];
 
-/// (scene, resolution, frames, azimuth, priority, deadline_us, camera?)
-type ReqTuple = (usize, u64, u64, f32, u8, u64, u8);
+/// (scene, resolution, frames, azimuth, priority, deadline_us, camera?,
+/// trace seed — even seeds give the unset id, which must encode as the
+/// pre-trace wire shape; odd seeds spread over the full 64-bit space)
+type ReqTuple = (usize, u64, u64, f32, u8, u64, u8, u64);
 
 /// (kind, id, counter, flag, request fields) — everything one arbitrary
 /// message is built from. `Result` and `Stats` payloads derive their
 /// fields from the same numbers so the whole message is generated.
 type MsgTuple = (u8, u64, u64, u8, ReqTuple);
 
-fn build_request((scene, resolution, frames, az, prio, deadline, cam): ReqTuple) -> WireRequest {
+fn build_request(
+    (scene, resolution, frames, az, prio, deadline, cam, trace_seed): ReqTuple,
+) -> WireRequest {
+    let trace = match trace_seed % 2 {
+        0 => 0,
+        _ => trace_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    };
     WireRequest {
+        trace: TraceId::from_u64(trace),
         scene: SCENES[scene].to_string(),
         resolution: resolution as u32,
         frames,
@@ -107,6 +117,7 @@ fn build_message((kind, id, n, flag, req): MsgTuple) -> Message {
         5 => Message::Result {
             id,
             result: WireResult {
+                trace: req.trace,
                 scene: req.scene,
                 resolution: req.resolution,
                 reused_frames: n % 8,
@@ -146,6 +157,9 @@ fn arb_msg_tuple() -> impl Strategy<Value = MsgTuple> {
             0u8..3,
             0u64..5_000_000,
             0u8..2,
+            // half the seeds give no trace id, so both wire shapes
+            // (pre-trace and trace-carrying) stay under the properties
+            0u64..1_000_000_000,
         ),
     )
 }
@@ -188,6 +202,7 @@ proptest! {
         let msg = Message::Result {
             id,
             result: WireResult {
+                trace: TraceId::UNSET,
                 scene: "Mic".into(),
                 resolution: dims.0,
                 reused_frames: 0,
@@ -212,6 +227,39 @@ proptest! {
                 prop_assert_eq!(pa.b.to_bits(), pb.b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn trace_ids_round_trip_both_wire_directions(
+        trace in 1u64..=u64::MAX,
+        req in arb_msg_tuple(),
+    ) {
+        // Submit direction
+        let mut wire_req = build_request(req.4);
+        wire_req.trace = TraceId::from_u64(trace);
+        let msg = Message::Submit { id: req.1, req: wire_req };
+        let Message::Submit { req: back, .. } = Message::decode(&msg.encode()).unwrap() else {
+            return Err(TestCaseError::Fail("Submit decoded to a different kind".into()));
+        };
+        prop_assert_eq!(back.trace.as_u64(), trace);
+        // Result direction
+        let result = WireResult {
+            trace: TraceId::from_u64(trace),
+            scene: "Mic".into(),
+            resolution: 2,
+            reused_frames: 0,
+            queue_wait_us: 1,
+            latency_us: 2,
+            deadline_met: Some(trace % 2 == 0),
+            completed_seq: 3,
+            images: vec![],
+        };
+        let msg = Message::Result { id: req.1, result };
+        let Message::Result { result: back, .. } = Message::decode(&msg.encode()).unwrap() else {
+            return Err(TestCaseError::Fail("Result decoded to a different kind".into()));
+        };
+        prop_assert_eq!(back.trace.as_u64(), trace);
+        prop_assert_eq!(back.deadline_met, Some(trace % 2 == 0));
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! The one shared hand-rolled JSON writer (no serde in this offline
+//! environment). Every stats artifact — `ServeStats`, `ClusterStats`, the
+//! metrics registry, bundle files — serializes through [`JsonWriter`], so
+//! comma discipline, string escaping, and number formatting live in
+//! exactly one place. The writers in `asdr_serve` and `asdr_cluster` had
+//! already drifted on float precision before this module existed.
+//!
+//! The writer is deliberately low-level: it tracks container nesting and
+//! commas, while the caller controls layout through [`JsonWriter::gap`]
+//! (the whitespace inserted before the next item) and
+//! [`JsonWriter::raw`], so the long-stable artifact shapes — greppable by
+//! `scripts/*.sh` — come out byte-identical.
+
+use std::fmt::Write as _;
+
+/// An incremental JSON writer over a growing `String`.
+///
+/// ```
+/// use asdr_obs::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.obj();
+/// w.key("requests").u64(3);
+/// w.key("p95_ms").f64(12.5, 3);
+/// w.key("store").obj();
+/// w.key("fits").u64(1);
+/// w.close_obj();
+/// w.close_obj();
+/// assert_eq!(w.finish(), "{\"requests\": 3, \"p95_ms\": 12.500, \"store\": {\"fits\": 1}}");
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` until its first item lands.
+    first: Vec<bool>,
+    /// Layout override for the next item (replaces the default `" "`
+    /// after a comma / `""` after an opening bracket).
+    gap: Option<String>,
+    /// A key was just written; the next value attaches to it.
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer; write one root value, then [`JsonWriter::finish`].
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Sets the whitespace inserted before the next item — e.g.
+    /// `"\n  "` to put the next field on its own indented line.
+    pub fn gap(&mut self, gap: &str) -> &mut Self {
+        self.gap = Some(gap.to_string());
+        self
+    }
+
+    /// Appends text verbatim (trailing newlines, closing-bracket indents).
+    pub fn raw(&mut self, s: &str) -> &mut Self {
+        self.out.push_str(s);
+        self
+    }
+
+    /// Comma/gap discipline before an item lands in the open container.
+    fn item(&mut self) {
+        let first = self.first.last_mut();
+        let gap = self.gap.take();
+        match first {
+            Some(f) if *f => {
+                *f = false;
+                if let Some(g) = gap {
+                    self.out.push_str(&g);
+                }
+            }
+            Some(_) => {
+                self.out.push(',');
+                self.out.push_str(gap.as_deref().unwrap_or(" "));
+            }
+            None => {}
+        }
+    }
+
+    /// Positions for a value: either it follows a key, or it is a fresh
+    /// element of the open container.
+    fn value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+        } else {
+            self.item();
+        }
+    }
+
+    /// Writes `"name": ` for the next field of the open object.
+    pub fn key(&mut self, name: &str) -> &mut Self {
+        debug_assert!(!self.after_key, "two keys in a row");
+        self.item();
+        self.out.push('"');
+        escape_into(&mut self.out, name);
+        self.out.push_str("\": ");
+        self.after_key = true;
+        self
+    }
+
+    /// Opens an object value.
+    pub fn obj(&mut self) -> &mut Self {
+        self.value();
+        self.out.push('{');
+        self.first.push(true);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn close_obj(&mut self) -> &mut Self {
+        debug_assert!(!self.after_key, "dangling key");
+        self.first.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array value.
+    pub fn arr(&mut self) -> &mut Self {
+        self.value();
+        self.out.push('[');
+        self.first.push(true);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn close_arr(&mut self) -> &mut Self {
+        self.first.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// An unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// A `usize` value.
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// A signed integer value.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// A float with a fixed number of decimals — the precision is part of
+    /// the artifact shape (`{:.4}` miss rates, `{:.3}` latencies).
+    pub fn f64(&mut self, v: f64, decimals: usize) -> &mut Self {
+        self.value();
+        let _ = write!(self.out, "{v:.decimals$}");
+        self
+    }
+
+    /// A boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// An escaped string value.
+    pub fn str_val(&mut self, s: &str) -> &mut Self {
+        self.value();
+        self.out.push('"');
+        escape_into(&mut self.out, s);
+        self.out.push('"');
+        self
+    }
+
+    /// A pre-serialized JSON value, inserted verbatim (embedding one
+    /// artifact inside another, e.g. a stats snapshot in a bundle line).
+    pub fn raw_val(&mut self, json: &str) -> &mut Self {
+        self.value();
+        self.out.push_str(json);
+        self
+    }
+
+    /// The serialized string.
+    pub fn finish(self) -> String {
+        debug_assert!(self.first.is_empty(), "unclosed container");
+        self.out
+    }
+}
+
+/// Escapes `s` into `out` per JSON string rules (quotes, backslashes,
+/// control characters).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escapes a string per JSON rules, without the surrounding quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_objects_and_arrays_have_stable_commas() {
+        let mut w = JsonWriter::new();
+        w.obj();
+        w.key("a").u64(1);
+        w.key("xs").arr();
+        w.u64(1);
+        w.u64(2);
+        w.obj();
+        w.key("b").bool(true);
+        w.close_obj();
+        w.close_arr();
+        w.close_obj();
+        assert_eq!(w.finish(), "{\"a\": 1, \"xs\": [1, 2, {\"b\": true}]}");
+    }
+
+    #[test]
+    fn gaps_control_layout() {
+        let mut w = JsonWriter::new();
+        w.obj();
+        w.gap("\n  ").key("a").u64(1);
+        w.key("b").u64(2);
+        w.gap("\n  ").key("c").u64(3);
+        w.raw("\n");
+        w.close_obj();
+        assert_eq!(w.finish(), "{\n  \"a\": 1, \"b\": 2,\n  \"c\": 3\n}");
+    }
+
+    #[test]
+    fn floats_carry_fixed_decimals() {
+        let mut w = JsonWriter::new();
+        w.obj();
+        w.key("rate").f64(0.25, 4);
+        w.key("est").f64(2999.6, 0);
+        w.close_obj();
+        assert_eq!(w.finish(), "{\"rate\": 0.2500, \"est\": 3000}");
+    }
+
+    #[test]
+    fn strings_escape_controls_and_quotes() {
+        let mut w = JsonWriter::new();
+        w.str_val("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(escape("plain"), "plain");
+    }
+}

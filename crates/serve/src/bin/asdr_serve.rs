@@ -6,7 +6,7 @@
 //!            [--scale tiny|small|paper] [--workers N]
 //!            [--store-dir DIR | --no-store] [--queue N]
 //!            [--speed X] [--record PATH]
-//!            [--out STATS.json] [--dump-images DIR]
+//!            [--out STATS.json] [--dump-images DIR] [--bundle DIR]
 //! ```
 //!
 //! Any [`TraceSource`](asdr_serve::TraceSource) can feed the replay: a
@@ -22,7 +22,10 @@
 //! (the artifact the nightly workflow uploads). `--dump-images` writes
 //! every rendered frame as a PPM — two runs against the same
 //! `--store-dir` must produce byte-identical dumps (the store acceptance
-//! contract, pinned by `tests/serve_e2e.rs`).
+//! contract, pinned by `tests/serve_e2e.rs`). `--bundle DIR` writes an
+//! [`asdr_obs`] run bundle — config snapshot, stage markers, periodic
+//! stats samples, the span timeline — that `asdr-trace report` can merge
+//! with other processes' bundles.
 
 use asdr_serve::flags::{self, die, value, ReplayFlags};
 use asdr_serve::{ModelStore, RenderProfile, RenderService};
@@ -38,6 +41,7 @@ struct Args {
     queue: usize,
     out: Option<PathBuf>,
     dump_images: Option<PathBuf>,
+    bundle: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -46,7 +50,7 @@ fn usage() -> ! {
          \u{20}                 [--scale tiny|small|paper] [--workers N]\n\
          \u{20}                 [--store-dir DIR | --no-store] [--queue N]\n\
          \u{20}                 [--speed X] [--record PATH]\n\
-         \u{20}                 [--out STATS.json] [--dump-images DIR]"
+         \u{20}                 [--out STATS.json] [--dump-images DIR] [--bundle DIR]"
     );
     std::process::exit(2);
 }
@@ -61,6 +65,7 @@ fn parse_args() -> Args {
         queue: 64,
         out: None,
         dump_images: None,
+        bundle: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -84,6 +89,7 @@ fn parse_args() -> Args {
                 }
                 "--out" => args.out = Some(PathBuf::from(value(&argv, &mut i))),
                 "--dump-images" => args.dump_images = Some(PathBuf::from(value(&argv, &mut i))),
+                "--bundle" => args.bundle = Some(PathBuf::from(value(&argv, &mut i))),
                 "-h" | "--help" => usage(),
                 other => die(&format!("unknown argument {other:?} (see --help)")),
             }
@@ -101,6 +107,22 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    let bundle = args.bundle.as_ref().map(|dir| {
+        let store_setting = match (&args.store_dir, args.no_store) {
+            (Some(d), _) => d.display().to_string(),
+            (None, true) => "in-memory".to_string(),
+            (None, false) => "env".to_string(),
+        };
+        let config = [
+            ("workers", args.workers.map_or_else(|| "auto".to_string(), |n| n.to_string())),
+            ("queue", args.queue.to_string()),
+            ("store", store_setting),
+        ];
+        let b = asdr_obs::Bundle::create(dir, "serve", &config)
+            .unwrap_or_else(|e| die(&format!("cannot create bundle {}: {e}", dir.display())));
+        b.activate();
+        b
+    });
     let input = args.replay.input.clone().expect("checked in parse_args");
     let mut source = input.open().unwrap_or_else(|e| die(&e));
     if source.len_hint() == Some(0) {
@@ -126,6 +148,9 @@ fn main() {
     );
 
     let driver = args.replay.driver(args.profile.clone());
+    if let Some(b) = &bundle {
+        b.stage("replaying");
+    }
     let replay = driver
         .run(source.as_mut(), &service)
         .unwrap_or_else(|e| die(&format!("{}: {e}", input.describe())));
@@ -134,6 +159,7 @@ fn main() {
     }
 
     let mut measurements = flags::ReplayMeasurements::default();
+    let mut last_sample = std::time::Instant::now();
     println!("| req | scene | frames | reused | queue ms | latency ms | deadline |");
     println!("|---|---|---|---|---|---|---|");
     for req in &replay.requests {
@@ -159,9 +185,18 @@ fn main() {
         if let Some(dir) = &args.dump_images {
             flags::dump_frames(dir, req.index, &r.images);
         }
+        if let Some(b) = &bundle {
+            if last_sample.elapsed() >= std::time::Duration::from_secs(1) {
+                last_sample = std::time::Instant::now();
+                b.stats_sample("replay", &service.stats().to_json());
+            }
+        }
     }
     let wall = replay.started.elapsed();
 
+    if let Some(b) = &bundle {
+        b.stage("shutdown");
+    }
     let stats = service.shutdown();
     println!(
         "\n{} requests, {} frames ({} plan-reused, {:.0}% of frames)",
@@ -197,5 +232,8 @@ fn main() {
         std::fs::write(out, stats.to_json())
             .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", out.display())));
         println!("stats written to {}", out.display());
+    }
+    if let Some(b) = &bundle {
+        b.finish(Some(&stats.to_json()));
     }
 }

@@ -5,13 +5,18 @@
 //! asdr-trace gen     SPEC --out OUT.trace
 //! asdr-trace sample  --trace FILE --window-ms N --clusters K [--seed S] [--closed-loop] --out OUT.trace
 //! asdr-trace report  [--out FILE] [LABEL=]STATS.json ...
+//! asdr-trace report  --bundles DIR [--json] [--out FILE]
 //! ```
 //!
 //! `record` transcodes any trace input into the compact binary format
 //! without replaying it; `gen` materialises a synthetic spec (see
 //! `asdr_serve::trace::synth`); `sample` reduces a trace to weighted
 //! medoid windows SimPoint-style; `report` merges per-run stats JSON
-//! artifacts into one comparative markdown table.
+//! artifacts into one comparative markdown table — or, with `--bundles`,
+//! merges the [`asdr_obs`] run bundles of a fleet run into one report:
+//! per-phase latency breakdown, cross-process `SPAN_JOIN` lines (trace
+//! ids followed across hedges and failovers), and a `MISS_ATTRIBUTION`
+//! line naming the dominant phase of every deadline miss.
 
 use asdr_serve::flags::{die, positive_usize, value, ReplayFlags};
 use asdr_serve::trace::{format, report, sample_trace_with, source};
@@ -23,6 +28,7 @@ fn usage() -> ! {
          \u{20}      asdr-trace gen     SPEC --out OUT.trace\n\
          \u{20}      asdr-trace sample  --trace FILE --window-ms N --clusters K [--seed S] [--closed-loop] --out OUT.trace\n\
          \u{20}      asdr-trace report  [--out FILE] [LABEL=]STATS.json ...\n\
+         \u{20}      asdr-trace report  --bundles DIR [--json] [--out FILE]\n\
          \n\
          SPEC examples:\n\
          \u{20} poisson:rate=1.2,duration=120s,scenes=Mic+Lego+Pulse,zipf=1.1,seed=7\n\
@@ -161,11 +167,15 @@ fn cmd_sample(argv: &[String]) {
 
 fn cmd_report(argv: &[String]) {
     let mut out: Option<PathBuf> = None;
+    let mut bundles: Option<PathBuf> = None;
+    let mut json = false;
     let mut artifacts: Vec<(String, std::collections::BTreeMap<String, f64>)> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--out" => out = Some(PathBuf::from(value(argv, &mut i))),
+            "--bundles" => bundles = Some(PathBuf::from(value(argv, &mut i))),
+            "--json" => json = true,
             "-h" | "--help" => usage(),
             arg if !arg.starts_with('-') => {
                 let (label, path) = match arg.split_once('=') {
@@ -191,8 +201,17 @@ fn cmd_report(argv: &[String]) {
         }
         i += 1;
     }
+    if let Some(root) = bundles {
+        if !artifacts.is_empty() {
+            die("--bundles and [LABEL=]STATS.json arguments are mutually exclusive");
+        }
+        return bundle_report(&root, json, out.as_deref());
+    }
+    if json {
+        die("--json only applies to --bundles reports");
+    }
     if artifacts.is_empty() {
-        die("report needs at least one [LABEL=]STATS.json");
+        die("report needs at least one [LABEL=]STATS.json or --bundles DIR");
     }
     let md = report::merge_report(&artifacts);
     match out {
@@ -205,5 +224,31 @@ fn cmd_report(argv: &[String]) {
             println!("report ({} runs) written to {}", artifacts.len(), path.display());
         }
         None => print!("{md}"),
+    }
+}
+
+/// The `report --bundles` path: merge every bundle under `root` into the
+/// cross-process span report (markdown by default, `--json` for the
+/// machine-readable artifact).
+fn bundle_report(root: &std::path::Path, json: bool, out: Option<&std::path::Path>) {
+    let (spans, skipped) = asdr_obs::report::load_bundles(root).unwrap_or_else(|e| die(&e));
+    let merged = asdr_obs::report::analyze(&spans, skipped);
+    let text = if json { merged.to_json() } else { merged.to_markdown() };
+    match out {
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            std::fs::write(path, &text)
+                .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+            println!(
+                "bundle report ({} spans, {} traces, {} processes) written to {}",
+                merged.spans,
+                merged.traces,
+                merged.processes.len(),
+                path.display()
+            );
+        }
+        None => print!("{text}"),
     }
 }

@@ -22,6 +22,7 @@ use crate::store::{ModelStore, StoreStats};
 use asdr_core::algo::{ExecPolicy, FrameEngine, PlanPolicy, RenderStats, SequenceFrame};
 use asdr_math::Image;
 use asdr_nerf::NgpModel;
+use asdr_obs::{Counter, Histogram, JsonWriter, Scope, TraceId};
 use asdr_scenes::registry::OrbitCamera;
 use asdr_scenes::SceneHandle;
 use std::cmp::Reverse;
@@ -74,6 +75,12 @@ pub struct RenderRequest {
     pub priority: Priority,
     /// Latency budget measured from submission; `None` = best effort.
     pub deadline: Option<Duration>,
+    /// Observability trace id. [`TraceId::UNSET`] by default; when span
+    /// capture is enabled, [`RenderService::submit`] assigns a fresh id to
+    /// unset requests. The cluster layers set it before submission (and
+    /// carry it over the wire) so one request's spans join across the
+    /// fleet client, hedged duplicates, and failover resubmits.
+    pub trace: TraceId,
 }
 
 impl RenderRequest {
@@ -91,6 +98,7 @@ impl RenderRequest {
             azimuth_step_deg: Self::DEFAULT_AZIMUTH_STEP_DEG,
             priority: Priority::Normal,
             deadline: None,
+            trace: TraceId::UNSET,
         }
     }
 
@@ -117,6 +125,14 @@ impl RenderRequest {
     #[must_use]
     pub fn with_camera(mut self, camera: OrbitCamera) -> Self {
         self.camera = Some(camera);
+        self
+    }
+
+    /// Sets the observability trace id (cluster layers propagate it over
+    /// the wire; most callers let [`RenderService::submit`] assign one).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -184,6 +200,10 @@ pub struct RenderResult {
     /// Global completion sequence number (0-based, service-wide) — the
     /// observable execution order the scheduler tests assert on.
     pub completed_seq: u64,
+    /// The trace id the request carried ([`TraceId::UNSET`] when
+    /// observability was disabled at admission), echoed so a remote
+    /// client can join its spans with the shard's.
+    pub trace: TraceId,
 }
 
 /// What a completion hook observes: one finished (or failed) request.
@@ -311,22 +331,47 @@ fn pop_batch(q: &mut QueueState, batch_max: usize) -> Option<Vec<Queued>> {
 /// requests the service has served.
 const LATENCY_WINDOW: usize = 4096;
 
-/// Latency/throughput accumulators, folded under one lock.
+/// Latency/throughput accumulators, folded under one lock. The scalar
+/// request/frame counters that used to live here are registry-backed now
+/// (see [`ServeCounters`]); this holds only what needs the lock anyway —
+/// the percentile ring and non-atomic aggregates.
 #[derive(Default)]
 struct StatsAccum {
     /// Ring of the last [`LATENCY_WINDOW`] request latencies.
     latencies_ms: Vec<f64>,
     latency_next: usize,
     queue_wait_sum_ms: f64,
-    requests: u64,
-    frames: u64,
-    reused_frames: u64,
-    deadlined_requests: u64,
-    deadline_misses: u64,
     agg: RenderStats,
     probe_points_avoided_est: f64,
     first_submit: Option<Instant>,
     last_done: Option<Instant>,
+}
+
+/// The service's slice of the process-global metrics registry: handles
+/// resolved once at build under a unique `serve.N.` scope, read back by
+/// [`RenderService::stats`], and dumped wholesale into run bundles.
+struct ServeCounters {
+    requests: Arc<Counter>,
+    frames: Arc<Counter>,
+    reused_frames: Arc<Counter>,
+    deadlined_requests: Arc<Counter>,
+    deadline_misses: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    queue_wait_us: Arc<Histogram>,
+}
+
+impl ServeCounters {
+    fn new(scope: &Scope) -> ServeCounters {
+        ServeCounters {
+            requests: scope.counter("requests"),
+            frames: scope.counter("frames"),
+            reused_frames: scope.counter("reused_frames"),
+            deadlined_requests: scope.counter("deadlined_requests"),
+            deadline_misses: scope.counter("deadline_misses"),
+            latency_us: scope.histogram("latency_us"),
+            queue_wait_us: scope.histogram("queue_wait_us"),
+        }
+    }
 }
 
 impl StatsAccum {
@@ -381,45 +426,38 @@ impl ServeStats {
     }
 
     /// Serializes the snapshot as a JSON object (the `asdr-serve` artifact
-    /// format; hand-rolled like the criterion shim's dump — no serde in
-    /// this environment).
+    /// format) through the workspace-shared [`JsonWriter`], so number
+    /// formatting cannot drift from the cluster artifact again.
     pub fn to_json(&self) -> String {
         let s = &self.store;
-        format!(
-            concat!(
-                "{{\n",
-                "  \"requests\": {}, \"frames\": {}, \"reused_frames\": {},\n",
-                "  \"deadlined_requests\": {}, \"deadline_misses\": {},\n",
-                "  \"p50_latency_ms\": {:.3}, \"p95_latency_ms\": {:.3},",
-                " \"mean_queue_wait_ms\": {:.3},\n",
-                "  \"throughput_fps\": {:.3},\n",
-                "  \"probe_points\": {}, \"probe_points_avoided_est\": {:.0},\n",
-                "  \"store\": {{\"memory_hits\": {}, \"disk_hits\": {}, \"fits\": {},",
-                " \"evictions\": {}, \"disk_errors\": {}, \"single_flight_waits\": {},",
-                " \"lock_waits\": {}, \"lock_steals\": {}, \"resident\": {}}}\n",
-                "}}\n"
-            ),
-            self.requests,
-            self.frames,
-            self.reused_frames,
-            self.deadlined_requests,
-            self.deadline_misses,
-            self.p50_latency_ms,
-            self.p95_latency_ms,
-            self.mean_queue_wait_ms,
-            self.throughput_fps,
-            self.probe_points,
-            self.probe_points_avoided_est,
-            s.memory_hits,
-            s.disk_hits,
-            s.fits,
-            s.evictions,
-            s.disk_errors,
-            s.single_flight_waits,
-            s.lock_waits,
-            s.lock_steals,
-            s.resident,
-        )
+        let mut w = JsonWriter::new();
+        w.obj();
+        w.gap("\n  ").key("requests").u64(self.requests);
+        w.key("frames").u64(self.frames);
+        w.key("reused_frames").u64(self.reused_frames);
+        w.gap("\n  ").key("deadlined_requests").u64(self.deadlined_requests);
+        w.key("deadline_misses").u64(self.deadline_misses);
+        w.gap("\n  ").key("p50_latency_ms").f64(self.p50_latency_ms, 3);
+        w.key("p95_latency_ms").f64(self.p95_latency_ms, 3);
+        w.key("mean_queue_wait_ms").f64(self.mean_queue_wait_ms, 3);
+        w.gap("\n  ").key("throughput_fps").f64(self.throughput_fps, 3);
+        w.gap("\n  ").key("probe_points").u64(self.probe_points);
+        w.key("probe_points_avoided_est").f64(self.probe_points_avoided_est, 0);
+        w.gap("\n  ").key("store").obj();
+        w.key("memory_hits").u64(s.memory_hits);
+        w.key("disk_hits").u64(s.disk_hits);
+        w.key("fits").u64(s.fits);
+        w.key("evictions").u64(s.evictions);
+        w.key("disk_errors").u64(s.disk_errors);
+        w.key("single_flight_waits").u64(s.single_flight_waits);
+        w.key("lock_waits").u64(s.lock_waits);
+        w.key("lock_steals").u64(s.lock_steals);
+        w.key("resident").u64(s.resident as u64);
+        w.close_obj();
+        w.raw("\n");
+        w.close_obj();
+        w.raw("\n");
+        w.finish()
     }
 }
 
@@ -532,6 +570,7 @@ impl RenderServiceBuilder {
             batch_max: self.batch_max,
             queue_capacity: self.queue_capacity,
             stats: Mutex::new(StatsAccum::default()),
+            counters: ServeCounters::new(&Scope::instance("serve")),
             completed: AtomicU64::new(0),
             on_complete: self.on_complete,
         });
@@ -573,6 +612,7 @@ struct Shared {
     batch_max: usize,
     queue_capacity: usize,
     stats: Mutex<StatsAccum>,
+    counters: ServeCounters,
     completed: AtomicU64,
     on_complete: Option<CompletionHook>,
 }
@@ -684,7 +724,7 @@ impl RenderService {
     /// [`ServeError::InvalidRequest`] for malformed requests,
     /// [`ServeError::QueueFull`] at capacity, [`ServeError::ShuttingDown`]
     /// after shutdown began.
-    pub fn submit(&self, req: RenderRequest) -> Result<RenderTicket, ServeError> {
+    pub fn submit(&self, mut req: RenderRequest) -> Result<RenderTicket, ServeError> {
         if req.frames == 0 {
             return Err(ServeError::InvalidRequest("frames must be >= 1".into()));
         }
@@ -702,6 +742,10 @@ impl RenderService {
         // an unrepresentable deadline schedules as best-effort and always
         // counts as met
         let deadline_at = req.deadline.and_then(|d| submitted.checked_add(d));
+        if asdr_obs::enabled() && !req.trace.is_set() {
+            req.trace = TraceId::fresh();
+        }
+        asdr_obs::event!(req.trace, "admit", format!("scene={}", req.scene.name()));
         let ticket = RenderTicket::new();
         {
             let mut q = self.shared.queue.lock().unwrap();
@@ -728,27 +772,33 @@ impl RenderService {
         self.shared.cond.notify_all();
     }
 
-    /// A statistics snapshot (completed requests only).
+    /// A statistics snapshot (completed requests only). The scalar
+    /// counters read back from this service's registry scope; workers
+    /// update them under the stats lock held here, so the snapshot is
+    /// coherent.
     pub fn stats(&self) -> ServeStats {
         let acc = self.shared.stats.lock().unwrap();
+        let c = &self.shared.counters;
         let elapsed = match (acc.first_submit, acc.last_done) {
             (Some(t0), Some(t1)) => (t1 - t0).as_secs_f64(),
             _ => 0.0,
         };
+        let requests = c.requests.get();
+        let frames = c.frames.get();
         ServeStats {
-            requests: acc.requests,
-            frames: acc.frames,
-            reused_frames: acc.reused_frames,
-            deadlined_requests: acc.deadlined_requests,
-            deadline_misses: acc.deadline_misses,
+            requests,
+            frames,
+            reused_frames: c.reused_frames.get(),
+            deadlined_requests: c.deadlined_requests.get(),
+            deadline_misses: c.deadline_misses.get(),
             p50_latency_ms: percentile(&acc.latencies_ms, 50.0),
             p95_latency_ms: percentile(&acc.latencies_ms, 95.0),
-            mean_queue_wait_ms: if acc.requests > 0 {
-                acc.queue_wait_sum_ms / acc.requests as f64
+            mean_queue_wait_ms: if requests > 0 {
+                acc.queue_wait_sum_ms / requests as f64
             } else {
                 0.0
             },
-            throughput_fps: if elapsed > 0.0 { acc.frames as f64 / elapsed } else { 0.0 },
+            throughput_fps: if elapsed > 0.0 { frames as f64 / elapsed } else { 0.0 },
             probe_points: acc.agg.probe_points,
             probe_points_avoided_est: acc.probe_points_avoided_est,
             store: self.shared.store.stats(),
@@ -873,7 +923,15 @@ fn render_batch(shared: &Shared, batch: &mut Vec<Queued>) {
     let claimed_at = Instant::now();
     let scene = batch[0].req.scene.clone();
     let resolution = batch[0].req.resolution;
+    for item in batch.iter() {
+        asdr_obs::span!(item.req.trace, "queue", item.submitted, claimed_at);
+        if batch.len() > 1 {
+            asdr_obs::event!(item.req.trace, "batch-join", format!("batch={}", batch.len()));
+        }
+    }
+    let store_t0 = Instant::now();
     let model = shared.store.get_or_fit(&scene, &shared.profile.grid);
+    asdr_obs::span!(batch[0].req.trace, "store", store_t0, Instant::now());
     let engine = FrameEngine::new(shared.profile.options_for(resolution), shared.exec_policy)
         .expect("options validated at submit");
     while !batch.is_empty() {
@@ -881,6 +939,7 @@ fn render_batch(shared: &Shared, batch: &mut Vec<Queued>) {
         let cams: Vec<_> = (0..item.req.frames).map(|i| item.req.camera_for_frame(i)).collect();
         let frames: Vec<SequenceFrame<'_, NgpModel>> =
             cams.iter().map(|c| SequenceFrame::new(&*model, c.clone())).collect();
+        let render_t0 = Instant::now();
         // plan reuse stays within this request: every request re-probes its
         // first frame, so output is independent of batching and scheduling
         let out = engine
@@ -896,6 +955,17 @@ fn render_batch(shared: &Shared, batch: &mut Vec<Queued>) {
         let frame_count = out.frames.len();
         let probed = frame_count - reused;
         let aggregate = out.aggregate;
+        // phase spans come from the engine's own phase timers, laid
+        // end-to-end from the render start
+        let probe_dur = Duration::from_secs_f64(out.timings.probe_s);
+        asdr_obs::span_at!(item.req.trace, "probe", render_t0, probe_dur);
+        asdr_obs::span_at!(
+            item.req.trace,
+            "render",
+            render_t0 + probe_dur,
+            Duration::from_secs_f64(out.timings.render_s),
+            format!("frames={frame_count} reused={reused}")
+        );
         let result = RenderResult {
             scene: scene.name().to_string(),
             resolution,
@@ -908,17 +978,23 @@ fn render_batch(shared: &Shared, batch: &mut Vec<Queued>) {
             latency,
             deadline_met,
             completed_seq: shared.completed.fetch_add(1, Ordering::Relaxed),
+            trace: item.req.trace,
         };
         let mut acc = shared.stats.lock().unwrap();
-        acc.requests += 1;
-        acc.frames += frame_count as u64;
-        acc.reused_frames += reused as u64;
+        // registry counters advance under the stats lock so a stats()
+        // snapshot (which also holds it) reads a coherent set
+        let c = &shared.counters;
+        c.requests.inc();
+        c.frames.add(frame_count as u64);
+        c.reused_frames.add(reused as u64);
+        c.latency_us.record(latency.as_micros() as u64);
+        c.queue_wait_us.record(result.queue_wait.as_micros() as u64);
         acc.push_latency(latency.as_secs_f64() * 1e3);
         acc.queue_wait_sum_ms += result.queue_wait.as_secs_f64() * 1e3;
         if let Some(met) = deadline_met {
-            acc.deadlined_requests += 1;
+            c.deadlined_requests.inc();
             if !met {
-                acc.deadline_misses += 1;
+                c.deadline_misses.inc();
             }
         }
         acc.agg.accumulate(&aggregate);
@@ -941,6 +1017,14 @@ fn render_batch(shared: &Shared, batch: &mut Vec<Queued>) {
             };
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook(&completion)));
         }
+        if deadline_met == Some(false) {
+            asdr_obs::event!(
+                item.req.trace,
+                "deadline-miss",
+                format!("latency_ms={:.1}", latency.as_secs_f64() * 1e3)
+            );
+        }
+        asdr_obs::event!(item.req.trace, "reply");
         item.ticket.fill(Ok(result));
     }
 }

@@ -44,7 +44,6 @@ use asdr_scenes::SceneHandle;
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -109,17 +108,37 @@ impl Inner {
     }
 }
 
-/// Monotonic counters; snapshot with [`ModelStore::stats`].
-#[derive(Debug, Default)]
+/// Monotonic counters; snapshot with [`ModelStore::stats`]. Registry-backed
+/// under a unique `store.N.` scope of the process-global
+/// [`Registry`](asdr_obs::Registry): handles resolve once at build, so the
+/// hot path stays a plain relaxed atomic add — the `serve_store/memory_hit`
+/// bench budget (within 1% of the pre-registry baseline) allows nothing
+/// more.
+#[derive(Debug)]
 struct Counters {
-    memory_hits: AtomicU64,
-    disk_hits: AtomicU64,
-    fits: AtomicU64,
-    evictions: AtomicU64,
-    disk_errors: AtomicU64,
-    single_flight_waits: AtomicU64,
-    lock_waits: AtomicU64,
-    lock_steals: AtomicU64,
+    memory_hits: Arc<asdr_obs::Counter>,
+    disk_hits: Arc<asdr_obs::Counter>,
+    fits: Arc<asdr_obs::Counter>,
+    evictions: Arc<asdr_obs::Counter>,
+    disk_errors: Arc<asdr_obs::Counter>,
+    single_flight_waits: Arc<asdr_obs::Counter>,
+    lock_waits: Arc<asdr_obs::Counter>,
+    lock_steals: Arc<asdr_obs::Counter>,
+}
+
+impl Counters {
+    fn new(scope: &asdr_obs::Scope) -> Counters {
+        Counters {
+            memory_hits: scope.counter("memory_hits"),
+            disk_hits: scope.counter("disk_hits"),
+            fits: scope.counter("fits"),
+            evictions: scope.counter("evictions"),
+            disk_errors: scope.counter("disk_errors"),
+            single_flight_waits: scope.counter("single_flight_waits"),
+            lock_waits: scope.counter("lock_waits"),
+            lock_steals: scope.counter("lock_steals"),
+        }
+    }
 }
 
 /// A point-in-time snapshot of store activity.
@@ -244,7 +263,7 @@ impl ModelStoreBuilder {
             capacity: self.capacity,
             dir,
             lock_stale_after: self.lock_stale_after,
-            counters: Counters::default(),
+            counters: Counters::new(&asdr_obs::Scope::instance("store")),
         }
     }
 }
@@ -327,13 +346,13 @@ impl ModelStore {
                 let model = if !alias && self.dir.is_some() {
                     match self.load_disk(&key, scene, grid, true) {
                         Some(m) => {
-                            self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                            self.counters.disk_hits.inc();
                             m
                         }
                         None => self.fit_under_lock(&key, scene, grid, fit),
                     }
                 } else {
-                    self.counters.fits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.fits.inc();
                     Arc::new(fit())
                 };
                 self.publish(&key, scene, model.clone());
@@ -376,10 +395,10 @@ impl ModelStore {
                     // corruption, and a re-count per waiter poll would
                     // inflate disk_errors without new information.
                     if let Some(m) = self.load_disk(key, scene, grid, false) {
-                        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.disk_hits.inc();
                         return m;
                     }
-                    self.counters.fits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.fits.inc();
                     let m = Arc::new(fit.take().expect("fit consumed at most once")());
                     self.save_disk(key, scene, &m);
                     return m; // _guard drop removes the lock file
@@ -393,17 +412,17 @@ impl ModelStore {
                         // atomic). Restart the local clock: the next holder
                         // deserves a full staleness window.
                         let _ = std::fs::remove_file(&lock);
-                        self.counters.lock_steals.fetch_add(1, Ordering::Relaxed);
+                        self.counters.lock_steals.inc();
                         watching_since = std::time::Instant::now();
                         continue;
                     }
                     if !counted_wait {
-                        self.counters.lock_waits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.lock_waits.inc();
                         counted_wait = true;
                     }
                     std::thread::sleep(Self::LOCK_POLL);
                     if let Some(m) = self.load_disk(key, scene, grid, false) {
-                        self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.disk_hits.inc();
                         return m;
                     }
                 }
@@ -411,7 +430,7 @@ impl ModelStore {
                     // the directory refuses lock files (read-only,
                     // permissions): serve without cross-process dedup rather
                     // than not at all
-                    self.counters.fits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.fits.inc();
                     let m = Arc::new(fit.take().expect("fit consumed at most once")());
                     self.save_disk(key, scene, &m);
                     return m;
@@ -424,14 +443,14 @@ impl ModelStore {
     pub fn stats(&self) -> StoreStats {
         let resident = self.inner.lock().unwrap().ready_count();
         StoreStats {
-            memory_hits: self.counters.memory_hits.load(Ordering::Relaxed),
-            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
-            fits: self.counters.fits.load(Ordering::Relaxed),
-            evictions: self.counters.evictions.load(Ordering::Relaxed),
-            disk_errors: self.counters.disk_errors.load(Ordering::Relaxed),
-            single_flight_waits: self.counters.single_flight_waits.load(Ordering::Relaxed),
-            lock_waits: self.counters.lock_waits.load(Ordering::Relaxed),
-            lock_steals: self.counters.lock_steals.load(Ordering::Relaxed),
+            memory_hits: self.counters.memory_hits.get(),
+            disk_hits: self.counters.disk_hits.get(),
+            fits: self.counters.fits.get(),
+            evictions: self.counters.evictions.get(),
+            disk_errors: self.counters.disk_errors.get(),
+            single_flight_waits: self.counters.single_flight_waits.get(),
+            lock_waits: self.counters.lock_waits.get(),
+            lock_steals: self.counters.lock_steals.get(),
             resident,
         }
     }
@@ -469,12 +488,12 @@ impl ModelStore {
             };
             match found {
                 Found::Hit(m) => {
-                    self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.memory_hits.inc();
                     return Claim::Hit(m);
                 }
                 Found::InFlight => {
                     if !waited {
-                        self.counters.single_flight_waits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.single_flight_waits.inc();
                         waited = true;
                     }
                     inner = self.cond.wait(inner).unwrap();
@@ -510,7 +529,7 @@ impl ModelStore {
                 .map(|(k, _)| k.clone())
                 .expect("ready_count > capacity >= 1 implies a ready entry");
             inner.slots.remove(&lru);
-            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            self.counters.evictions.inc();
         }
         drop(inner);
         self.cond.notify_all();
@@ -535,7 +554,7 @@ impl ModelStore {
         let path = self.ckpt_path(key)?;
         let error = |counters: &Counters| {
             if count_errors {
-                counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+                counters.disk_errors.inc();
             }
         };
         match io::load_model_file(&path) {
@@ -576,7 +595,7 @@ impl ModelStore {
         };
         if write().is_err() {
             let _ = std::fs::remove_file(&tmp);
-            self.counters.disk_errors.fetch_add(1, Ordering::Relaxed);
+            self.counters.disk_errors.inc();
         }
     }
 }

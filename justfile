@@ -68,5 +68,16 @@ trace-smoke:
 fleet-smoke:
     scripts/fleet_smoke.sh
 
+# Replay a deadline-missing burst with a run bundle on and assert the
+# bundle artifact set plus the merged `asdr-trace report --bundles`
+# attribution (what the nightly obs-smoke job runs).
+obs-smoke:
+    scripts/obs_smoke.sh
+
+# Gate the observability layer's disabled cost: the warm serve benches
+# must stay within 1% (min_ns) of the committed baseline entries.
+obs-overhead:
+    scripts/obs_overhead_check.sh
+
 # Everything CI runs, in one shot.
 ci: fmt-check clippy verify test-crates check-extras

@@ -5,10 +5,14 @@
 #   gen       — a seeded poisson trace over three scenes
 #   reference — replay it through one in-process shard, dumping frames
 #   fleet     — replay it again with --remote spawn:3 (three asdr-shardd
-#               daemons on Unix sockets), kill -9 one daemon mid-run
+#               daemons on Unix sockets), kill -9 one daemon mid-run,
+#               every process writing an asdr_obs run bundle
 #   asserts   — the fleet run completes, every dumped frame is
-#               byte-identical to the reference, and the stats artifact
-#               records the failure (>= 1 eviction)
+#               byte-identical to the reference, the stats artifact
+#               records the failure (>= 1 eviction), exactly the two
+#               survivors finished their bundles (the victim's last
+#               recorded stage proves the SIGKILL), and the merged
+#               bundle report joins request spans across processes
 #
 # usage: scripts/fleet_smoke.sh
 #
@@ -47,6 +51,7 @@ echo "== fleet replay (spawn:3, killing one daemon mid-run)"
 stale=$(pgrep -f 'asdr-[s]hardd' || true)
 cluster --trace "$out/workload.trace" --scale "$scale" --speed "$speed" \
     --remote spawn:3 --store-dir "$store" --dump-images "$out/fleet" \
+    --bundle "$out/bundles" \
     --out "$out/fleet-stats.json" > "$out/fleet.log" 2> "$out/fleet.err" &
 replay_pid=$!
 
@@ -72,9 +77,20 @@ fi
 wait "$replay_pid" || { echo "FAIL: fleet replay did not survive the kill"; cat "$out/fleet.err"; exit 1; }
 sed -n 's/^TRACE_RESULT //p' "$out/fleet.log" > "$out/fleet.json"
 
-# a SIGKILLed daemon cannot say goodbye: exactly the two survivors drain
-exits=$(grep -c SHARDD_EXIT "$out/fleet.err" || true)
-[[ "$exits" -eq 2 ]] || { echo "FAIL: expected 2 survivor drains, saw $exits"; exit 1; }
+# a SIGKILLed daemon cannot say goodbye: all three daemons opened a run
+# bundle, but exactly the two survivors finished theirs (stats.json is
+# written by the drain path) — the victim's bundle ends at "listening"
+dirs=$(find "$out"/bundles -maxdepth 1 -name 'shard*' -type d | wc -l)
+[[ "$dirs" -eq 3 ]] || { echo "FAIL: expected 3 shardd bundles, saw $dirs"; exit 1; }
+exits=$(find "$out"/bundles/shard*/ -maxdepth 1 -name stats.json | wc -l)
+[[ "$exits" -eq 2 ]] || { echo "FAIL: expected 2 survivor drains, saw $exits finished bundles"; exit 1; }
+for d in "$out"/bundles/shard*/; do
+    [[ -f "$d/stats.json" ]] && continue
+    stage=$(cat "$d/last-stage")
+    [[ "$stage" == "listening" ]] \
+        || { echo "FAIL: victim bundle $d ends at '$stage', not 'listening'"; exit 1; }
+    echo "victim bundle $d confirms the kill (last stage: $stage)"
+done
 
 echo "== asserts"
 diff -r "$out/ref" "$out/fleet" \
@@ -90,4 +106,11 @@ echo "failure visible in stats: $evictions eviction(s)"
 echo "== report"
 trace report "ref=$out/ref.json" "fleet=$out/fleet.json" --out target/fleet-report.md
 cat target/fleet-report.md
+
+echo "== merged bundle report"
+trace report --bundles "$out/bundles" --out target/fleet-bundle-report.md
+joins=$(grep -c '^SPAN_JOIN' target/fleet-bundle-report.md || true)
+[[ "$joins" -ge 1 ]] \
+    || { echo "FAIL: no request's spans joined across processes"; exit 1; }
+echo "cross-process span joins: $joins"
 echo "fleet smoke OK"

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Verifies the observability layer's disabled cost: with no run bundle
+# active, spans are gated behind a single relaxed atomic load and the
+# registry counters are the same plain atomics the stats structs always
+# used — so the warm serving benches must sit within OBS_TOLERANCE
+# (default 1%, the budget `crates/serve/src/store.rs` documents) of the
+# committed `serve_*` entries in scripts/bench-baseline.json.
+#
+# The gate compares min_ns, not mean_ns: for a warm nanobenchmark the
+# minimum is the true cost of the code path, while the mean soaks up
+# scheduler noise from whatever else the machine is doing. A noisy run
+# is retried (up to OBS_RETRIES attempts) before the check fails.
+#
+# usage: scripts/obs_overhead_check.sh
+#
+# Environment:
+#   OBS_TOLERANCE   max allowed min_ns ratio current/baseline (default 1.01)
+#   OBS_RETRIES     bench attempts before giving up (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tolerance="${OBS_TOLERANCE:-1.01}"
+retries="${OBS_RETRIES:-3}"
+results="$PWD/target/obs-bench-results.json"
+baseline="scripts/bench-baseline.json"
+
+gate() {
+    # "name min_ns" pairs for the warm serve entries of one dump
+    extract() {
+        sed -n 's/.*"name":"\(serve_[^"]*\)".*"min_ns":\([0-9.]*\).*/\1 \2/p' "$1"
+    }
+    extract "$baseline" > "$PWD/target/obs-base.$$"
+    if [[ ! -s "$PWD/target/obs-base.$$" ]]; then
+        echo "error: no serve_* entries in $baseline" >&2
+        exit 2
+    fi
+    local fail=0
+    while read -r name base_min; do
+        cur_min=$(extract "$results" | awk -v n="$name" '$1 == n { print $2 }')
+        if [[ -z "$cur_min" ]]; then
+            echo "FAIL  $name: missing from the bench run"
+            fail=1
+            continue
+        fi
+        ratio=$(awk -v c="$cur_min" -v b="$base_min" 'BEGIN { printf "%.3f", c / b }')
+        over=$(awk -v r="$ratio" -v t="$tolerance" 'BEGIN { print (r > t) ? 1 : 0 }')
+        if [[ "$over" == "1" ]]; then
+            echo "FAIL  $name: min ${cur_min}ns vs baseline ${base_min}ns (${ratio}x > ${tolerance}x)"
+            fail=1
+        else
+            echo "ok    $name: min ${cur_min}ns vs ${base_min}ns (${ratio}x)"
+        fi
+    done < "$PWD/target/obs-base.$$"
+    rm -f "$PWD/target/obs-base.$$"
+    return "$fail"
+}
+
+for attempt in $(seq 1 "$retries"); do
+    echo "== warm serve benches, observability compiled in but disabled (attempt $attempt/$retries) =="
+    # the criterion shim MERGES into an existing dump; start clean so a
+    # previous attempt's numbers cannot leak into this one
+    rm -f "$results"
+    BENCH_RESULTS_PATH="$results" cargo bench -p asdr_bench --bench serve
+    echo
+    echo "== disabled-overhead gate (tolerance ${tolerance}x on min_ns) =="
+    if gate; then
+        echo "observability disabled-cost within ${tolerance}x of baseline"
+        exit 0
+    fi
+    echo
+done
+echo "warm serve benches stayed over ${tolerance}x after $retries attempts" >&2
+exit 1

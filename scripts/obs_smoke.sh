@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Observability smoke: the run-bundle and merged-report contract through
+# the real binaries.
+#
+#   serve    — replay a seeded synthetic burst with unmeetable deadlines
+#              through asdr-serve, writing a run bundle
+#   asserts  — the bundle holds the full artifact set with the span
+#              timeline, its stats.json is byte-identical to the --out
+#              artifact (one JSON writer serves both), and the merged
+#              `asdr-trace report --bundles` attributes every deadline
+#              miss to a dominant phase
+#
+# usage: scripts/obs_smoke.sh
+#
+# Environment:
+#   OBS_SMOKE_SPEC   generator spec (default: a 3s poisson burst whose
+#                    1 ms deadlines every request must miss)
+set -euo pipefail
+
+spec="${OBS_SMOKE_SPEC:-poisson:rate=10,duration=3s,scenes=Mic+Lego,seed=7,resolution=16,deadline=1}"
+out=target/obs-smoke
+
+serve() { cargo run --release -q -p asdr_serve --bin asdr-serve -- "$@"; }
+trace() { cargo run --release -q -p asdr_serve --bin asdr-trace -- "$@"; }
+
+rm -rf "$out"
+mkdir -p "$out"
+
+echo "== build"
+cargo build --release -q -p asdr_serve --bin asdr-serve --bin asdr-trace
+
+echo "== serve replay, bundle on"
+serve --synthetic "$spec" --scale tiny --no-store \
+    --bundle "$out/bundles/serve" --out "$out/serve-stats.json" > "$out/serve.log"
+
+echo "== bundle asserts"
+bundle="$out/bundles/serve"
+for f in config.json meta.json spans.jsonl stats.json stats-timeline.jsonl last-stage; do
+    [[ -s "$bundle/$f" || "$f" == "stats-timeline.jsonl" && -f "$bundle/$f" ]] \
+        || { echo "FAIL: bundle is missing $f"; exit 1; }
+done
+stage=$(cat "$bundle/last-stage")
+[[ "$stage" == "exit" ]] \
+    || { echo "FAIL: bundle ends at stage '$stage', not the clean-exit marker"; exit 1; }
+diff "$bundle/stats.json" "$out/serve-stats.json" \
+    || { echo "FAIL: bundle stats.json differs from the --out artifact"; exit 1; }
+spans=$(wc -l < "$bundle/spans.jsonl")
+echo "bundle complete: $spans span lines, final stage '$stage', stats byte-identical to --out"
+
+echo "== merged report asserts"
+trace report --bundles "$out/bundles" --out "$out/report.md"
+grep -q '^| render |' "$out/report.md" \
+    || { echo "FAIL: per-phase table has no render row"; exit 1; }
+misses=$(grep -c '^MISS_ATTRIBUTION' "$out/report.md" || true)
+[[ "$misses" -ge 1 ]] \
+    || { echo "FAIL: unmeetable deadlines produced no MISS_ATTRIBUTION lines"; exit 1; }
+if grep '^MISS_ATTRIBUTION' "$out/report.md" | grep -q 'phase=unattributed'; then
+    echo "FAIL: a deadline miss has no dominant phase"
+    exit 1
+fi
+trace report --bundles "$out/bundles" --json --out "$out/report.json"
+grep -q '"phases"' "$out/report.json" \
+    || { echo "FAIL: JSON report has no phases array"; exit 1; }
+echo "merged report: $misses deadline misses, every one attributed"
+cat "$out/report.md"
+echo "obs smoke OK"

@@ -46,5 +46,6 @@ pub use asdr_cluster as cluster;
 pub use asdr_core as core;
 pub use asdr_math as math;
 pub use asdr_nerf as nerf;
+pub use asdr_obs as obs;
 pub use asdr_scenes as scenes;
 pub use asdr_serve as serve;
